@@ -1,0 +1,179 @@
+//! The five-valued D-calculus, represented as good/faulty value pairs.
+
+use std::fmt;
+
+use fscan_netlist::GateKind;
+use fscan_sim::V3;
+
+/// A five-valued (Roth D-calculus) logic value, stored as the pair of
+/// the good-machine and faulty-machine three-valued values.
+///
+/// The classic five values map as: `0 = (0,0)`, `1 = (1,1)`,
+/// `D = (1,0)`, `D̄ = (0,1)`, `X` = anything involving an unknown.
+/// Keeping the two machines explicit makes gate evaluation trivially
+/// correct: evaluate each machine independently.
+///
+/// # Examples
+///
+/// ```
+/// use fscan_atpg::D5;
+/// use fscan_sim::V3;
+///
+/// let d = D5::D;
+/// assert_eq!(d.good(), V3::One);
+/// assert_eq!(d.faulty(), V3::Zero);
+/// assert!(d.is_fault_effect());
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash)]
+pub struct D5 {
+    good: V3,
+    faulty: V3,
+}
+
+impl D5 {
+    /// Both machines at 0.
+    pub const ZERO: D5 = D5 {
+        good: V3::Zero,
+        faulty: V3::Zero,
+    };
+    /// Both machines at 1.
+    pub const ONE: D5 = D5 {
+        good: V3::One,
+        faulty: V3::One,
+    };
+    /// Good 1, faulty 0 (Roth's D).
+    pub const D: D5 = D5 {
+        good: V3::One,
+        faulty: V3::Zero,
+    };
+    /// Good 0, faulty 1 (Roth's D̄).
+    pub const DBAR: D5 = D5 {
+        good: V3::Zero,
+        faulty: V3::One,
+    };
+    /// Both machines unknown.
+    pub const X: D5 = D5 {
+        good: V3::X,
+        faulty: V3::X,
+    };
+
+    /// Builds a value from its machine pair.
+    pub fn new(good: V3, faulty: V3) -> D5 {
+        D5 { good, faulty }
+    }
+
+    /// A known equal value on both machines.
+    pub fn known(b: bool) -> D5 {
+        if b {
+            D5::ONE
+        } else {
+            D5::ZERO
+        }
+    }
+
+    /// The good-machine value.
+    pub fn good(self) -> V3 {
+        self.good
+    }
+
+    /// The faulty-machine value.
+    pub fn faulty(self) -> V3 {
+        self.faulty
+    }
+
+    /// True for D or D̄: both machines known and different.
+    pub fn is_fault_effect(self) -> bool {
+        self.good.is_known() && self.faulty.is_known() && self.good != self.faulty
+    }
+
+    /// True when either machine is unknown.
+    pub fn has_x(self) -> bool {
+        !self.good.is_known() || !self.faulty.is_known()
+    }
+
+    /// Evaluates a gate over five-valued inputs (each machine evaluated
+    /// independently).
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`GateKind::Input`] / [`GateKind::Dff`].
+    pub fn eval_gate(kind: GateKind, inputs: impl IntoIterator<Item = D5> + Clone) -> D5 {
+        let good = V3::eval_gate(kind, inputs.clone().into_iter().map(|d| d.good));
+        let faulty = V3::eval_gate(kind, inputs.into_iter().map(|d| d.faulty));
+        D5 { good, faulty }
+    }
+}
+
+impl Default for D5 {
+    fn default() -> D5 {
+        D5::X
+    }
+}
+
+impl fmt::Debug for D5 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for D5 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match (self.good, self.faulty) {
+            (V3::Zero, V3::Zero) => "0",
+            (V3::One, V3::One) => "1",
+            (V3::One, V3::Zero) => "D",
+            (V3::Zero, V3::One) => "D'",
+            (V3::X, V3::X) => "X",
+            (g, fa) => return write!(f, "({g}/{fa})"),
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d_algebra_and() {
+        // D AND D = D; D AND D' = 0; D AND 1 = D; D AND 0 = 0; D AND X = X-ish.
+        let and = |a, b| D5::eval_gate(GateKind::And, [a, b]);
+        assert_eq!(and(D5::D, D5::D), D5::D);
+        assert_eq!(and(D5::D, D5::DBAR), D5::ZERO);
+        assert_eq!(and(D5::D, D5::ONE), D5::D);
+        assert_eq!(and(D5::D, D5::ZERO), D5::ZERO);
+        assert!(and(D5::D, D5::X).has_x());
+    }
+
+    #[test]
+    fn d_algebra_not() {
+        let not = |a| D5::eval_gate(GateKind::Not, [a]);
+        assert_eq!(not(D5::D), D5::DBAR);
+        assert_eq!(not(D5::DBAR), D5::D);
+        assert_eq!(not(D5::ZERO), D5::ONE);
+    }
+
+    #[test]
+    fn xor_propagates_d() {
+        let xor = |a, b| D5::eval_gate(GateKind::Xor, [a, b]);
+        assert_eq!(xor(D5::D, D5::ZERO), D5::D);
+        assert_eq!(xor(D5::D, D5::ONE), D5::DBAR);
+        assert_eq!(xor(D5::D, D5::D), D5::ZERO);
+    }
+
+    #[test]
+    fn fault_effect_detection() {
+        assert!(D5::D.is_fault_effect());
+        assert!(D5::DBAR.is_fault_effect());
+        assert!(!D5::ONE.is_fault_effect());
+        assert!(!D5::X.is_fault_effect());
+        assert!(!D5::new(V3::One, V3::X).is_fault_effect());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(D5::D.to_string(), "D");
+        assert_eq!(D5::DBAR.to_string(), "D'");
+        assert_eq!(D5::new(V3::One, V3::X).to_string(), "(1/X)");
+    }
+}

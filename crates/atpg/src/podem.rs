@@ -1,0 +1,923 @@
+//! Combinational PODEM over a controllability/observability view.
+
+use fscan_fault::{Fault, FaultSite};
+use fscan_netlist::{Circuit, FanoutTable, GateKind, NodeId};
+use fscan_sim::{CombEvaluator, V3};
+
+use crate::dvalue::D5;
+
+const INF: u32 = u32::MAX / 4;
+
+/// Tuning knobs for [`Podem`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PodemConfig {
+    /// Abort the search after this many backtracks.
+    pub backtrack_limit: usize,
+    /// Abort after this many search steps (decisions + backtracks).
+    /// Every step costs one full resimulation, so on large (e.g.
+    /// time-frame-expanded) models this is the knob that actually bounds
+    /// runtime.
+    pub step_limit: usize,
+}
+
+impl Default for PodemConfig {
+    fn default() -> PodemConfig {
+        PodemConfig {
+            backtrack_limit: 20_000,
+            step_limit: usize::MAX,
+        }
+    }
+}
+
+/// The outcome of one PODEM run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AtpgOutcome {
+    /// A test was found: assignments for the controllable inputs that
+    /// were decided (inputs not listed may take any value).
+    Test(Vec<(NodeId, bool)>),
+    /// The fault is proven undetectable under this view (the full
+    /// decision space was exhausted).
+    Undetectable,
+    /// The backtrack budget ran out before a verdict.
+    Aborted,
+}
+
+/// A PODEM test generator over a circuit *view*.
+///
+/// The view consists of:
+/// * `controllable` — inputs the generator may assign (primary inputs
+///   and/or flip-flop outputs acting as pseudo-inputs);
+/// * `fixed` — inputs pinned to constants (e.g. scan-mode primary-input
+///   assignments, including `scan_mode = 1` itself);
+/// * `observable` — nets whose values can be observed (primary outputs
+///   and/or flip-flop capture points).
+///
+/// Any other non-gate node stays at X and can never be assigned, which
+/// models uncontrollable state.
+///
+/// # Examples
+///
+/// See the crate-level example.
+#[derive(Clone, Debug)]
+pub struct Podem<'c> {
+    circuit: &'c Circuit,
+    eval: CombEvaluator,
+    fanout: FanoutTable,
+    controllable: Vec<NodeId>,
+    is_controllable: Vec<bool>,
+    fixed: Vec<(NodeId, bool)>,
+    observable: Vec<NodeId>,
+    is_observable: Vec<bool>,
+    cc0: Vec<u32>,
+    cc1: Vec<u32>,
+    obs_dist: Vec<u32>,
+    values: Vec<D5>,
+    assigned: Vec<Option<bool>>,
+    /// Topological order cached out of the evaluator so resimulation can
+    /// borrow it alongside `values`.
+    order: Vec<NodeId>,
+    /// Stem injections of the current fault set, indexed by node.
+    stem_inj: Vec<Option<bool>>,
+    /// Whether a node has any branch-fault injection on its pins.
+    has_branch: Vec<bool>,
+    /// The (gate index, pin, stuck) branch injections (short list).
+    branch_inj: Vec<(usize, usize, bool)>,
+    last_backtracks: usize,
+    last_steps: usize,
+    /// X-reachability, recomputed after every resimulation: `true` when
+    /// the node has a path of X-ish nets to an observable. Makes every
+    /// X-path query O(1).
+    x_reach: Vec<bool>,
+}
+
+impl<'c> Podem<'c> {
+    /// Builds a generator for the given view of `circuit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fixed node is also listed as controllable.
+    pub fn new(
+        circuit: &'c Circuit,
+        controllable: Vec<NodeId>,
+        fixed: Vec<(NodeId, bool)>,
+        observable: Vec<NodeId>,
+    ) -> Podem<'c> {
+        let n = circuit.num_nodes();
+        let mut is_controllable = vec![false; n];
+        for &c in &controllable {
+            is_controllable[c.index()] = true;
+        }
+        for &(f, _) in &fixed {
+            assert!(
+                !is_controllable[f.index()],
+                "node {f} is both fixed and controllable"
+            );
+        }
+        let mut is_observable = vec![false; n];
+        for &o in &observable {
+            is_observable[o.index()] = true;
+        }
+        let eval = CombEvaluator::new(circuit);
+        let order = eval.order().to_vec();
+        let fanout = FanoutTable::new(circuit);
+        let mut podem = Podem {
+            circuit,
+            eval,
+            fanout,
+            controllable,
+            is_controllable,
+            fixed,
+            observable,
+            is_observable,
+            cc0: vec![INF; n],
+            cc1: vec![INF; n],
+            obs_dist: vec![INF; n],
+            values: vec![D5::X; n],
+            assigned: vec![None; n],
+            order,
+            stem_inj: vec![None; n],
+            has_branch: vec![false; n],
+            branch_inj: Vec::new(),
+            last_backtracks: 0,
+            last_steps: 0,
+            x_reach: vec![false; n],
+        };
+        podem.compute_scoap();
+        podem.compute_obs_dist();
+        podem
+    }
+
+    /// SCOAP-style combinational 0/1 controllability, used to guide the
+    /// backtrace toward cheap-to-justify inputs and away from
+    /// uncontrollable state.
+    fn compute_scoap(&mut self) {
+        for &c in &self.controllable {
+            self.cc0[c.index()] = 1;
+            self.cc1[c.index()] = 1;
+        }
+        for &(f, v) in &self.fixed {
+            self.cc0[f.index()] = if v { INF } else { 0 };
+            self.cc1[f.index()] = if v { 0 } else { INF };
+        }
+        let sat = |a: u32, b: u32| a.saturating_add(b).min(INF);
+        for &id in self.eval.order().to_vec().iter() {
+            let node = self.circuit.node(id);
+            let kind = node.kind();
+            let (c0, c1): (u32, u32) = match kind {
+                GateKind::Const0 => (0, INF),
+                GateKind::Const1 => (INF, 0),
+                GateKind::Buf => {
+                    let f = node.fanin()[0];
+                    (sat(self.cc0[f.index()], 1), sat(self.cc1[f.index()], 1))
+                }
+                GateKind::Not => {
+                    let f = node.fanin()[0];
+                    (sat(self.cc1[f.index()], 1), sat(self.cc0[f.index()], 1))
+                }
+                GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+                    // Cost to set output to the controlled (easy) side vs
+                    // the all-inputs (hard) side.
+                    let ctrl = kind.controlling_value().expect("and/or family");
+                    let (ctrl_cc, nonctrl_cc): (Vec<u32>, Vec<u32>) = {
+                        let pick = |v: bool, f: NodeId| {
+                            if v {
+                                self.cc1[f.index()]
+                            } else {
+                                self.cc0[f.index()]
+                            }
+                        };
+                        (
+                            node.fanin().iter().map(|&f| pick(ctrl, f)).collect(),
+                            node.fanin().iter().map(|&f| pick(!ctrl, f)).collect(),
+                        )
+                    };
+                    let easy = sat(ctrl_cc.iter().copied().min().unwrap_or(INF), 1);
+                    let hard = sat(nonctrl_cc.iter().fold(0u32, |a, &b| sat(a, b)), 1);
+                    // For AND: output 0 via any controlling input (easy),
+                    // output 1 needs all non-controlling (hard).
+                    let (out_ctrl, out_all) = (easy, hard);
+                    let inverted = kind.output_inverted();
+                    // Controlled output value = ctrl ^ inverted.
+                    if ctrl ^ inverted {
+                        (out_all, out_ctrl)
+                    } else {
+                        (out_ctrl, out_all)
+                    }
+                }
+                GateKind::Xor | GateKind::Xnor => {
+                    // Fold pairwise: cost of parity-0 / parity-1.
+                    let mut p0 = 0u32;
+                    let mut p1 = INF;
+                    for &f in node.fanin() {
+                        let (f0, f1) = (self.cc0[f.index()], self.cc1[f.index()]);
+                        let n0 = sat(p0, f0).min(sat(p1, f1));
+                        let n1 = sat(p0, f1).min(sat(p1, f0));
+                        p0 = n0;
+                        p1 = n1;
+                    }
+                    if kind == GateKind::Xor {
+                        (sat(p0, 1), sat(p1, 1))
+                    } else {
+                        (sat(p1, 1), sat(p0, 1))
+                    }
+                }
+                GateKind::Input | GateKind::Dff => continue,
+            };
+            // Fixed gates keep their pinned costs (none are fixed in
+            // practice; fixing applies to inputs).
+            self.cc0[id.index()] = c0;
+            self.cc1[id.index()] = c1;
+        }
+    }
+
+    /// Static distance (in gates) from each node to the nearest
+    /// observable, used to pick D-frontier gates.
+    fn compute_obs_dist(&mut self) {
+        for &o in &self.observable {
+            self.obs_dist[o.index()] = 0;
+        }
+        // Reverse topological relaxation: iterate the evaluation order
+        // backwards; a node's distance improves through its fanouts.
+        for &id in self.eval.order().to_vec().iter().rev() {
+            let mut best = self.obs_dist[id.index()];
+            for &(sink, _) in self.fanout.fanouts(id) {
+                if self.circuit.node(sink).kind().is_gate() {
+                    best = best.min(self.obs_dist[sink.index()].saturating_add(1));
+                }
+            }
+            self.obs_dist[id.index()] = best;
+        }
+        // Inputs/FF outputs also get distances (not strictly needed).
+        for id in self.circuit.node_ids() {
+            if self.circuit.node(id).kind().is_gate() {
+                continue;
+            }
+            let mut best = self.obs_dist[id.index()];
+            for &(sink, _) in self.fanout.fanouts(id) {
+                if self.circuit.node(sink).kind().is_gate() {
+                    best = best.min(self.obs_dist[sink.index()].saturating_add(1));
+                }
+            }
+            self.obs_dist[id.index()] = best;
+        }
+    }
+
+    /// Installs the injection lookup tables for a fault set.
+    fn prepare(&mut self, faults: &[Fault]) {
+        self.stem_inj.fill(None);
+        self.has_branch.fill(false);
+        self.branch_inj.clear();
+        for f in faults {
+            match f.site {
+                FaultSite::Stem(n) => {
+                    self.stem_inj[n.index()] = Some(f.stuck);
+                }
+                FaultSite::Branch { gate, pin } => {
+                    self.has_branch[gate.index()] = true;
+                    self.branch_inj.push((gate.index(), pin, f.stuck));
+                }
+            }
+        }
+    }
+
+    /// The branch injection on pin `pin` of node `gate_idx`, if any.
+    fn branch_at(&self, gate_idx: usize, pin: usize) -> Option<bool> {
+        if !self.has_branch[gate_idx] {
+            return None;
+        }
+        self.branch_inj
+            .iter()
+            .find(|&&(g, p, _)| g == gate_idx && p == pin)
+            .map(|&(_, _, stuck)| stuck)
+    }
+
+    /// Full five-valued resimulation under the current assignment with
+    /// every fault site injected in the faulty machine.
+    fn resim(&mut self, _faults: &[Fault]) {
+        let n = self.circuit.num_nodes();
+        for i in 0..n {
+            self.values[i] = D5::X;
+        }
+        for &c in &self.controllable {
+            self.values[c.index()] = match self.assigned[c.index()] {
+                Some(b) => D5::known(b),
+                None => D5::X,
+            };
+        }
+        for &(f, v) in &self.fixed {
+            self.values[f.index()] = D5::known(v);
+        }
+        // Stem faults on non-gate nodes override the faulty machine.
+        for i in 0..self.stem_inj.len() {
+            let Some(stuck) = self.stem_inj[i] else { continue };
+            let kind = self.circuit.node(NodeId::from_index(i)).kind();
+            if !kind.is_gate() && !matches!(kind, GateKind::Const0 | GateKind::Const1) {
+                let v = self.values[i];
+                self.values[i] = D5::new(v.good(), V3::from_bool(stuck));
+            }
+        }
+        for oi in 0..self.order.len() {
+            let id = self.order[oi];
+            let node = self.circuit.node(id);
+            let mut out = if self.has_branch[id.index()] {
+                D5::eval_gate(
+                    node.kind(),
+                    node.fanin().iter().enumerate().map(|(pin, &src)| {
+                        let mut v = self.values[src.index()];
+                        if let Some(stuck) = self.branch_at(id.index(), pin) {
+                            v = D5::new(v.good(), V3::from_bool(stuck));
+                        }
+                        v
+                    }),
+                )
+            } else {
+                D5::eval_gate(
+                    node.kind(),
+                    node.fanin().iter().map(|&src| self.values[src.index()]),
+                )
+            };
+            if let Some(stuck) = self.stem_inj[id.index()] {
+                out = D5::new(out.good(), V3::from_bool(stuck));
+            }
+            self.values[id.index()] = out;
+        }
+        self.recompute_x_reach();
+    }
+
+    /// The good value at a fault's excitation point.
+    fn site_good(&self, fault: &Fault) -> V3 {
+        match fault.site {
+            FaultSite::Stem(n) => self.values[n.index()].good(),
+            FaultSite::Branch { gate, pin } => {
+                let src = self.circuit.node(gate).fanin()[pin];
+                self.values[src.index()].good()
+            }
+        }
+    }
+
+    /// The node whose value the excitation objective targets.
+    fn site_node(&self, fault: &Fault) -> NodeId {
+        match fault.site {
+            FaultSite::Stem(n) => n,
+            FaultSite::Branch { gate, pin } => self.circuit.node(gate).fanin()[pin],
+        }
+    }
+
+    fn fault_effect_at_observable(&self) -> bool {
+        self.observable
+            .iter()
+            .any(|&o| self.values[o.index()].is_fault_effect())
+    }
+
+    /// The five-valued value seen by pin `pin` of gate `id`, including
+    /// branch-fault injection.
+    fn pin_value(&self, id: NodeId, pin: usize, src: NodeId, _faults: &[Fault]) -> D5 {
+        let mut v = self.values[src.index()];
+        if let Some(stuck) = self.branch_at(id.index(), pin) {
+            v = D5::new(v.good(), V3::from_bool(stuck));
+        }
+        v
+    }
+
+    /// Whether any fault effect exists: on a net, or injected at a gate
+    /// pin by an excited branch fault.
+    fn has_effect(&self, faults: &[Fault]) -> bool {
+        if self
+            .circuit
+            .node_ids()
+            .any(|id| self.values[id.index()].is_fault_effect())
+        {
+            return true;
+        }
+        faults.iter().any(|f| {
+            matches!(f.site, FaultSite::Branch { .. })
+                && self.site_good(f).is_known()
+                && self.site_good(f) != V3::from_bool(f.stuck)
+        })
+    }
+
+    /// D-frontier: gates with an X-ish output and a fault effect on some
+    /// input pin (including branch-fault injection).
+    fn d_frontier(&self, faults: &[Fault]) -> Vec<NodeId> {
+        let mut frontier = Vec::new();
+        for &id in self.eval.order() {
+            let node = self.circuit.node(id);
+            if !node.kind().is_gate() {
+                continue;
+            }
+            if !self.values[id.index()].has_x() {
+                continue;
+            }
+            let any_d = if self.has_branch[id.index()] {
+                node.fanin()
+                    .iter()
+                    .enumerate()
+                    .any(|(pin, &f)| self.pin_value(id, pin, f, faults).is_fault_effect())
+            } else {
+                node.fanin()
+                    .iter()
+                    .any(|&f| self.values[f.index()].is_fault_effect())
+            };
+            if any_d {
+                frontier.push(id);
+            }
+        }
+        frontier
+    }
+
+    /// Whether a path of X-ish nets connects `from` to an observable
+    /// (O(1): looked up in the per-resimulation reachability table).
+    fn x_path_exists(&mut self, from: NodeId) -> bool {
+        self.x_reach[from.index()]
+    }
+
+    /// Recomputes [`Podem::x_reach`] by one reverse topological sweep:
+    /// a node reaches an observable through X nets iff it is observable
+    /// itself, or some X-ish gate reading it does.
+    fn recompute_x_reach(&mut self) {
+        for i in 0..self.x_reach.len() {
+            self.x_reach[i] = self.is_observable[i];
+        }
+        for oi in (0..self.order.len()).rev() {
+            let id = self.order[oi];
+            if self.x_reach[id.index()] {
+                continue;
+            }
+            let reach = self.fanout.fanouts(id).iter().any(|&(sink, _)| {
+                self.circuit.node(sink).kind().is_gate()
+                    && self.values[sink.index()].has_x()
+                    && self.x_reach[sink.index()]
+            });
+            if reach {
+                self.x_reach[id.index()] = true;
+            }
+        }
+        // Non-gate nodes (inputs, flip-flop outputs) also feed gates.
+        for id in self.circuit.node_ids() {
+            if self.x_reach[id.index()] || self.circuit.node(id).kind().is_gate() {
+                continue;
+            }
+            let reach = self.fanout.fanouts(id).iter().any(|&(sink, _)| {
+                self.circuit.node(sink).kind().is_gate()
+                    && self.values[sink.index()].has_x()
+                    && self.x_reach[sink.index()]
+            });
+            if reach {
+                self.x_reach[id.index()] = true;
+            }
+        }
+    }
+
+    /// Returns the next objective `(net, good_value)` or `None` when the
+    /// current state is a dead end.
+    /// Static controllability cost of setting `node` to `val`.
+    fn cc(&self, node: NodeId, val: bool) -> u32 {
+        if val {
+            self.cc1[node.index()]
+        } else {
+            self.cc0[node.index()]
+        }
+    }
+
+    fn objective(&mut self, faults: &[Fault]) -> Option<(NodeId, bool)> {
+        if !self.has_effect(faults) {
+            // Excitation: find a site whose good value is still X and is
+            // statically justifiable (finite SCOAP cost).
+            for f in faults {
+                let site = self.site_node(f);
+                if self.site_good(f) == V3::X && self.cc(site, !f.stuck) < INF {
+                    return Some((site, !f.stuck));
+                }
+            }
+            return None;
+        }
+        // Propagation: pick the D-frontier gate nearest an observable
+        // that still has an X-path, then set one X side-input to the
+        // non-controlling value.
+        let mut frontier = self.d_frontier(faults);
+        frontier.sort_by_key(|&g| self.obs_dist[g.index()]);
+        for g in frontier {
+            if !self.x_path_exists(g) {
+                continue;
+            }
+            let node = self.circuit.node(g);
+            let side_val = node.kind().transparent_side_value().unwrap_or(true);
+            for &f in node.fanin() {
+                if self.values[f.index()].good() == V3::X && self.cc(f, side_val) < INF {
+                    return Some((f, side_val));
+                }
+            }
+        }
+        None
+    }
+
+    /// Backtraces an objective to an unassigned controllable input.
+    fn backtrace(&self, net: NodeId, val: bool) -> Option<(NodeId, bool)> {
+        let mut net = net;
+        let mut val = val;
+        let mut hops = 0usize;
+        loop {
+            hops += 1;
+            if hops > 4 * self.circuit.num_nodes() {
+                return None; // safety net; cannot happen in a DAG
+            }
+            let node = self.circuit.node(net);
+            let kind = node.kind();
+            if !kind.is_gate() {
+                return if self.is_controllable[net.index()]
+                    && self.assigned[net.index()].is_none()
+                {
+                    Some((net, val))
+                } else {
+                    None
+                };
+            }
+            match kind {
+                GateKind::Buf => {
+                    net = node.fanin()[0];
+                }
+                GateKind::Not => {
+                    net = node.fanin()[0];
+                    val = !val;
+                }
+                GateKind::Const0 | GateKind::Const1 => return None,
+                GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+                    let ctrl = kind.controlling_value().expect("and/or family");
+                    let want_input = val ^ kind.output_inverted();
+                    let cc = |f: NodeId, v: bool| {
+                        if v {
+                            self.cc1[f.index()]
+                        } else {
+                            self.cc0[f.index()]
+                        }
+                    };
+                    let candidates: Vec<NodeId> = node
+                        .fanin()
+                        .iter()
+                        .copied()
+                        .filter(|&f| self.values[f.index()].good() == V3::X)
+                        .collect();
+                    if candidates.is_empty() {
+                        return None;
+                    }
+                    let pick = if want_input == ctrl {
+                        // One controlling input suffices: easiest, and it
+                        // must be justifiable at all.
+                        candidates
+                            .iter()
+                            .copied()
+                            .filter(|&f| cc(f, want_input) < INF)
+                            .min_by_key(|&f| cc(f, want_input))?
+                    } else {
+                        // All inputs must be non-controlling: if any is
+                        // statically unjustifiable the objective is dead;
+                        // otherwise take the hardest first.
+                        if candidates.iter().any(|&f| cc(f, want_input) >= INF) {
+                            return None;
+                        }
+                        candidates
+                            .iter()
+                            .copied()
+                            .max_by_key(|&f| cc(f, want_input))?
+                    };
+                    net = pick;
+                    val = want_input;
+                }
+                GateKind::Xor | GateKind::Xnor => {
+                    // Choose any X input; required value = desired output
+                    // parity xor parity of the other (known) inputs,
+                    // treating other X inputs as 0.
+                    let desired = val ^ (kind == GateKind::Xnor);
+                    let mut parity = desired;
+                    let mut xs: Vec<NodeId> = Vec::new();
+                    for &f in node.fanin() {
+                        match self.values[f.index()].good() {
+                            V3::One => parity = !parity,
+                            V3::Zero => {}
+                            V3::X => xs.push(f),
+                        }
+                    }
+                    let cc = |f: NodeId, v: bool| {
+                        if v {
+                            self.cc1[f.index()]
+                        } else {
+                            self.cc0[f.index()]
+                        }
+                    };
+                    // Remaining X inputs other than the chosen one are
+                    // treated as 0 by this heuristic, so each candidate
+                    // would need the same `parity` value.
+                    net = xs.iter().copied().find(|&f| cc(f, parity) < INF)?;
+                    val = parity;
+                }
+                GateKind::Input | GateKind::Dff => unreachable!("handled above"),
+            }
+        }
+    }
+
+    /// Runs PODEM for the fault (or, for time-frame-expanded models, the
+    /// set of per-frame copies of one fault).
+    ///
+    /// Returns [`AtpgOutcome::Undetectable`] only after exhausting the
+    /// complete decision space, making that verdict sound for the given
+    /// view.
+    pub fn run(&mut self, faults: &[Fault], config: &PodemConfig) -> AtpgOutcome {
+        self.assigned.fill(None);
+        self.last_backtracks = 0;
+        self.last_steps = 0;
+        self.prepare(faults);
+        self.resim(faults);
+        // Decision stack: (input, value, already_flipped).
+        let mut stack: Vec<(NodeId, bool, bool)> = Vec::new();
+        let mut backtracks = 0usize;
+        // Classic PODEM loop: the existence of an objective (plus a
+        // successful backtrace) *is* the progress check; its absence is
+        // the conflict signal that triggers backtracking.
+        loop {
+            if self.fault_effect_at_observable() {
+                let test = stack.iter().map(|&(n, v, _)| (n, v)).collect();
+                return AtpgOutcome::Test(test);
+            }
+            let decision = self
+                .objective(faults)
+                .and_then(|(net, val)| self.backtrace(net, val));
+            match decision {
+                Some((pi, val)) => {
+                    stack.push((pi, val, false));
+                    self.assigned[pi.index()] = Some(val);
+                    self.last_steps += 1;
+                    if self.last_steps > config.step_limit {
+                        return AtpgOutcome::Aborted;
+                    }
+                    self.resim(faults);
+                }
+                None => {
+                    // Conflict: flip the most recent unflipped decision.
+                    loop {
+                        match stack.pop() {
+                            None => return AtpgOutcome::Undetectable,
+                            Some((pi, val, flipped)) => {
+                                self.assigned[pi.index()] = None;
+                                if flipped {
+                                    continue;
+                                }
+                                backtracks += 1;
+                                self.last_backtracks = backtracks;
+                                self.last_steps += 1;
+                                if backtracks > config.backtrack_limit
+                                    || self.last_steps > config.step_limit
+                                {
+                                    return AtpgOutcome::Aborted;
+                                }
+                                stack.push((pi, !val, true));
+                                self.assigned[pi.index()] = Some(!val);
+                                self.resim(faults);
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Podem<'_> {
+    /// Backtracks consumed by the most recent [`Podem::run`], for
+    /// callers that spread one budget across several runs.
+    pub fn last_backtracks(&self) -> usize {
+        self.last_backtracks
+    }
+
+    /// Search steps (decisions + backtracks) consumed by the most recent
+    /// [`Podem::run`].
+    pub fn last_steps(&self) -> usize {
+        self.last_steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fscan_sim::SeqSim;
+
+    fn c17_like() -> (Circuit, Vec<NodeId>) {
+        // The ISCAS'85 c17 netlist (all NAND).
+        let mut c = Circuit::new("c17");
+        let i1 = c.add_input("1");
+        let i2 = c.add_input("2");
+        let i3 = c.add_input("3");
+        let i6 = c.add_input("6");
+        let i7 = c.add_input("7");
+        let g10 = c.add_gate(GateKind::Nand, vec![i1, i3], "10");
+        let g11 = c.add_gate(GateKind::Nand, vec![i3, i6], "11");
+        let g16 = c.add_gate(GateKind::Nand, vec![i2, g11], "16");
+        let g19 = c.add_gate(GateKind::Nand, vec![g11, i7], "19");
+        let g22 = c.add_gate(GateKind::Nand, vec![g10, g16], "22");
+        let g23 = c.add_gate(GateKind::Nand, vec![g16, g19], "23");
+        c.mark_output(g22);
+        c.mark_output(g23);
+        (c, vec![i1, i2, i3, i6, i7, g10, g11, g16, g19, g22, g23])
+    }
+
+    /// Applies a PODEM test to the good and faulty circuits and checks
+    /// an output really differs (unassigned inputs set to 0).
+    fn verify_test(circuit: &Circuit, fault: Fault, test: &[(NodeId, bool)]) -> bool {
+        let mut vec0: Vec<V3> = circuit.inputs().iter().map(|_| V3::Zero).collect();
+        for &(n, v) in test {
+            if let Some(pos) = circuit.inputs().iter().position(|&i| i == n) {
+                vec0[pos] = V3::from_bool(v);
+            }
+        }
+        let sim = SeqSim::new(circuit);
+        let good = sim.run(&[vec0.clone()], &[], None);
+        let bad = sim.run(&[vec0], &[], Some(fault));
+        fscan_sim::detects(&good, &bad).is_some()
+    }
+
+    #[test]
+    fn finds_tests_for_all_collapsed_c17_faults() {
+        let (c, _) = c17_like();
+        let faults = fscan_fault::collapse(&c, &fscan_fault::all_faults(&c));
+        let controllable = c.inputs().to_vec();
+        let observable = c.outputs().to_vec();
+        for &f in &faults {
+            let mut podem = Podem::new(&c, controllable.clone(), vec![], observable.clone());
+            match podem.run(&[f], &PodemConfig::default()) {
+                AtpgOutcome::Test(t) => {
+                    assert!(verify_test(&c, f, &t), "bogus test for {f}");
+                }
+                other => panic!("c17 fault {f} should be testable, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn proves_redundant_fault_undetectable() {
+        // y = a OR (a AND b): the AND output s-a-0 is classic redundant.
+        let mut c = Circuit::new("red");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g = c.add_gate(GateKind::And, vec![a, b], "g");
+        let y = c.add_gate(GateKind::Or, vec![a, g], "y");
+        c.mark_output(y);
+        let mut podem = Podem::new(&c, vec![a, b], vec![], vec![y]);
+        let out = podem.run(&[Fault::stem(g, false)], &PodemConfig::default());
+        assert_eq!(out, AtpgOutcome::Undetectable);
+    }
+
+    #[test]
+    fn fixed_inputs_can_make_faults_undetectable() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g = c.add_gate(GateKind::And, vec![a, b], "g");
+        c.mark_output(g);
+        // Pin b = 0: output is constantly 0, so g s-a-0 is undetectable
+        // and a s-a-1 is too.
+        let mut podem = Podem::new(&c, vec![a], vec![(b, false)], vec![g]);
+        assert_eq!(
+            podem.run(&[Fault::stem(g, false)], &PodemConfig::default()),
+            AtpgOutcome::Undetectable
+        );
+        assert_eq!(
+            podem.run(&[Fault::stem(a, true)], &PodemConfig::default()),
+            AtpgOutcome::Undetectable
+        );
+        // But g s-a-1 is testable (any a).
+        assert!(matches!(
+            podem.run(&[Fault::stem(g, true)], &PodemConfig::default()),
+            AtpgOutcome::Test(_)
+        ));
+    }
+
+    #[test]
+    fn uncontrollable_input_blocks_test() {
+        // g = AND(a, u) with u uncontrollable: faults needing u = 1
+        // cannot be tested.
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let u = c.add_input("u");
+        let g = c.add_gate(GateKind::And, vec![a, u], "g");
+        c.mark_output(g);
+        let mut podem = Podem::new(&c, vec![a], vec![], vec![g]);
+        assert_eq!(
+            podem.run(&[Fault::stem(a, false)], &PodemConfig::default()),
+            AtpgOutcome::Undetectable
+        );
+        let _ = u;
+    }
+
+    #[test]
+    fn branch_fault_testable() {
+        let (c, n) = c17_like();
+        // Branch fault on g16's second pin (reading g11, which fans out).
+        let g16 = n[7];
+        let f = Fault::branch(g16, 1, true);
+        let mut podem = Podem::new(&c, c.inputs().to_vec(), vec![], c.outputs().to_vec());
+        match podem.run(&[f], &PodemConfig::default()) {
+            AtpgOutcome::Test(t) => assert!(verify_test(&c, f, &t)),
+            other => panic!("expected test, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn xor_propagation() {
+        let mut c = Circuit::new("x");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g = c.add_gate(GateKind::Xor, vec![a, b], "g");
+        c.mark_output(g);
+        for f in [Fault::stem(a, false), Fault::stem(a, true)] {
+            let mut podem = Podem::new(&c, vec![a, b], vec![], vec![g]);
+            match podem.run(&[f], &PodemConfig::default()) {
+                AtpgOutcome::Test(t) => assert!(verify_test(&c, f, &t), "{f}"),
+                other => panic!("{f}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn pseudo_input_flip_flops_are_assignable() {
+        // Scan-style view: FF output is controllable, FF capture is not
+        // observable; only the PO is.
+        let mut c = Circuit::new("t");
+        let pi = c.add_input("pi");
+        let ff = c.add_dff_placeholder("ff");
+        let g = c.add_gate(GateKind::And, vec![pi, ff], "g");
+        c.set_dff_input(ff, g).unwrap();
+        c.mark_output(g);
+        let mut podem = Podem::new(&c, vec![pi, ff], vec![], vec![g]);
+        match podem.run(&[Fault::stem(g, false)], &PodemConfig::default()) {
+            AtpgOutcome::Test(t) => {
+                // Test must assign both pi=1 and ff=1.
+                let m: std::collections::HashMap<_, _> = t.into_iter().collect();
+                assert_eq!(m.get(&pi), Some(&true));
+                assert_eq!(m.get(&ff), Some(&true));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_site_fault_detected_via_any_copy() {
+        // Two "frames": y0 = AND(a, u0), y1 = AND(b, one). The same
+        // logical fault (stuck-at-0 on the AND output) is injected in
+        // both copies; frame 1 is controllable, so the fault must be
+        // detected through it.
+        let mut c = Circuit::new("frames");
+        let a = c.add_input("a");
+        let u0 = c.add_input("u0"); // uncontrollable
+        let b = c.add_input("b");
+        let one = c.add_const(true, "one");
+        let y0 = c.add_gate(GateKind::And, vec![a, u0], "y0");
+        let y1 = c.add_gate(GateKind::And, vec![b, one], "y1");
+        c.mark_output(y0);
+        c.mark_output(y1);
+        let mut podem = Podem::new(&c, vec![a, b], vec![], vec![y0, y1]);
+        let faults = [Fault::stem(y0, false), Fault::stem(y1, false)];
+        match podem.run(&faults, &PodemConfig::default()) {
+            AtpgOutcome::Test(t) => {
+                let m: std::collections::HashMap<_, _> = t.into_iter().collect();
+                assert_eq!(m.get(&b), Some(&true));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn abort_on_tiny_budget() {
+        // A deep parity tree makes PODEM backtrack at least once for an
+        // unlucky polarity; budget 0 forces an abort on first backtrack.
+        let mut c = Circuit::new("parity");
+        let mut nets = Vec::new();
+        for i in 0..8 {
+            nets.push(c.add_input(format!("i{i}")));
+        }
+        let mut level = nets.clone();
+        while level.len() > 1 {
+            let mut next = Vec::new();
+            for pair in level.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(c.add_gate(GateKind::And, vec![pair[0], pair[1]], "g"));
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            level = next;
+        }
+        let root = level[0];
+        c.mark_output(root);
+        let mut podem = Podem::new(&c, nets.clone(), vec![], vec![root]);
+        let out = podem.run(
+            &[Fault::stem(nets[7], false)],
+            &PodemConfig {
+                backtrack_limit: 0,
+                ..PodemConfig::default()
+            },
+        );
+        // Either it finds the test without backtracking (fine) or aborts;
+        // it must never claim undetectable.
+        assert_ne!(out, AtpgOutcome::Undetectable);
+    }
+}

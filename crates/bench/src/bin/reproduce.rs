@@ -1,0 +1,250 @@
+//! Regenerates every table and figure of the DATE'98 paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! reproduce [table1|table2|table3|figure5|all] [--scale F] [--only NAME]
+//! ```
+//!
+//! `--scale` shrinks every suite circuit proportionally (default 0.125,
+//! which runs the whole suite in minutes; 1.0 builds paper-sized
+//! circuits). `--only` restricts the run to one circuit.
+
+use std::env;
+use std::process::ExitCode;
+
+use fscan::PipelineReport;
+use fscan_bench::tables::{run_pipeline, table2, table3};
+use fscan_bench::{figure5, table1, PAPER_SUITE};
+
+struct Options {
+    what: String,
+    scale: f64,
+    only: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut what = "all".to_string();
+    let mut scale = 0.125;
+    let mut only = None;
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "table1" | "table2" | "table3" | "figure5" | "all" => what = arg,
+            "--scale" => {
+                let v = args.next().ok_or("--scale needs a value")?;
+                scale = v.parse().map_err(|_| format!("bad scale '{v}'"))?;
+                if !(scale > 0.0 && scale <= 1.0) {
+                    return Err("scale must be in (0, 1]".into());
+                }
+            }
+            "--only" => only = Some(args.next().ok_or("--only needs a circuit name")?),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(Options { what, scale, only })
+}
+
+fn selected(only: &Option<String>) -> Vec<&'static fscan_bench::SuiteCircuit> {
+    PAPER_SUITE
+        .iter()
+        .filter(|c| only.as_deref().map_or(true, |n| n == c.name))
+        .collect()
+}
+
+fn print_table1(opts: &Options) {
+    println!("Table 1: Test suite (synthetic substitutes at scale {}).", opts.scale);
+    println!("{:<10} {:>7} {:>6} {:>8} {:>7}", "name", "#gates", "#FFs", "#faults", "#chains");
+    let mut gates = 0;
+    let mut ffs = 0;
+    let mut faults = 0;
+    let mut chains = 0;
+    for c in selected(&opts.only) {
+        let row = table1(c, opts.scale);
+        println!("{row}");
+        gates += row.gates;
+        ffs += row.ffs;
+        faults += row.faults;
+        chains += row.chains;
+    }
+    println!("{:<10} {gates:>7} {ffs:>6} {faults:>8} {chains:>7}", "total");
+}
+
+fn pipeline_reports(opts: &Options) -> Vec<PipelineReport> {
+    selected(&opts.only)
+        .into_iter()
+        .map(|c| {
+            eprintln!("running pipeline on {} (scale {})...", c.name, opts.scale);
+            run_pipeline(c, opts.scale)
+        })
+        .collect()
+}
+
+fn print_table2(reports: &[PipelineReport]) {
+    println!("\nTable 2: Finding easy and hard faults.");
+    println!(
+        "{:<10} {:>15} {:>14} {:>9}",
+        "name", "#easy (%)", "#hard (%)", "CPU"
+    );
+    let mut easy = 0;
+    let mut hard = 0;
+    let mut total = 0;
+    let mut cpu = 0.0;
+    for r in reports {
+        let row = table2(r);
+        println!("{row}");
+        easy += row.easy;
+        hard += row.hard;
+        total += row.total;
+        cpu += row.cpu.as_secs_f64();
+    }
+    println!(
+        "{:<10} {:>7} ({:>4.1}%) {:>6} ({:>4.1}%) {:>8.2}s",
+        "total",
+        easy,
+        100.0 * easy as f64 / total.max(1) as f64,
+        hard,
+        100.0 * hard as f64 / total.max(1) as f64,
+        cpu
+    );
+    println!(
+        "affected = {:.1}% of all faults; hard = {:.1}% (paper: 24.8% and 3.2%)",
+        100.0 * (easy + hard) as f64 / total.max(1) as f64,
+        100.0 * hard as f64 / total.max(1) as f64
+    );
+}
+
+fn print_table3(reports: &[PipelineReport]) {
+    println!("\nTable 3: Detecting the faults in f_hard.");
+    println!(
+        "{:<10} | comb: #det #undetectable #undet CPU | seq: #circ #det #undetectable #undet CPU",
+        "name"
+    );
+    let mut tot = Table3Totals::default();
+    for r in reports {
+        let row = table3(r);
+        println!("{row}");
+        tot.add(&row);
+    }
+    println!(
+        "{:<10} {:>6} {:>6} {:>6} {:>8.2}s {:>9} {:>5} {:>5} {:>5} {:>8.2}s",
+        "total",
+        tot.comb_det,
+        tot.comb_undetectable,
+        tot.comb_undetected,
+        tot.comb_cpu,
+        format!("{},{}", tot.circ_initial, tot.circ_final),
+        tot.seq_det,
+        tot.seq_undetectable,
+        tot.seq_undetected,
+        tot.seq_cpu
+    );
+    let total_faults: usize = reports.iter().map(|r| r.total_faults).sum();
+    let affected: usize = reports.iter().map(|r| r.classification.affected()).sum();
+    println!(
+        "after step 2: undetected = {:.3}% of all faults, {:.3}% of chain-affecting (paper: 0.159% / 0.642%)",
+        100.0 * tot.comb_undetected as f64 / total_faults.max(1) as f64,
+        100.0 * tot.comb_undetected as f64 / affected.max(1) as f64
+    );
+    println!(
+        "after step 3: undetected = {:.3}% of all faults, {:.3}% of chain-affecting (paper: 0.006% / 0.022%)",
+        100.0 * tot.seq_undetected as f64 / total_faults.max(1) as f64,
+        100.0 * tot.seq_undetected as f64 / affected.max(1) as f64
+    );
+}
+
+#[derive(Default)]
+struct Table3Totals {
+    comb_det: usize,
+    comb_undetectable: usize,
+    comb_undetected: usize,
+    comb_cpu: f64,
+    circ_initial: usize,
+    circ_final: usize,
+    seq_det: usize,
+    seq_undetectable: usize,
+    seq_undetected: usize,
+    seq_cpu: f64,
+}
+
+impl Table3Totals {
+    fn add(&mut self, row: &fscan_bench::Table3Row) {
+        self.comb_det += row.comb_detected;
+        self.comb_undetectable += row.comb_undetectable;
+        self.comb_undetected += row.comb_undetected;
+        self.comb_cpu += row.comb_cpu.as_secs_f64();
+        self.circ_initial += row.circuits_initial;
+        self.circ_final += row.circuits_final;
+        self.seq_det += row.seq_detected;
+        self.seq_undetectable += row.seq_undetectable;
+        self.seq_undetected += row.seq_undetected;
+        self.seq_cpu += row.seq_cpu.as_secs_f64();
+    }
+}
+
+fn print_figure5(reports: &[PipelineReport]) {
+    // The paper plots the largest circuit (s38584); plot the report with
+    // the longest detection curve.
+    let Some(report) = reports
+        .iter()
+        .max_by_key(|r| r.comb.detection_curve.len())
+    else {
+        return;
+    };
+    let series = figure5(report);
+    println!(
+        "\nFigure 5: detected faults vs simulated test vectors ({}).",
+        report.name
+    );
+    println!("{:>8} {:>9}", "#vectors", "#detected");
+    let step = (series.len() / 20).max(1);
+    for (i, p) in series.iter().enumerate() {
+        if i % step == 0 || i + 1 == series.len() {
+            println!("{:>8} {:>9}", p.vectors, p.detected);
+        }
+    }
+    if let (Some(quarter), Some(last)) = (series.get(series.len() / 4), series.last()) {
+        if last.detected > 0 {
+            println!(
+                "first 25% of vectors detect {:.0}% of step-2 detections (paper: large majority)",
+                100.0 * quarter.detected as f64 / last.detected as f64
+            );
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: reproduce [table1|table2|table3|figure5|all] [--scale F] [--only NAME]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    match opts.what.as_str() {
+        "table1" => print_table1(&opts),
+        "table2" => {
+            let reports = pipeline_reports(&opts);
+            print_table2(&reports);
+        }
+        "table3" => {
+            let reports = pipeline_reports(&opts);
+            print_table3(&reports);
+        }
+        "figure5" => {
+            let reports = pipeline_reports(&opts);
+            print_figure5(&reports);
+        }
+        _ => {
+            print_table1(&opts);
+            let reports = pipeline_reports(&opts);
+            print_table2(&reports);
+            print_table3(&reports);
+            print_figure5(&reports);
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,219 @@
+//! Test-set compaction (paper, Section 6).
+//!
+//! The paper observes that "the large majority of detected faults are
+//! detected by the beginning part of the test sequence, thus the test
+//! set can be reduced with only a small increase in the number of
+//! undetected faults" (Figure 5). This module implements two standard
+//! static compaction strategies over a [`TestProgram`]:
+//!
+//! * [`compact_program`] — reverse-order fault simulation: tests are
+//!   simulated last-to-first and a test is kept only if it detects a
+//!   fault no kept test detects (classic reverse compaction);
+//! * [`truncate_to_coverage`] — forward truncation at a target fraction
+//!   of the full program's detections (the paper's Figure-5 cut).
+
+use fscan_fault::Fault;
+use fscan_scan::ScanDesign;
+use fscan_sim::{ParallelFaultSim, V3};
+
+use crate::program::TestProgram;
+
+/// The result of a compaction pass.
+#[derive(Clone, Debug)]
+pub struct CompactionResult {
+    /// The compacted program.
+    pub program: TestProgram,
+    /// Faults detected by the full program.
+    pub detected_before: usize,
+    /// Faults detected by the compacted program.
+    pub detected_after: usize,
+    /// Tests before compaction.
+    pub tests_before: usize,
+}
+
+impl CompactionResult {
+    /// Tests kept after compaction.
+    pub fn tests_after(&self) -> usize {
+        self.program.len()
+    }
+
+    /// Detections lost by compaction (0 for reverse-order compaction).
+    pub fn detections_lost(&self) -> usize {
+        self.detected_before - self.detected_after
+    }
+}
+
+fn detects_per_test(
+    design: &ScanDesign,
+    program: &TestProgram,
+    faults: &[Fault],
+    order: impl Iterator<Item = usize>,
+) -> (Vec<Vec<usize>>, usize) {
+    // For each test (visited in `order`), the indices of still-undetected
+    // faults it detects. Each test is self-contained (starts with a full
+    // scan load), so per-test simulation from X state is exact.
+    let circuit = design.circuit();
+    let sim = ParallelFaultSim::new(circuit);
+    let init = vec![V3::X; circuit.dffs().len()];
+    let mut caught = vec![false; faults.len()];
+    let mut per_test: Vec<Vec<usize>> = vec![Vec::new(); program.len()];
+    let mut total = 0usize;
+    for t in order {
+        let pending: Vec<usize> = (0..faults.len()).filter(|&i| !caught[i]).collect();
+        if pending.is_empty() {
+            break;
+        }
+        let flist: Vec<Fault> = pending.iter().map(|&i| faults[i]).collect();
+        let det = sim.fault_sim(&program.tests()[t].vectors, &init, &flist);
+        for (k, d) in det.into_iter().enumerate() {
+            if d.is_some() {
+                caught[pending[k]] = true;
+                per_test[t].push(pending[k]);
+                total += 1;
+            }
+        }
+    }
+    (per_test, total)
+}
+
+/// Reverse-order static compaction: fault-simulate the tests from last
+/// to first, keeping only tests that detect something not yet detected.
+/// Preserves the detected-fault set exactly (for the given fault list)
+/// while typically dropping a large share of the tests.
+///
+/// The first test (the alternating sequence, when present) is always
+/// kept: it is the chain integrity test the rest of the methodology
+/// assumes.
+///
+/// # Examples
+///
+/// ```no_run
+/// use fscan::{compact_program, Pipeline, PipelineConfig};
+/// use fscan_fault::{all_faults, collapse};
+/// use fscan_netlist::{generate, GeneratorConfig};
+/// use fscan_scan::{insert_functional_scan, TpiConfig};
+///
+/// let circuit = generate(&GeneratorConfig::new("d", 1).gates(150).dffs(10));
+/// let design = insert_functional_scan(&circuit, &TpiConfig::default())?;
+/// let report = Pipeline::new(&design, PipelineConfig::default()).run();
+/// let faults = collapse(design.circuit(), &all_faults(design.circuit()));
+/// let result = compact_program(&design, &report.program, &faults);
+/// assert_eq!(result.detections_lost(), 0);
+/// assert!(result.tests_after() <= result.tests_before);
+/// # Ok::<(), fscan_scan::ScanError>(())
+/// ```
+pub fn compact_program(
+    design: &ScanDesign,
+    program: &TestProgram,
+    faults: &[Fault],
+) -> CompactionResult {
+    let n = program.len();
+    let (per_test_rev, total) =
+        detects_per_test(design, program, faults, (0..n).rev());
+    let mut keep: Vec<bool> = per_test_rev.iter().map(|d| !d.is_empty()).collect();
+    if n > 0 {
+        keep[0] = true; // the alternating sequence stays
+    }
+    let mut compacted = TestProgram::new();
+    for (t, test) in program.tests().iter().enumerate() {
+        if keep[t] {
+            compacted.push(test.clone());
+        }
+    }
+    // Re-simulate the kept set forward to report its true coverage (the
+    // reverse pass guarantees it equals the full program's).
+    let (_, after) = detects_per_test(design, &compacted, faults, 0..compacted.len());
+    CompactionResult {
+        program: compacted,
+        detected_before: total,
+        detected_after: after,
+        tests_before: n,
+    }
+}
+
+/// Forward truncation: keeps the shortest prefix of the program that
+/// still detects at least `coverage` (0.0–1.0) of the faults the full
+/// program detects — the quantitative form of the paper's Figure-5
+/// observation.
+///
+/// # Panics
+///
+/// Panics if `coverage` is not in `0.0..=1.0`.
+pub fn truncate_to_coverage(
+    design: &ScanDesign,
+    program: &TestProgram,
+    faults: &[Fault],
+    coverage: f64,
+) -> CompactionResult {
+    assert!((0.0..=1.0).contains(&coverage), "coverage must be in 0..=1");
+    let n = program.len();
+    let (per_test, total) = detects_per_test(design, program, faults, 0..n);
+    let target = (total as f64 * coverage).ceil() as usize;
+    let mut cum = 0usize;
+    let mut cut = 0usize;
+    for (t, d) in per_test.iter().enumerate() {
+        cum += d.len();
+        cut = t + 1;
+        if cum >= target {
+            break;
+        }
+    }
+    let program_cut = program.truncated(cut.max(usize::from(n > 0)));
+    CompactionResult {
+        program: program_cut,
+        detected_before: total,
+        detected_after: cum.min(total),
+        tests_before: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Pipeline, PipelineConfig};
+    use crate::classify::{classify_faults, Category};
+    use fscan_fault::{all_faults, collapse};
+    use fscan_netlist::{generate, GeneratorConfig};
+    use fscan_scan::{insert_functional_scan, TpiConfig};
+
+    fn setup() -> (fscan_scan::ScanDesign, TestProgram, Vec<Fault>) {
+        let circuit = generate(&GeneratorConfig::new("cmp", 9).gates(120).dffs(8));
+        let design = insert_functional_scan(&circuit, &TpiConfig::default()).unwrap();
+        let report = Pipeline::new(&design, PipelineConfig::default()).run();
+        let faults = collapse(design.circuit(), &all_faults(design.circuit()));
+        let affected: Vec<Fault> = classify_faults(&design, &faults)
+            .into_iter()
+            .filter(|c| c.category != Category::Unaffected)
+            .map(|c| c.fault)
+            .collect();
+        (design, report.program, affected)
+    }
+
+    #[test]
+    fn reverse_compaction_preserves_coverage() {
+        let (design, program, faults) = setup();
+        let result = compact_program(&design, &program, &faults);
+        assert_eq!(result.detections_lost(), 0, "reverse compaction is lossless");
+        assert!(result.tests_after() <= result.tests_before);
+        assert_eq!(result.program.tests()[0].label, "alternating");
+    }
+
+    #[test]
+    fn truncation_trades_tests_for_coverage() {
+        let (design, program, faults) = setup();
+        let full = truncate_to_coverage(&design, &program, &faults, 1.0);
+        assert_eq!(full.detected_after, full.detected_before);
+        let half = truncate_to_coverage(&design, &program, &faults, 0.5);
+        assert!(half.tests_after() <= full.tests_after());
+        assert!(half.detected_after * 2 >= half.detected_before);
+    }
+
+    #[test]
+    fn coverage_bounds_checked() {
+        let (design, program, faults) = setup();
+        let r = std::panic::catch_unwind(|| {
+            truncate_to_coverage(&design, &program, &faults, 1.5)
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,598 @@
+//! Step 3: targeted sequential ATPG with enhanced controllability and
+//! observability (paper, Section 5).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use fscan_atpg::{SeqAtpg, SeqAtpgConfig, SeqOutcome, SeqTest};
+use fscan_fault::Fault;
+use fscan_scan::ScanDesign;
+use fscan_sim::{detects, SeqSim, V3};
+
+use crate::classify::ChainLocation;
+use crate::program::ScanTest;
+use crate::sequences::{scan_load_vectors, scan_vector_layout};
+
+/// The paper's grouping distance parameters.
+///
+/// In the paper's experiments: `LARGE_DIST = max(0.6·maxsize, 50)`,
+/// `MED_DIST = max(0.25·maxsize, 25)`, `DIST = max(0.15·maxsize, 20)`,
+/// where `maxsize` is the longest chain length.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct DistParams {
+    /// Faults spanning at least this many cells are handled one by one.
+    pub large: usize,
+    /// Spans in `[med, large)` share a circuit with compatible faults.
+    pub med: usize,
+    /// Group-3 faults are packed into groups of union span ≤ `dist`.
+    pub dist: usize,
+}
+
+impl DistParams {
+    /// The paper's parameter schedule for a given longest chain length.
+    pub fn paper(maxsize: usize) -> DistParams {
+        DistParams {
+            large: ((maxsize as f64 * 0.6) as usize).max(50),
+            med: ((maxsize as f64 * 0.25) as usize).max(25),
+            dist: ((maxsize as f64 * 0.15) as usize).max(20),
+        }
+    }
+
+    /// A schedule scaled purely to the chain length (no absolute
+    /// floors), useful for small circuits where the paper's floors of
+    /// 50/25/20 would disable grouping entirely.
+    pub fn scaled(maxsize: usize) -> DistParams {
+        DistParams {
+            large: ((maxsize as f64 * 0.6) as usize).max(3),
+            med: ((maxsize as f64 * 0.25) as usize).max(2),
+            dist: ((maxsize as f64 * 0.15) as usize).max(1),
+        }
+    }
+}
+
+/// The result of the sequential phase (a Table 3 right half row).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SeqPhaseReport {
+    /// Faults targeted (`|f_remaining|`).
+    pub targeted: usize,
+    /// Detected (ATPG found a sequence and sequential fault simulation
+    /// confirmed it).
+    pub detected: usize,
+    /// ATPG found a sequence that simulation could not confirm
+    /// (X-pessimism); counted as undetected.
+    pub unconfirmed: usize,
+    /// Proven undetectable.
+    pub undetectable: usize,
+    /// Still undetected after the final pass.
+    pub undetected: usize,
+    /// Enhanced-controllability/observability circuits created for the
+    /// initial grouped pass (first number of the paper's `#circ`).
+    pub circuits_initial: usize,
+    /// Circuits created for the final per-fault pass (second number).
+    pub circuits_final: usize,
+    /// Wall-clock time.
+    pub cpu: Duration,
+}
+
+impl fmt::Display for SeqPhaseReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sequential ATPG: {} targeted → {} detected, {} undetectable, {} undetected ({} + {} circuits, {:.2}s)",
+            self.targeted,
+            self.detected,
+            self.undetectable,
+            self.undetected,
+            self.circuits_initial,
+            self.circuits_final,
+            self.cpu.as_secs_f64()
+        )
+    }
+}
+
+/// Outcome detail of the sequential phase.
+#[derive(Clone, Debug, Default)]
+pub struct SeqPhaseOutcome {
+    /// The aggregate report.
+    pub report: SeqPhaseReport,
+    /// Confirmed-detected faults.
+    pub detected: Vec<Fault>,
+    /// Proven-undetectable faults.
+    pub undetectable: Vec<Fault>,
+    /// Still-undetected faults.
+    pub remaining: Vec<Fault>,
+    /// The confirmed test sequences this phase contributes to the test
+    /// program.
+    pub program: Vec<ScanTest>,
+}
+
+/// Step 3: exploit fault-location information. For a fault affecting
+/// chain locations `l_min..l_max`, the chain before `l_min` is
+/// fault-free (fully controllable) and from `l_max` on it is fault-free
+/// (fully observable); unaffected chains are both. Faults are grouped by
+/// span to bound the number of ATPG circuit models (paper, Section 5 and
+/// Figure 4).
+///
+/// # Examples
+///
+/// See [`crate::Pipeline`] for the end-to-end flow.
+#[derive(Clone, Debug)]
+pub struct SeqPhase<'d> {
+    design: &'d ScanDesign,
+    dist: DistParams,
+    config: SeqAtpgConfig,
+    final_config: SeqAtpgConfig,
+}
+
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum Status {
+    Pending,
+    Detected,
+    Unconfirmed,
+    Undetectable,
+}
+
+impl<'d> SeqPhase<'d> {
+    /// Prepares the phase with grouping parameters and the per-run and
+    /// final-pass ATPG budgets.
+    pub fn new(
+        design: &'d ScanDesign,
+        dist: DistParams,
+        config: SeqAtpgConfig,
+        final_config: SeqAtpgConfig,
+    ) -> SeqPhase<'d> {
+        SeqPhase {
+            design,
+            dist,
+            config,
+            final_config,
+        }
+    }
+
+    /// Runs the phase. `faults[i]` affects `locations[i]` (as produced
+    /// by classification); every fault must affect at least one chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two slices differ in length.
+    pub fn run(&self, faults: &[Fault], locations: &[Vec<ChainLocation>]) -> SeqPhaseOutcome {
+        assert_eq!(faults.len(), locations.len());
+        let start = Instant::now();
+        let mut status = vec![Status::Pending; faults.len()];
+        let mut program: Vec<ScanTest> = Vec::new();
+        let mut circuits_initial = 0usize;
+        let mut circuits_final = 0usize;
+
+        // Span and chain-extent helpers.
+        let chain_of = |locs: &[ChainLocation]| -> Option<usize> {
+            let first = locs.first()?.chain;
+            locs.iter().all(|l| l.chain == first).then_some(first)
+        };
+        let span = |locs: &[ChainLocation]| -> usize {
+            let min = locs.iter().map(|l| l.cell).min().unwrap_or(0);
+            let max = locs.iter().map(|l| l.cell).max().unwrap_or(0);
+            max - min
+        };
+
+        // Group assignment (paper §5): multi-chain faults and wide
+        // single-chain faults go to group 1; medium spans to group 2;
+        // the rest (including single-location faults) to group 3.
+        let mut group1 = Vec::new();
+        let mut group2 = Vec::new();
+        let mut group3 = Vec::new();
+        for (i, locs) in locations.iter().enumerate() {
+            if locs.is_empty() {
+                // Defensive: a fault with no location cannot use the
+                // enhanced models; treat as group 1 with no enhancement.
+                group1.push(i);
+                continue;
+            }
+            match chain_of(locs) {
+                None => group1.push(i),
+                Some(_) => {
+                    let s = span(locs);
+                    if locs.len() > 1 && s >= self.dist.large {
+                        group1.push(i);
+                    } else if locs.len() > 1 && s >= self.dist.med {
+                        group2.push(i);
+                    } else {
+                        group3.push(i);
+                    }
+                }
+            }
+        }
+
+        // Group 1: one circuit per fault.
+        for &i in &group1 {
+            circuits_initial += 1;
+            let extent = self.extent_map(&locations[i]);
+            self.attempt(faults[i], &extent, &self.config, &mut status[i], &mut program);
+        }
+
+        // Group 2: the seed fault's circuit is shared with compatible
+        // same-chain faults (their locations inside the seed's window).
+        for &i in &group2 {
+            if status[i] != Status::Pending {
+                continue;
+            }
+            circuits_initial += 1;
+            let extent = self.extent_map(&locations[i]);
+            self.attempt(faults[i], &extent, &self.config, &mut status[i], &mut program);
+            let seed_chain = chain_of(&locations[i]).expect("group 2 is single-chain");
+            let (cmin, omax) = extent[&seed_chain];
+            for &j in group2.iter().chain(group3.iter()) {
+                if j == i || status[j] != Status::Pending {
+                    continue;
+                }
+                if chain_of(&locations[j]) == Some(seed_chain) {
+                    let jmin = locations[j].iter().map(|l| l.cell).min().unwrap_or(0);
+                    let jmax = locations[j].iter().map(|l| l.cell).max().unwrap_or(0);
+                    if jmin >= cmin && jmax <= omax {
+                        self.attempt(faults[j], &extent, &self.config, &mut status[j], &mut program);
+                    }
+                }
+            }
+        }
+
+        // Group 3: pack same-chain faults into windows of union span
+        // ≤ DIST (paper, Figure 4c), one circuit per window.
+        let mut by_chain: HashMap<usize, Vec<usize>> = HashMap::new();
+        for &i in &group3 {
+            if status[i] != Status::Pending {
+                continue;
+            }
+            let c = chain_of(&locations[i]).expect("group 3 is single-chain");
+            by_chain.entry(c).or_default().push(i);
+        }
+        for (chain, mut idxs) in by_chain {
+            idxs.sort_by_key(|&i| locations[i].iter().map(|l| l.cell).min().unwrap_or(0));
+            let mut k = 0;
+            while k < idxs.len() {
+                let gmin = locations[idxs[k]].iter().map(|l| l.cell).min().unwrap();
+                let mut gmax = locations[idxs[k]].iter().map(|l| l.cell).max().unwrap();
+                let mut group = vec![idxs[k]];
+                let mut next = k + 1;
+                while next < idxs.len() {
+                    let jmax = locations[idxs[next]].iter().map(|l| l.cell).max().unwrap();
+                    if jmax.max(gmax) - gmin <= self.dist.dist {
+                        gmax = gmax.max(jmax);
+                        group.push(idxs[next]);
+                        next += 1;
+                    } else {
+                        break;
+                    }
+                }
+                k = next;
+                circuits_initial += 1;
+                let mut extent = HashMap::new();
+                extent.insert(chain, (gmin, gmax));
+                for &i in &group {
+                    self.attempt(faults[i], &extent, &self.config, &mut status[i], &mut program);
+                }
+            }
+        }
+
+        // Final pass: remaining faults individually, with more budget.
+        for i in 0..faults.len() {
+            if status[i] == Status::Pending || status[i] == Status::Unconfirmed {
+                circuits_final += 1;
+                let extent = self.extent_map(&locations[i]);
+                self.attempt(faults[i], &extent, &self.final_config, &mut status[i], &mut program);
+            }
+        }
+
+        let mut detected = Vec::new();
+        let mut undetectable = Vec::new();
+        let mut remaining = Vec::new();
+        let mut unconfirmed = 0usize;
+        for (i, &f) in faults.iter().enumerate() {
+            match status[i] {
+                Status::Detected => detected.push(f),
+                Status::Undetectable => undetectable.push(f),
+                Status::Unconfirmed => {
+                    unconfirmed += 1;
+                    remaining.push(f);
+                }
+                Status::Pending => remaining.push(f),
+            }
+        }
+        let report = SeqPhaseReport {
+            targeted: faults.len(),
+            detected: detected.len(),
+            unconfirmed,
+            undetectable: undetectable.len(),
+            undetected: remaining.len(),
+            circuits_initial,
+            circuits_final,
+            cpu: start.elapsed(),
+        };
+        SeqPhaseOutcome {
+            report,
+            detected,
+            undetectable,
+            remaining,
+            program,
+        }
+    }
+
+    /// Per-chain `(first, last)` affected cell of a fault.
+    fn extent_map(&self, locs: &[ChainLocation]) -> HashMap<usize, (usize, usize)> {
+        let mut map: HashMap<usize, (usize, usize)> = HashMap::new();
+        for l in locs {
+            let e = map.entry(l.chain).or_insert((l.cell, l.cell));
+            e.0 = e.0.min(l.cell);
+            e.1 = e.1.max(l.cell);
+        }
+        map
+    }
+
+    /// Builds the enhanced view for an extent map, runs sequential ATPG
+    /// for one fault, verifies any test by fault simulation, and updates
+    /// the status.
+    fn attempt(
+        &self,
+        fault: Fault,
+        extent: &HashMap<usize, (usize, usize)>,
+        config: &SeqAtpgConfig,
+        status: &mut Status,
+        program: &mut Vec<ScanTest>,
+    ) {
+        let circuit = self.design.circuit();
+        let ff_pos = |ff| {
+            circuit
+                .dffs()
+                .iter()
+                .position(|&f| f == ff)
+                .expect("chain cell is a circuit flip-flop")
+        };
+        let mut controllable = Vec::new();
+        let mut observable = Vec::new();
+        for (c, chain) in self.design.chains().iter().enumerate() {
+            match extent.get(&c) {
+                Some(&(cmin, omax)) => {
+                    for (k, cell) in chain.cells.iter().enumerate() {
+                        if k < cmin {
+                            controllable.push(ff_pos(cell.ff));
+                        }
+                        if k >= omax {
+                            observable.push(ff_pos(cell.ff));
+                        }
+                    }
+                }
+                None => {
+                    // Unaffected chain: fully controllable and observable.
+                    for cell in &chain.cells {
+                        controllable.push(ff_pos(cell.ff));
+                        observable.push(ff_pos(cell.ff));
+                    }
+                }
+            }
+        }
+        let layout = scan_vector_layout(self.design);
+        let atpg = SeqAtpg::new(circuit)
+            .controllable_ffs(controllable)
+            .observable_ffs(observable)
+            .fixed_pis(layout.constrained.clone());
+        let out = atpg.run(fault, config);
+        if std::env::var("FSCAN_DEBUG").is_ok() {
+            let tag = match &out {
+                SeqOutcome::Undetectable => "undetectable".to_string(),
+                SeqOutcome::Aborted => "aborted".to_string(),
+                SeqOutcome::Test(t) => format!("test({} frames)", t.vectors.len()),
+            };
+            eprintln!("seq3 {fault}: {tag}");
+        }
+        match out {
+            SeqOutcome::Undetectable => *status = Status::Undetectable,
+            SeqOutcome::Aborted => {}
+            SeqOutcome::Test(test) => {
+                if let Some(vectors) = self.verify(fault, &test) {
+                    program.push(ScanTest::new(format!("seq {fault}"), vectors));
+                    *status = Status::Detected;
+                } else {
+                    if std::env::var("FSCAN_DEBUG").is_ok() {
+                        eprintln!("seq3 {fault}: UNCONFIRMED by simulation");
+                    }
+                    *status = Status::Unconfirmed;
+                }
+            }
+        }
+    }
+
+    /// Realizes a sequential test as a concrete scan sequence — scan-in
+    /// load, the ATPG frames, then a full shift-out — and confirms the
+    /// fault is really detected by sequential fault simulation.
+    fn verify(&self, fault: Fault, test: &SeqTest) -> Option<Vec<Vec<V3>>> {
+        let circuit = self.design.circuit();
+        let layout = scan_vector_layout(self.design);
+        // Desired load per chain from the required initial state.
+        let states: Vec<Vec<bool>> = self
+            .design
+            .chains()
+            .iter()
+            .map(|chain| {
+                chain
+                    .cells
+                    .iter()
+                    .map(|cell| {
+                        let pos = circuit
+                            .dffs()
+                            .iter()
+                            .position(|&f| f == cell.ff)
+                            .expect("cell ff");
+                        test.init_state[pos].unwrap_or(false)
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut vectors = scan_load_vectors(self.design, &states);
+        for frame in &test.vectors {
+            let mut v = layout.base_vector();
+            for (k, val) in frame.iter().enumerate() {
+                if let Some(b) = val {
+                    v[k] = V3::from_bool(*b);
+                }
+            }
+            vectors.push(v);
+        }
+        for _ in 0..self.design.max_chain_len() + 2 {
+            vectors.push(layout.base_vector());
+        }
+        let sim = SeqSim::new(circuit);
+        let init = vec![V3::X; circuit.dffs().len()];
+        let good = sim.run(&vectors, &init, None);
+        let bad = sim.run(&vectors, &init, Some(fault));
+        detects(&good, &bad).is_some().then_some(vectors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fscan_fault::{all_faults, collapse};
+    use fscan_netlist::{generate, GeneratorConfig};
+    use fscan_scan::{insert_functional_scan, TpiConfig};
+
+    use crate::classify::{classify_faults, Category};
+    use crate::comb_phase::CombPhase;
+
+    #[test]
+    fn dist_params_paper_schedule() {
+        let p = DistParams::paper(200);
+        assert_eq!(p.large, 120);
+        assert_eq!(p.med, 50);
+        assert_eq!(p.dist, 30);
+        let small = DistParams::paper(10);
+        assert_eq!((small.large, small.med, small.dist), (50, 25, 20));
+        let scaled = DistParams::scaled(10);
+        assert_eq!((scaled.large, scaled.med, scaled.dist), (6, 2, 1));
+    }
+
+    #[test]
+    fn resolves_leftovers_from_comb_phase() {
+        let mut targeted = 0usize;
+        let mut resolved = 0usize;
+        for seed in [61u64, 67, 71, 73] {
+            let circuit = generate(&GeneratorConfig::new("d", seed).gates(200).dffs(12));
+            let design = insert_functional_scan(&circuit, &TpiConfig::default()).unwrap();
+            let faults = collapse(design.circuit(), &all_faults(design.circuit()));
+            let classified = classify_faults(&design, &faults);
+            let hard: Vec<Fault> = classified
+                .iter()
+                .filter(|c| c.category == Category::Hard)
+                .map(|c| c.fault)
+                .collect();
+            let comb =
+                CombPhase::new(&design, fscan_atpg::PodemConfig::default()).run(&hard);
+            if comb.remaining.is_empty() {
+                continue;
+            }
+            let loc_of: HashMap<Fault, Vec<ChainLocation>> = classified
+                .iter()
+                .map(|c| (c.fault, c.locations.clone()))
+                .collect();
+            let locs: Vec<Vec<ChainLocation>> = comb
+                .remaining
+                .iter()
+                .map(|f| loc_of[f].clone())
+                .collect();
+            let frames = design.max_chain_len() + 4;
+            let phase = SeqPhase::new(
+                &design,
+                DistParams::scaled(design.max_chain_len()),
+                SeqAtpgConfig {
+                    max_frames: frames,
+                    ..SeqAtpgConfig::default()
+                },
+                SeqAtpgConfig {
+                    max_frames: frames + 4,
+                    backtrack_limit: 50_000,
+                    step_limit: 60_000,
+                },
+            );
+            let out = phase.run(&comb.remaining, &locs);
+            targeted += out.report.targeted;
+            resolved += out.report.detected + out.report.undetectable;
+            assert_eq!(
+                out.report.targeted,
+                out.report.detected + out.report.undetectable + out.report.undetected
+            );
+            assert!(out.report.circuits_initial > 0);
+        }
+        // After the comb phase's targeted vectors and random top-up,
+        // what reaches step 3 is the very hard residue; it must at least
+        // stay small relative to the chain-affecting population (the
+        // paper ends at 0.022%; these are tiny circuits, so allow a few
+        // percent), and the bookkeeping above must hold regardless.
+        let _ = resolved;
+        assert!(
+            targeted <= 8,
+            "too many leftovers reached step 3: {targeted}"
+        );
+    }
+
+    #[test]
+    fn figure4_grouping() {
+        // Reproduce the paper's Figure 4 example: 8 faults with the
+        // given location sets, LARGE=4, MED=3, DIST=2. We only check the
+        // grouping decisions (circuit counts), not ATPG results, by
+        // running against an empty-ish design: build a real design with
+        // one chain of 8 cells.
+        let circuit = generate(&GeneratorConfig::new("fig4", 9).gates(150).dffs(8));
+        let design = insert_functional_scan(&circuit, &TpiConfig::default()).unwrap();
+        assert_eq!(design.max_chain_len(), 8);
+        let loc = |cells: &[usize]| -> Vec<ChainLocation> {
+            cells
+                .iter()
+                .map(|&c| ChainLocation { chain: 0, cell: c })
+                .collect()
+        };
+        // Paper (1-based FFs 1..7, locations = segments into FFs):
+        // fault1: locations {2, 6} → span 4 → group 1 (LARGE=4).
+        // fault2: {2, 5} span 3 → group 2 (MED=3).
+        // fault3: {3}, fault4: {4}: inside fault2's window → share.
+        // fault5: {2}, fault6: {3}, fault7: {6}, fault8: {7} → group 3.
+        let locations = vec![
+            loc(&[1, 5]), // fault1 (0-based)
+            loc(&[1, 4]), // fault2
+            loc(&[2]),    // fault3
+            loc(&[3]),    // fault4
+            loc(&[1]),    // fault5
+            loc(&[2]),    // fault6
+            loc(&[5]),    // fault7
+            loc(&[6]),    // fault8
+        ];
+        // Dummy faults: any distinct stem faults will do.
+        let faults: Vec<Fault> = design
+            .circuit()
+            .node_ids()
+            .take(8)
+            .map(|n| Fault::stem(n, false))
+            .collect();
+        let phase = SeqPhase::new(
+            &design,
+            DistParams {
+                large: 4,
+                med: 3,
+                dist: 2,
+            },
+            // Zero budget: we only want the grouping bookkeeping.
+            SeqAtpgConfig {
+                max_frames: 1,
+                backtrack_limit: 0,
+                step_limit: 0,
+            },
+            SeqAtpgConfig {
+                max_frames: 1,
+                backtrack_limit: 0,
+                step_limit: 0,
+            },
+        );
+        let out = phase.run(&faults, &locations);
+        // fault1 → 1 circuit; fault2(+3,4 shared) → 1 circuit;
+        // group 3 {fault5 loc1, fault6 loc2} and {fault7 loc5, fault8
+        // loc6} → 2 circuits. Total initial = 4 (the paper's example).
+        assert_eq!(out.report.circuits_initial, 4);
+    }
+}

@@ -1,0 +1,33 @@
+//! Single stuck-at fault model for gate-level netlists.
+//!
+//! Provides the fault universe ([`all_faults`]), classic structural
+//! equivalence collapsing ([`collapse`]), and fault-list bookkeeping
+//! ([`FaultList`], [`FaultStatus`]) shared by the simulators, the ATPG
+//! engines and the functional scan chain testing pipeline.
+//!
+//! # Examples
+//!
+//! ```
+//! use fscan_netlist::{Circuit, GateKind};
+//! use fscan_fault::{all_faults, collapse};
+//!
+//! let mut c = Circuit::new("t");
+//! let a = c.add_input("a");
+//! let b = c.add_input("b");
+//! let g = c.add_gate(GateKind::And, vec![a, b], "g");
+//! c.mark_output(g);
+//! let all = all_faults(&c);
+//! let collapsed = collapse(&c, &all);
+//! assert!(collapsed.len() < all.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod collapse;
+mod list;
+mod model;
+
+pub use collapse::collapse;
+pub use list::{FaultList, FaultStatus};
+pub use model::{all_faults, Fault, FaultSite};

@@ -1,0 +1,213 @@
+//! Fault list bookkeeping.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::model::Fault;
+
+/// Lifecycle status of a fault in a test-generation campaign.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub enum FaultStatus {
+    /// Not yet targeted or detected.
+    #[default]
+    Untested,
+    /// Detected by some test sequence.
+    Detected,
+    /// Proven undetectable.
+    Undetectable,
+    /// Test generation gave up (backtrack/time limit).
+    Aborted,
+}
+
+impl fmt::Display for FaultStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultStatus::Untested => "untested",
+            FaultStatus::Detected => "detected",
+            FaultStatus::Undetectable => "undetectable",
+            FaultStatus::Aborted => "aborted",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An ordered fault list with per-fault status.
+///
+/// Preserves insertion order (so reports are deterministic) and offers
+/// O(1) status updates by fault value.
+///
+/// # Examples
+///
+/// ```
+/// use fscan_netlist::Circuit;
+/// use fscan_fault::{Fault, FaultList, FaultStatus};
+///
+/// let mut c = Circuit::new("t");
+/// let a = c.add_input("a");
+/// let mut list = FaultList::new(vec![Fault::stem(a, false), Fault::stem(a, true)]);
+/// list.set_status(Fault::stem(a, false), FaultStatus::Detected);
+/// assert_eq!(list.count(FaultStatus::Detected), 1);
+/// assert_eq!(list.remaining().count(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FaultList {
+    faults: Vec<Fault>,
+    status: Vec<FaultStatus>,
+    index: HashMap<Fault, usize>,
+}
+
+impl FaultList {
+    /// Creates a list from faults, all initially [`FaultStatus::Untested`].
+    /// Duplicate faults are dropped.
+    pub fn new(faults: Vec<Fault>) -> FaultList {
+        let mut list = FaultList::default();
+        for f in faults {
+            list.push(f);
+        }
+        list
+    }
+
+    /// Appends a fault if not already present; returns whether it was added.
+    pub fn push(&mut self, fault: Fault) -> bool {
+        if self.index.contains_key(&fault) {
+            return false;
+        }
+        self.index.insert(fault, self.faults.len());
+        self.faults.push(fault);
+        self.status.push(FaultStatus::Untested);
+        true
+    }
+
+    /// Number of faults in the list.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The faults in insertion order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// The status of `fault`, or `None` if it is not in the list.
+    pub fn status(&self, fault: Fault) -> Option<FaultStatus> {
+        self.index.get(&fault).map(|&i| self.status[i])
+    }
+
+    /// Sets the status of `fault`. Returns the previous status, or `None`
+    /// if the fault is not in the list.
+    pub fn set_status(&mut self, fault: Fault, status: FaultStatus) -> Option<FaultStatus> {
+        let &i = self.index.get(&fault)?;
+        Some(std::mem::replace(&mut self.status[i], status))
+    }
+
+    /// Counts faults with the given status.
+    pub fn count(&self, status: FaultStatus) -> usize {
+        self.status.iter().filter(|&&s| s == status).count()
+    }
+
+    /// Iterates over `(fault, status)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (Fault, FaultStatus)> + '_ {
+        self.faults
+            .iter()
+            .zip(self.status.iter())
+            .map(|(&f, &s)| (f, s))
+    }
+
+    /// Iterates over faults still [`FaultStatus::Untested`] or
+    /// [`FaultStatus::Aborted`] (the ones a next phase should target).
+    pub fn remaining(&self) -> impl Iterator<Item = Fault> + '_ {
+        self.iter().filter_map(|(f, s)| {
+            matches!(s, FaultStatus::Untested | FaultStatus::Aborted).then_some(f)
+        })
+    }
+
+    /// Fault coverage: detected / (total − undetectable), or 1.0 for an
+    /// empty effective universe.
+    pub fn coverage(&self) -> f64 {
+        let undetectable = self.count(FaultStatus::Undetectable);
+        let effective = self.len().saturating_sub(undetectable);
+        if effective == 0 {
+            1.0
+        } else {
+            self.count(FaultStatus::Detected) as f64 / effective as f64
+        }
+    }
+}
+
+impl FromIterator<Fault> for FaultList {
+    fn from_iter<T: IntoIterator<Item = Fault>>(iter: T) -> FaultList {
+        FaultList::new(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Fault> for FaultList {
+    fn extend<T: IntoIterator<Item = Fault>>(&mut self, iter: T) {
+        for f in iter {
+            self.push(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fscan_netlist::{Circuit, NodeId};
+
+    fn some_node() -> NodeId {
+        let mut c = Circuit::new("t");
+        c.add_input("a")
+    }
+
+    #[test]
+    fn dedup_on_push() {
+        let n = some_node();
+        let mut l = FaultList::new(vec![Fault::stem(n, false), Fault::stem(n, false)]);
+        assert_eq!(l.len(), 1);
+        assert!(!l.push(Fault::stem(n, false)));
+        assert!(l.push(Fault::stem(n, true)));
+    }
+
+    #[test]
+    fn status_transitions() {
+        let n = some_node();
+        let mut l = FaultList::new(vec![Fault::stem(n, false)]);
+        assert_eq!(l.status(Fault::stem(n, false)), Some(FaultStatus::Untested));
+        let prev = l.set_status(Fault::stem(n, false), FaultStatus::Detected);
+        assert_eq!(prev, Some(FaultStatus::Untested));
+        assert_eq!(l.count(FaultStatus::Detected), 1);
+        assert_eq!(l.status(Fault::stem(n, true)), None);
+    }
+
+    #[test]
+    fn remaining_skips_resolved() {
+        let n = some_node();
+        let mut l = FaultList::new(vec![Fault::stem(n, false), Fault::stem(n, true)]);
+        l.set_status(Fault::stem(n, false), FaultStatus::Undetectable);
+        let rem: Vec<_> = l.remaining().collect();
+        assert_eq!(rem, vec![Fault::stem(n, true)]);
+    }
+
+    #[test]
+    fn coverage_math() {
+        let n = some_node();
+        let mut l = FaultList::new(vec![Fault::stem(n, false), Fault::stem(n, true)]);
+        l.set_status(Fault::stem(n, false), FaultStatus::Detected);
+        l.set_status(Fault::stem(n, true), FaultStatus::Undetectable);
+        assert!((l.coverage() - 1.0).abs() < f64::EPSILON);
+        let empty = FaultList::default();
+        assert!((empty.coverage() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let n = some_node();
+        let mut l: FaultList = [Fault::stem(n, false)].into_iter().collect();
+        l.extend([Fault::stem(n, true), Fault::stem(n, false)]);
+        assert_eq!(l.len(), 2);
+    }
+}

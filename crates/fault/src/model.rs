@@ -1,0 +1,200 @@
+//! Fault sites and the single stuck-at fault type.
+
+use std::fmt;
+
+use fscan_netlist::{Circuit, NodeId};
+
+/// Where a stuck-at fault sits in the circuit structure.
+///
+/// A *stem* fault sits on a node's output net before any fanout; a
+/// *branch* fault sits on one specific connection (the wire feeding pin
+/// `pin` of node `gate`). The distinction matters in the presence of
+/// fanout: a branch fault affects only one reader of the net.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultSite {
+    /// Fault on the output net of a node.
+    Stem(NodeId),
+    /// Fault on the wire feeding one input pin of a node.
+    Branch {
+        /// The node whose input is faulty.
+        gate: NodeId,
+        /// The input pin index.
+        pin: usize,
+    },
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultSite::Stem(id) => write!(f, "{id}"),
+            FaultSite::Branch { gate, pin } => write!(f, "{gate}.{pin}"),
+        }
+    }
+}
+
+/// A single stuck-at fault.
+///
+/// # Examples
+///
+/// ```
+/// use fscan_netlist::{Circuit, GateKind};
+/// use fscan_fault::Fault;
+///
+/// let mut c = Circuit::new("t");
+/// let a = c.add_input("a");
+/// let fault = Fault::stem(a, false); // `a` stuck-at-0
+/// assert_eq!(fault.to_string(), "n0 s-a-0");
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fault {
+    /// Where the fault sits.
+    pub site: FaultSite,
+    /// The stuck value: `false` = stuck-at-0, `true` = stuck-at-1.
+    pub stuck: bool,
+}
+
+impl Fault {
+    /// A stuck-at fault on a node's output stem.
+    pub fn stem(node: NodeId, stuck: bool) -> Fault {
+        Fault {
+            site: FaultSite::Stem(node),
+            stuck,
+        }
+    }
+
+    /// A stuck-at fault on the wire feeding `pin` of `gate`.
+    pub fn branch(gate: NodeId, pin: usize, stuck: bool) -> Fault {
+        Fault {
+            site: FaultSite::Branch { gate, pin },
+            stuck,
+        }
+    }
+
+    /// The node whose *input cone* the fault perturbs: for a stem fault
+    /// the faulted node itself, for a branch fault the reading gate.
+    pub fn affected_node(&self) -> NodeId {
+        match self.site {
+            FaultSite::Stem(id) => id,
+            FaultSite::Branch { gate, .. } => gate,
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} s-a-{}", self.site, u8::from(self.stuck))
+    }
+}
+
+/// Enumerates the full (uncollapsed) stuck-at fault universe of a
+/// circuit: both polarities on every node output stem and on every
+/// gate/flip-flop input pin that reads a net with fanout greater than
+/// one. Input pins reading fanout-free nets are structurally identical
+/// to the driver's stem and are not enumerated separately.
+///
+/// # Examples
+///
+/// ```
+/// use fscan_netlist::{Circuit, GateKind};
+/// use fscan_fault::all_faults;
+///
+/// let mut c = Circuit::new("t");
+/// let a = c.add_input("a");
+/// let g1 = c.add_gate(GateKind::Not, vec![a], "g1");
+/// let g2 = c.add_gate(GateKind::Not, vec![a], "g2");
+/// c.mark_output(g1);
+/// c.mark_output(g2);
+/// // Stems: a, g1, g2 (2 faults each) + branches a->g1, a->g2 (2 each).
+/// assert_eq!(all_faults(&c).len(), 10);
+/// ```
+pub fn all_faults(circuit: &Circuit) -> Vec<Fault> {
+    let fot = fscan_netlist::FanoutTable::new(circuit);
+    let mut faults = Vec::new();
+    for (id, _node) in circuit.iter() {
+        for stuck in [false, true] {
+            faults.push(Fault::stem(id, stuck));
+        }
+    }
+    for (id, node) in circuit.iter() {
+        for (pin, &src) in node.fanin().iter().enumerate() {
+            // Skip placeholder self-loop pins (DFF feeding itself).
+            if src == id {
+                continue;
+            }
+            let branches = fot.fanouts(src).len()
+                + circuit.outputs().iter().filter(|&&o| o == src).count();
+            if branches > 1 {
+                for stuck in [false, true] {
+                    faults.push(Fault::branch(id, pin, stuck));
+                }
+            }
+        }
+    }
+    faults
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fscan_netlist::GateKind;
+
+    #[test]
+    fn fanout_free_has_no_branch_faults() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let g = c.add_gate(GateKind::Not, vec![a], "g");
+        c.mark_output(g);
+        let faults = all_faults(&c);
+        assert!(faults.iter().all(|f| matches!(f.site, FaultSite::Stem(_))));
+        assert_eq!(faults.len(), 4);
+    }
+
+    #[test]
+    fn fanout_creates_branch_faults() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let g1 = c.add_gate(GateKind::Not, vec![a], "g1");
+        let g2 = c.add_gate(GateKind::Buf, vec![a], "g2");
+        c.mark_output(g1);
+        c.mark_output(g2);
+        let faults = all_faults(&c);
+        let branches: Vec<_> = faults
+            .iter()
+            .filter(|f| matches!(f.site, FaultSite::Branch { .. }))
+            .collect();
+        assert_eq!(branches.len(), 4);
+    }
+
+    #[test]
+    fn po_marker_counts_as_fanout() {
+        // A net feeding both a gate and a PO has two readers: its gate
+        // branch is enumerable.
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let g = c.add_gate(GateKind::Not, vec![a], "g");
+        c.mark_output(a);
+        c.mark_output(g);
+        let faults = all_faults(&c);
+        assert!(faults
+            .iter()
+            .any(|f| f.site == FaultSite::Branch { gate: g, pin: 0 }));
+    }
+
+    #[test]
+    fn display_forms() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let g = c.add_gate(GateKind::Buf, vec![a], "g");
+        assert_eq!(Fault::stem(a, true).to_string(), "n0 s-a-1");
+        assert_eq!(Fault::branch(g, 0, false).to_string(), "n1.0 s-a-0");
+    }
+
+    #[test]
+    fn affected_node() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let g = c.add_gate(GateKind::Buf, vec![a], "g");
+        assert_eq!(Fault::stem(a, false).affected_node(), a);
+        assert_eq!(Fault::branch(g, 0, false).affected_node(), g);
+    }
+}

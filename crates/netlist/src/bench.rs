@@ -1,0 +1,365 @@
+//! ISCAS'89 `.bench` format reader and writer.
+//!
+//! The `.bench` dialect accepted here covers the ISCAS'85/'89 benchmark
+//! distributions: `INPUT(x)` / `OUTPUT(x)` declarations and
+//! `y = KIND(a, b, ...)` gate lines with kinds `AND OR NAND NOR NOT BUF
+//! BUFF XOR XNOR DFF CONST0 CONST1`. `#` starts a comment.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::circuit::{Circuit, NodeId};
+use crate::gate::GateKind;
+
+/// Error produced when parsing a `.bench` description fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBenchError {
+    line: usize,
+    message: String,
+}
+
+impl ParseBenchError {
+    fn new(line: usize, message: impl Into<String>) -> ParseBenchError {
+        ParseBenchError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based line number of the offending line.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseBenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bench parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseBenchError {}
+
+fn kind_from_keyword(kw: &str) -> Option<GateKind> {
+    match kw.to_ascii_uppercase().as_str() {
+        "AND" => Some(GateKind::And),
+        "NAND" => Some(GateKind::Nand),
+        "OR" => Some(GateKind::Or),
+        "NOR" => Some(GateKind::Nor),
+        "NOT" | "INV" => Some(GateKind::Not),
+        "BUF" | "BUFF" => Some(GateKind::Buf),
+        "XOR" => Some(GateKind::Xor),
+        "XNOR" => Some(GateKind::Xnor),
+        "DFF" => Some(GateKind::Dff),
+        "CONST0" => Some(GateKind::Const0),
+        "CONST1" => Some(GateKind::Const1),
+        _ => None,
+    }
+}
+
+/// Parses a circuit from ISCAS'89 `.bench` text.
+///
+/// Signals may be used before they are defined; two passes resolve all
+/// references. The circuit is validated before being returned.
+///
+/// # Errors
+///
+/// Returns [`ParseBenchError`] on malformed lines, unknown gate kinds,
+/// undefined signals, duplicate definitions, or structural violations
+/// (e.g. combinational cycles).
+///
+/// # Examples
+///
+/// ```
+/// let src = "
+/// INPUT(a)
+/// INPUT(b)
+/// OUTPUT(y)
+/// s = DFF(y)
+/// y = NAND(a, b, s)
+/// ";
+/// let c = fscan_netlist::parse_bench(src, "toy")?;
+/// assert_eq!(c.inputs().len(), 2);
+/// assert_eq!(c.dffs().len(), 1);
+/// # Ok::<(), fscan_netlist::ParseBenchError>(())
+/// ```
+pub fn parse_bench(text: &str, name: &str) -> Result<Circuit, ParseBenchError> {
+    enum Decl {
+        Input,
+        Gate(GateKind, Vec<String>),
+    }
+    let mut decls: Vec<(usize, String, Decl)> = Vec::new();
+    let mut outputs: Vec<(usize, String)> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = match raw.find('#') {
+            Some(i) => &raw[..i],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let upper = line.to_ascii_uppercase();
+        if upper.starts_with("INPUT") {
+            let sig = paren_arg(line, lineno)?;
+            decls.push((lineno, sig, Decl::Input));
+        } else if upper.starts_with("OUTPUT") {
+            let sig = paren_arg(line, lineno)?;
+            outputs.push((lineno, sig));
+        } else if let Some(eq) = line.find('=') {
+            let target = line[..eq].trim().to_string();
+            let rhs = line[eq + 1..].trim();
+            let open = rhs
+                .find('(')
+                .ok_or_else(|| ParseBenchError::new(lineno, "expected '(' in gate line"))?;
+            let close = rhs
+                .rfind(')')
+                .ok_or_else(|| ParseBenchError::new(lineno, "expected ')' in gate line"))?;
+            let kw = rhs[..open].trim();
+            let kind = kind_from_keyword(kw)
+                .ok_or_else(|| ParseBenchError::new(lineno, format!("unknown gate kind '{kw}'")))?;
+            let args: Vec<String> = rhs[open + 1..close]
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            decls.push((lineno, target, Decl::Gate(kind, args)));
+        } else {
+            return Err(ParseBenchError::new(lineno, "unrecognized line"));
+        }
+    }
+
+    // Pass 1: create all nodes (gates get placeholder fanins resolved in
+    // pass 2 — we create them in declaration order but resolve by name).
+    let mut circuit = Circuit::new(name);
+    let mut ids: HashMap<String, NodeId> = HashMap::new();
+    // First create inputs and DFFs (their outputs can be referenced
+    // anywhere), then remaining gates in order.
+    for (lineno, sig, decl) in &decls {
+        let id = match decl {
+            Decl::Input => circuit.add_input(sig.clone()),
+            Decl::Gate(GateKind::Dff, _) => circuit.add_dff_placeholder(sig.clone()),
+            Decl::Gate(GateKind::Const0, _) => circuit.add_const(false, sig.clone()),
+            Decl::Gate(GateKind::Const1, _) => circuit.add_const(true, sig.clone()),
+            Decl::Gate(..) => continue,
+        };
+        if ids.insert(sig.clone(), id).is_some() {
+            return Err(ParseBenchError::new(
+                *lineno,
+                format!("signal '{sig}' defined twice"),
+            ));
+        }
+    }
+    // Combinational gates: create in an order where fanins may be forward
+    // references, so use placeholders via two passes. We first allocate
+    // every gate with a dummy fanin, then patch.
+    let mut pending: Vec<(usize, NodeId, &[String])> = Vec::new();
+    for (lineno, sig, decl) in &decls {
+        if let Decl::Gate(kind, args) = decl {
+            if matches!(kind, GateKind::Dff | GateKind::Const0 | GateKind::Const1) {
+                continue;
+            }
+            if args.is_empty() {
+                return Err(ParseBenchError::new(*lineno, "gate with no inputs"));
+            }
+            // Temporarily wire every pin to node 0 (patched below); node 0
+            // always exists if there is at least one declaration.
+            let placeholder = NodeId::from_index(0);
+            let id = circuit.add_gate(*kind, vec![placeholder; args.len()], sig.clone());
+            if ids.insert(sig.clone(), id).is_some() {
+                return Err(ParseBenchError::new(
+                    *lineno,
+                    format!("signal '{sig}' defined twice"),
+                ));
+            }
+            pending.push((*lineno, id, args.as_slice()));
+        }
+    }
+    // Pass 2: resolve fanins.
+    for (lineno, id, args) in pending {
+        for (pin, arg) in args.iter().enumerate() {
+            let src = *ids
+                .get(arg)
+                .ok_or_else(|| ParseBenchError::new(lineno, format!("undefined signal '{arg}'")))?;
+            circuit
+                .replace_fanin(id, pin, src)
+                .map_err(|e| ParseBenchError::new(lineno, e.to_string()))?;
+        }
+    }
+    for (lineno, sig, decl) in &decls {
+        if let Decl::Gate(GateKind::Dff, args) = decl {
+            if args.len() != 1 {
+                return Err(ParseBenchError::new(*lineno, "DFF requires exactly one input"));
+            }
+            let d = *ids.get(&args[0]).ok_or_else(|| {
+                ParseBenchError::new(*lineno, format!("undefined signal '{}'", args[0]))
+            })?;
+            let ff = ids[sig];
+            circuit
+                .set_dff_input(ff, d)
+                .map_err(|e| ParseBenchError::new(*lineno, e.to_string()))?;
+        }
+    }
+    for (lineno, sig) in &outputs {
+        let id = *ids
+            .get(sig)
+            .ok_or_else(|| ParseBenchError::new(*lineno, format!("undefined output '{sig}'")))?;
+        circuit.mark_output(id);
+    }
+    circuit
+        .validate()
+        .map_err(|e| ParseBenchError::new(0, e.to_string()))?;
+    Ok(circuit)
+}
+
+fn paren_arg(line: &str, lineno: usize) -> Result<String, ParseBenchError> {
+    let open = line
+        .find('(')
+        .ok_or_else(|| ParseBenchError::new(lineno, "expected '('"))?;
+    let close = line
+        .rfind(')')
+        .ok_or_else(|| ParseBenchError::new(lineno, "expected ')'"))?;
+    let sig = line[open + 1..close].trim();
+    if sig.is_empty() {
+        return Err(ParseBenchError::new(lineno, "empty signal name"));
+    }
+    Ok(sig.to_string())
+}
+
+/// Serializes a circuit to ISCAS'89 `.bench` text.
+///
+/// Nodes without names are given synthetic `n<i>` names. The output can
+/// be fed back to [`parse_bench`] to reconstruct an isomorphic circuit.
+///
+/// # Examples
+///
+/// ```
+/// use fscan_netlist::{parse_bench, write_bench, Circuit, GateKind};
+///
+/// let mut c = Circuit::new("t");
+/// let a = c.add_input("a");
+/// let g = c.add_gate(GateKind::Not, vec![a], "g");
+/// c.mark_output(g);
+/// let text = write_bench(&c);
+/// let back = parse_bench(&text, "t")?;
+/// assert_eq!(back.num_gates(), 1);
+/// # Ok::<(), fscan_netlist::ParseBenchError>(())
+/// ```
+pub fn write_bench(circuit: &Circuit) -> String {
+    use std::fmt::Write as _;
+    let name_of = |id: NodeId| -> String {
+        circuit
+            .node(id)
+            .name()
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("n{}", id.index()))
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", circuit.name());
+    for &i in circuit.inputs() {
+        let _ = writeln!(out, "INPUT({})", name_of(i));
+    }
+    for &o in circuit.outputs() {
+        let _ = writeln!(out, "OUTPUT({})", name_of(o));
+    }
+    for (id, node) in circuit.iter() {
+        let Some(kw) = node.kind().bench_keyword() else {
+            continue; // primary input, already declared
+        };
+        let args: Vec<String> = node.fanin().iter().map(|&f| name_of(f)).collect();
+        let _ = writeln!(out, "{} = {}({})", name_of(id), kw, args.join(", "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S27_LIKE: &str = "
+# small sequential circuit in the s27 spirit
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+G17 = NOT(G11)
+";
+
+    #[test]
+    fn parses_sequential_circuit() {
+        let c = parse_bench(S27_LIKE, "s27").unwrap();
+        assert_eq!(c.inputs().len(), 4);
+        assert_eq!(c.outputs().len(), 1);
+        assert_eq!(c.dffs().len(), 3);
+        assert_eq!(c.num_gates(), 10);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let c = parse_bench(S27_LIKE, "s27").unwrap();
+        let text = write_bench(&c);
+        let c2 = parse_bench(&text, "s27").unwrap();
+        assert_eq!(c.inputs().len(), c2.inputs().len());
+        assert_eq!(c.outputs().len(), c2.outputs().len());
+        assert_eq!(c.dffs().len(), c2.dffs().len());
+        assert_eq!(c.num_gates(), c2.num_gates());
+        // Outputs must drive same-named nodes.
+        let out1 = c.node(c.outputs()[0]).name().unwrap();
+        let out2 = c2.node(c2.outputs()[0]).name().unwrap();
+        assert_eq!(out1, out2);
+    }
+
+    #[test]
+    fn rejects_unknown_kind() {
+        let err = parse_bench("x = FROB(a)\nINPUT(a)\n", "t").unwrap_err();
+        assert!(err.to_string().contains("unknown gate kind"));
+        assert_eq!(err.line(), 1);
+    }
+
+    #[test]
+    fn rejects_undefined_signal() {
+        let err = parse_bench("INPUT(a)\nOUTPUT(z)\ny = AND(a, q)\n", "t").unwrap_err();
+        assert!(err.to_string().contains("undefined"));
+    }
+
+    #[test]
+    fn rejects_duplicate_definition() {
+        let err = parse_bench("INPUT(a)\na = NOT(a)\n", "t").unwrap_err();
+        assert!(err.to_string().contains("twice"));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let c = parse_bench("# hi\n\nINPUT(a) # trailing\nOUTPUT(a)\n", "t").unwrap();
+        assert_eq!(c.inputs().len(), 1);
+    }
+
+    #[test]
+    fn forward_references_ok() {
+        let c = parse_bench("INPUT(a)\ny = AND(a, z)\nz = NOT(a)\nOUTPUT(y)\n", "t").unwrap();
+        assert_eq!(c.num_gates(), 2);
+    }
+
+    #[test]
+    fn const_nodes() {
+        let c = parse_bench("INPUT(a)\nk = CONST1()\ny = AND(a, k)\nOUTPUT(y)\n", "t").unwrap();
+        assert_eq!(c.num_gates(), 1);
+    }
+}

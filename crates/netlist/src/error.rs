@@ -1,0 +1,62 @@
+//! Error type for netlist construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::circuit::NodeId;
+use crate::gate::GateKind;
+
+/// Errors reported by circuit construction and validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// `set_dff_input` was called on a node that is not a flip-flop.
+    NotAFlipFlop(NodeId),
+    /// A pin index was out of range for the node's fanin list.
+    PinOutOfRange {
+        /// The node whose pin was addressed.
+        node: NodeId,
+        /// The offending pin index.
+        pin: usize,
+    },
+    /// A node has the wrong number of fanins for its kind.
+    ArityMismatch {
+        /// The offending node.
+        node: NodeId,
+        /// Its kind.
+        kind: GateKind,
+        /// The number of fanins found.
+        got: usize,
+    },
+    /// A fanin id points outside the node table.
+    DanglingFanin {
+        /// The referencing node.
+        node: NodeId,
+        /// The out-of-range fanin.
+        fanin: NodeId,
+    },
+    /// A cycle exists through combinational gates only.
+    CombinationalCycle(NodeId),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::NotAFlipFlop(id) => write!(f, "node {id} is not a flip-flop"),
+            NetlistError::PinOutOfRange { node, pin } => {
+                write!(f, "pin {pin} out of range on node {node}")
+            }
+            NetlistError::ArityMismatch { node, kind, got } => {
+                write!(f, "node {node} of kind {kind} has invalid fanin count {got}")
+            }
+            NetlistError::DanglingFanin { node, fanin } => {
+                write!(f, "node {node} references nonexistent fanin {fanin}")
+            }
+            NetlistError::CombinationalCycle(id) => {
+                write!(f, "combinational cycle through node {id}")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}

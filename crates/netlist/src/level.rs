@@ -1,0 +1,217 @@
+//! Levelization and fanout tables.
+
+use crate::circuit::{Circuit, NodeId};
+use crate::gate::GateKind;
+
+/// A topological ordering of the combinational portion of a circuit.
+///
+/// Primary inputs, constants and flip-flop outputs sit at level 0; every
+/// combinational gate is placed one level above its deepest fanin. The
+/// [`Levelization::order`] visits nodes in non-decreasing level, which is
+/// the evaluation order used by all simulators in this workspace.
+///
+/// # Examples
+///
+/// ```
+/// use fscan_netlist::{Circuit, GateKind, Levelization};
+///
+/// let mut c = Circuit::new("t");
+/// let a = c.add_input("a");
+/// let g1 = c.add_gate(GateKind::Not, vec![a], "g1");
+/// let g2 = c.add_gate(GateKind::And, vec![a, g1], "g2");
+/// let lv = Levelization::new(&c);
+/// assert_eq!(lv.level(a), 0);
+/// assert_eq!(lv.level(g1), 1);
+/// assert_eq!(lv.level(g2), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Levelization {
+    order: Vec<NodeId>,
+    level: Vec<u32>,
+}
+
+impl Levelization {
+    /// Levelizes a circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has combinational cycles (call
+    /// [`Circuit::validate`] first for a proper error).
+    pub fn new(circuit: &Circuit) -> Levelization {
+        let n = circuit.num_nodes();
+        let mut level = vec![0u32; n];
+        let mut indegree = vec![0u32; n];
+        let mut order = Vec::with_capacity(n);
+        // Combinational in-degree: DFF fanins are sequential edges and do
+        // not count; DFF/Input/Const nodes have comb in-degree 0.
+        for (id, node) in circuit.iter() {
+            if node.kind().is_gate() {
+                indegree[id.index()] = node.fanin().len() as u32;
+            }
+        }
+        let mut queue: Vec<NodeId> = circuit
+            .node_ids()
+            .filter(|id| indegree[id.index()] == 0)
+            .collect();
+        // Build a fanout map restricted to combinational sinks.
+        let fot = FanoutTable::new(circuit);
+        let mut head = 0;
+        while head < queue.len() {
+            let id = queue[head];
+            head += 1;
+            order.push(id);
+            for &(sink, _pin) in fot.fanouts(id) {
+                if !circuit.node(sink).kind().is_gate() {
+                    continue;
+                }
+                let l = level[id.index()] + 1;
+                if l > level[sink.index()] {
+                    level[sink.index()] = l;
+                }
+                indegree[sink.index()] -= 1;
+                if indegree[sink.index()] == 0 {
+                    queue.push(sink);
+                }
+            }
+        }
+        assert_eq!(
+            order.len(),
+            n,
+            "levelization failed: combinational cycle present"
+        );
+        Levelization { order, level }
+    }
+
+    /// Nodes in topological (non-decreasing level) order. Level-0 nodes
+    /// (inputs, constants, flip-flops) come first.
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// The level of a node.
+    pub fn level(&self, id: NodeId) -> u32 {
+        self.level[id.index()]
+    }
+
+    /// The maximum level in the circuit (combinational depth).
+    pub fn depth(&self) -> u32 {
+        self.level.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// The fanout table of a circuit: for every node, the list of
+/// `(sink_node, pin)` pairs that read its output.
+///
+/// Output markers are not included; flip-flop D pins are (as pin 0 of the
+/// DFF node).
+///
+/// # Examples
+///
+/// ```
+/// use fscan_netlist::{Circuit, FanoutTable, GateKind};
+///
+/// let mut c = Circuit::new("t");
+/// let a = c.add_input("a");
+/// let g = c.add_gate(GateKind::Not, vec![a], "g");
+/// let fot = FanoutTable::new(&c);
+/// assert_eq!(fot.fanouts(a), &[(g, 0)]);
+/// assert!(fot.fanouts(g).is_empty());
+/// ```
+#[derive(Clone, Debug)]
+pub struct FanoutTable {
+    fanouts: Vec<Vec<(NodeId, usize)>>,
+}
+
+impl FanoutTable {
+    /// Builds the fanout table of `circuit`.
+    pub fn new(circuit: &Circuit) -> FanoutTable {
+        let mut fanouts = vec![Vec::new(); circuit.num_nodes()];
+        for (id, node) in circuit.iter() {
+            // A placeholder DFF feeds back on itself; skip that edge so
+            // traversals do not see a phantom reader.
+            for (pin, &src) in node.fanin().iter().enumerate() {
+                if src == id && node.kind() == GateKind::Dff {
+                    continue;
+                }
+                fanouts[src.index()].push((id, pin));
+            }
+        }
+        FanoutTable { fanouts }
+    }
+
+    /// The `(sink, pin)` readers of node `id`.
+    pub fn fanouts(&self, id: NodeId) -> &[(NodeId, usize)] {
+        &self.fanouts[id.index()]
+    }
+
+    /// Whether node `id` has any reader.
+    pub fn is_dangling(&self, id: NodeId) -> bool {
+        self.fanouts[id.index()].is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+
+    #[test]
+    fn levels_respect_topology() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g1 = c.add_gate(GateKind::And, vec![a, b], "g1");
+        let g2 = c.add_gate(GateKind::Or, vec![g1, b], "g2");
+        let ff = c.add_dff(g2, "ff");
+        let g3 = c.add_gate(GateKind::Not, vec![ff], "g3");
+        c.mark_output(g3);
+        let lv = Levelization::new(&c);
+        assert_eq!(lv.level(a), 0);
+        assert_eq!(lv.level(ff), 0);
+        assert_eq!(lv.level(g1), 1);
+        assert_eq!(lv.level(g2), 2);
+        assert_eq!(lv.level(g3), 1);
+        assert_eq!(lv.depth(), 2);
+        // Order property: every gate appears after all its fanins.
+        let pos: std::collections::HashMap<_, _> = lv
+            .order()
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i))
+            .collect();
+        for (id, node) in c.iter() {
+            if node.kind().is_gate() {
+                for &f in node.fanin() {
+                    assert!(pos[&f] < pos[&id]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_table_pins() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let g = c.add_gate(GateKind::And, vec![a, a], "g");
+        let fot = FanoutTable::new(&c);
+        assert_eq!(fot.fanouts(a), &[(g, 0), (g, 1)]);
+        assert!(fot.is_dangling(g));
+    }
+
+    #[test]
+    fn placeholder_dff_self_edge_skipped() {
+        let mut c = Circuit::new("t");
+        let ff = c.add_dff_placeholder("ff");
+        let fot = FanoutTable::new(&c);
+        assert!(fot.fanouts(ff).is_empty());
+    }
+
+    #[test]
+    fn dff_d_pin_is_a_fanout() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let ff = c.add_dff(a, "ff");
+        let fot = FanoutTable::new(&c);
+        assert_eq!(fot.fanouts(a), &[(ff, 0)]);
+    }
+}

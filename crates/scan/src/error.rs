@@ -1,0 +1,53 @@
+//! Error type for scan insertion and verification.
+
+use std::error::Error;
+use std::fmt;
+
+use fscan_netlist::NodeId;
+
+/// Errors reported by scan insertion and scan-design verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScanError {
+    /// The circuit has no flip-flops to chain.
+    NoFlipFlops,
+    /// More chains were requested than there are flip-flops.
+    TooManyChains {
+        /// Requested chain count.
+        requested: usize,
+        /// Available flip-flops.
+        flip_flops: usize,
+    },
+    /// A side input of a sensitized path does not hold its required
+    /// non-controlling value in scan mode.
+    SideInputNotForced {
+        /// The gate whose side input failed.
+        gate: NodeId,
+        /// The offending pin.
+        pin: usize,
+    },
+    /// The transformed circuit failed structural validation.
+    Structure(String),
+}
+
+impl fmt::Display for ScanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScanError::NoFlipFlops => write!(f, "circuit has no flip-flops"),
+            ScanError::TooManyChains {
+                requested,
+                flip_flops,
+            } => write!(
+                f,
+                "requested {requested} chains but only {flip_flops} flip-flops exist"
+            ),
+            ScanError::SideInputNotForced { gate, pin } => write!(
+                f,
+                "side input {pin} of path gate {gate} is not forced to its non-controlling value in scan mode"
+            ),
+            ScanError::Structure(msg) => write!(f, "invalid scan structure: {msg}"),
+        }
+    }
+}
+
+impl Error for ScanError {}

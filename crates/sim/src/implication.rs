@@ -1,0 +1,323 @@
+//! Forward implication cone of a fault (paper, Section 3 / Figure 3).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use fscan_fault::{Fault, FaultSite};
+use fscan_netlist::{Circuit, FanoutTable, NodeId};
+
+use crate::comb::CombEvaluator;
+use crate::value::V3;
+
+/// One net whose steady scan-mode value changes under a fault.
+///
+/// `good` is the fault-free three-valued value, `faulty` the value under
+/// the single stuck-at fault. Following the paper's Figure 3, a change
+/// may be any transition among {0, 1, X} — including X→0, X→1, 0→X and
+/// 1→X.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct NetChange {
+    /// The net (identified by its driving node).
+    pub node: NodeId,
+    /// Fault-free value.
+    pub good: V3,
+    /// Value under the fault.
+    pub faulty: V3,
+}
+
+/// Computes the forward implication cone of `fault` given the fault-free
+/// steady values `good` (produced by a prior [`CombEvaluator::eval`]).
+///
+/// Returns every net whose value changes, in topological order. The
+/// propagation is purely combinational: flip-flops block it (their
+/// outputs keep the value recorded in `good`), matching the static
+/// scan-mode analysis of the paper, which reasons about the logic
+/// *between* consecutive scan flip-flops.
+///
+/// Note that a *branch* fault changes no net by itself — only the value
+/// seen by one gate pin — so its cone starts at the reading gate's
+/// output.
+///
+/// # Examples
+///
+/// ```
+/// use fscan_netlist::{Circuit, GateKind};
+/// use fscan_fault::Fault;
+/// use fscan_sim::{forward_implication, CombEvaluator, V3};
+///
+/// let mut c = Circuit::new("t");
+/// let pi = c.add_input("pi");
+/// let ff = c.add_dff_placeholder("ff");
+/// let g = c.add_gate(GateKind::And, vec![pi, ff], "g");
+/// c.set_dff_input(ff, g)?;
+/// let eval = CombEvaluator::new(&c);
+/// let mut good = vec![V3::X; c.num_nodes()];
+/// good[pi.index()] = V3::One; // scan-mode PI assignment
+/// eval.eval(&c, &mut good);
+/// let changes = forward_implication(&c, &eval, &good, Fault::stem(pi, false));
+/// // PI 1→0 and the AND output X→0 both change.
+/// assert_eq!(changes.len(), 2);
+/// assert_eq!(changes[1].faulty, V3::Zero);
+/// # Ok::<(), fscan_netlist::NetlistError>(())
+/// ```
+pub fn forward_implication(
+    circuit: &Circuit,
+    eval: &CombEvaluator,
+    good: &[V3],
+    fault: Fault,
+) -> Vec<NetChange> {
+    ImplicationEngine::new(circuit, eval).run(circuit, good, fault)
+}
+
+/// Reusable forward-implication engine.
+///
+/// Classifying every fault of a circuit calls the implication thousands
+/// of times; this engine keeps its scratch buffers (epoch-stamped
+/// overlays and the fanout table) across calls.
+#[derive(Clone, Debug)]
+pub struct ImplicationEngine {
+    fanout: FanoutTable,
+    pos: Vec<u32>,
+    faulty: Vec<V3>,
+    stamp: Vec<u32>,
+    queued: Vec<u32>,
+    epoch: u32,
+}
+
+impl ImplicationEngine {
+    /// Builds an engine for `circuit` sharing the evaluator's order.
+    pub fn new(circuit: &Circuit, eval: &CombEvaluator) -> ImplicationEngine {
+        let n = circuit.num_nodes();
+        let mut pos = vec![u32::MAX; n];
+        for (i, &id) in eval.order().iter().enumerate() {
+            pos[id.index()] = i as u32;
+        }
+        ImplicationEngine {
+            fanout: FanoutTable::new(circuit),
+            pos,
+            faulty: vec![V3::X; n],
+            stamp: vec![0; n],
+            queued: vec![0; n],
+            epoch: 0,
+        }
+    }
+
+    fn value(&self, good: &[V3], id: NodeId) -> V3 {
+        if self.stamp[id.index()] == self.epoch {
+            self.faulty[id.index()]
+        } else {
+            good[id.index()]
+        }
+    }
+
+    fn set(&mut self, id: NodeId, v: V3) {
+        self.faulty[id.index()] = v;
+        self.stamp[id.index()] = self.epoch;
+    }
+
+    /// Runs the implication; see [`forward_implication`].
+    pub fn run(&mut self, circuit: &Circuit, good: &[V3], fault: Fault) -> Vec<NetChange> {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Extremely rare wrap: reset stamps to keep correctness.
+            self.stamp.fill(u32::MAX);
+            self.queued.fill(u32::MAX);
+            self.epoch = 1;
+        }
+        let mut heap: BinaryHeap<Reverse<(u32, NodeId)>> = BinaryHeap::new();
+        let mut changes: Vec<NetChange> = Vec::new();
+
+        let push_gate = |engine: &mut ImplicationEngine,
+                             heap: &mut BinaryHeap<Reverse<(u32, NodeId)>>,
+                             id: NodeId| {
+            let p = engine.pos[id.index()];
+            if p == u32::MAX {
+                return; // not a combinational node (DFF): propagation stops
+            }
+            if engine.queued[id.index()] != engine.epoch {
+                engine.queued[id.index()] = engine.epoch;
+                heap.push(Reverse((p, id)));
+            }
+        };
+
+        // Seed the cone.
+        match fault.site {
+            FaultSite::Stem(n) => {
+                let stuck = V3::from_bool(fault.stuck);
+                let kind = circuit.node(n).kind();
+                if kind.is_gate() || matches!(kind, fscan_netlist::GateKind::Const0 | fscan_netlist::GateKind::Const1) {
+                    // Re-evaluate at the gate itself (the stem override is
+                    // applied when the node is processed below).
+                    push_gate(self, &mut heap, n);
+                } else if good[n.index()] != stuck {
+                    self.set(n, stuck);
+                    changes.push(NetChange {
+                        node: n,
+                        good: good[n.index()],
+                        faulty: stuck,
+                    });
+                    for &(sink, _) in self.fanout.fanouts(n).to_vec().iter() {
+                        push_gate(self, &mut heap, sink);
+                    }
+                }
+            }
+            FaultSite::Branch { gate, .. } => {
+                push_gate(self, &mut heap, gate);
+            }
+        }
+
+        while let Some(Reverse((_, id))) = heap.pop() {
+            let node = circuit.node(id);
+            let mut out = V3::eval_gate(
+                node.kind(),
+                node.fanin().iter().enumerate().map(|(pin, &src)| {
+                    if let FaultSite::Branch { gate, pin: fpin } = fault.site {
+                        if gate == id && fpin == pin {
+                            return V3::from_bool(fault.stuck);
+                        }
+                    }
+                    self.value(good, src)
+                }),
+            );
+            if fault.site == FaultSite::Stem(id) {
+                out = V3::from_bool(fault.stuck);
+            }
+            if out != good[id.index()] {
+                self.set(id, out);
+                changes.push(NetChange {
+                    node: id,
+                    good: good[id.index()],
+                    faulty: out,
+                });
+                for &(sink, _) in self.fanout.fanouts(id).to_vec().iter() {
+                    push_gate(self, &mut heap, sink);
+                }
+            } else {
+                // Value restored to good: make sure an earlier overlay for
+                // this node (impossible in topological processing, but
+                // cheap to guard) does not linger.
+                self.stamp[id.index()] = self.epoch.wrapping_sub(1);
+            }
+        }
+        changes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fscan_netlist::{Circuit, GateKind};
+
+    /// Builds the circuit of the paper's Figure 3:
+    ///
+    /// PI (=1 in scan mode) drives A; A s-a-0 is the fault. The values
+    /// follow the paper: A: 1→0, B: X→0, C: 0→1, D: X→1, E: 0→X.
+    fn figure3() -> (Circuit, [NodeId; 6], Vec<V3>) {
+        let mut c = Circuit::new("fig3");
+        let pi = c.add_input("PI");
+        let ff = c.add_dff_placeholder("FF"); // chain data, X
+        // A = BUF(PI) so the fault site is an internal net like the paper's.
+        let a = c.add_gate(GateKind::Buf, vec![pi], "A");
+        // B = AND(A, FF): good 1·X = X; faulty 0·X = 0.
+        let b = c.add_gate(GateKind::And, vec![a, ff], "B");
+        // C = NOT(A): good 0; faulty 1.
+        let cn = c.add_gate(GateKind::Not, vec![a], "C");
+        // D = OR(C, FF): good 0+X = X; faulty 1+X = 1.
+        let d = c.add_gate(GateKind::Or, vec![cn, ff], "D");
+        // E = AND(C, FF): good 0·X = 0; faulty 1·X = X (the paper's 0→X).
+        let e = c.add_gate(GateKind::And, vec![cn, ff], "E");
+        c.set_dff_input(ff, b).unwrap();
+        c.mark_output(e);
+        c.mark_output(d);
+        let eval = CombEvaluator::new(&c);
+        let mut good = vec![V3::X; c.num_nodes()];
+        good[pi.index()] = V3::One;
+        good[ff.index()] = V3::X;
+        eval.eval(&c, &mut good);
+        (c, [pi, a, b, cn, d, e], good)
+    }
+
+    #[test]
+    fn figure3_value_changes() {
+        let (c, [pi, a, b, cn, d, e], good) = figure3();
+        let eval = CombEvaluator::new(&c);
+        let changes = forward_implication(&c, &eval, &good, Fault::stem(pi, false));
+        let get = |n: NodeId| changes.iter().find(|ch| ch.node == n).copied();
+        // A: 1 → 0
+        let ca = get(a).expect("A changes");
+        assert_eq!((ca.good, ca.faulty), (V3::One, V3::Zero));
+        // B: X → 0
+        let cb = get(b).expect("B changes");
+        assert_eq!((cb.good, cb.faulty), (V3::X, V3::Zero));
+        // C: 0 → 1
+        let cc = get(cn).expect("C changes");
+        assert_eq!((cc.good, cc.faulty), (V3::Zero, V3::One));
+        // D: X → 1
+        let cd = get(d).expect("D changes");
+        assert_eq!((cd.good, cd.faulty), (V3::X, V3::One));
+        // E: 0 → X
+        let ce = get(e).expect("E changes");
+        assert_eq!((ce.good, ce.faulty), (V3::Zero, V3::X));
+        // PI itself changed too.
+        assert!(get(pi).is_some());
+        assert_eq!(changes.len(), 6);
+    }
+
+    #[test]
+    fn unexcited_fault_has_empty_cone() {
+        let (c, [pi, ..], good) = figure3();
+        let eval = CombEvaluator::new(&c);
+        // PI is already 1; s-a-1 changes nothing.
+        let changes = forward_implication(&c, &eval, &good, Fault::stem(pi, true));
+        assert!(changes.is_empty());
+    }
+
+    #[test]
+    fn propagation_stops_at_flip_flops() {
+        let mut c = Circuit::new("t");
+        let pi = c.add_input("pi");
+        let g = c.add_gate(GateKind::Not, vec![pi], "g");
+        let ff = c.add_dff(g, "ff");
+        let h = c.add_gate(GateKind::Not, vec![ff], "h");
+        c.mark_output(h);
+        let eval = CombEvaluator::new(&c);
+        let mut good = vec![V3::X; c.num_nodes()];
+        good[pi.index()] = V3::Zero;
+        good[ff.index()] = V3::X;
+        eval.eval(&c, &mut good);
+        let changes = forward_implication(&c, &eval, &good, Fault::stem(pi, true));
+        // pi and g change; ff's Q and h must not (combinational analysis).
+        assert!(changes.iter().any(|ch| ch.node == g));
+        assert!(changes.iter().all(|ch| ch.node != ff && ch.node != h));
+    }
+
+    #[test]
+    fn branch_fault_cone_starts_at_reader() {
+        let mut c = Circuit::new("t");
+        let pi = c.add_input("pi");
+        let g1 = c.add_gate(GateKind::Buf, vec![pi], "g1");
+        let g2 = c.add_gate(GateKind::Not, vec![pi], "g2");
+        c.mark_output(g1);
+        c.mark_output(g2);
+        let eval = CombEvaluator::new(&c);
+        let mut good = vec![V3::X; c.num_nodes()];
+        good[pi.index()] = V3::One;
+        eval.eval(&c, &mut good);
+        let changes = forward_implication(&c, &eval, &good, Fault::branch(g1, 0, false));
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].node, g1);
+        assert_eq!(changes[0].faulty, V3::Zero);
+    }
+
+    #[test]
+    fn engine_reuse_is_consistent() {
+        let (c, [pi, a, ..], good) = figure3();
+        let eval = CombEvaluator::new(&c);
+        let mut engine = ImplicationEngine::new(&c, &eval);
+        let r1 = engine.run(&c, &good, Fault::stem(pi, false));
+        let r2 = engine.run(&c, &good, Fault::stem(a, true));
+        let r3 = engine.run(&c, &good, Fault::stem(pi, false));
+        assert_eq!(r1, r3, "engine state must not leak between runs");
+        assert_ne!(r1, r2);
+    }
+}

@@ -1,0 +1,52 @@
+//! Logic and fault simulation for gate-level sequential netlists.
+//!
+//! Everything the DATE'98 functional scan chain testing flow needs to
+//! *observe* circuits lives here:
+//!
+//! * [`V3`] — three-valued logic (0, 1, X) and gate evaluation;
+//! * [`Pv64`] — 64 three-valued machines packed into two words, used by
+//!   the parallel fault simulator;
+//! * [`CombEvaluator`] — levelized combinational evaluation with
+//!   stuck-at fault injection;
+//! * [`SeqSim`] — cycle-accurate sequential simulation and serial
+//!   sequential fault simulation with X-aware detection;
+//! * [`ParallelFaultSim`] — 64-fault-per-pass sequential fault
+//!   simulation;
+//! * [`forward_implication`] — the 3-valued forward implication cone of
+//!   a fault under fixed input constraints (paper, Section 3/Figure 3).
+//!
+//! # Examples
+//!
+//! ```
+//! use fscan_netlist::{Circuit, GateKind};
+//! use fscan_sim::{CombEvaluator, V3};
+//!
+//! let mut c = Circuit::new("t");
+//! let a = c.add_input("a");
+//! let b = c.add_input("b");
+//! let g = c.add_gate(GateKind::Nand, vec![a, b], "g");
+//! c.mark_output(g);
+//! let eval = CombEvaluator::new(&c);
+//! let mut values = vec![V3::X; c.num_nodes()];
+//! values[a.index()] = V3::One;
+//! values[b.index()] = V3::Zero;
+//! eval.eval(&c, &mut values);
+//! assert_eq!(values[g.index()], V3::One);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod comb;
+mod implication;
+mod packed;
+mod parallel;
+mod seq;
+mod value;
+
+pub use comb::CombEvaluator;
+pub use implication::{forward_implication, ImplicationEngine, NetChange};
+pub use packed::Pv64;
+pub use parallel::ParallelFaultSim;
+pub use seq::{detects, SeqSim, Trace};
+pub use value::V3;

@@ -1,0 +1,257 @@
+//! 64-way packed three-valued values.
+
+use std::fmt;
+
+use fscan_netlist::GateKind;
+
+use crate::value::V3;
+
+/// 64 three-valued logic values packed into two machine words.
+///
+/// Bit `i` of `zeros`/`ones` describes machine `i`: `zeros` set means 0,
+/// `ones` set means 1, neither means X. The invariant
+/// `zeros & ones == 0` is maintained by all constructors and operations.
+///
+/// # Examples
+///
+/// ```
+/// use fscan_sim::{Pv64, V3};
+///
+/// let a = Pv64::splat(V3::One);
+/// let b = Pv64::splat(V3::X);
+/// let c = a.and(b);
+/// assert_eq!(c.get(17), V3::X);
+/// assert_eq!(a.and(Pv64::splat(V3::Zero)).get(0), V3::Zero);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Pv64 {
+    zeros: u64,
+    ones: u64,
+}
+
+impl Pv64 {
+    /// All 64 machines at X.
+    pub const ALL_X: Pv64 = Pv64 { zeros: 0, ones: 0 };
+
+    /// Creates a packed value from raw masks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `zeros & ones != 0`.
+    pub fn from_masks(zeros: u64, ones: u64) -> Pv64 {
+        assert_eq!(zeros & ones, 0, "contradictory packed value");
+        Pv64 { zeros, ones }
+    }
+
+    /// All 64 machines at the same value.
+    pub fn splat(v: V3) -> Pv64 {
+        match v {
+            V3::Zero => Pv64 { zeros: !0, ones: 0 },
+            V3::One => Pv64 { zeros: 0, ones: !0 },
+            V3::X => Pv64::ALL_X,
+        }
+    }
+
+    /// The mask of machines holding 0.
+    pub fn zeros(self) -> u64 {
+        self.zeros
+    }
+
+    /// The mask of machines holding 1.
+    pub fn ones(self) -> u64 {
+        self.ones
+    }
+
+    /// The mask of machines holding a known value.
+    pub fn known(self) -> u64 {
+        self.zeros | self.ones
+    }
+
+    /// The value of machine `lane` (0..64).
+    pub fn get(self, lane: u32) -> V3 {
+        let bit = 1u64 << lane;
+        if self.zeros & bit != 0 {
+            V3::Zero
+        } else if self.ones & bit != 0 {
+            V3::One
+        } else {
+            V3::X
+        }
+    }
+
+    /// Returns a copy with machine `lane` set to `v`.
+    #[must_use]
+    pub fn with(self, lane: u32, v: V3) -> Pv64 {
+        let bit = 1u64 << lane;
+        let mut r = Pv64 {
+            zeros: self.zeros & !bit,
+            ones: self.ones & !bit,
+        };
+        match v {
+            V3::Zero => r.zeros |= bit,
+            V3::One => r.ones |= bit,
+            V3::X => {}
+        }
+        r
+    }
+
+    /// Forces the machines in `mask` to the Boolean value `stuck`
+    /// (stuck-at injection).
+    #[must_use]
+    pub fn force(self, mask: u64, stuck: bool) -> Pv64 {
+        if stuck {
+            Pv64 {
+                zeros: self.zeros & !mask,
+                ones: self.ones | mask,
+            }
+        } else {
+            Pv64 {
+                zeros: self.zeros | mask,
+                ones: self.ones & !mask,
+            }
+        }
+    }
+
+    /// Lane-wise NOT.
+    #[must_use]
+    pub fn not(self) -> Pv64 {
+        Pv64 {
+            zeros: self.ones,
+            ones: self.zeros,
+        }
+    }
+
+    /// Lane-wise three-valued AND.
+    #[must_use]
+    pub fn and(self, rhs: Pv64) -> Pv64 {
+        Pv64 {
+            zeros: self.zeros | rhs.zeros,
+            ones: self.ones & rhs.ones,
+        }
+    }
+
+    /// Lane-wise three-valued OR.
+    #[must_use]
+    pub fn or(self, rhs: Pv64) -> Pv64 {
+        Pv64 {
+            zeros: self.zeros & rhs.zeros,
+            ones: self.ones | rhs.ones,
+        }
+    }
+
+    /// Lane-wise three-valued XOR.
+    #[must_use]
+    pub fn xor(self, rhs: Pv64) -> Pv64 {
+        let known = self.known() & rhs.known();
+        let val = (self.ones ^ rhs.ones) & known;
+        Pv64 {
+            zeros: known & !val,
+            ones: val,
+        }
+    }
+
+    /// Evaluates a combinational gate kind lane-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called with [`GateKind::Input`] or [`GateKind::Dff`].
+    pub fn eval_gate(kind: GateKind, inputs: impl IntoIterator<Item = Pv64>) -> Pv64 {
+        let mut it = inputs.into_iter();
+        match kind {
+            GateKind::Const0 => Pv64::splat(V3::Zero),
+            GateKind::Const1 => Pv64::splat(V3::One),
+            GateKind::Buf => it.next().unwrap_or(Pv64::ALL_X),
+            GateKind::Not => it.next().unwrap_or(Pv64::ALL_X).not(),
+            GateKind::And => it.fold(Pv64::splat(V3::One), Pv64::and),
+            GateKind::Nand => it.fold(Pv64::splat(V3::One), Pv64::and).not(),
+            GateKind::Or => it.fold(Pv64::splat(V3::Zero), Pv64::or),
+            GateKind::Nor => it.fold(Pv64::splat(V3::Zero), Pv64::or).not(),
+            GateKind::Xor => it.fold(Pv64::splat(V3::Zero), Pv64::xor),
+            GateKind::Xnor => it.fold(Pv64::splat(V3::Zero), Pv64::xor).not(),
+            GateKind::Input | GateKind::Dff => {
+                panic!("eval_gate called on non-combinational kind {kind:?}")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Pv64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Pv64(zeros={:#x}, ones={:#x})", self.zeros, self.ones)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_pv(rng: &mut StdRng) -> Pv64 {
+        let mut p = Pv64::ALL_X;
+        for lane in 0..64 {
+            let v = match rng.gen_range(0..3) {
+                0 => V3::Zero,
+                1 => V3::One,
+                _ => V3::X,
+            };
+            p = p.with(lane, v);
+        }
+        p
+    }
+
+    #[test]
+    fn splat_get_roundtrip() {
+        for v in [V3::Zero, V3::One, V3::X] {
+            let p = Pv64::splat(v);
+            for lane in [0, 13, 63] {
+                assert_eq!(p.get(lane), v);
+            }
+        }
+    }
+
+    #[test]
+    fn lanes_agree_with_v3_semantics() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let a = random_pv(&mut rng);
+            let b = random_pv(&mut rng);
+            for lane in 0..64 {
+                let (va, vb) = (a.get(lane), b.get(lane));
+                assert_eq!(a.and(b).get(lane), va & vb);
+                assert_eq!(a.or(b).get(lane), va | vb);
+                assert_eq!(a.xor(b).get(lane), va ^ vb);
+                assert_eq!(a.not().get(lane), !va);
+            }
+        }
+    }
+
+    #[test]
+    fn force_overrides_everything() {
+        let p = Pv64::splat(V3::X).force(0b101, true).force(0b010, false);
+        assert_eq!(p.get(0), V3::One);
+        assert_eq!(p.get(1), V3::Zero);
+        assert_eq!(p.get(2), V3::One);
+        assert_eq!(p.get(3), V3::X);
+    }
+
+    #[test]
+    fn invariant_checked() {
+        let r = std::panic::catch_unwind(|| Pv64::from_masks(1, 1));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn gate_eval_lanes_match_scalar() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for kind in GateKind::COMBINATIONAL {
+            let arity = kind.fixed_arity().unwrap_or(3);
+            let ins: Vec<Pv64> = (0..arity).map(|_| random_pv(&mut rng)).collect();
+            let out = Pv64::eval_gate(kind, ins.iter().copied());
+            for lane in 0..64 {
+                let scalar = V3::eval_gate(kind, ins.iter().map(|p| p.get(lane)));
+                assert_eq!(out.get(lane), scalar, "{kind} lane {lane}");
+            }
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! 64-fault-per-pass sequential fault simulation.
+
+use std::collections::HashMap;
+
+use fscan_fault::{Fault, FaultSite};
+use fscan_netlist::{Circuit, GateKind, NodeId};
+
+use crate::comb::CombEvaluator;
+use crate::packed::Pv64;
+use crate::seq::SeqSim;
+use crate::value::V3;
+
+/// Parallel-fault sequential fault simulator: simulates up to 64 faulty
+/// machines per pass, one machine per bit lane, against a scalar good
+/// machine.
+///
+/// Produces exactly the same detection verdicts as
+/// [`SeqSim::fault_sim`] (the serial reference), typically an order of
+/// magnitude faster on fault lists larger than a few dozen.
+///
+/// # Examples
+///
+/// ```
+/// use fscan_netlist::{Circuit, GateKind};
+/// use fscan_fault::Fault;
+/// use fscan_sim::{ParallelFaultSim, V3};
+///
+/// let mut c = Circuit::new("t");
+/// let a = c.add_input("a");
+/// let g = c.add_gate(GateKind::Not, vec![a], "g");
+/// c.mark_output(g);
+/// let sim = ParallelFaultSim::new(&c);
+/// let res = sim.fault_sim(&[vec![V3::One]], &[], &[Fault::stem(g, true)]);
+/// assert_eq!(res, vec![Some(0)]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ParallelFaultSim<'c> {
+    circuit: &'c Circuit,
+    eval: CombEvaluator,
+}
+
+impl<'c> ParallelFaultSim<'c> {
+    /// Builds a simulator (levelizes the circuit once).
+    pub fn new(circuit: &'c Circuit) -> ParallelFaultSim<'c> {
+        ParallelFaultSim {
+            circuit,
+            eval: CombEvaluator::new(circuit),
+        }
+    }
+
+    /// Runs the full sequence for every fault and reports the first
+    /// definite detection cycle per fault (`None` if undetected).
+    ///
+    /// Semantics match [`SeqSim::fault_sim`]: detection requires the good
+    /// and faulty primary-output values to be known and different in the
+    /// same cycle.
+    pub fn fault_sim(
+        &self,
+        vectors: &[Vec<V3>],
+        init: &[V3],
+        faults: &[Fault],
+    ) -> Vec<Option<usize>> {
+        let good = SeqSim::new(self.circuit).run(vectors, init, None);
+        let mut result = vec![None; faults.len()];
+        for (chunk_idx, chunk) in faults.chunks(64).enumerate() {
+            let base = chunk_idx * 64;
+            let det = self.simulate_chunk(vectors, init, chunk, &good.outputs);
+            for (lane, d) in det.into_iter().enumerate() {
+                result[base + lane] = d;
+            }
+        }
+        result
+    }
+
+    fn simulate_chunk(
+        &self,
+        vectors: &[Vec<V3>],
+        init: &[V3],
+        chunk: &[Fault],
+        good_outputs: &[Vec<V3>],
+    ) -> Vec<Option<usize>> {
+        let c = self.circuit;
+        let n_lanes = chunk.len() as u32;
+        let full_mask: u64 = if n_lanes == 64 {
+            !0
+        } else {
+            (1u64 << n_lanes) - 1
+        };
+
+        // Injection tables.
+        let mut stem: HashMap<NodeId, Vec<(u64, bool)>> = HashMap::new();
+        let mut branch: HashMap<(NodeId, usize), Vec<(u64, bool)>> = HashMap::new();
+        for (lane, f) in chunk.iter().enumerate() {
+            let mask = 1u64 << lane;
+            match f.site {
+                FaultSite::Stem(n) => stem.entry(n).or_default().push((mask, f.stuck)),
+                FaultSite::Branch { gate, pin } => {
+                    branch.entry((gate, pin)).or_default().push((mask, f.stuck))
+                }
+            }
+        }
+
+        let mut values: Vec<Pv64> = vec![Pv64::ALL_X; c.num_nodes()];
+        let mut state: Vec<Pv64> = init.iter().map(|&v| Pv64::splat(v)).collect();
+        let mut detected_mask: u64 = 0;
+        let mut detection = vec![None; chunk.len()];
+
+        for (t, vec_t) in vectors.iter().enumerate() {
+            // Drive inputs and state.
+            for (&pi, &v) in c.inputs().iter().zip(vec_t.iter()) {
+                let mut w = Pv64::splat(v);
+                if let Some(inj) = stem.get(&pi) {
+                    for &(mask, stuck) in inj {
+                        w = w.force(mask, stuck);
+                    }
+                }
+                values[pi.index()] = w;
+            }
+            for (&ff, w) in c.dffs().iter().zip(state.iter()) {
+                let mut w = *w;
+                if let Some(inj) = stem.get(&ff) {
+                    for &(mask, stuck) in inj {
+                        w = w.force(mask, stuck);
+                    }
+                }
+                values[ff.index()] = w;
+            }
+            // Evaluate combinational logic in topological order.
+            let mut buf: Vec<Pv64> = Vec::with_capacity(8);
+            for &id in self.eval.order() {
+                let node = c.node(id);
+                buf.clear();
+                for (pin, &src) in node.fanin().iter().enumerate() {
+                    let mut w = values[src.index()];
+                    if let Some(inj) = branch.get(&(id, pin)) {
+                        for &(mask, stuck) in inj {
+                            w = w.force(mask, stuck);
+                        }
+                    }
+                    buf.push(w);
+                }
+                let mut out = Pv64::eval_gate(node.kind(), buf.iter().copied());
+                if let Some(inj) = stem.get(&id) {
+                    for &(mask, stuck) in inj {
+                        out = out.force(mask, stuck);
+                    }
+                }
+                values[id.index()] = out;
+            }
+            // Detection: faulty PO known and opposite of a known good PO.
+            for (k, &po) in c.outputs().iter().enumerate() {
+                let g = good_outputs[t][k];
+                let w = values[po.index()];
+                let diff = match g {
+                    V3::Zero => w.ones(),
+                    V3::One => w.zeros(),
+                    V3::X => 0,
+                };
+                let newly = diff & full_mask & !detected_mask;
+                if newly != 0 {
+                    let mut bits = newly;
+                    while bits != 0 {
+                        let lane = bits.trailing_zeros();
+                        detection[lane as usize] = Some(t);
+                        bits &= bits - 1;
+                    }
+                    detected_mask |= newly;
+                }
+            }
+            if detected_mask == full_mask {
+                break;
+            }
+            // Clock flip-flops (branch faults on D pins injected here).
+            for (s, &ff) in state.iter_mut().zip(c.dffs().iter()) {
+                debug_assert_eq!(c.node(ff).kind(), GateKind::Dff);
+                let d = c.node(ff).fanin()[0];
+                let mut w = values[d.index()];
+                if let Some(inj) = branch.get(&(ff, 0)) {
+                    for &(mask, stuck) in inj {
+                        w = w.force(mask, stuck);
+                    }
+                }
+                *s = w;
+            }
+        }
+        detection
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fscan_fault::{all_faults, collapse};
+    use fscan_netlist::{generate, GeneratorConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_vectors(rng: &mut StdRng, n_inputs: usize, cycles: usize) -> Vec<Vec<V3>> {
+        (0..cycles)
+            .map(|_| {
+                (0..n_inputs)
+                    .map(|_| if rng.gen_bool(0.5) { V3::One } else { V3::Zero })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn agrees_with_serial_reference() {
+        for seed in 0..3u64 {
+            let cfg = GeneratorConfig::new(format!("p{seed}"), seed)
+                .inputs(6)
+                .gates(80)
+                .dffs(6);
+            let c = generate(&cfg);
+            let faults = collapse(&c, &all_faults(&c));
+            let mut rng = StdRng::seed_from_u64(seed + 100);
+            let vectors = random_vectors(&mut rng, 6, 20);
+            let init = vec![V3::X; 6];
+            let serial = SeqSim::new(&c).fault_sim(&vectors, &init, &faults);
+            let parallel = ParallelFaultSim::new(&c).fault_sim(&vectors, &init, &faults);
+            assert_eq!(serial, parallel, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn handles_more_than_64_faults() {
+        let cfg = GeneratorConfig::new("big", 9).inputs(8).gates(150).dffs(8);
+        let c = generate(&cfg);
+        let faults = collapse(&c, &all_faults(&c));
+        assert!(faults.len() > 64, "need multiple chunks");
+        let mut rng = StdRng::seed_from_u64(1);
+        let vectors = random_vectors(&mut rng, 8, 12);
+        let init = vec![V3::X; 8];
+        let serial = SeqSim::new(&c).fault_sim(&vectors, &init, &faults);
+        let parallel = ParallelFaultSim::new(&c).fault_sim(&vectors, &init, &faults);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_fault_list() {
+        let cfg = GeneratorConfig::new("e", 2).gates(20).dffs(2);
+        let c = generate(&cfg);
+        let sim = ParallelFaultSim::new(&c);
+        let res = sim.fault_sim(&[vec![V3::Zero; c.inputs().len()]], &[V3::X; 2], &[]);
+        assert!(res.is_empty());
+    }
+}

@@ -1,0 +1,260 @@
+//! Three-valued (0, 1, X) logic.
+
+use std::fmt;
+
+use fscan_netlist::GateKind;
+
+/// A three-valued logic value: 0, 1, or unknown (X).
+///
+/// The unknown value is pessimistic: any operation whose result depends
+/// on an unknown operand yields X unless a controlling value decides it.
+///
+/// # Examples
+///
+/// ```
+/// use fscan_sim::V3;
+///
+/// assert_eq!(V3::Zero & V3::X, V3::Zero);   // controlling 0 wins
+/// assert_eq!(V3::One & V3::X, V3::X);
+/// assert_eq!(!V3::X, V3::X);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub enum V3 {
+    /// Logic 0.
+    Zero,
+    /// Logic 1.
+    One,
+    /// Unknown.
+    #[default]
+    X,
+}
+
+impl V3 {
+    /// Converts a Boolean to a known value.
+    pub fn from_bool(b: bool) -> V3 {
+        if b {
+            V3::One
+        } else {
+            V3::Zero
+        }
+    }
+
+    /// Returns `Some(bool)` for known values, `None` for X.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            V3::Zero => Some(false),
+            V3::One => Some(true),
+            V3::X => None,
+        }
+    }
+
+    /// Whether the value is 0 or 1 (not X).
+    pub fn is_known(self) -> bool {
+        self != V3::X
+    }
+
+    /// Three-valued AND over an iterator (identity: 1).
+    pub fn and_all(values: impl IntoIterator<Item = V3>) -> V3 {
+        let mut acc = V3::One;
+        for v in values {
+            acc = acc & v;
+            if acc == V3::Zero {
+                return V3::Zero;
+            }
+        }
+        acc
+    }
+
+    /// Three-valued OR over an iterator (identity: 0).
+    pub fn or_all(values: impl IntoIterator<Item = V3>) -> V3 {
+        let mut acc = V3::Zero;
+        for v in values {
+            acc = acc | v;
+            if acc == V3::One {
+                return V3::One;
+            }
+        }
+        acc
+    }
+
+    /// Three-valued XOR over an iterator (identity: 0).
+    pub fn xor_all(values: impl IntoIterator<Item = V3>) -> V3 {
+        let mut acc = V3::Zero;
+        for v in values {
+            acc = acc ^ v;
+            if acc == V3::X {
+                return V3::X;
+            }
+        }
+        acc
+    }
+
+    /// Evaluates a combinational gate kind over three-valued inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called with [`GateKind::Input`] or [`GateKind::Dff`],
+    /// which have no combinational function.
+    pub fn eval_gate(kind: GateKind, inputs: impl IntoIterator<Item = V3>) -> V3 {
+        match kind {
+            GateKind::Const0 => V3::Zero,
+            GateKind::Const1 => V3::One,
+            GateKind::Buf => inputs.into_iter().next().unwrap_or(V3::X),
+            GateKind::Not => !inputs.into_iter().next().unwrap_or(V3::X),
+            GateKind::And => V3::and_all(inputs),
+            GateKind::Nand => !V3::and_all(inputs),
+            GateKind::Or => V3::or_all(inputs),
+            GateKind::Nor => !V3::or_all(inputs),
+            GateKind::Xor => V3::xor_all(inputs),
+            GateKind::Xnor => !V3::xor_all(inputs),
+            GateKind::Input | GateKind::Dff => {
+                panic!("eval_gate called on non-combinational kind {kind:?}")
+            }
+        }
+    }
+}
+
+impl std::ops::Not for V3 {
+    type Output = V3;
+
+    fn not(self) -> V3 {
+        match self {
+            V3::Zero => V3::One,
+            V3::One => V3::Zero,
+            V3::X => V3::X,
+        }
+    }
+}
+
+impl std::ops::BitAnd for V3 {
+    type Output = V3;
+
+    fn bitand(self, rhs: V3) -> V3 {
+        match (self, rhs) {
+            (V3::Zero, _) | (_, V3::Zero) => V3::Zero,
+            (V3::One, V3::One) => V3::One,
+            _ => V3::X,
+        }
+    }
+}
+
+impl std::ops::BitOr for V3 {
+    type Output = V3;
+
+    fn bitor(self, rhs: V3) -> V3 {
+        match (self, rhs) {
+            (V3::One, _) | (_, V3::One) => V3::One,
+            (V3::Zero, V3::Zero) => V3::Zero,
+            _ => V3::X,
+        }
+    }
+}
+
+impl std::ops::BitXor for V3 {
+    type Output = V3;
+
+    fn bitxor(self, rhs: V3) -> V3 {
+        match (self.to_bool(), rhs.to_bool()) {
+            (Some(a), Some(b)) => V3::from_bool(a ^ b),
+            _ => V3::X,
+        }
+    }
+}
+
+impl From<bool> for V3 {
+    fn from(b: bool) -> V3 {
+        V3::from_bool(b)
+    }
+}
+
+impl fmt::Display for V3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            V3::Zero => '0',
+            V3::One => '1',
+            V3::X => 'X',
+        };
+        write!(f, "{c}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [V3; 3] = [V3::Zero, V3::One, V3::X];
+
+    #[test]
+    fn and_truth_table() {
+        assert_eq!(V3::Zero & V3::X, V3::Zero);
+        assert_eq!(V3::X & V3::Zero, V3::Zero);
+        assert_eq!(V3::One & V3::One, V3::One);
+        assert_eq!(V3::One & V3::X, V3::X);
+        assert_eq!(V3::X & V3::X, V3::X);
+    }
+
+    #[test]
+    fn or_truth_table() {
+        assert_eq!(V3::One | V3::X, V3::One);
+        assert_eq!(V3::Zero | V3::Zero, V3::Zero);
+        assert_eq!(V3::Zero | V3::X, V3::X);
+    }
+
+    #[test]
+    fn xor_unknown_poisons() {
+        assert_eq!(V3::One ^ V3::X, V3::X);
+        assert_eq!(V3::One ^ V3::Zero, V3::One);
+        assert_eq!(V3::One ^ V3::One, V3::Zero);
+    }
+
+    #[test]
+    fn demorgan_holds_in_v3() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(!(a & b), (!a) | (!b));
+                assert_eq!(!(a | b), (!a) & (!b));
+            }
+        }
+    }
+
+    #[test]
+    fn v3_refines_bool() {
+        // Known-valued V3 arithmetic must agree with bool arithmetic.
+        for a in [false, true] {
+            for b in [false, true] {
+                let (va, vb) = (V3::from(a), V3::from(b));
+                assert_eq!((va & vb).to_bool(), Some(a & b));
+                assert_eq!((va | vb).to_bool(), Some(a | b));
+                assert_eq!((va ^ vb).to_bool(), Some(a ^ b));
+                assert_eq!((!va).to_bool(), Some(!a));
+            }
+        }
+    }
+
+    #[test]
+    fn gate_eval_matches_bool_eval() {
+        for kind in GateKind::COMBINATIONAL {
+            let arity = kind.fixed_arity().unwrap_or(3);
+            for bits in 0..(1u32 << arity) {
+                let ins: Vec<bool> = (0..arity).map(|i| bits >> i & 1 == 1).collect();
+                let v3s: Vec<V3> = ins.iter().map(|&b| V3::from(b)).collect();
+                let got = V3::eval_gate(kind, v3s.iter().copied());
+                assert_eq!(got.to_bool(), Some(kind.eval_bool(&ins)), "{kind} {ins:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn controlling_value_decides_despite_x() {
+        assert_eq!(V3::eval_gate(GateKind::And, [V3::Zero, V3::X]), V3::Zero);
+        assert_eq!(V3::eval_gate(GateKind::Nand, [V3::Zero, V3::X]), V3::One);
+        assert_eq!(V3::eval_gate(GateKind::Or, [V3::One, V3::X]), V3::One);
+        assert_eq!(V3::eval_gate(GateKind::Nor, [V3::One, V3::X]), V3::Zero);
+        assert_eq!(V3::eval_gate(GateKind::Xor, [V3::One, V3::X]), V3::X);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}{}{}", V3::Zero, V3::One, V3::X), "01X");
+    }
+}

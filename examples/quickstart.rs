@@ -1,0 +1,43 @@
+//! Quickstart: build a circuit, insert a functional scan chain, and run
+//! the paper's three-step functional scan chain test generation.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use fscan::{Pipeline, PipelineConfig};
+use fscan_netlist::{generate, CircuitStats, GeneratorConfig};
+use fscan_scan::{insert_functional_scan, TpiConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A sequential circuit. Real designs come from `parse_bench`;
+    //    here we generate an ISCAS-like one.
+    let circuit = generate(
+        &GeneratorConfig::new("quickstart", 42)
+            .inputs(12)
+            .gates(300)
+            .dffs(20),
+    );
+    println!("circuit: {}", CircuitStats::new(&circuit));
+
+    // 2. Insert a functional scan chain: scan paths through mission
+    //    logic (TPI), dedicated MUX segments only where no affordable
+    //    functional path exists.
+    let design = insert_functional_scan(&circuit, &TpiConfig::default())?;
+    design.verify()?;
+    println!("{design}");
+    println!(
+        "scan-mode PI constraints: {}",
+        design
+            .constraints()
+            .iter()
+            .map(|(n, v)| format!("{n}={}", u8::from(*v)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    // 3. Test the scan chain itself: classification, the alternating
+    //    sequence, combinational ATPG + sequential fault simulation, and
+    //    targeted sequential ATPG.
+    let report = Pipeline::new(&design, PipelineConfig::default()).run();
+    println!("{report}");
+    Ok(())
+}

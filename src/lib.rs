@@ -1,0 +1,8 @@
+//! Umbrella crate re-exporting the fscan workspace members for integration tests and examples.
+#![forbid(unsafe_code)]
+pub use fscan as core;
+pub use fscan_atpg as atpg;
+pub use fscan_fault as fault;
+pub use fscan_netlist as netlist;
+pub use fscan_scan as scan;
+pub use fscan_sim as sim;
