@@ -265,9 +265,9 @@ impl<'c> SeqAtpg<'c> {
         let n_pis = self.circuit.inputs().len();
         let n_ffs = self.circuit.dffs().len();
         let mut vectors = vec![vec![None; n_pis]; frames];
-        for t in 0..frames {
+        for row in &mut vectors {
             for &(k, v) in &self.fixed_pis {
-                vectors[t][k] = Some(v);
+                row[k] = Some(v);
             }
         }
         let mut init_state = vec![None; n_ffs];

@@ -3,34 +3,40 @@
 //! Usage:
 //!
 //! ```text
-//! reproduce [table1|table2|table3|figure5|all] [--scale F] [--only NAME]
+//! reproduce [table1|table2|table3|figure5|timing|all] [--scale F] [--only NAME] [--threads N]
 //! ```
 //!
 //! `--scale` shrinks every suite circuit proportionally (default 0.125,
 //! which runs the whole suite in minutes; 1.0 builds paper-sized
-//! circuits). `--only` restricts the run to one circuit.
+//! circuits). `--only` restricts the run to one circuit. `--threads`
+//! sets the worker count for the fault-parallel stages (default 0 =
+//! one per hardware thread); reports are identical for every value.
+//! `timing` prints the per-stage wall-clock and worker-distribution
+//! table.
 
 use std::env;
 use std::process::ExitCode;
 
-use fscan::PipelineReport;
-use fscan_bench::tables::{run_pipeline, table2, table3};
+use fscan::{PipelineConfig, PipelineReport};
+use fscan_bench::tables::{run_pipeline_with, table2, table3};
 use fscan_bench::{figure5, table1, PAPER_SUITE};
 
 struct Options {
     what: String,
     scale: f64,
     only: Option<String>,
+    threads: usize,
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut what = "all".to_string();
     let mut scale = 0.125;
     let mut only = None;
+    let mut threads = 0usize;
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "table1" | "table2" | "table3" | "figure5" | "all" => what = arg,
+            "table1" | "table2" | "table3" | "figure5" | "timing" | "all" => what = arg,
             "--scale" => {
                 let v = args.next().ok_or("--scale needs a value")?;
                 scale = v.parse().map_err(|_| format!("bad scale '{v}'"))?;
@@ -39,10 +45,19 @@ fn parse_args() -> Result<Options, String> {
                 }
             }
             "--only" => only = Some(args.next().ok_or("--only needs a circuit name")?),
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                threads = v.parse().map_err(|_| format!("bad thread count '{v}'"))?;
+            }
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
-    Ok(Options { what, scale, only })
+    Ok(Options {
+        what,
+        scale,
+        only,
+        threads,
+    })
 }
 
 fn selected(only: &Option<String>) -> Vec<&'static fscan_bench::SuiteCircuit> {
@@ -71,13 +86,56 @@ fn print_table1(opts: &Options) {
 }
 
 fn pipeline_reports(opts: &Options) -> Vec<PipelineReport> {
+    let config = PipelineConfig::builder()
+        .threads(opts.threads)
+        .build()
+        .expect("default budgets are valid");
     selected(&opts.only)
         .into_iter()
         .map(|c| {
-            eprintln!("running pipeline on {} (scale {})...", c.name, opts.scale);
-            run_pipeline(c, opts.scale)
+            eprintln!(
+                "running pipeline on {} (scale {}, threads {})...",
+                c.name,
+                opts.scale,
+                if opts.threads == 0 {
+                    "auto".to_string()
+                } else {
+                    opts.threads.to_string()
+                }
+            );
+            run_pipeline_with(c, opts.scale, config.clone())
         })
         .collect()
+}
+
+fn print_timing(reports: &[PipelineReport]) {
+    println!("\nTiming: per-stage wall-clock and worker fault counts.");
+    println!(
+        "{:<10} {:<12} {:>9} {:>8} {:>8}  {}",
+        "name", "stage", "wall", "threads", "items", "per-worker"
+    );
+    for r in reports {
+        let mut total = 0.0;
+        for (stage, wall, shards) in r.stage_timings() {
+            total += wall.as_secs_f64();
+            let counts = shards
+                .per_worker
+                .iter()
+                .map(usize::to_string)
+                .collect::<Vec<_>>()
+                .join(" ");
+            println!(
+                "{:<10} {:<12} {:>8.2}s {:>8} {:>8}  [{}]",
+                r.name,
+                stage,
+                wall.as_secs_f64(),
+                shards.threads,
+                shards.items(),
+                counts
+            );
+        }
+        println!("{:<10} {:<12} {total:>8.2}s", r.name, "total");
+    }
 }
 
 fn print_table2(reports: &[PipelineReport]) {
@@ -219,7 +277,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: reproduce [table1|table2|table3|figure5|all] [--scale F] [--only NAME]"
+                "usage: reproduce [table1|table2|table3|figure5|timing|all] [--scale F] [--only NAME] [--threads N]"
             );
             return ExitCode::FAILURE;
         }
@@ -238,12 +296,17 @@ fn main() -> ExitCode {
             let reports = pipeline_reports(&opts);
             print_figure5(&reports);
         }
+        "timing" => {
+            let reports = pipeline_reports(&opts);
+            print_timing(&reports);
+        }
         _ => {
             print_table1(&opts);
             let reports = pipeline_reports(&opts);
             print_table2(&reports);
             print_table3(&reports);
             print_figure5(&reports);
+            print_timing(&reports);
         }
     }
     ExitCode::SUCCESS

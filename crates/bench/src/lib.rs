@@ -26,5 +26,6 @@ pub mod tables;
 
 pub use suite::{build_circuit, build_design, scaled_config, SuiteCircuit, PAPER_SUITE};
 pub use tables::{
-    figure5, table1, table2, table3, Figure5Point, Table1Row, Table2Row, Table3Row,
+    figure5, run_pipeline, run_pipeline_with, table1, table2, table3, Figure5Point, Table1Row,
+    Table2Row, Table3Row,
 };

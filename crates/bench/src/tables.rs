@@ -3,7 +3,7 @@
 use std::fmt;
 use std::time::Duration;
 
-use fscan::{Pipeline, PipelineConfig, PipelineReport};
+use fscan::{PipelineConfig, PipelineReport, PipelineSession};
 use fscan_fault::{all_faults, collapse};
 use fscan_netlist::CircuitStats;
 
@@ -149,8 +149,22 @@ pub struct Figure5Point {
 /// Runs the full pipeline once and extracts Table 2, Table 3 and the
 /// Figure 5 series for one suite circuit.
 pub fn run_pipeline(circuit: &SuiteCircuit, scale: f64) -> PipelineReport {
+    run_pipeline_with(circuit, scale, PipelineConfig::default())
+}
+
+/// [`run_pipeline`] under an explicit configuration (thread count, ATPG
+/// budgets), walking the staged [`PipelineSession`] API.
+pub fn run_pipeline_with(
+    circuit: &SuiteCircuit,
+    scale: f64,
+    config: PipelineConfig,
+) -> PipelineReport {
     let design = build_design(circuit, scale);
-    Pipeline::new(&design, PipelineConfig::default()).run()
+    PipelineSession::new(&design, config)
+        .classify()
+        .alternating()
+        .comb()
+        .seq()
 }
 
 /// Table 2 row from a pipeline report.

@@ -5,7 +5,7 @@ use std::time::{Duration, Instant};
 
 use fscan_fault::Fault;
 use fscan_scan::ScanDesign;
-use fscan_sim::{ParallelFaultSim, V3};
+use fscan_sim::{ParallelFaultSim, ShardStats, V3};
 
 use crate::sequences::scan_vector_layout;
 
@@ -58,6 +58,8 @@ pub struct AlternatingReport {
     pub cycles: usize,
     /// Wall-clock time.
     pub cpu: Duration,
+    /// Work distribution across fault-simulation workers.
+    pub shards: ShardStats,
 }
 
 impl fmt::Display for AlternatingReport {
@@ -95,11 +97,23 @@ impl<'d> AlternatingPhase<'d> {
     /// Fault-simulates the sequence; `results[i]` is the first cycle at
     /// which `faults[i]` is definitely detected.
     pub fn run(&self, faults: &[Fault]) -> (Vec<Option<usize>>, Duration) {
+        let (detections, _, cpu) = self.run_sharded(faults, 1);
+        (detections, cpu)
+    }
+
+    /// [`run`](Self::run) sharded across `threads` workers (`0` =
+    /// hardware thread count). Detection verdicts are identical to the
+    /// serial run for every thread count.
+    pub fn run_sharded(
+        &self,
+        faults: &[Fault],
+        threads: usize,
+    ) -> (Vec<Option<usize>>, ShardStats, Duration) {
         let start = Instant::now();
         let sim = ParallelFaultSim::new(self.design.circuit());
         let init = vec![V3::X; self.design.circuit().dffs().len()];
-        let detections = sim.fault_sim(&self.vectors, &init, faults);
-        (detections, start.elapsed())
+        let (detections, shards) = sim.fault_sim_sharded(&self.vectors, &init, faults, threads);
+        (detections, shards, start.elapsed())
     }
 }
 

@@ -7,7 +7,7 @@ use std::time::Duration;
 use fscan_fault::{Fault, FaultSite};
 use fscan_netlist::{GateKind, NodeId};
 use fscan_scan::ScanDesign;
-use fscan_sim::{CombEvaluator, ImplicationEngine, V3};
+use fscan_sim::{shard_map, CombEvaluator, ImplicationEngine, ShardStats, V3};
 
 /// The paper's three fault categories.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -77,6 +77,8 @@ pub struct ClassifySummary {
     pub hard: usize,
     /// Wall-clock time spent classifying.
     pub cpu: Duration,
+    /// Work distribution across classifier workers.
+    pub shards: ShardStats,
 }
 
 impl ClassifySummary {
@@ -273,6 +275,25 @@ pub fn classify_faults(design: &ScanDesign, faults: &[Fault]) -> Vec<ClassifiedF
     faults.iter().map(|&f| classifier.classify(f)).collect()
 }
 
+/// [`classify_faults`] sharded across `threads` workers (`0` = hardware
+/// thread count). Each worker builds its own [`Classifier`] over the
+/// shared design; per-fault classifications are independent and merged
+/// in fault order, so the output is identical to the serial version for
+/// every thread count.
+pub fn classify_faults_sharded(
+    design: &ScanDesign,
+    faults: &[Fault],
+    threads: usize,
+) -> (Vec<ClassifiedFault>, ShardStats) {
+    shard_map(
+        threads,
+        1,
+        faults,
+        || Classifier::new(design),
+        |classifier, _, chunk| chunk.iter().map(|&f| classifier.classify(f)).collect(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -419,6 +440,22 @@ mod tests {
             cf.locations,
             vec![ChainLocation { chain: 0, cell: 1 }]
         );
+    }
+
+    #[test]
+    fn sharded_classification_matches_serial() {
+        let circuit = fscan_netlist::generate(
+            &fscan_netlist::GeneratorConfig::new("shard", 5).gates(150).dffs(10),
+        );
+        let design = insert_functional_scan(&circuit, &TpiConfig::default()).unwrap();
+        let faults =
+            fscan_fault::collapse(design.circuit(), &fscan_fault::all_faults(design.circuit()));
+        let serial = classify_faults(&design, &faults);
+        for threads in [1, 2, 4] {
+            let (sharded, stats) = classify_faults_sharded(&design, &faults, threads);
+            assert_eq!(sharded, serial, "threads = {threads}");
+            assert_eq!(stats.items(), faults.len());
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@ use fscan_atpg::{AtpgOutcome, Podem, PodemConfig};
 use fscan_fault::Fault;
 use fscan_netlist::NodeId;
 use fscan_scan::ScanDesign;
-use fscan_sim::{ParallelFaultSim, V3};
+use fscan_sim::{ParallelFaultSim, ShardStats, V3};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -38,6 +38,10 @@ pub struct CombPhaseReport {
     pub detection_curve: Vec<(usize, usize)>,
     /// Wall-clock time.
     pub cpu: Duration,
+    /// Work distribution across confirmation-simulation workers
+    /// (aggregated over all windows; the PODEM loop itself is serial
+    /// because fault-dropping makes it order-dependent).
+    pub shards: ShardStats,
 }
 
 impl fmt::Display for CombPhaseReport {
@@ -108,17 +112,29 @@ pub struct CombPhase<'d> {
     podem_config: PodemConfig,
     random_windows: usize,
     seed: u64,
+    threads: usize,
 }
 
 impl<'d> CombPhase<'d> {
-    /// Prepares the phase with the default random top-up (128 windows).
+    /// Prepares the phase with the default random top-up (128 windows),
+    /// running serially.
     pub fn new(design: &'d ScanDesign, podem_config: PodemConfig) -> CombPhase<'d> {
         CombPhase {
             design,
             podem_config,
             random_windows: 128,
             seed: 0xc0ffee,
+            threads: 1,
         }
+    }
+
+    /// Shards the confirmation fault simulations across `threads`
+    /// workers (`0` = hardware thread count). Detection verdicts — and
+    /// therefore the whole outcome — are identical for every thread
+    /// count.
+    pub fn threads(mut self, threads: usize) -> CombPhase<'d> {
+        self.threads = threads;
+        self
     }
 
     /// Sets the number of random scan windows fault-simulated against
@@ -169,6 +185,7 @@ impl<'d> CombPhase<'d> {
         let mut windows = 0usize;
         let mut detected_total = 0usize;
         let mut program: Vec<ScanTest> = Vec::new();
+        let mut shards = ShardStats::default();
 
         for i in 0..hard.len() {
             if status[i] != Status::Pending {
@@ -191,7 +208,8 @@ impl<'d> CombPhase<'d> {
                         .filter(|&j| status[j] == Status::Pending)
                         .collect();
                     let faults: Vec<Fault> = pending.iter().map(|&j| hard[j]).collect();
-                    let det = sim.fault_sim(&window, &init, &faults);
+                    let (det, wstats) = sim.fault_sim_sharded(&window, &init, &faults, self.threads);
+                    shards.absorb(&wstats);
                     for (k, d) in det.into_iter().enumerate() {
                         if d.is_some() {
                             status[pending[k]] = Status::Detected;
@@ -206,7 +224,7 @@ impl<'d> CombPhase<'d> {
         // Random top-up: fault-simulate random scan windows (random
         // load state + random free-PI values) against whatever the
         // targeted vectors left pending.
-        if self.random_windows > 0 && status.iter().any(|&s| s == Status::Pending) {
+        if self.random_windows > 0 && status.contains(&Status::Pending) {
             let mut rng = StdRng::seed_from_u64(self.seed);
             let pending: Vec<usize> = (0..hard.len())
                 .filter(|&j| status[j] == Status::Pending)
@@ -217,7 +235,8 @@ impl<'d> CombPhase<'d> {
             for _ in 0..self.random_windows {
                 sequence.extend(self.random_window(&mut rng, window_len));
             }
-            let det = sim.fault_sim(&sequence, &init, &faults);
+            let (det, rstats) = sim.fault_sim_sharded(&sequence, &init, &faults, self.threads);
+            shards.absorb(&rstats);
             let mut newly = Vec::new();
             for (k, d) in det.into_iter().enumerate() {
                 if let Some(cycle) = d {
@@ -260,6 +279,7 @@ impl<'d> CombPhase<'d> {
             cycles: windows * window_len,
             detection_curve: curve,
             cpu: start.elapsed(),
+            shards,
         };
         CombPhaseOutcome {
             report,
@@ -417,6 +437,25 @@ mod tests {
         }
         if let Some(&(_, last)) = curve.last() {
             assert_eq!(last, outcome.report.detected);
+        }
+    }
+
+    #[test]
+    fn outcome_is_identical_across_thread_counts() {
+        let circuit = generate(&GeneratorConfig::new("d", 43).gates(200).dffs(12));
+        let design = insert_functional_scan(&circuit, &TpiConfig::default()).unwrap();
+        let hard = hard_faults(&design);
+        let serial = CombPhase::new(&design, PodemConfig::default()).run(&hard);
+        let parallel = CombPhase::new(&design, PodemConfig::default())
+            .threads(4)
+            .run(&hard);
+        assert_eq!(serial.detected, parallel.detected);
+        assert_eq!(serial.undetectable, parallel.undetectable);
+        assert_eq!(serial.remaining, parallel.remaining);
+        assert_eq!(serial.report.detection_curve, parallel.report.detection_curve);
+        assert_eq!(serial.program.len(), parallel.program.len());
+        for (a, b) in serial.program.iter().zip(parallel.program.iter()) {
+            assert_eq!(a.vectors, b.vectors);
         }
     }
 

@@ -64,12 +64,16 @@ mod sequences;
 
 pub use alternating::{alternating_vectors, AlternatingPhase, AlternatingReport};
 pub use classify::{
-    classify_faults, Category, ChainLocation, ClassifiedFault, Classifier, ClassifySummary,
+    classify_faults, classify_faults_sharded, Category, ChainLocation, ClassifiedFault,
+    Classifier, ClassifySummary,
 };
-pub use comb_phase::{CombPhase, CombPhaseReport};
+pub use comb_phase::{CombPhase, CombPhaseOutcome, CombPhaseReport};
 pub use compact::{compact_program, truncate_to_coverage, CompactionResult};
 pub use diagnosis::{diagnose_chain, DiagnosisCandidate};
-pub use pipeline::{Pipeline, PipelineConfig, PipelineReport};
+pub use pipeline::{
+    AfterAlternating, AfterComb, Classified, ConfigError, Pipeline, PipelineConfig,
+    PipelineConfigBuilder, PipelineReport, PipelineSession,
+};
 pub use program::{ScanTest, TestProgram};
 pub use seq_phase::{DistParams, SeqPhase, SeqPhaseReport};
 pub use sequences::{scan_load_vectors, scan_vector_layout, ScanSequence};

@@ -1,16 +1,32 @@
 //! The end-to-end functional scan chain testing pipeline.
+//!
+//! The flow is exposed at two levels:
+//!
+//! * [`PipelineSession`] — the staged API. Each step returns a typed
+//!   checkpoint ([`Classified`] → [`AfterAlternating`] → [`AfterComb`]
+//!   → [`PipelineReport`]) whose fault sets can be inspected or
+//!   modified before the next step runs.
+//! * [`Pipeline`] — a thin compatibility wrapper running all four
+//!   stages back to back.
+//!
+//! Every fault-parallel stage shards its work across
+//! [`PipelineConfig::threads`] workers with deterministic merging, so
+//! reports are bit-identical regardless of thread count.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::time::Instant;
 
 use fscan_atpg::{PodemConfig, SeqAtpgConfig};
 use fscan_fault::{all_faults, collapse, Fault};
 use fscan_scan::ScanDesign;
+use fscan_sim::ShardStats;
 
 use crate::alternating::{AlternatingPhase, AlternatingReport};
-use crate::classify::{Category, ChainLocation, Classifier, ClassifySummary};
-use crate::comb_phase::{CombPhase, CombPhaseReport};
+use crate::classify::{
+    classify_faults_sharded, Category, ChainLocation, ClassifiedFault, ClassifySummary,
+};
+use crate::comb_phase::{CombPhase, CombPhaseOutcome, CombPhaseReport};
 use crate::program::{ScanTest, TestProgram};
 use crate::seq_phase::{DistParams, SeqPhase, SeqPhaseReport};
 
@@ -27,6 +43,10 @@ pub struct PipelineConfig {
     /// Grouping distances; `None` uses the paper's schedule
     /// (`DistParams::paper`) on the longest chain.
     pub dist: Option<DistParams>,
+    /// Worker threads for the fault-parallel stages; `0` means one per
+    /// available hardware thread. Results are identical for every
+    /// value.
+    pub threads: usize,
 }
 
 impl Default for PipelineConfig {
@@ -46,7 +66,122 @@ impl Default for PipelineConfig {
                 step_limit: 16_000,
             },
             dist: None,
+            threads: 0,
         }
+    }
+}
+
+impl PipelineConfig {
+    /// Starts a validated builder from the default configuration.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fscan::PipelineConfig;
+    ///
+    /// let config = PipelineConfig::builder().threads(8).build()?;
+    /// assert_eq!(config.threads, 8);
+    /// # Ok::<(), fscan::ConfigError>(())
+    /// ```
+    pub fn builder() -> PipelineConfigBuilder {
+        PipelineConfigBuilder {
+            config: PipelineConfig::default(),
+        }
+    }
+}
+
+/// A rejected [`PipelineConfigBuilder`] setting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A sequential ATPG budget allows zero time frames — no test can
+    /// ever be found. The string names the offending budget
+    /// (`"seq"` or `"final_seq"`).
+    ZeroMaxFrames(&'static str),
+    /// The PODEM budget allows zero backtracks *and* zero steps — every
+    /// attempt would abort immediately.
+    EmptyPodemBudget,
+    /// Grouping distances must be ordered `large ≥ med ≥ dist ≥ 1`.
+    UnorderedDist(DistParams),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroMaxFrames(which) => {
+                write!(f, "{which}.max_frames must be at least 1")
+            }
+            ConfigError::EmptyPodemBudget => {
+                f.write_str("podem budget allows neither backtracks nor steps")
+            }
+            ConfigError::UnorderedDist(d) => write!(
+                f,
+                "grouping distances must satisfy large >= med >= dist >= 1, got {} / {} / {}",
+                d.large, d.med, d.dist
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder for [`PipelineConfig`] with validation at
+/// [`build`](PipelineConfigBuilder::build).
+#[derive(Clone, Debug)]
+pub struct PipelineConfigBuilder {
+    config: PipelineConfig,
+}
+
+impl PipelineConfigBuilder {
+    /// Worker threads for the fault-parallel stages (`0` = one per
+    /// available hardware thread).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// PODEM budget for step 2.
+    pub fn podem(mut self, podem: PodemConfig) -> Self {
+        self.config.podem = podem;
+        self
+    }
+
+    /// Sequential ATPG budget for the grouped step-3 pass.
+    pub fn seq(mut self, seq: SeqAtpgConfig) -> Self {
+        self.config.seq = seq;
+        self
+    }
+
+    /// Sequential ATPG budget for the final per-fault pass.
+    pub fn final_seq(mut self, final_seq: SeqAtpgConfig) -> Self {
+        self.config.final_seq = final_seq;
+        self
+    }
+
+    /// Explicit grouping distances (default: the paper's schedule on
+    /// the longest chain).
+    pub fn dist(mut self, dist: DistParams) -> Self {
+        self.config.dist = Some(dist);
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<PipelineConfig, ConfigError> {
+        let c = &self.config;
+        if c.seq.max_frames == 0 {
+            return Err(ConfigError::ZeroMaxFrames("seq"));
+        }
+        if c.final_seq.max_frames == 0 {
+            return Err(ConfigError::ZeroMaxFrames("final_seq"));
+        }
+        if c.podem.backtrack_limit == 0 && c.podem.step_limit == 0 {
+            return Err(ConfigError::EmptyPodemBudget);
+        }
+        if let Some(d) = c.dist {
+            if d.dist == 0 || d.med < d.dist || d.large < d.med {
+                return Err(ConfigError::UnorderedDist(d));
+            }
+        }
+        Ok(self.config)
     }
 }
 
@@ -66,6 +201,11 @@ pub struct PipelineReport {
     pub comb: CombPhaseReport,
     /// Step-3 results (Table 3, right).
     pub seq: SeqPhaseReport,
+    /// Category-1 faults the alternating sequence missed that steps 2–3
+    /// later recovered (the missed-easy faults are folded into the
+    /// step-3 target set; this counts how many of them were detected
+    /// there).
+    pub rescued_easy: usize,
     /// The chain-affecting faults that remain undetected after all
     /// steps (diagnostic detail behind `seq.undetected`).
     pub undetected_faults: Vec<Fault>,
@@ -76,17 +216,13 @@ pub struct PipelineReport {
 
 impl PipelineReport {
     /// Final number of undetected chain-affecting faults.
+    ///
+    /// Missed-easy faults are folded into the step-3 target set, so
+    /// `seq.undetected` already covers both the hard leftovers and any
+    /// missed-easy faults that stayed undetected (see
+    /// [`rescued_easy`](Self::rescued_easy) for the recovered ones).
     pub fn undetected(&self) -> usize {
-        self.seq.undetected + self.alternating.missed_easy.saturating_sub(self.rescued_easy())
-    }
-
-    /// Easy faults the alternating sequence missed that later steps
-    /// recovered (they are folded into the step-3 targeting).
-    fn rescued_easy(&self) -> usize {
-        // The seq phase targeted remaining hard faults plus missed easy
-        // faults; its `undetected` already accounts for both, so the
-        // missed-easy bucket is fully represented there.
-        self.alternating.missed_easy
+        self.seq.undetected
     }
 
     /// Undetected as a fraction of the total fault universe (the
@@ -99,6 +235,17 @@ impl PipelineReport {
     /// 0.022%).
     pub fn undetected_of_affected(&self) -> f64 {
         self.seq.undetected as f64 / self.classification.affected().max(1) as f64
+    }
+
+    /// Per-stage wall-clock and worker distribution, in flow order —
+    /// the rows of the reproduction's timing table.
+    pub fn stage_timings(&self) -> [(&'static str, std::time::Duration, &ShardStats); 4] {
+        [
+            ("classify", self.classification.cpu, &self.classification.shards),
+            ("alternating", self.alternating.cpu, &self.alternating.shards),
+            ("comb", self.comb.cpu, &self.comb.shards),
+            ("seq", self.seq.cpu, &self.seq.shards),
+        ]
     }
 }
 
@@ -119,9 +266,310 @@ impl fmt::Display for PipelineReport {
     }
 }
 
+/// The staged pipeline: run the flow one step at a time, inspecting or
+/// modifying the fault sets between steps.
+///
+/// # Examples
+///
+/// ```
+/// use fscan_netlist::{generate, GeneratorConfig};
+/// use fscan_scan::{insert_functional_scan, TpiConfig};
+/// use fscan::{Category, PipelineConfig, PipelineSession};
+///
+/// let circuit = generate(&GeneratorConfig::new("demo", 1).gates(100).dffs(8));
+/// let design = insert_functional_scan(&circuit, &TpiConfig::default())?;
+/// let config = PipelineConfig::builder().threads(2).build().unwrap();
+///
+/// let mut classified = PipelineSession::new(&design, config).classify();
+/// // Checkpoint: e.g. drop the category-3 faults from further analysis
+/// // (the pipeline does this anyway) or inspect the counts.
+/// let summary = classified.summary();
+/// assert_eq!(summary.affected(), summary.easy + summary.hard);
+/// classified.classified.retain(|c| c.category != Category::Unaffected);
+///
+/// let after_alt = classified.alternating();
+/// let after_comb = after_alt.comb();
+/// let report = after_comb.seq();
+/// assert_eq!(report.undetected(), report.seq.undetected);
+/// # Ok::<(), fscan_scan::ScanError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct PipelineSession<'d> {
+    design: &'d ScanDesign,
+    config: PipelineConfig,
+    faults: Vec<Fault>,
+}
+
+impl<'d> PipelineSession<'d> {
+    /// Opens a session over the design's collapsed fault universe.
+    pub fn new(design: &'d ScanDesign, config: PipelineConfig) -> PipelineSession<'d> {
+        let faults = collapse(design.circuit(), &all_faults(design.circuit()));
+        PipelineSession::with_faults(design, config, faults)
+    }
+
+    /// Opens a session over a caller-provided fault list.
+    pub fn with_faults(
+        design: &'d ScanDesign,
+        config: PipelineConfig,
+        faults: Vec<Fault>,
+    ) -> PipelineSession<'d> {
+        PipelineSession {
+            design,
+            config,
+            faults,
+        }
+    }
+
+    /// The fault universe this session will classify.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Step 0 (paper §3): classify every fault by 3-valued forward
+    /// implication, sharded across the configured workers.
+    pub fn classify(self) -> Classified<'d> {
+        let start = Instant::now();
+        let (classified, shards) =
+            classify_faults_sharded(self.design, &self.faults, self.config.threads);
+        Classified {
+            design: self.design,
+            config: self.config,
+            total_faults: self.faults.len(),
+            classified,
+            cpu: start.elapsed(),
+            shards,
+        }
+    }
+}
+
+/// Checkpoint after classification. `classified` is open for
+/// inspection and modification — faults removed (or re-categorized)
+/// here never reach the later steps.
+#[derive(Clone, Debug)]
+pub struct Classified<'d> {
+    design: &'d ScanDesign,
+    config: PipelineConfig,
+    total_faults: usize,
+    /// Per-fault classification results.
+    pub classified: Vec<ClassifiedFault>,
+    cpu: std::time::Duration,
+    shards: ShardStats,
+}
+
+impl<'d> Classified<'d> {
+    /// Aggregate counts over the *current* `classified` set (recomputed
+    /// on each call, so checkpoint edits are reflected).
+    pub fn summary(&self) -> ClassifySummary {
+        ClassifySummary {
+            total: self.total_faults,
+            easy: self
+                .classified
+                .iter()
+                .filter(|c| c.category == Category::AlternatingDetectable)
+                .count(),
+            hard: self
+                .classified
+                .iter()
+                .filter(|c| c.category == Category::Hard)
+                .count(),
+            cpu: self.cpu,
+            shards: self.shards.clone(),
+        }
+    }
+
+    /// Step 1: shift the alternating sequence and fault-simulate it
+    /// against every chain-affecting fault.
+    pub fn alternating(self) -> AfterAlternating<'d> {
+        let summary = self.summary();
+        let affected: Vec<Fault> = self
+            .classified
+            .iter()
+            .filter(|c| c.category != Category::Unaffected)
+            .map(|c| c.fault)
+            .collect();
+        let easy: Vec<Fault> = self
+            .classified
+            .iter()
+            .filter(|c| c.category == Category::AlternatingDetectable)
+            .map(|c| c.fault)
+            .collect();
+        let phase = AlternatingPhase::new(self.design);
+        let (detections, shards, cpu) = phase.run_sharded(&affected, self.config.threads);
+        let detected: HashSet<Fault> = affected
+            .iter()
+            .zip(detections.iter())
+            .filter_map(|(&f, d)| d.map(|_| f))
+            .collect();
+        let missed_easy: Vec<Fault> = easy
+            .iter()
+            .copied()
+            .filter(|f| !detected.contains(f))
+            .collect();
+        let report = AlternatingReport {
+            targeted: affected.len(),
+            detected: detected.len(),
+            missed_easy: missed_easy.len(),
+            cycles: phase.vectors().len(),
+            cpu,
+            shards,
+        };
+        AfterAlternating {
+            design: self.design,
+            config: self.config,
+            total_faults: self.total_faults,
+            classified: self.classified,
+            summary,
+            report,
+            vectors: phase.vectors().to_vec(),
+            detected,
+            missed_easy,
+        }
+    }
+}
+
+/// Checkpoint after the alternating-sequence phase. `missed_easy` is
+/// open for modification — those faults are forwarded to step 3.
+#[derive(Clone, Debug)]
+pub struct AfterAlternating<'d> {
+    design: &'d ScanDesign,
+    config: PipelineConfig,
+    total_faults: usize,
+    classified: Vec<ClassifiedFault>,
+    summary: ClassifySummary,
+    report: AlternatingReport,
+    vectors: Vec<Vec<fscan_sim::V3>>,
+    detected: HashSet<Fault>,
+    /// Category-1 faults the sequence missed (forwarded to step 3).
+    pub missed_easy: Vec<Fault>,
+}
+
+impl<'d> AfterAlternating<'d> {
+    /// The step-1 report.
+    pub fn report(&self) -> &AlternatingReport {
+        &self.report
+    }
+
+    /// Faults the alternating sequence detected.
+    pub fn detected(&self) -> &HashSet<Fault> {
+        &self.detected
+    }
+
+    /// Step 2 (paper §4): combinational PODEM on the scan-mode view for
+    /// the hard faults step 1 did not fortuitously catch, each test
+    /// confirmed by (sharded) sequential fault simulation.
+    pub fn comb(self) -> AfterComb<'d> {
+        let hard: Vec<Fault> = self
+            .classified
+            .iter()
+            .filter(|c| c.category == Category::Hard && !self.detected.contains(&c.fault))
+            .map(|c| c.fault)
+            .collect();
+        let outcome = CombPhase::new(self.design, self.config.podem)
+            .threads(self.config.threads)
+            .run(&hard);
+        AfterComb {
+            design: self.design,
+            config: self.config,
+            total_faults: self.total_faults,
+            classified: self.classified,
+            summary: self.summary,
+            alternating: self.report,
+            vectors: self.vectors,
+            missed_easy: self.missed_easy,
+            remaining: outcome.remaining.clone(),
+            outcome,
+        }
+    }
+}
+
+/// Checkpoint after the combinational phase. `remaining` (the hard
+/// leftovers) and `missed_easy` are open for modification; their union
+/// is step 3's target set.
+#[derive(Clone, Debug)]
+pub struct AfterComb<'d> {
+    design: &'d ScanDesign,
+    config: PipelineConfig,
+    total_faults: usize,
+    classified: Vec<ClassifiedFault>,
+    summary: ClassifySummary,
+    alternating: AlternatingReport,
+    vectors: Vec<Vec<fscan_sim::V3>>,
+    outcome: CombPhaseOutcome,
+    /// Hard faults step 2 left unresolved (forwarded to step 3).
+    pub remaining: Vec<Fault>,
+    /// Category-1 faults step 1 missed (forwarded to step 3).
+    pub missed_easy: Vec<Fault>,
+}
+
+impl<'d> AfterComb<'d> {
+    /// The step-2 report.
+    pub fn report(&self) -> &CombPhaseReport {
+        &self.outcome.report
+    }
+
+    /// Step 3 (paper §5): targeted sequential ATPG with enhanced
+    /// controllability/observability over `remaining ∪ missed_easy`,
+    /// then the final report.
+    pub fn seq(self) -> PipelineReport {
+        let locations: HashMap<Fault, Vec<ChainLocation>> = self
+            .classified
+            .iter()
+            .map(|c| (c.fault, c.locations.clone()))
+            .collect();
+        let mut targets: Vec<Fault> = self.remaining.clone();
+        targets.extend(self.missed_easy.iter().copied());
+        let target_locs: Vec<Vec<ChainLocation>> = targets
+            .iter()
+            .map(|f| locations.get(f).cloned().unwrap_or_default())
+            .collect();
+        let dist = self
+            .config
+            .dist
+            .unwrap_or_else(|| DistParams::paper(self.design.max_chain_len()));
+        // Effects must be able to traverse the whole chain: scale the
+        // frame budgets to the longest chain.
+        let min_frames = self.design.max_chain_len() + 4;
+        let mut seq_cfg = self.config.seq;
+        seq_cfg.max_frames = seq_cfg.max_frames.max(min_frames);
+        let mut final_cfg = self.config.final_seq;
+        final_cfg.max_frames = final_cfg.max_frames.max(min_frames);
+        let phase = SeqPhase::new(self.design, dist, seq_cfg, final_cfg)
+            .threads(self.config.threads);
+        let seq_outcome = phase.run(&targets, &target_locs);
+
+        let seq_detected: HashSet<Fault> = seq_outcome.detected.iter().copied().collect();
+        let rescued_easy = self
+            .missed_easy
+            .iter()
+            .filter(|f| seq_detected.contains(f))
+            .count();
+
+        let mut program = TestProgram::new();
+        program.push(ScanTest::new("alternating", self.vectors));
+        for t in self.outcome.program {
+            program.push(t);
+        }
+        for t in seq_outcome.program {
+            program.push(t);
+        }
+        PipelineReport {
+            name: self.design.circuit().name().to_string(),
+            total_faults: self.total_faults,
+            classification: self.summary,
+            alternating: self.alternating,
+            comb: self.outcome.report,
+            seq: seq_outcome.report,
+            rescued_easy,
+            undetected_faults: seq_outcome.remaining,
+            program,
+        }
+    }
+}
+
 /// Runs classification, the alternating sequence, combinational ATPG
 /// with sequential fault simulation, and targeted sequential ATPG, in
-/// order, against one scan design.
+/// order, against one scan design — a thin wrapper over
+/// [`PipelineSession`].
 ///
 /// # Examples
 ///
@@ -140,117 +588,20 @@ impl<'d> Pipeline<'d> {
 
     /// Runs the whole flow on the design's collapsed fault universe.
     pub fn run(&self) -> PipelineReport {
-        let circuit = self.design.circuit();
-        let faults = collapse(circuit, &all_faults(circuit));
-        self.run_with_faults(&faults)
+        PipelineSession::new(self.design, self.config.clone())
+            .classify()
+            .alternating()
+            .comb()
+            .seq()
     }
 
     /// Runs the whole flow on a caller-provided fault list.
     pub fn run_with_faults(&self, faults: &[Fault]) -> PipelineReport {
-        let circuit = self.design.circuit();
-        let start = Instant::now();
-        // Step 0: classification (paper §3).
-        let mut classifier = Classifier::new(self.design);
-        let classified: Vec<_> = faults.iter().map(|&f| classifier.classify(f)).collect();
-        let classification = ClassifySummary {
-            total: faults.len(),
-            easy: classified
-                .iter()
-                .filter(|c| c.category == Category::AlternatingDetectable)
-                .count(),
-            hard: classified
-                .iter()
-                .filter(|c| c.category == Category::Hard)
-                .count(),
-            cpu: start.elapsed(),
-        };
-        let locations: HashMap<Fault, Vec<ChainLocation>> = classified
-            .iter()
-            .map(|c| (c.fault, c.locations.clone()))
-            .collect();
-
-        // Step 1: alternating sequence over all chain-affecting faults.
-        let affected: Vec<Fault> = classified
-            .iter()
-            .filter(|c| c.category != Category::Unaffected)
-            .map(|c| c.fault)
-            .collect();
-        let easy: Vec<Fault> = classified
-            .iter()
-            .filter(|c| c.category == Category::AlternatingDetectable)
-            .map(|c| c.fault)
-            .collect();
-        let phase1 = AlternatingPhase::new(self.design);
-        let (detections, alt_cpu) = phase1.run(&affected);
-        let detected_set: std::collections::HashSet<Fault> = affected
-            .iter()
-            .zip(detections.iter())
-            .filter_map(|(&f, d)| d.map(|_| f))
-            .collect();
-        let missed_easy: Vec<Fault> = easy
-            .iter()
-            .copied()
-            .filter(|f| !detected_set.contains(f))
-            .collect();
-        let alternating = AlternatingReport {
-            targeted: affected.len(),
-            detected: detected_set.len(),
-            missed_easy: missed_easy.len(),
-            cycles: phase1.vectors().len(),
-            cpu: alt_cpu,
-        };
-
-        // Step 2: comb ATPG + seq fault sim on the hard faults the
-        // alternating sequence did not already (fortuitously) catch.
-        let hard: Vec<Fault> = classified
-            .iter()
-            .filter(|c| c.category == Category::Hard && !detected_set.contains(&c.fault))
-            .map(|c| c.fault)
-            .collect();
-        let comb_outcome = CombPhase::new(self.design, self.config.podem).run(&hard);
-
-        // Step 3: targeted sequential ATPG over the leftovers, plus any
-        // easy faults the pessimistic simulation missed in step 1 (an
-        // engineering safeguard the paper does not need because it
-        // assumes category 1 ⊆ alternating-detected).
-        let mut remaining: Vec<Fault> = comb_outcome.remaining.clone();
-        remaining.extend(missed_easy.iter().copied());
-        let rem_locs: Vec<Vec<ChainLocation>> = remaining
-            .iter()
-            .map(|f| locations.get(f).cloned().unwrap_or_default())
-            .collect();
-        let dist = self
-            .config
-            .dist
-            .unwrap_or_else(|| DistParams::paper(self.design.max_chain_len()));
-        // Effects must be able to traverse the whole chain: scale the
-        // frame budgets to the longest chain.
-        let min_frames = self.design.max_chain_len() + 4;
-        let mut seq_cfg = self.config.seq;
-        seq_cfg.max_frames = seq_cfg.max_frames.max(min_frames);
-        let mut final_cfg = self.config.final_seq;
-        final_cfg.max_frames = final_cfg.max_frames.max(min_frames);
-        let phase3 = SeqPhase::new(self.design, dist, seq_cfg, final_cfg);
-        let seq_outcome = phase3.run(&remaining, &rem_locs);
-
-        let mut program = TestProgram::new();
-        program.push(ScanTest::new("alternating", phase1.vectors().to_vec()));
-        for t in comb_outcome.program {
-            program.push(t);
-        }
-        for t in seq_outcome.program {
-            program.push(t);
-        }
-        PipelineReport {
-            name: circuit.name().to_string(),
-            total_faults: faults.len(),
-            classification,
-            alternating,
-            comb: comb_outcome.report,
-            seq: seq_outcome.report,
-            undetected_faults: seq_outcome.remaining,
-            program,
-        }
+        PipelineSession::with_faults(self.design, self.config.clone(), faults.to_vec())
+            .classify()
+            .alternating()
+            .comb()
+            .seq()
     }
 }
 
@@ -279,6 +630,10 @@ mod tests {
             report.seq.targeted,
             report.comb.undetected + report.alternating.missed_easy
         );
+        // Rescue bookkeeping: rescued ≤ missed, and the undetected count
+        // already includes any unrescued missed-easy fault.
+        assert!(report.rescued_easy <= report.alternating.missed_easy);
+        assert_eq!(report.undetected(), report.seq.undetected);
         // Paper headline shape: nearly everything gets resolved.
         let resolved = report.seq.detected + report.seq.undetectable;
         assert!(
@@ -318,5 +673,83 @@ mod tests {
         assert!(s.contains("comb ATPG"));
         assert!(s.contains("sequential ATPG"));
         assert!(s.contains("undetected:"));
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert!(PipelineConfig::builder().threads(4).build().is_ok());
+        let bad_seq = PipelineConfig::builder().seq(SeqAtpgConfig {
+            max_frames: 0,
+            ..SeqAtpgConfig::default()
+        });
+        assert_eq!(
+            bad_seq.build().unwrap_err(),
+            ConfigError::ZeroMaxFrames("seq")
+        );
+        let bad_final = PipelineConfig::builder().final_seq(SeqAtpgConfig {
+            max_frames: 0,
+            ..SeqAtpgConfig::default()
+        });
+        assert_eq!(
+            bad_final.build().unwrap_err(),
+            ConfigError::ZeroMaxFrames("final_seq")
+        );
+        let bad_podem = PipelineConfig::builder().podem(PodemConfig {
+            backtrack_limit: 0,
+            step_limit: 0,
+            ..PodemConfig::default()
+        });
+        assert_eq!(bad_podem.build().unwrap_err(), ConfigError::EmptyPodemBudget);
+        let bad_dist = PipelineConfig::builder().dist(DistParams {
+            large: 5,
+            med: 10,
+            dist: 2,
+        });
+        assert!(matches!(
+            bad_dist.build().unwrap_err(),
+            ConfigError::UnorderedDist(_)
+        ));
+        // Error values render a human-readable reason.
+        let msg = ConfigError::ZeroMaxFrames("seq").to_string();
+        assert!(msg.contains("max_frames"));
+    }
+
+    #[test]
+    fn staged_session_matches_monolithic_run() {
+        let circuit = generate(&GeneratorConfig::new("staged", 11).gates(180).dffs(10));
+        let design = insert_functional_scan(&circuit, &TpiConfig::default()).unwrap();
+        let config = PipelineConfig::default();
+        let monolithic = Pipeline::new(&design, config.clone()).run();
+        let staged = PipelineSession::new(&design, config)
+            .classify()
+            .alternating()
+            .comb()
+            .seq();
+        assert_eq!(staged.classification.total, monolithic.classification.total);
+        assert_eq!(staged.classification.easy, monolithic.classification.easy);
+        assert_eq!(staged.classification.hard, monolithic.classification.hard);
+        assert_eq!(staged.alternating.detected, monolithic.alternating.detected);
+        assert_eq!(staged.comb.detected, monolithic.comb.detected);
+        assert_eq!(staged.seq.detected, monolithic.seq.detected);
+        assert_eq!(staged.undetected_faults, monolithic.undetected_faults);
+        assert_eq!(staged.program.tests().len(), monolithic.program.tests().len());
+    }
+
+    #[test]
+    fn checkpoint_edits_flow_into_later_stages() {
+        let circuit = generate(&GeneratorConfig::new("edit", 13).gates(150).dffs(8));
+        let design = insert_functional_scan(&circuit, &TpiConfig::default()).unwrap();
+        let mut classified = PipelineSession::new(&design, PipelineConfig::default()).classify();
+        // Drop every hard fault at the checkpoint: step 2 must see an
+        // empty target set.
+        classified
+            .classified
+            .retain(|c| c.category != Category::Hard);
+        assert_eq!(classified.summary().hard, 0);
+        let after_comb = classified.alternating().comb();
+        assert_eq!(after_comb.report().targeted, 0);
+        let report = after_comb.seq();
+        assert_eq!(report.comb.targeted, 0);
+        assert_eq!(report.classification.hard, 0);
     }
 }

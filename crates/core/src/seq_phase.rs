@@ -1,18 +1,25 @@
 //! Step 3: targeted sequential ATPG with enhanced controllability and
 //! observability (paper, Section 5).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::time::{Duration, Instant};
 
 use fscan_atpg::{SeqAtpg, SeqAtpgConfig, SeqOutcome, SeqTest};
 use fscan_fault::Fault;
 use fscan_scan::ScanDesign;
-use fscan_sim::{detects, SeqSim, V3};
+use fscan_sim::{detects, shard_map, SeqSim, ShardStats, V3};
 
 use crate::classify::ChainLocation;
 use crate::program::ScanTest;
 use crate::sequences::{scan_load_vectors, scan_vector_layout};
+
+/// Per-chain fault extent: chain index → (first, last) affected cell.
+type Extent = HashMap<usize, (usize, usize)>;
+
+/// One sharded ATPG batch: `(fault index, extent)` pairs whose attempts
+/// are mutually independent.
+type Batch = Vec<(usize, Extent)>;
 
 /// The paper's grouping distance parameters.
 ///
@@ -73,6 +80,9 @@ pub struct SeqPhaseReport {
     pub circuits_final: usize,
     /// Wall-clock time.
     pub cpu: Duration,
+    /// Work distribution across ATPG-attempt workers (aggregated over
+    /// the grouped and final passes).
+    pub shards: ShardStats,
 }
 
 impl fmt::Display for SeqPhaseReport {
@@ -123,6 +133,7 @@ pub struct SeqPhase<'d> {
     dist: DistParams,
     config: SeqAtpgConfig,
     final_config: SeqAtpgConfig,
+    threads: usize,
 }
 
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -147,7 +158,18 @@ impl<'d> SeqPhase<'d> {
             dist,
             config,
             final_config,
+            threads: 1,
         }
+    }
+
+    /// Shards the per-fault ATPG attempts across `threads` workers
+    /// (`0` = hardware thread count). Grouping decisions, attempt
+    /// results, and program order are identical for every thread count:
+    /// each attempt is independent, and batches are merged in the same
+    /// order the serial algorithm visits them.
+    pub fn threads(mut self, threads: usize) -> SeqPhase<'d> {
+        self.threads = threads;
+        self
     }
 
     /// Runs the phase. `faults[i]` affects `locations[i]` (as produced
@@ -162,7 +184,7 @@ impl<'d> SeqPhase<'d> {
         let mut status = vec![Status::Pending; faults.len()];
         let mut program: Vec<ScanTest> = Vec::new();
         let mut circuits_initial = 0usize;
-        let mut circuits_final = 0usize;
+        let mut shards = ShardStats::default();
 
         // Span and chain-extent helpers.
         let chain_of = |locs: &[ChainLocation]| -> Option<usize> {
@@ -203,24 +225,30 @@ impl<'d> SeqPhase<'d> {
             }
         }
 
-        // Group 1: one circuit per fault.
-        for &i in &group1 {
-            circuits_initial += 1;
-            let extent = self.extent_map(&locations[i]);
-            self.attempt(faults[i], &extent, &self.config, &mut status[i], &mut program);
-        }
+        // Group 1: one circuit per fault. Every attempt is independent,
+        // so the whole group is one sharded batch.
+        circuits_initial += group1.len();
+        let batch: Batch = group1
+            .iter()
+            .map(|&i| (i, self.extent_map(&locations[i])))
+            .collect();
+        self.run_batch(&batch, faults, &self.config, &mut status, &mut program, &mut shards);
 
         // Group 2: the seed fault's circuit is shared with compatible
         // same-chain faults (their locations inside the seed's window).
+        // Which faults ride on a seed's circuit depends on the statuses
+        // left by earlier seeds, so seeds advance serially with a
+        // barrier; within one seed's window, the seed and its followers
+        // only ever change their own status, so the batch itself shards.
         for &i in &group2 {
             if status[i] != Status::Pending {
                 continue;
             }
             circuits_initial += 1;
             let extent = self.extent_map(&locations[i]);
-            self.attempt(faults[i], &extent, &self.config, &mut status[i], &mut program);
             let seed_chain = chain_of(&locations[i]).expect("group 2 is single-chain");
             let (cmin, omax) = extent[&seed_chain];
+            let mut batch = vec![(i, extent.clone())];
             for &j in group2.iter().chain(group3.iter()) {
                 if j == i || status[j] != Status::Pending {
                     continue;
@@ -229,15 +257,19 @@ impl<'d> SeqPhase<'d> {
                     let jmin = locations[j].iter().map(|l| l.cell).min().unwrap_or(0);
                     let jmax = locations[j].iter().map(|l| l.cell).max().unwrap_or(0);
                     if jmin >= cmin && jmax <= omax {
-                        self.attempt(faults[j], &extent, &self.config, &mut status[j], &mut program);
+                        batch.push((j, extent.clone()));
                     }
                 }
             }
+            self.run_batch(&batch, faults, &self.config, &mut status, &mut program, &mut shards);
         }
 
         // Group 3: pack same-chain faults into windows of union span
-        // ≤ DIST (paper, Figure 4c), one circuit per window.
-        let mut by_chain: HashMap<usize, Vec<usize>> = HashMap::new();
+        // ≤ DIST (paper, Figure 4c), one circuit per window. Window
+        // membership is fixed once the group-2 statuses are known
+        // (BTreeMap: chains in index order, so program order does not
+        // depend on hash iteration), so all windows shard as one batch.
+        let mut by_chain: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
         for &i in &group3 {
             if status[i] != Status::Pending {
                 continue;
@@ -245,6 +277,7 @@ impl<'d> SeqPhase<'d> {
             let c = chain_of(&locations[i]).expect("group 3 is single-chain");
             by_chain.entry(c).or_default().push(i);
         }
+        let mut batch: Batch = Vec::new();
         for (chain, mut idxs) in by_chain {
             idxs.sort_by_key(|&i| locations[i].iter().map(|l| l.cell).min().unwrap_or(0));
             let mut k = 0;
@@ -267,20 +300,19 @@ impl<'d> SeqPhase<'d> {
                 circuits_initial += 1;
                 let mut extent = HashMap::new();
                 extent.insert(chain, (gmin, gmax));
-                for &i in &group {
-                    self.attempt(faults[i], &extent, &self.config, &mut status[i], &mut program);
-                }
+                batch.extend(group.into_iter().map(|i| (i, extent.clone())));
             }
         }
+        self.run_batch(&batch, faults, &self.config, &mut status, &mut program, &mut shards);
 
-        // Final pass: remaining faults individually, with more budget.
-        for i in 0..faults.len() {
-            if status[i] == Status::Pending || status[i] == Status::Unconfirmed {
-                circuits_final += 1;
-                let extent = self.extent_map(&locations[i]);
-                self.attempt(faults[i], &extent, &self.final_config, &mut status[i], &mut program);
-            }
-        }
+        // Final pass: remaining faults individually, with more budget —
+        // independent attempts, one sharded batch.
+        let batch: Batch = (0..faults.len())
+            .filter(|&i| status[i] == Status::Pending || status[i] == Status::Unconfirmed)
+            .map(|i| (i, self.extent_map(&locations[i])))
+            .collect();
+        let circuits_final = batch.len();
+        self.run_batch(&batch, faults, &self.final_config, &mut status, &mut program, &mut shards);
 
         let mut detected = Vec::new();
         let mut undetectable = Vec::new();
@@ -306,6 +338,7 @@ impl<'d> SeqPhase<'d> {
             circuits_initial,
             circuits_final,
             cpu: start.elapsed(),
+            shards,
         };
         SeqPhaseOutcome {
             report,
@@ -317,8 +350,8 @@ impl<'d> SeqPhase<'d> {
     }
 
     /// Per-chain `(first, last)` affected cell of a fault.
-    fn extent_map(&self, locs: &[ChainLocation]) -> HashMap<usize, (usize, usize)> {
-        let mut map: HashMap<usize, (usize, usize)> = HashMap::new();
+    fn extent_map(&self, locs: &[ChainLocation]) -> Extent {
+        let mut map: Extent = HashMap::new();
         for l in locs {
             let e = map.entry(l.chain).or_insert((l.cell, l.cell));
             e.0 = e.0.min(l.cell);
@@ -327,17 +360,49 @@ impl<'d> SeqPhase<'d> {
         map
     }
 
+    /// Runs one batch of independent `(fault index, extent)` attempts,
+    /// sharded across the phase's workers, and applies the results —
+    /// status updates and program tests — in batch order, matching what
+    /// a serial walk of the batch would produce.
+    fn run_batch(
+        &self,
+        batch: &[(usize, Extent)],
+        faults: &[Fault],
+        config: &SeqAtpgConfig,
+        status: &mut [Status],
+        program: &mut Vec<ScanTest>,
+        shards: &mut ShardStats,
+    ) {
+        if batch.is_empty() {
+            return;
+        }
+        let (results, stats) = shard_map(self.threads, 1, batch, || (), |_, _, chunk| {
+            chunk
+                .iter()
+                .map(|(i, extent)| self.attempt(faults[*i], extent, config))
+                .collect()
+        });
+        shards.absorb(&stats);
+        for ((i, _), (outcome, test)) in batch.iter().zip(results) {
+            if let Some(s) = outcome {
+                status[*i] = s;
+            }
+            if let Some(t) = test {
+                program.push(t);
+            }
+        }
+    }
+
     /// Builds the enhanced view for an extent map, runs sequential ATPG
-    /// for one fault, verifies any test by fault simulation, and updates
-    /// the status.
+    /// for one fault, and verifies any test by fault simulation.
+    /// Returns the status change (`None` for an aborted attempt) and the
+    /// confirmed test, if any.
     fn attempt(
         &self,
         fault: Fault,
-        extent: &HashMap<usize, (usize, usize)>,
+        extent: &Extent,
         config: &SeqAtpgConfig,
-        status: &mut Status,
-        program: &mut Vec<ScanTest>,
-    ) {
+    ) -> (Option<Status>, Option<ScanTest>) {
         let circuit = self.design.circuit();
         let ff_pos = |ff| {
             circuit
@@ -384,17 +449,19 @@ impl<'d> SeqPhase<'d> {
             eprintln!("seq3 {fault}: {tag}");
         }
         match out {
-            SeqOutcome::Undetectable => *status = Status::Undetectable,
-            SeqOutcome::Aborted => {}
+            SeqOutcome::Undetectable => (Some(Status::Undetectable), None),
+            SeqOutcome::Aborted => (None, None),
             SeqOutcome::Test(test) => {
                 if let Some(vectors) = self.verify(fault, &test) {
-                    program.push(ScanTest::new(format!("seq {fault}"), vectors));
-                    *status = Status::Detected;
+                    (
+                        Some(Status::Detected),
+                        Some(ScanTest::new(format!("seq {fault}"), vectors)),
+                    )
                 } else {
                     if std::env::var("FSCAN_DEBUG").is_ok() {
                         eprintln!("seq3 {fault}: UNCONFIRMED by simulation");
                     }
-                    *status = Status::Unconfirmed;
+                    (Some(Status::Unconfirmed), None)
                 }
             }
         }

@@ -82,11 +82,7 @@ pub fn ff_dependency_graph(circuit: &Circuit) -> Vec<Vec<usize>> {
                             reached.insert(j);
                         }
                     }
-                    k if k.is_gate() => {
-                        if seen.insert(sink) {
-                            queue.push_back(sink);
-                        }
-                    }
+                    k if k.is_gate() && seen.insert(sink) => queue.push_back(sink),
                     _ => {}
                 }
             }

@@ -454,7 +454,7 @@ impl<'a> Builder<'a> {
     /// records to point at the test-point gates.
     fn apply_plan(&mut self, cell: &mut ScanCell, plan: Plan) {
         debug_assert_eq!(cell.sides.len(), plan.len());
-        for (side, forcing) in cell.sides.iter_mut().zip(plan.into_iter()) {
+        for (side, forcing) in cell.sides.iter_mut().zip(plan) {
             match forcing {
                 Forcing::Already => {}
                 Forcing::Pis(pis) => {
@@ -782,7 +782,7 @@ mod tests {
     #[test]
     fn reduces_overhead_vs_mux_scan() {
         // The whole point of TPI: fewer dedicated mux segments.
-        let circuit = generate(&GeneratorConfig::new("d", 66).gates(400).dffs(32));
+        let circuit = generate(&GeneratorConfig::new("d", 67).gates(400).dffs(32));
         let tpi = insert_functional_scan(&circuit, &TpiConfig::default()).unwrap();
         let (dedicated, functional) = tpi.segment_counts();
         assert!(

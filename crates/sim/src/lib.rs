@@ -12,6 +12,8 @@
 //!   sequential fault simulation with X-aware detection;
 //! * [`ParallelFaultSim`] — 64-fault-per-pass sequential fault
 //!   simulation;
+//! * [`shard_map`] — scoped-thread work sharding with a deterministic
+//!   in-order merge, used by every fault-parallel pipeline stage;
 //! * [`forward_implication`] — the 3-valued forward implication cone of
 //!   a fault under fixed input constraints (paper, Section 3/Figure 3).
 //!
@@ -41,6 +43,7 @@ mod comb;
 mod implication;
 mod packed;
 mod parallel;
+pub mod pool;
 mod seq;
 mod value;
 
@@ -48,5 +51,6 @@ pub use comb::CombEvaluator;
 pub use implication::{forward_implication, ImplicationEngine, NetChange};
 pub use packed::Pv64;
 pub use parallel::ParallelFaultSim;
+pub use pool::{resolve_threads, shard_map, ShardStats};
 pub use seq::{detects, SeqSim, Trace};
 pub use value::V3;

@@ -114,6 +114,7 @@ impl Pv64 {
 
     /// Lane-wise NOT.
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Pv64 {
         Pv64 {
             zeros: self.ones,

@@ -61,15 +61,50 @@ impl<'c> ParallelFaultSim<'c> {
         faults: &[Fault],
     ) -> Vec<Option<usize>> {
         let good = SeqSim::new(self.circuit).run(vectors, init, None);
+        self.fault_sim_with_good(vectors, init, faults, &good.outputs)
+    }
+
+    /// [`fault_sim`](Self::fault_sim) against an already-computed good
+    /// trace (`good_outputs[cycle][output]`), so callers simulating the
+    /// same sequence repeatedly — or sharding one fault list across
+    /// workers — pay for the good machine once.
+    pub fn fault_sim_with_good(
+        &self,
+        vectors: &[Vec<V3>],
+        init: &[V3],
+        faults: &[Fault],
+        good_outputs: &[Vec<V3>],
+    ) -> Vec<Option<usize>> {
         let mut result = vec![None; faults.len()];
         for (chunk_idx, chunk) in faults.chunks(64).enumerate() {
             let base = chunk_idx * 64;
-            let det = self.simulate_chunk(vectors, init, chunk, &good.outputs);
+            let det = self.simulate_chunk(vectors, init, chunk, good_outputs);
             for (lane, d) in det.into_iter().enumerate() {
                 result[base + lane] = d;
             }
         }
         result
+    }
+
+    /// [`fault_sim`](Self::fault_sim) sharded across `threads` scoped
+    /// workers (`0` = hardware thread count).
+    ///
+    /// The good trace is computed once and shared read-only; each worker
+    /// simulates whole 64-lane words, and verdicts are merged in fault
+    /// order, so the result is identical to the serial
+    /// [`fault_sim`](Self::fault_sim) for every thread count. Also
+    /// returns the work distribution for stage reports.
+    pub fn fault_sim_sharded(
+        &self,
+        vectors: &[Vec<V3>],
+        init: &[V3],
+        faults: &[Fault],
+        threads: usize,
+    ) -> (Vec<Option<usize>>, crate::pool::ShardStats) {
+        let good = SeqSim::new(self.circuit).run(vectors, init, None);
+        crate::pool::shard_map(threads, 64, faults, || (), |_, _, chunk| {
+            self.fault_sim_with_good(vectors, init, chunk, &good.outputs)
+        })
     }
 
     fn simulate_chunk(
@@ -235,6 +270,24 @@ mod tests {
         let serial = SeqSim::new(&c).fault_sim(&vectors, &init, &faults);
         let parallel = ParallelFaultSim::new(&c).fault_sim(&vectors, &init, &faults);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn sharded_matches_serial_for_every_thread_count() {
+        let cfg = GeneratorConfig::new("shard", 11).inputs(8).gates(160).dffs(8);
+        let c = generate(&cfg);
+        let faults = collapse(&c, &all_faults(&c));
+        assert!(faults.len() > 128, "need several 64-lane words");
+        let mut rng = StdRng::seed_from_u64(7);
+        let vectors = random_vectors(&mut rng, 8, 16);
+        let init = vec![V3::X; 8];
+        let sim = ParallelFaultSim::new(&c);
+        let reference = sim.fault_sim(&vectors, &init, &faults);
+        for threads in [1, 2, 3, 4, 0] {
+            let (sharded, stats) = sim.fault_sim_sharded(&vectors, &init, &faults, threads);
+            assert_eq!(sharded, reference, "threads = {threads}");
+            assert_eq!(stats.items(), faults.len());
+        }
     }
 
     #[test]

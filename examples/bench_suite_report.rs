@@ -6,7 +6,7 @@
 
 use std::env;
 
-use fscan::{Pipeline, PipelineConfig};
+use fscan::{PipelineConfig, PipelineSession};
 use fscan_bench::{build_design, PAPER_SUITE};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -23,9 +23,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut total_undetected = 0usize;
     // The five smaller circuits keep this example quick; pass a scale
     // and edit the slice below for the full dozen.
+    let config = PipelineConfig::builder().threads(0).build()?;
     for suite in &PAPER_SUITE[..5] {
         let design = build_design(suite, scale);
-        let report = Pipeline::new(&design, PipelineConfig::default()).run();
+        let report = PipelineSession::new(&design, config.clone())
+            .classify()
+            .alternating()
+            .comb()
+            .seq();
         println!(
             "{:<10} {:>7} {:>5} {:>8} {:>7} {:>7} {:>7} {:>9}",
             report.name,

@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --release --example functional_scan_flow`
 
-use fscan::{classify_faults, Category, Pipeline, PipelineConfig};
+use fscan::{Category, PipelineConfig, PipelineSession};
 use fscan_fault::{all_faults, collapse};
 use fscan_netlist::parse_bench;
 use fscan_scan::{insert_functional_scan, SegmentKind, TpiConfig};
@@ -75,10 +75,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    // Classify the collapsed fault universe (paper §3).
+    // Classify the collapsed fault universe (paper §3) — the first
+    // checkpoint of the staged pipeline. The classification is open for
+    // inspection before the later steps run.
     let faults = collapse(design.circuit(), &all_faults(design.circuit()));
-    let classified = classify_faults(&design, &faults);
-    let count = |cat| classified.iter().filter(|c| c.category == cat).count();
+    let config = PipelineConfig::builder().build()?;
+    let session = PipelineSession::with_faults(&design, config, faults.clone());
+    let classified = session.classify();
+    let count = |cat| {
+        classified
+            .classified
+            .iter()
+            .filter(|c| c.category == cat)
+            .count()
+    };
     println!(
         "\nclassification: {} faults → {} easy / {} hard / {} unaffected",
         faults.len(),
@@ -86,12 +96,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         count(Category::Hard),
         count(Category::Unaffected)
     );
-    for c in classified.iter().filter(|c| c.category == Category::Hard) {
+    for c in classified
+        .classified
+        .iter()
+        .filter(|c| c.category == Category::Hard)
+    {
         println!("  hard: {} affecting {:?}", c.fault, c.locations);
     }
 
-    // Run the full three-step flow.
-    let report = Pipeline::new(&design, PipelineConfig::default()).run();
+    // Resume: alternating sequence, then step 2, then step 3.
+    let report = classified.alternating().comb().seq();
     println!("\n{report}");
     Ok(())
 }

@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --release --example multi_chain_soc`
 
-use fscan::{classify_faults, Category, Pipeline, PipelineConfig};
+use fscan::{Category, PipelineConfig, PipelineSession};
 use fscan_fault::{all_faults, collapse};
 use fscan_netlist::{generate, GeneratorConfig};
 use fscan_scan::{insert_functional_scan, insert_mux_scan, TpiConfig};
@@ -52,14 +52,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("chain {ci}: {} cells", chain.len());
     }
 
-    // Multi-chain fault statistics.
+    // Multi-chain fault statistics, read off the first checkpoint of
+    // the staged pipeline (threads = 0 uses every hardware thread for
+    // the fault-parallel stages).
     let faults = collapse(tpi.circuit(), &all_faults(tpi.circuit()));
-    let classified = classify_faults(&tpi, &faults);
+    let config = PipelineConfig::builder().threads(0).build()?;
+    let classified = PipelineSession::with_faults(&tpi, config, faults.clone()).classify();
     let multi = classified
+        .classified
         .iter()
         .filter(|c| c.category != Category::Unaffected && c.multi_chain())
         .count();
     let affected = classified
+        .classified
         .iter()
         .filter(|c| c.category != Category::Unaffected)
         .count();
@@ -68,8 +73,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         faults.len()
     );
 
-    // Full flow.
-    let report = Pipeline::new(&tpi, PipelineConfig::default()).run();
+    // Resume the remaining stages from the checkpoint.
+    let report = classified.alternating().comb().seq();
     println!("\n{report}");
     Ok(())
 }

@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --release --example partial_scan`
 
-use fscan::{Pipeline, PipelineConfig};
+use fscan::{PipelineConfig, PipelineSession};
 use fscan_netlist::{generate, GeneratorConfig};
 use fscan_scan::{
     ff_dependency_graph, insert_mux_scan, insert_partial_scan, select_scan_ffs,
@@ -49,7 +49,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Same flow, reduced controllability/observability: unchained
     // flip-flops are uncontrollable X state to every step.
-    let report = Pipeline::new(&partial, PipelineConfig::default()).run();
+    let config = PipelineConfig::builder().build()?;
+    let report = PipelineSession::new(&partial, config)
+        .classify()
+        .alternating()
+        .comb()
+        .seq();
     println!("\n{report}");
     Ok(())
 }

@@ -1,9 +1,10 @@
 //! Quickstart: build a circuit, insert a functional scan chain, and run
-//! the paper's three-step functional scan chain test generation.
+//! the paper's three-step functional scan chain test generation through
+//! the staged [`PipelineSession`] API.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use fscan::{Pipeline, PipelineConfig};
+use fscan::{PipelineConfig, PipelineSession};
 use fscan_netlist::{generate, CircuitStats, GeneratorConfig};
 use fscan_scan::{insert_functional_scan, TpiConfig};
 
@@ -34,10 +35,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .join(", ")
     );
 
-    // 3. Test the scan chain itself: classification, the alternating
-    //    sequence, combinational ATPG + sequential fault simulation, and
-    //    targeted sequential ATPG.
-    let report = Pipeline::new(&design, PipelineConfig::default()).run();
+    // 3. Test the scan chain itself. The builder validates the
+    //    configuration; `threads(0)` shards the fault-parallel stages
+    //    across every hardware thread (reports are identical for any
+    //    thread count).
+    let config = PipelineConfig::builder().threads(0).build()?;
+
+    // Walk the pipeline stage by stage. Each checkpoint exposes its
+    // intermediate state; calling the next method resumes the flow.
+    let classified = PipelineSession::new(&design, config).classify();
+    let summary = classified.summary();
+    println!(
+        "step 1: {} faults -> {} easy / {} hard / {} unaffected",
+        summary.total,
+        summary.easy,
+        summary.hard,
+        summary.total - summary.affected()
+    );
+
+    let alternating = classified.alternating();
+    println!(
+        "alternating sequence detects {} of the easy faults",
+        alternating.detected().len()
+    );
+
+    let comb = alternating.comb();
+    println!(
+        "step 2: PODEM + confirmation sim detect {} hard faults",
+        comb.report().detected
+    );
+
+    let report = comb.seq();
     println!("{report}");
     Ok(())
 }

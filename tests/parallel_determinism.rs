@@ -1,0 +1,140 @@
+//! The work-sharded pipeline engine must be invisible in the results:
+//! every report and every emitted test vector is bit-identical whatever
+//! the worker count, and classification counts cannot depend on the
+//! order faults arrive in.
+
+use proptest::prelude::*;
+
+use fscan::{PipelineConfig, PipelineReport, PipelineSession};
+use fscan_fault::{all_faults, collapse, Fault};
+use fscan_netlist::{generate, GeneratorConfig};
+use fscan_scan::{insert_functional_scan, ScanDesign, TpiConfig};
+
+fn design_for_seed(seed: u64) -> ScanDesign {
+    let circuit = generate(
+        &GeneratorConfig::new(format!("det{seed}"), seed)
+            .inputs(10)
+            .gates(220)
+            .dffs(16),
+    );
+    insert_functional_scan(&circuit, &TpiConfig::default()).expect("scan insertion")
+}
+
+fn run_with_threads(design: &ScanDesign, threads: usize) -> PipelineReport {
+    let config = PipelineConfig::builder()
+        .threads(threads)
+        .build()
+        .expect("valid config");
+    PipelineSession::new(design, config)
+        .classify()
+        .alternating()
+        .comb()
+        .seq()
+}
+
+/// Everything observable about a report except wall-clock times and the
+/// worker distribution (which legitimately vary with the thread count).
+fn assert_reports_identical(a: &PipelineReport, b: &PipelineReport) {
+    assert_eq!(a.total_faults, b.total_faults);
+    assert_eq!(a.classification.total, b.classification.total);
+    assert_eq!(a.classification.easy, b.classification.easy);
+    assert_eq!(a.classification.hard, b.classification.hard);
+    assert_eq!(a.alternating.targeted, b.alternating.targeted);
+    assert_eq!(a.alternating.detected, b.alternating.detected);
+    assert_eq!(a.alternating.missed_easy, b.alternating.missed_easy);
+    assert_eq!(a.alternating.cycles, b.alternating.cycles);
+    assert_eq!(a.comb.targeted, b.comb.targeted);
+    assert_eq!(a.comb.detected, b.comb.detected);
+    assert_eq!(a.comb.undetectable, b.comb.undetectable);
+    assert_eq!(a.comb.undetected, b.comb.undetected);
+    assert_eq!(a.comb.vectors, b.comb.vectors);
+    assert_eq!(a.comb.cycles, b.comb.cycles);
+    assert_eq!(a.comb.detection_curve, b.comb.detection_curve);
+    assert_eq!(a.seq.targeted, b.seq.targeted);
+    assert_eq!(a.seq.detected, b.seq.detected);
+    assert_eq!(a.seq.unconfirmed, b.seq.unconfirmed);
+    assert_eq!(a.seq.undetectable, b.seq.undetectable);
+    assert_eq!(a.seq.undetected, b.seq.undetected);
+    assert_eq!(a.seq.circuits_initial, b.seq.circuits_initial);
+    assert_eq!(a.seq.circuits_final, b.seq.circuits_final);
+    assert_eq!(a.rescued_easy, b.rescued_easy);
+    assert_eq!(a.undetected_faults, b.undetected_faults);
+
+    // The emitted test program, down to every input vector of every
+    // cycle of every scan test.
+    assert_eq!(a.program.len(), b.program.len());
+    for (ta, tb) in a.program.tests().iter().zip(b.program.tests()) {
+        assert_eq!(ta.label, tb.label);
+        assert_eq!(ta.vectors, tb.vectors);
+    }
+}
+
+/// The tentpole guarantee: `threads = 1` and `threads = 4` produce
+/// bit-identical pipeline reports — counts, detection curve, and the
+/// full test program — on two different generated circuits.
+#[test]
+fn reports_are_identical_across_thread_counts() {
+    for seed in [11u64, 29] {
+        let design = design_for_seed(seed);
+        let serial = run_with_threads(&design, 1);
+        let parallel = run_with_threads(&design, 4);
+        assert_reports_identical(&serial, &parallel);
+        // The sharded run really distributed the work.
+        assert_eq!(parallel.classification.shards.threads, 4);
+        assert_eq!(
+            parallel.classification.shards.items(),
+            parallel.classification.total
+        );
+    }
+}
+
+/// Deterministic in-place Fisher–Yates so the permutation itself cannot
+/// depend on platform hash order.
+fn permute(faults: &mut [Fault], seed: u64) {
+    let mut state = seed.wrapping_mul(2).wrapping_add(1);
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for i in (1..faults.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        faults.swap(i, j);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// `ClassifySummary` counts are a function of the fault *set*, not
+    /// of the order the faults are presented in.
+    #[test]
+    fn classification_counts_invariant_under_permutation(
+        seed in 0u64..500,
+        perm_seed in 0u64..1000,
+    ) {
+        let circuit = generate(
+            &GeneratorConfig::new(format!("perm{seed}"), seed)
+                .inputs(8)
+                .gates(120)
+                .dffs(10),
+        );
+        let design = insert_functional_scan(&circuit, &TpiConfig::default())
+            .expect("scan insertion");
+        let faults = collapse(design.circuit(), &all_faults(design.circuit()));
+        let mut shuffled = faults.clone();
+        permute(&mut shuffled, perm_seed);
+
+        let config = PipelineConfig::builder().threads(2).build().expect("valid");
+        let original = PipelineSession::with_faults(&design, config.clone(), faults)
+            .classify()
+            .summary();
+        let permuted = PipelineSession::with_faults(&design, config, shuffled)
+            .classify()
+            .summary();
+        prop_assert_eq!(original.total, permuted.total);
+        prop_assert_eq!(original.easy, permuted.easy);
+        prop_assert_eq!(original.hard, permuted.hard);
+    }
+}

@@ -127,7 +127,7 @@ fn undetectable_verdicts_survive_random_barrage() {
         for _ in 0..l + 2 {
             let mut v = layout.base_vector();
             for (j, &p) in layout.free.iter().enumerate() {
-                v[p] = V3::from((w as usize + j) % 2 == 0);
+                v[p] = V3::from((w as usize + j).is_multiple_of(2));
             }
             win.push(v);
         }

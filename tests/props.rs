@@ -138,7 +138,7 @@ proptest! {
         // Load, then shift out l cycles and compare with prediction.
         let c = design.circuit();
         let layout_pos = |n| c.inputs().iter().position(|&p| p == n).unwrap();
-        let mut vectors = fscan::scan_load_vectors(&design, &[state.clone()]);
+        let mut vectors = fscan::scan_load_vectors(&design, std::slice::from_ref(&state));
         let base: Vec<V3> = {
             let mut v = vec![V3::Zero; c.inputs().len()];
             for &(pi, val) in design.constraints() {

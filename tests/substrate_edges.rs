@@ -29,7 +29,7 @@ fn constants_only_circuit_simulates() {
 fn empty_vector_sequence_gives_empty_trace() {
     let c = generate(&GeneratorConfig::new("e", 1).gates(40).dffs(4));
     let sim = SeqSim::new(&c);
-    let trace = sim.run(&[], &vec![V3::X; 4], None);
+    let trace = sim.run(&[], &[V3::X; 4], None);
     assert!(trace.outputs.is_empty());
     assert_eq!(trace.final_state, vec![V3::X; 4]);
 }
