@@ -2,7 +2,7 @@
 
 use fscan_fault::{Fault, FaultSite};
 use fscan_netlist::{Circuit, FanoutTable, GateKind, NodeId};
-use fscan_sim::{CombEvaluator, V3};
+use fscan_sim::{CombEvaluator, V3, WorkCounters};
 
 use crate::dvalue::D5;
 
@@ -84,6 +84,7 @@ pub struct Podem<'c> {
     branch_inj: Vec<(usize, usize, bool)>,
     last_backtracks: usize,
     last_steps: usize,
+    work: WorkCounters,
     /// X-reachability, recomputed after every resimulation: `true` when
     /// the node has a path of X-ish nets to an observable. Makes every
     /// X-path query O(1).
@@ -140,6 +141,7 @@ impl<'c> Podem<'c> {
             branch_inj: Vec::new(),
             last_backtracks: 0,
             last_steps: 0,
+            work: WorkCounters::ZERO,
             x_reach: vec![false; n],
         };
         podem.compute_scoap();
@@ -294,6 +296,9 @@ impl<'c> Podem<'c> {
     /// Full five-valued resimulation under the current assignment with
     /// every fault site injected in the faulty machine.
     fn resim(&mut self, _faults: &[Fault]) {
+        // One resimulation evaluates every ordered combinational node
+        // once, in one (scalar) lane.
+        self.work.gate_evals += self.order.len() as u64;
         let n = self.circuit.num_nodes();
         for i in 0..n {
             self.values[i] = D5::X;
@@ -625,6 +630,7 @@ impl<'c> Podem<'c> {
         self.assigned.fill(None);
         self.last_backtracks = 0;
         self.last_steps = 0;
+        self.work = WorkCounters::ZERO;
         self.prepare(faults);
         self.resim(faults);
         // Decision stack: (input, value, already_flipped).
@@ -646,7 +652,9 @@ impl<'c> Podem<'c> {
                     stack.push((pi, val, false));
                     self.assigned[pi.index()] = Some(val);
                     self.last_steps += 1;
+                    self.work.podem_decisions += 1;
                     if self.last_steps > config.step_limit {
+                        self.work.podem_aborts += 1;
                         return AtpgOutcome::Aborted;
                     }
                     self.resim(faults);
@@ -664,9 +672,11 @@ impl<'c> Podem<'c> {
                                 backtracks += 1;
                                 self.last_backtracks = backtracks;
                                 self.last_steps += 1;
+                                self.work.podem_backtracks += 1;
                                 if backtracks > config.backtrack_limit
                                     || self.last_steps > config.step_limit
                                 {
+                                    self.work.podem_aborts += 1;
                                     return AtpgOutcome::Aborted;
                                 }
                                 stack.push((pi, !val, true));
@@ -693,6 +703,14 @@ impl Podem<'_> {
     /// [`Podem::run`].
     pub fn last_steps(&self) -> usize {
         self.last_steps
+    }
+
+    /// Exact [`WorkCounters`] of the most recent [`Podem::run`]:
+    /// decisions, backtracks, aborts, and one `gate_evals` batch per
+    /// resimulation. Depends only on the fault and the view — never on
+    /// wall-clock or thread count.
+    pub fn last_work(&self) -> WorkCounters {
+        self.work
     }
 }
 

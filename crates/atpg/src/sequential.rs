@@ -2,6 +2,7 @@
 
 use fscan_fault::Fault;
 use fscan_netlist::{Circuit, NodeId};
+use fscan_sim::WorkCounters;
 
 use crate::podem::{AtpgOutcome, Podem, PodemConfig};
 use crate::unroll::unroll_with_map;
@@ -133,15 +134,24 @@ impl<'c> SeqAtpg<'c> {
     /// frame), then iteratively deepens the restricted view from one
     /// frame up to `config.max_frames`.
     pub fn run(&self, fault: Fault, config: &SeqAtpgConfig) -> SeqOutcome {
+        self.run_counted(fault, config).0
+    }
+
+    /// [`SeqAtpg::run`] plus the exact [`WorkCounters`] summed over the
+    /// undetectability check and every PODEM run of the deepening
+    /// schedule. Deterministic per `(fault, view, config)`.
+    pub fn run_counted(&self, fault: Fault, config: &SeqAtpgConfig) -> (SeqOutcome, WorkCounters) {
         // `backtrack_limit` is a *total* budget for this fault, spent
         // across the undetectability check and the whole deepening
         // schedule, so hopeless faults cannot burn the full budget at
         // every depth.
+        let mut work = WorkCounters::ZERO;
         let mut budget = config.backtrack_limit;
         let mut steps = config.step_limit;
-        let (undetectable, used) = self.full_scan_undetectable(fault, budget, steps);
+        let (undetectable, used, w) = self.full_scan_undetectable(fault, budget, steps);
+        work += w;
         if undetectable {
-            return SeqOutcome::Undetectable;
+            return (SeqOutcome::Undetectable, work);
         }
         budget = budget.saturating_sub(used.0);
         steps = steps.saturating_sub(used.1);
@@ -156,10 +166,11 @@ impl<'c> SeqAtpg<'c> {
         }
         schedule.push(config.max_frames);
         for frames in schedule {
-            let (outcome, used) = self.run_frames(fault, frames, budget, steps);
+            let (outcome, used, w) = self.run_frames(fault, frames, budget, steps);
+            work += w;
             match outcome {
                 AtpgOutcome::Test(assignments) => {
-                    return SeqOutcome::Test(self.decode(frames, &assignments));
+                    return (SeqOutcome::Test(self.decode(frames, &assignments)), work);
                 }
                 AtpgOutcome::Undetectable | AtpgOutcome::Aborted => {
                     budget = budget.saturating_sub(used.0);
@@ -170,7 +181,7 @@ impl<'c> SeqAtpg<'c> {
                 }
             }
         }
-        SeqOutcome::Aborted
+        (SeqOutcome::Aborted, work)
     }
 
     /// Sound undetectability: combinationally undetectable with every
@@ -182,10 +193,10 @@ impl<'c> SeqAtpg<'c> {
         fault: Fault,
         backtrack_limit: usize,
         step_limit: usize,
-    ) -> (bool, (usize, usize)) {
+    ) -> (bool, (usize, usize), WorkCounters) {
         let (u, map) = unroll_with_map(self.circuit, 1);
         let Some(f) = u.map_fault(self.circuit, fault, 0, &map) else {
-            return (false, (0, 0));
+            return (false, (0, 0), WorkCounters::ZERO);
         };
         let free: Vec<NodeId> = self.free_pi_nodes(&u, 1);
         let mut controllable = free;
@@ -199,7 +210,11 @@ impl<'c> SeqAtpg<'c> {
             step_limit,
         };
         let verdict = podem.run(&[f], &budget) == AtpgOutcome::Undetectable;
-        (verdict, (podem.last_backtracks(), podem.last_steps()))
+        (
+            verdict,
+            (podem.last_backtracks(), podem.last_steps()),
+            podem.last_work(),
+        )
     }
 
     fn free_pi_nodes(&self, u: &crate::unroll::Unrolled, frames: usize) -> Vec<NodeId> {
@@ -232,7 +247,7 @@ impl<'c> SeqAtpg<'c> {
         frames: usize,
         backtrack_limit: usize,
         step_limit: usize,
-    ) -> (AtpgOutcome, (usize, usize)) {
+    ) -> (AtpgOutcome, (usize, usize), WorkCounters) {
         let (u, map) = unroll_with_map(self.circuit, frames);
         let faults: Vec<Fault> = (0..frames)
             .filter_map(|t| u.map_fault(self.circuit, fault, t, &map))
@@ -255,7 +270,11 @@ impl<'c> SeqAtpg<'c> {
             step_limit,
         };
         let outcome = podem.run(&faults, &budget);
-        (outcome, (podem.last_backtracks(), podem.last_steps()))
+        (
+            outcome,
+            (podem.last_backtracks(), podem.last_steps()),
+            podem.last_work(),
+        )
     }
 
     fn decode(&self, frames: usize, assignments: &[(NodeId, bool)]) -> SeqTest {

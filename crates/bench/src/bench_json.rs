@@ -1,0 +1,177 @@
+//! `BENCH_pipeline.json` emission: per-circuit, per-stage deterministic
+//! work counters plus wall-clock, serialized without any external JSON
+//! dependency.
+//!
+//! The format is stable and diff-friendly: two-space indentation, one
+//! key per line, and every wall-clock figure on a line whose key
+//! contains `wall_s`. Stripping those lines (e.g. `grep -v wall_s`)
+//! leaves only deterministic content, so outputs from runs with
+//! different thread counts must compare byte-identical — CI checks
+//! exactly that.
+
+use fscan::PipelineReport;
+
+/// Renders the benchmark report for a set of pipeline runs.
+///
+/// # Examples
+///
+/// ```
+/// use fscan_bench::{bench_json, run_pipeline, PAPER_SUITE};
+///
+/// let report = run_pipeline(&PAPER_SUITE[0], 0.05);
+/// let json = bench_json(&[report], 0.05, 1);
+/// assert!(json.contains("\"gate_evals\""));
+/// assert!(json.lines().filter(|l| l.contains("wall_s")).count() >= 5);
+/// ```
+pub fn bench_json(reports: &[PipelineReport], scale: f64, threads: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"scale\": {},\n", float(scale)));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str("  \"circuits\": [\n");
+    for (ci, r) in reports.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", escape(&r.name)));
+        out.push_str(&format!("      \"total_faults\": {},\n", r.total_faults));
+        out.push_str(&format!(
+            "      \"affected\": {},\n",
+            r.classification.affected()
+        ));
+        out.push_str(&format!("      \"undetected\": {},\n", r.undetected()));
+        let wall: f64 = r
+            .stage_timings()
+            .iter()
+            .map(|(_, d, _)| d.as_secs_f64())
+            .sum();
+        out.push_str(&format!("      \"wall_s\": {},\n", float(wall)));
+        out.push_str("      \"stages\": [\n");
+        let timings = r.stage_timings();
+        let counters = r.stage_counters();
+        for (si, ((stage, wall, shards), (_, work))) in
+            timings.iter().zip(counters.iter()).enumerate()
+        {
+            out.push_str("        {\n");
+            out.push_str(&format!("          \"stage\": \"{stage}\",\n"));
+            out.push_str(&format!(
+                "          \"wall_s\": {},\n",
+                float(wall.as_secs_f64())
+            ));
+            out.push_str(&format!("          \"items\": {},\n", shards.items()));
+            out.push_str("          \"counters\": {\n");
+            push_counters(&mut out, "            ", work);
+            out.push_str("          }\n");
+            out.push_str(if si + 1 < timings.len() {
+                "        },\n"
+            } else {
+                "        }\n"
+            });
+        }
+        out.push_str("      ],\n");
+        out.push_str("      \"total_counters\": {\n");
+        push_counters(&mut out, "        ", &r.total_counters());
+        out.push_str("      }\n");
+        out.push_str(if ci + 1 < reports.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+fn push_counters(out: &mut String, indent: &str, work: &fscan_sim::WorkCounters) {
+    let fields = work.fields();
+    for (i, (name, value)) in fields.iter().enumerate() {
+        let comma = if i + 1 < fields.len() { "," } else { "" };
+        out.push_str(&format!("{indent}\"{name}\": {value}{comma}\n"));
+    }
+}
+
+/// Minimal JSON number formatting: always includes a decimal point so
+/// the value parses as a float, never uses exponent notation for the
+/// magnitudes involved here.
+fn float(v: f64) -> String {
+    let s = format!("{v:.6}");
+    debug_assert!(s.parse::<f64>().is_ok());
+    s
+}
+
+/// Minimal JSON string escaping (circuit names are plain ASCII, but be
+/// safe).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::PAPER_SUITE;
+    use crate::tables::run_pipeline_with;
+    use fscan::PipelineConfig;
+
+    fn small_report(threads: usize) -> PipelineReport {
+        let config = PipelineConfig::builder().threads(threads).build().unwrap();
+        run_pipeline_with(&PAPER_SUITE[0], 0.05, config)
+    }
+
+    #[test]
+    fn emits_every_counter_for_every_stage() {
+        let json = bench_json(&[small_report(1)], 0.05, 1);
+        for (name, _) in fscan_sim::WorkCounters::ZERO.fields() {
+            // 4 stages + total_counters per circuit.
+            assert_eq!(
+                json.matches(&format!("\"{name}\":")).count(),
+                5,
+                "counter {name} missing from some section:\n{json}"
+            );
+        }
+        for stage in ["classify", "alternating", "comb", "seq"] {
+            assert!(json.contains(&format!("\"stage\": \"{stage}\"")));
+        }
+    }
+
+    #[test]
+    fn wall_clock_is_line_separable() {
+        // The CI determinism check strips wall-clock lines and then
+        // requires byte-identical output across thread counts; each
+        // wall_s must therefore sit alone on its line.
+        let json = bench_json(&[small_report(1)], 0.05, 1);
+        let wall_lines = json.lines().filter(|l| l.contains("wall_s")).count();
+        // One per stage (4) plus one per circuit.
+        assert_eq!(wall_lines, 5);
+        for line in json.lines().filter(|l| l.contains("wall_s")) {
+            assert!(line.trim_start().starts_with("\"wall_s\":"), "{line}");
+        }
+    }
+
+    #[test]
+    fn stripped_output_is_thread_invariant() {
+        let strip = |json: &str| {
+            json.lines()
+                .filter(|l| !l.contains("wall_s") && !l.contains("\"threads\""))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let one = bench_json(&[small_report(1)], 0.05, 1);
+        let four = bench_json(&[small_report(4)], 0.05, 4);
+        assert_eq!(strip(&one), strip(&four));
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\ny"), "x\\u000ay");
+    }
+}

@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! reproduce [table1|table2|table3|figure5|timing|all] [--scale F] [--only NAME] [--threads N]
+//! reproduce [table1|table2|table3|figure5|timing|all] [--scale F] [--only NAME] [--threads N] [--json [PATH]]
 //! ```
 //!
 //! `--scale` shrinks every suite circuit proportionally (default 0.125,
@@ -12,20 +12,24 @@
 //! sets the worker count for the fault-parallel stages (default 0 =
 //! one per hardware thread); reports are identical for every value.
 //! `timing` prints the per-stage wall-clock and worker-distribution
-//! table.
+//! table. `--json` additionally writes `BENCH_pipeline.json` (or
+//! `PATH`): per-circuit, per-stage deterministic work counters plus
+//! wall-clock. Every counter is bit-identical across thread counts, so
+//! stripping the `wall_s` lines yields thread-invariant output.
 
 use std::env;
 use std::process::ExitCode;
 
 use fscan::{PipelineConfig, PipelineReport};
 use fscan_bench::tables::{run_pipeline_with, table2, table3};
-use fscan_bench::{figure5, table1, PAPER_SUITE};
+use fscan_bench::{bench_json, figure5, table1, PAPER_SUITE};
 
 struct Options {
     what: String,
     scale: f64,
     only: Option<String>,
     threads: usize,
+    json: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -33,7 +37,8 @@ fn parse_args() -> Result<Options, String> {
     let mut scale = 0.125;
     let mut only = None;
     let mut threads = 0usize;
-    let mut args = env::args().skip(1);
+    let mut json = None;
+    let mut args = env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "table1" | "table2" | "table3" | "figure5" | "timing" | "all" => what = arg,
@@ -49,6 +54,15 @@ fn parse_args() -> Result<Options, String> {
                 let v = args.next().ok_or("--threads needs a value")?;
                 threads = v.parse().map_err(|_| format!("bad thread count '{v}'"))?;
             }
+            "--json" => {
+                // Optional path operand; defaults to BENCH_pipeline.json.
+                json = Some(match args.peek() {
+                    Some(next) if !next.starts_with("--") && !is_what(next) => {
+                        args.next().unwrap()
+                    }
+                    _ => "BENCH_pipeline.json".to_string(),
+                });
+            }
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
@@ -57,7 +71,15 @@ fn parse_args() -> Result<Options, String> {
         scale,
         only,
         threads,
+        json,
     })
+}
+
+fn is_what(s: &str) -> bool {
+    matches!(
+        s,
+        "table1" | "table2" | "table3" | "figure5" | "timing" | "all"
+    )
 }
 
 fn selected(only: &Option<String>) -> Vec<&'static fscan_bench::SuiteCircuit> {
@@ -277,37 +299,37 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: reproduce [table1|table2|table3|figure5|timing|all] [--scale F] [--only NAME] [--threads N]"
+                "usage: reproduce [table1|table2|table3|figure5|timing|all] [--scale F] [--only NAME] [--threads N] [--json [PATH]]"
             );
             return ExitCode::FAILURE;
         }
     };
+    let reports = if opts.what != "table1" || opts.json.is_some() {
+        pipeline_reports(&opts)
+    } else {
+        Vec::new()
+    };
     match opts.what.as_str() {
         "table1" => print_table1(&opts),
-        "table2" => {
-            let reports = pipeline_reports(&opts);
-            print_table2(&reports);
-        }
-        "table3" => {
-            let reports = pipeline_reports(&opts);
-            print_table3(&reports);
-        }
-        "figure5" => {
-            let reports = pipeline_reports(&opts);
-            print_figure5(&reports);
-        }
-        "timing" => {
-            let reports = pipeline_reports(&opts);
-            print_timing(&reports);
-        }
+        "table2" => print_table2(&reports),
+        "table3" => print_table3(&reports),
+        "figure5" => print_figure5(&reports),
+        "timing" => print_timing(&reports),
         _ => {
             print_table1(&opts);
-            let reports = pipeline_reports(&opts);
             print_table2(&reports);
             print_table3(&reports);
             print_figure5(&reports);
             print_timing(&reports);
         }
+    }
+    if let Some(path) = &opts.json {
+        let json = bench_json(&reports, opts.scale, opts.threads);
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
     }
     ExitCode::SUCCESS
 }

@@ -21,9 +21,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench_json;
 pub mod suite;
 pub mod tables;
 
+pub use bench_json::bench_json;
 pub use suite::{build_circuit, build_design, scaled_config, SuiteCircuit, PAPER_SUITE};
 pub use tables::{
     figure5, run_pipeline, run_pipeline_with, table1, table2, table3, Figure5Point, Table1Row,

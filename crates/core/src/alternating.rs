@@ -5,7 +5,7 @@ use std::time::{Duration, Instant};
 
 use fscan_fault::Fault;
 use fscan_scan::ScanDesign;
-use fscan_sim::{ParallelFaultSim, ShardStats, V3};
+use fscan_sim::{ParallelFaultSim, ShardStats, V3, WorkCounters};
 
 use crate::sequences::scan_vector_layout;
 
@@ -60,6 +60,9 @@ pub struct AlternatingReport {
     pub cpu: Duration,
     /// Work distribution across fault-simulation workers.
     pub shards: ShardStats,
+    /// Deterministic work counters (gate evaluations, lane·cycles) —
+    /// bit-identical for every thread count.
+    pub counters: WorkCounters,
 }
 
 impl fmt::Display for AlternatingReport {
@@ -97,23 +100,25 @@ impl<'d> AlternatingPhase<'d> {
     /// Fault-simulates the sequence; `results[i]` is the first cycle at
     /// which `faults[i]` is definitely detected.
     pub fn run(&self, faults: &[Fault]) -> (Vec<Option<usize>>, Duration) {
-        let (detections, _, cpu) = self.run_sharded(faults, 1);
+        let (detections, _, cpu, _) = self.run_sharded(faults, 1);
         (detections, cpu)
     }
 
     /// [`run`](Self::run) sharded across `threads` workers (`0` =
-    /// hardware thread count). Detection verdicts are identical to the
-    /// serial run for every thread count.
+    /// hardware thread count). Detection verdicts — and the returned
+    /// [`WorkCounters`] — are identical to the serial run for every
+    /// thread count.
     pub fn run_sharded(
         &self,
         faults: &[Fault],
         threads: usize,
-    ) -> (Vec<Option<usize>>, ShardStats, Duration) {
+    ) -> (Vec<Option<usize>>, ShardStats, Duration, WorkCounters) {
         let start = Instant::now();
         let sim = ParallelFaultSim::new(self.design.circuit());
         let init = vec![V3::X; self.design.circuit().dffs().len()];
-        let (detections, shards) = sim.fault_sim_sharded(&self.vectors, &init, faults, threads);
-        (detections, shards, start.elapsed())
+        let (detections, shards, counters) =
+            sim.fault_sim_sharded(&self.vectors, &init, faults, threads);
+        (detections, shards, start.elapsed(), counters)
     }
 }
 

@@ -7,7 +7,7 @@ use std::time::Duration;
 use fscan_fault::{Fault, FaultSite};
 use fscan_netlist::{GateKind, NodeId};
 use fscan_scan::ScanDesign;
-use fscan_sim::{shard_map, CombEvaluator, ImplicationEngine, ShardStats, V3};
+use fscan_sim::{shard_map_counted, CombEvaluator, ImplicationEngine, ShardStats, V3, WorkCounters};
 
 /// The paper's three fault categories.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -79,6 +79,9 @@ pub struct ClassifySummary {
     pub cpu: Duration,
     /// Work distribution across classifier workers.
     pub shards: ShardStats,
+    /// Deterministic work counters (implication events, cone sizes) —
+    /// bit-identical for every thread count.
+    pub counters: WorkCounters,
 }
 
 impl ClassifySummary {
@@ -246,6 +249,11 @@ impl<'d> Classifier<'d> {
     pub fn evaluator(&self) -> &CombEvaluator {
         &self.eval
     }
+
+    /// Drains the implication engine's accumulated [`WorkCounters`].
+    pub fn take_counters(&mut self) -> WorkCounters {
+        self.engine.take_counters()
+    }
 }
 
 /// Classifies every fault of a list against a scan design, returning
@@ -278,19 +286,23 @@ pub fn classify_faults(design: &ScanDesign, faults: &[Fault]) -> Vec<ClassifiedF
 /// [`classify_faults`] sharded across `threads` workers (`0` = hardware
 /// thread count). Each worker builds its own [`Classifier`] over the
 /// shared design; per-fault classifications are independent and merged
-/// in fault order, so the output is identical to the serial version for
-/// every thread count.
+/// in fault order, so the output — including the summed
+/// [`WorkCounters`] — is identical to the serial version for every
+/// thread count.
 pub fn classify_faults_sharded(
     design: &ScanDesign,
     faults: &[Fault],
     threads: usize,
-) -> (Vec<ClassifiedFault>, ShardStats) {
-    shard_map(
+) -> (Vec<ClassifiedFault>, ShardStats, WorkCounters) {
+    shard_map_counted(
         threads,
         1,
         faults,
         || Classifier::new(design),
-        |classifier, _, chunk| chunk.iter().map(|&f| classifier.classify(f)).collect(),
+        |classifier, _, chunk| {
+            let classified = chunk.iter().map(|&f| classifier.classify(f)).collect();
+            (classified, classifier.take_counters())
+        },
     )
 }
 
@@ -451,10 +463,14 @@ mod tests {
         let faults =
             fscan_fault::collapse(design.circuit(), &fscan_fault::all_faults(design.circuit()));
         let serial = classify_faults(&design, &faults);
+        let mut reference_work = None;
         for threads in [1, 2, 4] {
-            let (sharded, stats) = classify_faults_sharded(&design, &faults, threads);
+            let (sharded, stats, work) = classify_faults_sharded(&design, &faults, threads);
             assert_eq!(sharded, serial, "threads = {threads}");
             assert_eq!(stats.items(), faults.len());
+            assert!(work.implication_events > 0);
+            let expect = *reference_work.get_or_insert(work);
+            assert_eq!(work, expect, "counters must not depend on threads");
         }
     }
 

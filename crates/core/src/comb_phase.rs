@@ -9,7 +9,7 @@ use fscan_atpg::{AtpgOutcome, Podem, PodemConfig};
 use fscan_fault::Fault;
 use fscan_netlist::NodeId;
 use fscan_scan::ScanDesign;
-use fscan_sim::{ParallelFaultSim, ShardStats, V3};
+use fscan_sim::{ParallelFaultSim, ShardStats, V3, WorkCounters};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -42,6 +42,11 @@ pub struct CombPhaseReport {
     /// (aggregated over all windows; the PODEM loop itself is serial
     /// because fault-dropping makes it order-dependent).
     pub shards: ShardStats,
+    /// Deterministic work counters (PODEM decisions/backtracks/aborts,
+    /// confirmation-simulation gate evaluations, windows formed,
+    /// fault-dropping early exits) — bit-identical for every thread
+    /// count.
+    pub counters: WorkCounters,
 }
 
 impl fmt::Display for CombPhaseReport {
@@ -186,12 +191,18 @@ impl<'d> CombPhase<'d> {
         let mut detected_total = 0usize;
         let mut program: Vec<ScanTest> = Vec::new();
         let mut shards = ShardStats::default();
+        let mut counters = WorkCounters::ZERO;
 
         for i in 0..hard.len() {
             if status[i] != Status::Pending {
+                // Fault dropping: the target was already resolved by an
+                // earlier window, so its ATPG run is skipped entirely.
+                counters.early_exits += 1;
                 continue;
             }
-            match podem.run(&[hard[i]], &self.podem_config) {
+            let outcome = podem.run(&[hard[i]], &self.podem_config);
+            counters += podem.last_work();
+            match outcome {
                 AtpgOutcome::Undetectable => {
                     status[i] = Status::Undetectable;
                     continue;
@@ -200,6 +211,7 @@ impl<'d> CombPhase<'d> {
                 AtpgOutcome::Test(assignments) => {
                     let window = self.test_window(&assignments, window_len);
                     windows += 1;
+                    counters.windows_formed += 1;
                     program.push(ScanTest::new(format!("comb {}", hard[i]), window.clone()));
                     // Fault-drop: simulate this window against every
                     // still-pending fault (windows fully re-load state,
@@ -208,8 +220,10 @@ impl<'d> CombPhase<'d> {
                         .filter(|&j| status[j] == Status::Pending)
                         .collect();
                     let faults: Vec<Fault> = pending.iter().map(|&j| hard[j]).collect();
-                    let (det, wstats) = sim.fault_sim_sharded(&window, &init, &faults, self.threads);
+                    let (det, wstats, wwork) =
+                        sim.fault_sim_sharded(&window, &init, &faults, self.threads);
                     shards.absorb(&wstats);
+                    counters += wwork;
                     for (k, d) in det.into_iter().enumerate() {
                         if d.is_some() {
                             status[pending[k]] = Status::Detected;
@@ -235,8 +249,10 @@ impl<'d> CombPhase<'d> {
             for _ in 0..self.random_windows {
                 sequence.extend(self.random_window(&mut rng, window_len));
             }
-            let (det, rstats) = sim.fault_sim_sharded(&sequence, &init, &faults, self.threads);
+            counters.windows_formed += self.random_windows as u64;
+            let (det, rstats, rwork) = sim.fault_sim_sharded(&sequence, &init, &faults, self.threads);
             shards.absorb(&rstats);
+            counters += rwork;
             let mut newly = Vec::new();
             for (k, d) in det.into_iter().enumerate() {
                 if let Some(cycle) = d {
@@ -280,6 +296,7 @@ impl<'d> CombPhase<'d> {
             detection_curve: curve,
             cpu: start.elapsed(),
             shards,
+            counters,
         };
         CombPhaseOutcome {
             report,
@@ -453,6 +470,10 @@ mod tests {
         assert_eq!(serial.undetectable, parallel.undetectable);
         assert_eq!(serial.remaining, parallel.remaining);
         assert_eq!(serial.report.detection_curve, parallel.report.detection_curve);
+        assert_eq!(
+            serial.report.counters, parallel.report.counters,
+            "work counters must not depend on threads"
+        );
         assert_eq!(serial.program.len(), parallel.program.len());
         for (a, b) in serial.program.iter().zip(parallel.program.iter()) {
             assert_eq!(a.vectors, b.vectors);

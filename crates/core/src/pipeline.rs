@@ -20,7 +20,7 @@ use std::time::Instant;
 use fscan_atpg::{PodemConfig, SeqAtpgConfig};
 use fscan_fault::{all_faults, collapse, Fault};
 use fscan_scan::ScanDesign;
-use fscan_sim::ShardStats;
+use fscan_sim::{ShardStats, WorkCounters};
 
 use crate::alternating::{AlternatingPhase, AlternatingReport};
 use crate::classify::{
@@ -247,6 +247,23 @@ impl PipelineReport {
             ("seq", self.seq.cpu, &self.seq.shards),
         ]
     }
+
+    /// Per-stage deterministic work counters, in flow order. Unlike the
+    /// wall-clock numbers these count work items, so they are
+    /// bit-identical for every thread count.
+    pub fn stage_counters(&self) -> [(&'static str, WorkCounters); 4] {
+        [
+            ("classify", self.classification.counters),
+            ("alternating", self.alternating.counters),
+            ("comb", self.comb.counters),
+            ("seq", self.seq.counters),
+        ]
+    }
+
+    /// Sum of every stage's [`WorkCounters`].
+    pub fn total_counters(&self) -> WorkCounters {
+        self.stage_counters().iter().map(|(_, c)| *c).sum()
+    }
 }
 
 impl fmt::Display for PipelineReport {
@@ -329,7 +346,7 @@ impl<'d> PipelineSession<'d> {
     /// implication, sharded across the configured workers.
     pub fn classify(self) -> Classified<'d> {
         let start = Instant::now();
-        let (classified, shards) =
+        let (classified, shards, counters) =
             classify_faults_sharded(self.design, &self.faults, self.config.threads);
         Classified {
             design: self.design,
@@ -338,6 +355,7 @@ impl<'d> PipelineSession<'d> {
             classified,
             cpu: start.elapsed(),
             shards,
+            counters,
         }
     }
 }
@@ -354,6 +372,7 @@ pub struct Classified<'d> {
     pub classified: Vec<ClassifiedFault>,
     cpu: std::time::Duration,
     shards: ShardStats,
+    counters: WorkCounters,
 }
 
 impl<'d> Classified<'d> {
@@ -374,6 +393,7 @@ impl<'d> Classified<'d> {
                 .count(),
             cpu: self.cpu,
             shards: self.shards.clone(),
+            counters: self.counters,
         }
     }
 
@@ -394,7 +414,8 @@ impl<'d> Classified<'d> {
             .map(|c| c.fault)
             .collect();
         let phase = AlternatingPhase::new(self.design);
-        let (detections, shards, cpu) = phase.run_sharded(&affected, self.config.threads);
+        let (detections, shards, cpu, counters) =
+            phase.run_sharded(&affected, self.config.threads);
         let detected: HashSet<Fault> = affected
             .iter()
             .zip(detections.iter())
@@ -412,6 +433,7 @@ impl<'d> Classified<'d> {
             cycles: phase.vectors().len(),
             cpu,
             shards,
+            counters,
         };
         AfterAlternating {
             design: self.design,

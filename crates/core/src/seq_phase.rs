@@ -8,7 +8,7 @@ use std::time::{Duration, Instant};
 use fscan_atpg::{SeqAtpg, SeqAtpgConfig, SeqOutcome, SeqTest};
 use fscan_fault::Fault;
 use fscan_scan::ScanDesign;
-use fscan_sim::{detects, shard_map, SeqSim, ShardStats, V3};
+use fscan_sim::{detects, shard_map_counted, SeqSim, ShardStats, V3, WorkCounters};
 
 use crate::classify::ChainLocation;
 use crate::program::ScanTest;
@@ -83,6 +83,10 @@ pub struct SeqPhaseReport {
     /// Work distribution across ATPG-attempt workers (aggregated over
     /// the grouped and final passes).
     pub shards: ShardStats,
+    /// Deterministic work counters (PODEM decisions/backtracks/aborts,
+    /// verification-simulation gate evaluations, circuits formed,
+    /// already-resolved skips) — bit-identical for every thread count.
+    pub counters: WorkCounters,
 }
 
 impl fmt::Display for SeqPhaseReport {
@@ -185,6 +189,7 @@ impl<'d> SeqPhase<'d> {
         let mut program: Vec<ScanTest> = Vec::new();
         let mut circuits_initial = 0usize;
         let mut shards = ShardStats::default();
+        let mut counters = WorkCounters::ZERO;
 
         // Span and chain-extent helpers.
         let chain_of = |locs: &[ChainLocation]| -> Option<usize> {
@@ -232,7 +237,7 @@ impl<'d> SeqPhase<'d> {
             .iter()
             .map(|&i| (i, self.extent_map(&locations[i])))
             .collect();
-        self.run_batch(&batch, faults, &self.config, &mut status, &mut program, &mut shards);
+        self.run_batch(&batch, faults, &self.config, &mut status, &mut program, &mut shards, &mut counters);
 
         // Group 2: the seed fault's circuit is shared with compatible
         // same-chain faults (their locations inside the seed's window).
@@ -242,6 +247,7 @@ impl<'d> SeqPhase<'d> {
         // only ever change their own status, so the batch itself shards.
         for &i in &group2 {
             if status[i] != Status::Pending {
+                counters.early_exits += 1;
                 continue;
             }
             circuits_initial += 1;
@@ -261,7 +267,7 @@ impl<'d> SeqPhase<'d> {
                     }
                 }
             }
-            self.run_batch(&batch, faults, &self.config, &mut status, &mut program, &mut shards);
+            self.run_batch(&batch, faults, &self.config, &mut status, &mut program, &mut shards, &mut counters);
         }
 
         // Group 3: pack same-chain faults into windows of union span
@@ -272,6 +278,7 @@ impl<'d> SeqPhase<'d> {
         let mut by_chain: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
         for &i in &group3 {
             if status[i] != Status::Pending {
+                counters.early_exits += 1;
                 continue;
             }
             let c = chain_of(&locations[i]).expect("group 3 is single-chain");
@@ -303,7 +310,7 @@ impl<'d> SeqPhase<'d> {
                 batch.extend(group.into_iter().map(|i| (i, extent.clone())));
             }
         }
-        self.run_batch(&batch, faults, &self.config, &mut status, &mut program, &mut shards);
+        self.run_batch(&batch, faults, &self.config, &mut status, &mut program, &mut shards, &mut counters);
 
         // Final pass: remaining faults individually, with more budget —
         // independent attempts, one sharded batch.
@@ -312,7 +319,7 @@ impl<'d> SeqPhase<'d> {
             .map(|i| (i, self.extent_map(&locations[i])))
             .collect();
         let circuits_final = batch.len();
-        self.run_batch(&batch, faults, &self.final_config, &mut status, &mut program, &mut shards);
+        self.run_batch(&batch, faults, &self.final_config, &mut status, &mut program, &mut shards, &mut counters);
 
         let mut detected = Vec::new();
         let mut undetectable = Vec::new();
@@ -329,6 +336,7 @@ impl<'d> SeqPhase<'d> {
                 Status::Pending => remaining.push(f),
             }
         }
+        counters.windows_formed += (circuits_initial + circuits_final) as u64;
         let report = SeqPhaseReport {
             targeted: faults.len(),
             detected: detected.len(),
@@ -339,6 +347,7 @@ impl<'d> SeqPhase<'d> {
             circuits_final,
             cpu: start.elapsed(),
             shards,
+            counters,
         };
         SeqPhaseOutcome {
             report,
@@ -364,6 +373,7 @@ impl<'d> SeqPhase<'d> {
     /// sharded across the phase's workers, and applies the results —
     /// status updates and program tests — in batch order, matching what
     /// a serial walk of the batch would produce.
+    #[allow(clippy::too_many_arguments)]
     fn run_batch(
         &self,
         batch: &[(usize, Extent)],
@@ -372,17 +382,25 @@ impl<'d> SeqPhase<'d> {
         status: &mut [Status],
         program: &mut Vec<ScanTest>,
         shards: &mut ShardStats,
+        counters: &mut WorkCounters,
     ) {
         if batch.is_empty() {
             return;
         }
-        let (results, stats) = shard_map(self.threads, 1, batch, || (), |_, _, chunk| {
-            chunk
+        let (results, stats, work) = shard_map_counted(self.threads, 1, batch, || (), |_, _, chunk| {
+            let mut chunk_work = WorkCounters::ZERO;
+            let results = chunk
                 .iter()
-                .map(|(i, extent)| self.attempt(faults[*i], extent, config))
-                .collect()
+                .map(|(i, extent)| {
+                    let (outcome, test, work) = self.attempt(faults[*i], extent, config);
+                    chunk_work += work;
+                    (outcome, test)
+                })
+                .collect();
+            (results, chunk_work)
         });
         shards.absorb(&stats);
+        *counters += work;
         for ((i, _), (outcome, test)) in batch.iter().zip(results) {
             if let Some(s) = outcome {
                 status[*i] = s;
@@ -402,7 +420,7 @@ impl<'d> SeqPhase<'d> {
         fault: Fault,
         extent: &Extent,
         config: &SeqAtpgConfig,
-    ) -> (Option<Status>, Option<ScanTest>) {
+    ) -> (Option<Status>, Option<ScanTest>, WorkCounters) {
         let circuit = self.design.circuit();
         let ff_pos = |ff| {
             circuit
@@ -439,7 +457,7 @@ impl<'d> SeqPhase<'d> {
             .controllable_ffs(controllable)
             .observable_ffs(observable)
             .fixed_pis(layout.constrained.clone());
-        let out = atpg.run(fault, config);
+        let (out, mut work) = atpg.run_counted(fault, config);
         if std::env::var("FSCAN_DEBUG").is_ok() {
             let tag = match &out {
                 SeqOutcome::Undetectable => "undetectable".to_string(),
@@ -449,19 +467,22 @@ impl<'d> SeqPhase<'d> {
             eprintln!("seq3 {fault}: {tag}");
         }
         match out {
-            SeqOutcome::Undetectable => (Some(Status::Undetectable), None),
-            SeqOutcome::Aborted => (None, None),
+            SeqOutcome::Undetectable => (Some(Status::Undetectable), None, work),
+            SeqOutcome::Aborted => (None, None, work),
             SeqOutcome::Test(test) => {
-                if let Some(vectors) = self.verify(fault, &test) {
+                let (vectors, verify_work) = self.verify(fault, &test);
+                work += verify_work;
+                if let Some(vectors) = vectors {
                     (
                         Some(Status::Detected),
                         Some(ScanTest::new(format!("seq {fault}"), vectors)),
+                        work,
                     )
                 } else {
                     if std::env::var("FSCAN_DEBUG").is_ok() {
                         eprintln!("seq3 {fault}: UNCONFIRMED by simulation");
                     }
-                    (Some(Status::Unconfirmed), None)
+                    (Some(Status::Unconfirmed), None, work)
                 }
             }
         }
@@ -470,7 +491,7 @@ impl<'d> SeqPhase<'d> {
     /// Realizes a sequential test as a concrete scan sequence — scan-in
     /// load, the ATPG frames, then a full shift-out — and confirms the
     /// fault is really detected by sequential fault simulation.
-    fn verify(&self, fault: Fault, test: &SeqTest) -> Option<Vec<Vec<V3>>> {
+    fn verify(&self, fault: Fault, test: &SeqTest) -> (Option<Vec<Vec<V3>>>, WorkCounters) {
         let circuit = self.design.circuit();
         let layout = scan_vector_layout(self.design);
         // Desired load per chain from the required initial state.
@@ -510,7 +531,8 @@ impl<'d> SeqPhase<'d> {
         let init = vec![V3::X; circuit.dffs().len()];
         let good = sim.run(&vectors, &init, None);
         let bad = sim.run(&vectors, &init, Some(fault));
-        detects(&good, &bad).is_some().then_some(vectors)
+        let work = sim.work_for_cycles(good.outputs.len() + bad.outputs.len());
+        (detects(&good, &bad).is_some().then_some(vectors), work)
     }
 }
 

@@ -1,0 +1,213 @@
+//! Deterministic work counters for the pipeline.
+//!
+//! Wall-clock `Duration`s depend on the machine, the load and the
+//! thread count; the counters here count *work items* instead: gate
+//! evaluations, lane·cycles, implication events, ATPG decisions. Each
+//! contribution is a pure function of the item being processed — never
+//! of the worker that processed it or of the chunk geometry — so the
+//! per-stage sums are **bit-identical for every thread count**. That
+//! makes them usable both as machine-independent perf oracles (the
+//! BENCH trajectory) and as determinism regression tests.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Exact, machine-independent work counters.
+///
+/// Semantics of the individual fields:
+///
+/// * `gate_evals` — gate-evaluation operations executed. One scalar
+///   [`V3`](crate::V3) gate evaluation counts 1; one packed
+///   [`Pv64`](crate::Pv64) gate evaluation also counts 1 (it is one
+///   operation, covering up to 64 lanes — `lane_cycles` captures the
+///   logical coverage).
+/// * `lane_cycles` — Σ over simulated cycles of the number of active
+///   fault lanes (a serial simulation contributes 1 per cycle).
+/// * `implication_events` — nodes popped and re-evaluated by
+///   [`ImplicationEngine::run`](crate::ImplicationEngine::run).
+/// * `cone_nets` — nets whose value changed under a fault (sizes of the
+///   forward-implication cones, summed).
+/// * `podem_decisions` — PODEM objective decisions taken (steps that
+///   were not reversals).
+/// * `podem_backtracks` — PODEM reversals of a previous decision.
+/// * `podem_aborts` — PODEM/SeqAtpg runs that hit a backtrack or step
+///   budget without a verdict.
+/// * `windows_formed` — candidate test windows (scan-in / apply /
+///   scan-out sequences) assembled by the core phases.
+/// * `early_exits` — short-circuits taken: a 64-lane fault word whose
+///   faults were all detected before the vector set was exhausted, or a
+///   phase skipping a target already covered by fault dropping.
+///
+/// All fields are `u64` and every aggregation is an unordered sum, so
+/// merging in any order yields the same totals.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkCounters {
+    /// Gate-evaluation operations executed (scalar or packed).
+    pub gate_evals: u64,
+    /// Σ active fault lanes over simulated cycles.
+    pub lane_cycles: u64,
+    /// Nodes re-evaluated during forward implication.
+    pub implication_events: u64,
+    /// Total nets changed across all implication cones.
+    pub cone_nets: u64,
+    /// PODEM objective decisions.
+    pub podem_decisions: u64,
+    /// PODEM backtracks (decision reversals).
+    pub podem_backtracks: u64,
+    /// ATPG runs aborted on a budget.
+    pub podem_aborts: u64,
+    /// Candidate test windows assembled.
+    pub windows_formed: u64,
+    /// Early exits taken (word fully detected, target already dropped).
+    pub early_exits: u64,
+}
+
+impl WorkCounters {
+    /// The all-zero counter set.
+    pub const ZERO: WorkCounters = WorkCounters {
+        gate_evals: 0,
+        lane_cycles: 0,
+        implication_events: 0,
+        cone_nets: 0,
+        podem_decisions: 0,
+        podem_backtracks: 0,
+        podem_aborts: 0,
+        windows_formed: 0,
+        early_exits: 0,
+    };
+
+    /// Adds `other` into `self` field-wise.
+    pub fn merge(&mut self, other: &WorkCounters) {
+        *self += *other;
+    }
+
+    /// `true` when every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == WorkCounters::ZERO
+    }
+
+    /// The counters as `(name, value)` pairs in a fixed order —
+    /// the single source of truth for JSON emission and display.
+    pub fn fields(&self) -> [(&'static str, u64); 9] {
+        [
+            ("gate_evals", self.gate_evals),
+            ("lane_cycles", self.lane_cycles),
+            ("implication_events", self.implication_events),
+            ("cone_nets", self.cone_nets),
+            ("podem_decisions", self.podem_decisions),
+            ("podem_backtracks", self.podem_backtracks),
+            ("podem_aborts", self.podem_aborts),
+            ("windows_formed", self.windows_formed),
+            ("early_exits", self.early_exits),
+        ]
+    }
+}
+
+impl AddAssign for WorkCounters {
+    fn add_assign(&mut self, rhs: WorkCounters) {
+        self.gate_evals += rhs.gate_evals;
+        self.lane_cycles += rhs.lane_cycles;
+        self.implication_events += rhs.implication_events;
+        self.cone_nets += rhs.cone_nets;
+        self.podem_decisions += rhs.podem_decisions;
+        self.podem_backtracks += rhs.podem_backtracks;
+        self.podem_aborts += rhs.podem_aborts;
+        self.windows_formed += rhs.windows_formed;
+        self.early_exits += rhs.early_exits;
+    }
+}
+
+impl Add for WorkCounters {
+    type Output = WorkCounters;
+
+    fn add(mut self, rhs: WorkCounters) -> WorkCounters {
+        self += rhs;
+        self
+    }
+}
+
+impl std::iter::Sum for WorkCounters {
+    fn sum<I: Iterator<Item = WorkCounters>>(iter: I) -> WorkCounters {
+        iter.fold(WorkCounters::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for WorkCounters {
+    /// Compact `name=value` rendering of the non-zero counters.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (name, value) in self.fields() {
+            if value == 0 {
+                continue;
+            }
+            if !first {
+                f.write_str(" ")?;
+            }
+            write!(f, "{name}={value}")?;
+            first = false;
+        }
+        if first {
+            f.write_str("-")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_fieldwise_sum() {
+        let a = WorkCounters {
+            gate_evals: 3,
+            lane_cycles: 5,
+            windows_formed: 1,
+            ..WorkCounters::ZERO
+        };
+        let b = WorkCounters {
+            gate_evals: 7,
+            podem_aborts: 2,
+            ..WorkCounters::ZERO
+        };
+        let mut m = a;
+        m.merge(&b);
+        assert_eq!(m.gate_evals, 10);
+        assert_eq!(m.lane_cycles, 5);
+        assert_eq!(m.podem_aborts, 2);
+        assert_eq!(m.windows_formed, 1);
+        assert_eq!(a + b, m);
+        assert_eq!([a, b].into_iter().sum::<WorkCounters>(), m);
+    }
+
+    #[test]
+    fn fields_cover_every_counter() {
+        // One distinct value per field; fields() must surface them all.
+        let c = WorkCounters {
+            gate_evals: 1,
+            lane_cycles: 2,
+            implication_events: 3,
+            cone_nets: 4,
+            podem_decisions: 5,
+            podem_backtracks: 6,
+            podem_aborts: 7,
+            windows_formed: 8,
+            early_exits: 9,
+        };
+        let vals: Vec<u64> = c.fields().iter().map(|&(_, v)| v).collect();
+        assert_eq!(vals, vec![1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert!(!c.is_zero());
+        assert!(WorkCounters::ZERO.is_zero());
+    }
+
+    #[test]
+    fn display_skips_zero_fields() {
+        let c = WorkCounters {
+            gate_evals: 12,
+            early_exits: 1,
+            ..WorkCounters::ZERO
+        };
+        assert_eq!(c.to_string(), "gate_evals=12 early_exits=1");
+        assert_eq!(WorkCounters::ZERO.to_string(), "-");
+    }
+}

@@ -7,6 +7,7 @@ use fscan_fault::{Fault, FaultSite};
 use fscan_netlist::{Circuit, FanoutTable, NodeId};
 
 use crate::comb::CombEvaluator;
+use crate::counters::WorkCounters;
 use crate::value::V3;
 
 /// One net whose steady scan-mode value changes under a fault.
@@ -82,6 +83,7 @@ pub struct ImplicationEngine {
     stamp: Vec<u32>,
     queued: Vec<u32>,
     epoch: u32,
+    counters: WorkCounters,
 }
 
 impl ImplicationEngine {
@@ -99,20 +101,19 @@ impl ImplicationEngine {
             stamp: vec![0; n],
             queued: vec![0; n],
             epoch: 0,
+            counters: WorkCounters::ZERO,
         }
     }
 
-    fn value(&self, good: &[V3], id: NodeId) -> V3 {
-        if self.stamp[id.index()] == self.epoch {
-            self.faulty[id.index()]
-        } else {
-            good[id.index()]
-        }
+    /// Work counters accumulated across every [`run`](Self::run) since
+    /// construction (or the last [`take_counters`](Self::take_counters)).
+    pub fn counters(&self) -> WorkCounters {
+        self.counters
     }
 
-    fn set(&mut self, id: NodeId, v: V3) {
-        self.faulty[id.index()] = v;
-        self.stamp[id.index()] = self.epoch;
+    /// Returns the accumulated counters and resets them to zero.
+    pub fn take_counters(&mut self) -> WorkCounters {
+        std::mem::take(&mut self.counters)
     }
 
     /// Runs the implication; see [`forward_implication`].
@@ -124,18 +125,30 @@ impl ImplicationEngine {
             self.queued.fill(u32::MAX);
             self.epoch = 1;
         }
+        // Split the engine into disjoint borrows so the fanout lists can
+        // be walked by reference while the scratch overlays are updated —
+        // the old `push_gate(&mut self, ..)` shape forced a `to_vec()`
+        // clone of every fanout list on the hot path.
+        let ImplicationEngine {
+            fanout,
+            pos,
+            faulty,
+            stamp,
+            queued,
+            epoch,
+            counters,
+        } = self;
+        let epoch = *epoch;
         let mut heap: BinaryHeap<Reverse<(u32, NodeId)>> = BinaryHeap::new();
         let mut changes: Vec<NetChange> = Vec::new();
 
-        let push_gate = |engine: &mut ImplicationEngine,
-                             heap: &mut BinaryHeap<Reverse<(u32, NodeId)>>,
-                             id: NodeId| {
-            let p = engine.pos[id.index()];
+        let mut push_gate = |heap: &mut BinaryHeap<Reverse<(u32, NodeId)>>, id: NodeId| {
+            let p = pos[id.index()];
             if p == u32::MAX {
                 return; // not a combinational node (DFF): propagation stops
             }
-            if engine.queued[id.index()] != engine.epoch {
-                engine.queued[id.index()] = engine.epoch;
+            if queued[id.index()] != epoch {
+                queued[id.index()] = epoch;
                 heap.push(Reverse((p, id)));
             }
         };
@@ -148,25 +161,27 @@ impl ImplicationEngine {
                 if kind.is_gate() || matches!(kind, fscan_netlist::GateKind::Const0 | fscan_netlist::GateKind::Const1) {
                     // Re-evaluate at the gate itself (the stem override is
                     // applied when the node is processed below).
-                    push_gate(self, &mut heap, n);
+                    push_gate(&mut heap, n);
                 } else if good[n.index()] != stuck {
-                    self.set(n, stuck);
+                    faulty[n.index()] = stuck;
+                    stamp[n.index()] = epoch;
                     changes.push(NetChange {
                         node: n,
                         good: good[n.index()],
                         faulty: stuck,
                     });
-                    for &(sink, _) in self.fanout.fanouts(n).to_vec().iter() {
-                        push_gate(self, &mut heap, sink);
+                    for &(sink, _) in fanout.fanouts(n) {
+                        push_gate(&mut heap, sink);
                     }
                 }
             }
             FaultSite::Branch { gate, .. } => {
-                push_gate(self, &mut heap, gate);
+                push_gate(&mut heap, gate);
             }
         }
 
         while let Some(Reverse((_, id))) = heap.pop() {
+            counters.implication_events += 1;
             let node = circuit.node(id);
             let mut out = V3::eval_gate(
                 node.kind(),
@@ -176,29 +191,35 @@ impl ImplicationEngine {
                             return V3::from_bool(fault.stuck);
                         }
                     }
-                    self.value(good, src)
+                    if stamp[src.index()] == epoch {
+                        faulty[src.index()]
+                    } else {
+                        good[src.index()]
+                    }
                 }),
             );
             if fault.site == FaultSite::Stem(id) {
                 out = V3::from_bool(fault.stuck);
             }
             if out != good[id.index()] {
-                self.set(id, out);
+                faulty[id.index()] = out;
+                stamp[id.index()] = epoch;
                 changes.push(NetChange {
                     node: id,
                     good: good[id.index()],
                     faulty: out,
                 });
-                for &(sink, _) in self.fanout.fanouts(id).to_vec().iter() {
-                    push_gate(self, &mut heap, sink);
+                for &(sink, _) in fanout.fanouts(id) {
+                    push_gate(&mut heap, sink);
                 }
             } else {
                 // Value restored to good: make sure an earlier overlay for
                 // this node (impossible in topological processing, but
                 // cheap to guard) does not linger.
-                self.stamp[id.index()] = self.epoch.wrapping_sub(1);
+                stamp[id.index()] = epoch.wrapping_sub(1);
             }
         }
+        counters.cone_nets += changes.len() as u64;
         changes
     }
 }
@@ -307,6 +328,19 @@ mod tests {
         assert_eq!(changes.len(), 1);
         assert_eq!(changes[0].node, g1);
         assert_eq!(changes[0].faulty, V3::Zero);
+    }
+
+    #[test]
+    fn counters_track_events_and_cone_sizes() {
+        let (c, [pi, ..], good) = figure3();
+        let eval = CombEvaluator::new(&c);
+        let mut engine = ImplicationEngine::new(&c, &eval);
+        let r = engine.run(&c, &good, Fault::stem(pi, false));
+        let counters = engine.take_counters();
+        assert_eq!(counters.cone_nets, r.len() as u64);
+        // Every change except the seeded PI stem was produced by a pop.
+        assert!(counters.implication_events >= r.len() as u64 - 1);
+        assert!(engine.counters().is_zero(), "take_counters resets");
     }
 
     #[test]

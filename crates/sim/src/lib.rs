@@ -14,6 +14,9 @@
 //!   simulation;
 //! * [`shard_map`] — scoped-thread work sharding with a deterministic
 //!   in-order merge, used by every fault-parallel pipeline stage;
+//! * [`WorkCounters`] — exact, machine-independent work counters
+//!   (bit-identical for every thread count) that the pipeline stages
+//!   aggregate for the BENCH trajectory;
 //! * [`forward_implication`] — the 3-valued forward implication cone of
 //!   a fault under fixed input constraints (paper, Section 3/Figure 3).
 //!
@@ -40,6 +43,7 @@
 #![warn(missing_docs)]
 
 mod comb;
+mod counters;
 mod implication;
 mod packed;
 mod parallel;
@@ -48,9 +52,10 @@ mod seq;
 mod value;
 
 pub use comb::CombEvaluator;
+pub use counters::WorkCounters;
 pub use implication::{forward_implication, ImplicationEngine, NetChange};
 pub use packed::Pv64;
 pub use parallel::ParallelFaultSim;
-pub use pool::{resolve_threads, shard_map, ShardStats};
+pub use pool::{resolve_threads, shard_map, shard_map_counted, ShardStats};
 pub use seq::{detects, SeqSim, Trace};
 pub use value::V3;

@@ -67,8 +67,14 @@ impl Pv64 {
         self.zeros | self.ones
     }
 
-    /// The value of machine `lane` (0..64).
+    /// The value of machine `lane`.
+    ///
+    /// `lane` must be `< 64`: there are exactly 64 machines in a word.
+    /// A larger lane would shift `1u64` out of range — a panic in debug
+    /// builds and a silent wrap to lane `lane % 64` (i.e. the *wrong
+    /// machine*) in release builds, so the contract is asserted here.
     pub fn get(self, lane: u32) -> V3 {
+        debug_assert!(lane < 64, "Pv64 lane out of range: {lane} >= 64");
         let bit = 1u64 << lane;
         if self.zeros & bit != 0 {
             V3::Zero
@@ -80,8 +86,11 @@ impl Pv64 {
     }
 
     /// Returns a copy with machine `lane` set to `v`.
+    ///
+    /// `lane` must be `< 64` — see [`Pv64::get`] for the contract.
     #[must_use]
     pub fn with(self, lane: u32, v: V3) -> Pv64 {
+        debug_assert!(lane < 64, "Pv64 lane out of range: {lane} >= 64");
         let bit = 1u64 << lane;
         let mut r = Pv64 {
             zeros: self.zeros & !bit,
@@ -234,6 +243,13 @@ mod tests {
         assert_eq!(p.get(1), V3::Zero);
         assert_eq!(p.get(2), V3::One);
         assert_eq!(p.get(3), V3::X);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn lane_out_of_range_is_rejected() {
+        assert!(std::panic::catch_unwind(|| Pv64::splat(V3::X).get(64)).is_err());
+        assert!(std::panic::catch_unwind(|| Pv64::splat(V3::X).with(64, V3::One)).is_err());
     }
 
     #[test]

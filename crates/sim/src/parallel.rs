@@ -6,6 +6,7 @@ use fscan_fault::{Fault, FaultSite};
 use fscan_netlist::{Circuit, GateKind, NodeId};
 
 use crate::comb::CombEvaluator;
+use crate::counters::WorkCounters;
 use crate::packed::Pv64;
 use crate::seq::SeqSim;
 use crate::value::V3;
@@ -75,15 +76,37 @@ impl<'c> ParallelFaultSim<'c> {
         faults: &[Fault],
         good_outputs: &[Vec<V3>],
     ) -> Vec<Option<usize>> {
+        self.fault_sim_with_good_counted(vectors, init, faults, good_outputs)
+            .0
+    }
+
+    /// [`fault_sim_with_good`](Self::fault_sim_with_good) plus exact
+    /// [`WorkCounters`]: one `gate_evals` per packed gate evaluation,
+    /// `lane_cycles` = Σ active lanes per simulated cycle, one
+    /// `early_exits` per 64-lane word whose faults were all detected
+    /// before the vector set ran out.
+    ///
+    /// Every contribution is a function of one 64-fault word only, so
+    /// sums over any partition of the fault list (at word boundaries)
+    /// are identical — the property `fault_sim_sharded` relies on.
+    pub fn fault_sim_with_good_counted(
+        &self,
+        vectors: &[Vec<V3>],
+        init: &[V3],
+        faults: &[Fault],
+        good_outputs: &[Vec<V3>],
+    ) -> (Vec<Option<usize>>, WorkCounters) {
         let mut result = vec![None; faults.len()];
+        let mut counters = WorkCounters::ZERO;
         for (chunk_idx, chunk) in faults.chunks(64).enumerate() {
             let base = chunk_idx * 64;
-            let det = self.simulate_chunk(vectors, init, chunk, good_outputs);
+            let (det, work) = self.simulate_chunk(vectors, init, chunk, good_outputs);
             for (lane, d) in det.into_iter().enumerate() {
                 result[base + lane] = d;
             }
+            counters += work;
         }
-        result
+        (result, counters)
     }
 
     /// [`fault_sim`](Self::fault_sim) sharded across `threads` scoped
@@ -93,18 +116,24 @@ impl<'c> ParallelFaultSim<'c> {
     /// simulates whole 64-lane words, and verdicts are merged in fault
     /// order, so the result is identical to the serial
     /// [`fault_sim`](Self::fault_sim) for every thread count. Also
-    /// returns the work distribution for stage reports.
+    /// returns the work distribution and the summed [`WorkCounters`]
+    /// (good-machine run included), which are bit-identical for every
+    /// thread count because each word's contribution is chunk-local.
     pub fn fault_sim_sharded(
         &self,
         vectors: &[Vec<V3>],
         init: &[V3],
         faults: &[Fault],
         threads: usize,
-    ) -> (Vec<Option<usize>>, crate::pool::ShardStats) {
-        let good = SeqSim::new(self.circuit).run(vectors, init, None);
-        crate::pool::shard_map(threads, 64, faults, || (), |_, _, chunk| {
-            self.fault_sim_with_good(vectors, init, chunk, &good.outputs)
-        })
+    ) -> (Vec<Option<usize>>, crate::pool::ShardStats, WorkCounters) {
+        let good_sim = SeqSim::new(self.circuit);
+        let good = good_sim.run(vectors, init, None);
+        let (detections, stats, mut counters) =
+            crate::pool::shard_map_counted(threads, 64, faults, || (), |_, _, chunk| {
+                self.fault_sim_with_good_counted(vectors, init, chunk, &good.outputs)
+            });
+        counters += good_sim.work_for_cycles(good.outputs.len());
+        (detections, stats, counters)
     }
 
     fn simulate_chunk(
@@ -113,7 +142,7 @@ impl<'c> ParallelFaultSim<'c> {
         init: &[V3],
         chunk: &[Fault],
         good_outputs: &[Vec<V3>],
-    ) -> Vec<Option<usize>> {
+    ) -> (Vec<Option<usize>>, WorkCounters) {
         let c = self.circuit;
         let n_lanes = chunk.len() as u32;
         let full_mask: u64 = if n_lanes == 64 {
@@ -139,8 +168,11 @@ impl<'c> ParallelFaultSim<'c> {
         let mut state: Vec<Pv64> = init.iter().map(|&v| Pv64::splat(v)).collect();
         let mut detected_mask: u64 = 0;
         let mut detection = vec![None; chunk.len()];
+        let mut counters = WorkCounters::ZERO;
 
         for (t, vec_t) in vectors.iter().enumerate() {
+            counters.gate_evals += self.eval.order().len() as u64;
+            counters.lane_cycles += u64::from(n_lanes);
             // Drive inputs and state.
             for (&pi, &v) in c.inputs().iter().zip(vec_t.iter()) {
                 let mut w = Pv64::splat(v);
@@ -203,6 +235,9 @@ impl<'c> ParallelFaultSim<'c> {
                 }
             }
             if detected_mask == full_mask {
+                if t + 1 < vectors.len() {
+                    counters.early_exits += 1;
+                }
                 break;
             }
             // Clock flip-flops (branch faults on D pins injected here).
@@ -218,7 +253,7 @@ impl<'c> ParallelFaultSim<'c> {
                 *s = w;
             }
         }
-        detection
+        (detection, counters)
     }
 }
 
@@ -283,10 +318,16 @@ mod tests {
         let init = vec![V3::X; 8];
         let sim = ParallelFaultSim::new(&c);
         let reference = sim.fault_sim(&vectors, &init, &faults);
+        let mut reference_work = None;
         for threads in [1, 2, 3, 4, 0] {
-            let (sharded, stats) = sim.fault_sim_sharded(&vectors, &init, &faults, threads);
+            let (sharded, stats, work) = sim.fault_sim_sharded(&vectors, &init, &faults, threads);
             assert_eq!(sharded, reference, "threads = {threads}");
             assert_eq!(stats.items(), faults.len());
+            assert!(work.gate_evals > 0 && work.lane_cycles > 0);
+            // Work counters are per-64-lane-word sums: bit-identical for
+            // every thread count.
+            let expect = *reference_work.get_or_insert(work);
+            assert_eq!(work, expect, "threads = {threads}");
         }
     }
 

@@ -21,6 +21,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
+use crate::counters::WorkCounters;
+
 /// Resolves a configured worker count: `0` means one worker per
 /// available hardware thread.
 ///
@@ -142,6 +144,56 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize, &[T]) -> Vec<R> + Sync,
 {
+    let (out, stats, _) = shard_map_counted(threads, min_chunk, items, init, |state, base, chunk| {
+        (f(state, base, chunk), WorkCounters::ZERO)
+    });
+    (out, stats)
+}
+
+/// [`shard_map`] that additionally harvests [`WorkCounters`] from every
+/// chunk and returns their sum.
+///
+/// `f` returns `(results, counters)` per chunk. Because chunk geometry
+/// depends on the thread count, the counters a chunk reports must be an
+/// unordered sum of per-item (or, with `min_chunk == 64`, per-64-lane
+/// word) contributions; `u64` addition then makes the total identical
+/// for every thread count — the determinism the pipeline's BENCH
+/// counters rely on.
+///
+/// # Panics
+///
+/// Same contract as [`shard_map`].
+///
+/// # Examples
+///
+/// ```
+/// use fscan_sim::pool::shard_map_counted;
+/// use fscan_sim::WorkCounters;
+///
+/// let items: Vec<u64> = (0..100).collect();
+/// let (out, _, counters) = shard_map_counted(4, 8, &items, || (), |_, _, chunk| {
+///     let work = WorkCounters {
+///         gate_evals: chunk.iter().sum(),
+///         ..WorkCounters::ZERO
+///     };
+///     (chunk.to_vec(), work)
+/// });
+/// assert_eq!(out.len(), 100);
+/// assert_eq!(counters.gate_evals, (0..100).sum::<u64>());
+/// ```
+pub fn shard_map_counted<T, R, S, I, F>(
+    threads: usize,
+    min_chunk: usize,
+    items: &[T],
+    init: I,
+    f: F,
+) -> (Vec<R>, ShardStats, WorkCounters)
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &[T]) -> (Vec<R>, WorkCounters) + Sync,
+{
     let threads = resolve_threads(threads);
     let min_chunk = min_chunk.max(1);
     if items.is_empty() {
@@ -151,6 +203,7 @@ where
                 threads: 1,
                 per_worker: vec![0],
             },
+            WorkCounters::ZERO,
         );
     }
     // Fixed chunk geometry: ~4 chunks per worker for load balance, but
@@ -168,17 +221,19 @@ where
     if workers <= 1 {
         let mut state = init();
         let mut out = Vec::with_capacity(items.len());
+        let mut counters = WorkCounters::ZERO;
         for (ci, slice) in items.chunks(chunk).enumerate() {
-            let part = f(&mut state, ci * chunk, slice);
+            let (part, work) = f(&mut state, ci * chunk, slice);
             assert_eq!(part.len(), slice.len(), "shard_map: result/chunk mismatch");
             out.extend(part);
+            counters += work;
         }
-        return (out, ShardStats::serial(items.len()));
+        return (out, ShardStats::serial(items.len()), counters);
     }
 
-    // Per worker: items processed plus the (chunk index, results) pairs
-    // it pulled off the queue.
-    type WorkerHarvest<R> = (usize, Vec<(usize, Vec<R>)>);
+    // Per worker: items processed, accumulated counters, plus the
+    // (chunk index, results) pairs it pulled off the queue.
+    type WorkerHarvest<R> = (usize, WorkCounters, Vec<(usize, Vec<R>)>);
     let cursor = AtomicUsize::new(0);
     let mut harvest: Vec<WorkerHarvest<R>> = thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
@@ -187,6 +242,7 @@ where
                     let mut state = init();
                     let mut parts: Vec<(usize, Vec<R>)> = Vec::new();
                     let mut processed = 0usize;
+                    let mut counters = WorkCounters::ZERO;
                     loop {
                         let ci = cursor.fetch_add(1, Ordering::Relaxed);
                         if ci >= num_chunks {
@@ -194,12 +250,13 @@ where
                         }
                         let base = ci * chunk;
                         let slice = &items[base..(base + chunk).min(items.len())];
-                        let part = f(&mut state, base, slice);
+                        let (part, work) = f(&mut state, base, slice);
                         assert_eq!(part.len(), slice.len(), "shard_map: result/chunk mismatch");
                         processed += slice.len();
+                        counters += work;
                         parts.push((ci, part));
                     }
-                    (processed, parts)
+                    (processed, counters, parts)
                 })
             })
             .collect();
@@ -209,9 +266,10 @@ where
             .collect()
     });
 
-    let per_worker: Vec<usize> = harvest.iter().map(|(n, _)| *n).collect();
+    let per_worker: Vec<usize> = harvest.iter().map(|(n, _, _)| *n).collect();
+    let counters: WorkCounters = harvest.iter().map(|(_, c, _)| *c).sum();
     let mut slots: Vec<Option<Vec<R>>> = (0..num_chunks).map(|_| None).collect();
-    for (_, parts) in harvest.iter_mut() {
+    for (_, _, parts) in harvest.iter_mut() {
         for (ci, part) in parts.drain(..) {
             slots[ci] = Some(part);
         }
@@ -226,6 +284,7 @@ where
             threads: workers,
             per_worker,
         },
+        counters,
     )
 }
 
@@ -287,6 +346,30 @@ mod tests {
             chunk.to_vec()
         });
         assert_eq!(got, items);
+    }
+
+    #[test]
+    fn counted_totals_are_thread_invariant() {
+        // Per-item contributions summed per chunk: the totals must be
+        // bit-identical no matter how the chunks were cut or interleaved.
+        let items: Vec<u64> = (0..513).collect();
+        let expect = WorkCounters {
+            gate_evals: items.iter().map(|&x| x * x).sum(),
+            lane_cycles: items.len() as u64,
+            ..WorkCounters::ZERO
+        };
+        for threads in [1, 2, 4, 7] {
+            let (out, _, counters) = shard_map_counted(threads, 1, &items, || (), |_, _, chunk| {
+                let work = WorkCounters {
+                    gate_evals: chunk.iter().map(|&x| x * x).sum(),
+                    lane_cycles: chunk.len() as u64,
+                    ..WorkCounters::ZERO
+                };
+                (chunk.to_vec(), work)
+            });
+            assert_eq!(out, items, "threads = {threads}");
+            assert_eq!(counters, expect, "threads = {threads}");
+        }
     }
 
     #[test]

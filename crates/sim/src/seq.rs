@@ -4,6 +4,7 @@ use fscan_fault::Fault;
 use fscan_netlist::Circuit;
 
 use crate::comb::CombEvaluator;
+use crate::counters::WorkCounters;
 use crate::value::V3;
 
 /// The observable result of a sequential simulation run.
@@ -149,6 +150,21 @@ impl<'c> SeqSim<'c> {
         }
     }
 
+    /// Exact work performed by a run that simulated `cycles` cycles:
+    /// every ordered combinational node is evaluated once per cycle, and
+    /// a serial run covers exactly one fault lane per cycle.
+    ///
+    /// The count depends only on the circuit and the cycle count — never
+    /// on wall-clock or thread count — so it is safe to feed into the
+    /// deterministic [`WorkCounters`] aggregation.
+    pub fn work_for_cycles(&self, cycles: usize) -> WorkCounters {
+        WorkCounters {
+            gate_evals: cycles as u64 * self.eval.order().len() as u64,
+            lane_cycles: cycles as u64,
+            ..WorkCounters::ZERO
+        }
+    }
+
     /// Serial sequential fault simulation: for every fault, runs the
     /// whole sequence from state `init` and reports the first cycle of
     /// definite detection (`None` if undetected). Simulation of a fault
@@ -159,8 +175,20 @@ impl<'c> SeqSim<'c> {
         init: &[V3],
         faults: &[Fault],
     ) -> Vec<Option<usize>> {
+        self.fault_sim_counted(vectors, init, faults).0
+    }
+
+    /// [`SeqSim::fault_sim`] plus the exact [`WorkCounters`] of the good
+    /// run and every (early-stopping) faulty run.
+    pub fn fault_sim_counted(
+        &self,
+        vectors: &[Vec<V3>],
+        init: &[V3],
+        faults: &[Fault],
+    ) -> (Vec<Option<usize>>, WorkCounters) {
         let good = self.run(vectors, init, None);
-        faults
+        let mut counters = self.work_for_cycles(good.outputs.len());
+        let detections = faults
             .iter()
             .map(|&f| {
                 let mut hit = None;
@@ -177,10 +205,15 @@ impl<'c> SeqSim<'c> {
                         true
                     }
                 };
-                self.run_observed(vectors, init, Some(f), &mut on_cycle);
+                let trace = self.run_observed(vectors, init, Some(f), &mut on_cycle);
+                counters += self.work_for_cycles(trace.outputs.len());
+                if hit.is_some() && trace.outputs.len() < vectors.len() {
+                    counters.early_exits += 1;
+                }
                 hit
             })
-            .collect()
+            .collect();
+        (detections, counters)
     }
 }
 

@@ -1,7 +1,14 @@
 //! The work-sharded pipeline engine must be invisible in the results:
-//! every report and every emitted test vector is bit-identical whatever
-//! the worker count, and classification counts cannot depend on the
-//! order faults arrive in.
+//! every report, every emitted test vector, and every work counter is
+//! bit-identical whatever the worker count, and classification counts
+//! cannot depend on the order faults arrive in.
+//!
+//! Pipeline runs are expensive, so each `(seed, threads)` configuration
+//! runs exactly once (lazily, on first use) and every test reads from
+//! the shared cache.
+
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
 
 use proptest::prelude::*;
 
@@ -10,12 +17,15 @@ use fscan_fault::{all_faults, collapse, Fault};
 use fscan_netlist::{generate, GeneratorConfig};
 use fscan_scan::{insert_functional_scan, ScanDesign, TpiConfig};
 
+const SEEDS: [u64; 2] = [11, 29];
+const THREADS: [usize; 3] = [1, 2, 4];
+
 fn design_for_seed(seed: u64) -> ScanDesign {
     let circuit = generate(
         &GeneratorConfig::new(format!("det{seed}"), seed)
             .inputs(10)
-            .gates(220)
-            .dffs(16),
+            .gates(180)
+            .dffs(12),
     );
     insert_functional_scan(&circuit, &TpiConfig::default()).expect("scan insertion")
 }
@@ -30,6 +40,22 @@ fn run_with_threads(design: &ScanDesign, threads: usize) -> PipelineReport {
         .alternating()
         .comb()
         .seq()
+}
+
+/// One pipeline run per `(seed, threads)` pair, shared by every test in
+/// this binary.
+fn reports() -> &'static BTreeMap<(u64, usize), PipelineReport> {
+    static REPORTS: OnceLock<BTreeMap<(u64, usize), PipelineReport>> = OnceLock::new();
+    REPORTS.get_or_init(|| {
+        let mut map = BTreeMap::new();
+        for seed in SEEDS {
+            let design = design_for_seed(seed);
+            for threads in THREADS {
+                map.insert((seed, threads), run_with_threads(&design, threads));
+            }
+        }
+        map
+    })
 }
 
 /// Everything observable about a report except wall-clock times and the
@@ -69,22 +95,58 @@ fn assert_reports_identical(a: &PipelineReport, b: &PipelineReport) {
     }
 }
 
-/// The tentpole guarantee: `threads = 1` and `threads = 4` produce
-/// bit-identical pipeline reports — counts, detection curve, and the
-/// full test program — on two different generated circuits.
+/// The tentpole guarantee: every thread count produces bit-identical
+/// pipeline reports — counts, detection curve, and the full test
+/// program — on two different generated circuits.
 #[test]
 fn reports_are_identical_across_thread_counts() {
-    for seed in [11u64, 29] {
-        let design = design_for_seed(seed);
-        let serial = run_with_threads(&design, 1);
-        let parallel = run_with_threads(&design, 4);
-        assert_reports_identical(&serial, &parallel);
+    let reports = reports();
+    for seed in SEEDS {
+        let serial = &reports[&(seed, 1)];
+        for threads in THREADS.into_iter().skip(1) {
+            assert_reports_identical(serial, &reports[&(seed, threads)]);
+        }
         // The sharded run really distributed the work.
+        let parallel = &reports[&(seed, 4)];
         assert_eq!(parallel.classification.shards.threads, 4);
         assert_eq!(
             parallel.classification.shards.items(),
             parallel.classification.total
         );
+    }
+}
+
+/// Work counters count *work items*, never time or scheduling, so every
+/// single counter of every stage must be bit-identical for threads
+/// ∈ {1, 2, 4} — the determinism contract behind `BENCH_pipeline.json`.
+#[test]
+fn work_counters_are_bit_identical_across_thread_counts() {
+    let reports = reports();
+    for seed in SEEDS {
+        let serial = &reports[&(seed, 1)];
+        // The pipeline did measurable work in the phases that always
+        // run (step 2/3 work can legitimately be zero when nothing
+        // reaches them).
+        let total = serial.total_counters();
+        assert!(total.implication_events > 0, "classification did no work");
+        assert!(total.gate_evals > 0, "simulation did no work");
+        assert!(total.lane_cycles > 0, "fault simulation did no work");
+        assert!(total.podem_decisions > 0, "step 2 made no PODEM decisions");
+        assert!(total.windows_formed > 0, "step 2 formed no windows");
+        for threads in THREADS.into_iter().skip(1) {
+            let parallel = &reports[&(seed, threads)];
+            for ((stage_a, a), (stage_b, b)) in serial
+                .stage_counters()
+                .into_iter()
+                .zip(parallel.stage_counters())
+            {
+                assert_eq!(stage_a, stage_b);
+                assert_eq!(
+                    a, b,
+                    "stage {stage_a} counters differ between threads 1 and {threads} (seed {seed})"
+                );
+            }
+        }
     }
 }
 
@@ -136,5 +198,9 @@ proptest! {
         prop_assert_eq!(original.total, permuted.total);
         prop_assert_eq!(original.easy, permuted.easy);
         prop_assert_eq!(original.hard, permuted.hard);
+        // Counters, like counts, are a set property: the permuted run
+        // must do exactly the same total work.
+        prop_assert_eq!(original.counters, permuted.counters);
     }
 }
+
