@@ -1,0 +1,148 @@
+//! Gate-evaluation regression checking against a committed baseline.
+//!
+//! `BENCH_baseline.json` (a [`bench_json`](crate::bench_json) snapshot
+//! committed to the repository) records the per-circuit total
+//! `gate_evals` of a known-good build. [`check_regression`] compares a
+//! fresh snapshot against it and flags every circuit whose total grew
+//! beyond a tolerance — the CI guard that keeps the event-driven
+//! simulator's incremental-work win from silently eroding.
+
+/// Extracts `(circuit name, total gate_evals)` pairs from a
+/// [`bench_json`](crate::bench_json)-formatted snapshot.
+///
+/// Only the `total_counters` block of each circuit is consulted; the
+/// per-stage counters (which also contain `gate_evals` keys) are
+/// skipped. The parser is deliberately line-oriented — the emitter
+/// writes one key per line and this keeps the checker free of any JSON
+/// dependency.
+///
+/// # Examples
+///
+/// ```
+/// use fscan_bench::baseline::parse_gate_evals;
+///
+/// let json = r#"{
+///   "circuits": [
+///     {
+///       "name": "s5378",
+///       "stages": [
+///         {
+///           "counters": {
+///             "gate_evals": 11
+///           }
+///         }
+///       ],
+///       "total_counters": {
+///         "gate_evals": 42
+///       }
+///     }
+///   ]
+/// }"#;
+/// assert_eq!(parse_gate_evals(json).unwrap(), vec![("s5378".to_string(), 42)]);
+/// ```
+pub fn parse_gate_evals(json: &str) -> Result<Vec<(String, u64)>, String> {
+    let mut out = Vec::new();
+    let mut name: Option<String> = None;
+    let mut in_totals = false;
+    for line in json.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("\"name\": \"") {
+            let n = rest
+                .strip_suffix("\",")
+                .or_else(|| rest.strip_suffix('"'))
+                .ok_or_else(|| format!("malformed name line: {line}"))?;
+            name = Some(n.to_string());
+            in_totals = false;
+        } else if line.starts_with("\"total_counters\"") {
+            in_totals = true;
+        } else if in_totals {
+            if let Some(rest) = line.strip_prefix("\"gate_evals\": ") {
+                let v: u64 = rest
+                    .trim_end_matches(',')
+                    .parse()
+                    .map_err(|_| format!("malformed gate_evals line: {line}"))?;
+                let n = name
+                    .clone()
+                    .ok_or_else(|| "total_counters before any circuit name".to_string())?;
+                out.push((n, v));
+                in_totals = false;
+            }
+        }
+    }
+    if out.is_empty() {
+        return Err("no circuits with total_counters found".into());
+    }
+    Ok(out)
+}
+
+/// Compares a fresh snapshot against a baseline: every circuit present
+/// in both must keep its total `gate_evals` within
+/// `baseline × (1 + tolerance_pct / 100)`.
+///
+/// Returns one human-readable line per regressing circuit (empty =
+/// pass). Circuits present only on one side are ignored, so a baseline
+/// covering one circuit still guards partial runs.
+pub fn check_regression(
+    baseline: &[(String, u64)],
+    current: &[(String, u64)],
+    tolerance_pct: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (name, base) in baseline {
+        let Some((_, cur)) = current.iter().find(|(n, _)| n == name) else {
+            continue;
+        };
+        let limit = *base as f64 * (1.0 + tolerance_pct / 100.0);
+        if *cur as f64 > limit {
+            failures.push(format!(
+                "{name}: gate_evals {cur} exceeds baseline {base} by {:+.1}% (tolerance {tolerance_pct}%)",
+                100.0 * (*cur as f64 / (*base).max(1) as f64 - 1.0)
+            ));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_json;
+    use crate::suite::PAPER_SUITE;
+    use crate::tables::run_pipeline;
+
+    fn pairs(v: &[(&str, u64)]) -> Vec<(String, u64)> {
+        v.iter().map(|(n, c)| (n.to_string(), *c)).collect()
+    }
+
+    #[test]
+    fn parses_real_emitter_output() {
+        let report = run_pipeline(&PAPER_SUITE[0], 0.05);
+        let total = report.total_counters().gate_evals;
+        let json = bench_json(&[report], 0.05, 1);
+        let parsed = parse_gate_evals(&json).unwrap();
+        assert_eq!(parsed, vec![("s1196".to_string(), total)]);
+    }
+
+    #[test]
+    fn flags_only_regressions_beyond_tolerance() {
+        let base = pairs(&[("a", 1000), ("b", 1000), ("c", 1000)]);
+        let cur = pairs(&[("a", 1049), ("b", 1051), ("d", 9999)]);
+        let failures = check_regression(&base, &cur, 5.0);
+        // `a` is within 5%, `b` is over, `c`/`d` are unmatched.
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].starts_with("b:"), "{failures:?}");
+    }
+
+    #[test]
+    fn improvements_always_pass() {
+        let base = pairs(&[("a", 1000)]);
+        let cur = pairs(&[("a", 200)]);
+        assert!(check_regression(&base, &cur, 0.0).is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_gate_evals("{}").is_err());
+        assert!(parse_gate_evals("\"total_counters\": {\n\"gate_evals\": 3\n").is_err());
+    }
+}

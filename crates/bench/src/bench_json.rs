@@ -38,29 +38,22 @@ pub fn bench_json(reports: &[PipelineReport], scale: f64, threads: usize) -> Str
             r.classification.affected()
         ));
         out.push_str(&format!("      \"undetected\": {},\n", r.undetected()));
-        let wall: f64 = r
-            .stage_timings()
-            .iter()
-            .map(|(_, d, _)| d.as_secs_f64())
-            .sum();
+        let stages = r.stages();
+        let wall: f64 = stages.iter().map(|(_, m)| m.cpu.as_secs_f64()).sum();
         out.push_str(&format!("      \"wall_s\": {},\n", float(wall)));
         out.push_str("      \"stages\": [\n");
-        let timings = r.stage_timings();
-        let counters = r.stage_counters();
-        for (si, ((stage, wall, shards), (_, work))) in
-            timings.iter().zip(counters.iter()).enumerate()
-        {
+        for (si, (stage, m)) in stages.iter().enumerate() {
             out.push_str("        {\n");
             out.push_str(&format!("          \"stage\": \"{stage}\",\n"));
             out.push_str(&format!(
                 "          \"wall_s\": {},\n",
-                float(wall.as_secs_f64())
+                float(m.cpu.as_secs_f64())
             ));
-            out.push_str(&format!("          \"items\": {},\n", shards.items()));
+            out.push_str(&format!("          \"items\": {},\n", m.shards.items()));
             out.push_str("          \"counters\": {\n");
-            push_counters(&mut out, "            ", work);
+            push_counters(&mut out, "            ", &m.counters);
             out.push_str("          }\n");
-            out.push_str(if si + 1 < timings.len() {
+            out.push_str(if si + 1 < stages.len() {
                 "        },\n"
             } else {
                 "        }\n"

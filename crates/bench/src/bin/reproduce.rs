@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! reproduce [table1|table2|table3|figure5|timing|all] [--scale F] [--only NAME] [--threads N] [--json [PATH]]
+//! reproduce check-baseline BASELINE.json CURRENT.json [--tolerance PCT]
 //! ```
 //!
 //! `--scale` shrinks every suite circuit proportionally (default 0.125,
@@ -16,6 +17,10 @@
 //! `PATH`): per-circuit, per-stage deterministic work counters plus
 //! wall-clock. Every counter is bit-identical across thread counts, so
 //! stripping the `wall_s` lines yields thread-invariant output.
+//!
+//! `check-baseline` compares the per-circuit total `gate_evals` of a
+//! fresh snapshot against a committed baseline and fails if any circuit
+//! regressed beyond the tolerance (default 5%).
 
 use std::env;
 use std::process::ExitCode;
@@ -138,9 +143,10 @@ fn print_timing(reports: &[PipelineReport]) {
     );
     for r in reports {
         let mut total = 0.0;
-        for (stage, wall, shards) in r.stage_timings() {
-            total += wall.as_secs_f64();
-            let counts = shards
+        for (stage, m) in r.stages() {
+            total += m.cpu.as_secs_f64();
+            let counts = m
+                .shards
                 .per_worker
                 .iter()
                 .map(usize::to_string)
@@ -150,9 +156,9 @@ fn print_timing(reports: &[PipelineReport]) {
                 "{:<10} {:<12} {:>8.2}s {:>8} {:>8}  [{}]",
                 r.name,
                 stage,
-                wall.as_secs_f64(),
-                shards.threads,
-                shards.items(),
+                m.cpu.as_secs_f64(),
+                m.shards.threads,
+                m.shards.items(),
                 counts
             );
         }
@@ -293,13 +299,70 @@ fn print_figure5(reports: &[PipelineReport]) {
     }
 }
 
+/// `check-baseline BASELINE CURRENT [--tolerance PCT]`: compares the
+/// per-circuit total `gate_evals` of two `bench_json` snapshots.
+fn check_baseline(args: &[String]) -> ExitCode {
+    let mut files = Vec::new();
+    let mut tolerance = 5.0f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--tolerance" {
+            let Some(v) = it.next().and_then(|v| v.parse().ok()) else {
+                eprintln!("error: --tolerance needs a numeric value");
+                return ExitCode::FAILURE;
+            };
+            tolerance = v;
+        } else {
+            files.push(arg.clone());
+        }
+    }
+    let [base_path, cur_path] = files.as_slice() else {
+        eprintln!("usage: reproduce check-baseline BASELINE.json CURRENT.json [--tolerance PCT]");
+        return ExitCode::FAILURE;
+    };
+    let read_evals = |path: &str| -> Result<Vec<(String, u64)>, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        fscan_bench::parse_gate_evals(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (base, cur) = match (read_evals(base_path), read_evals(cur_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for (name, evals) in &cur {
+        match base.iter().find(|(n, _)| n == name) {
+            Some((_, b)) => println!(
+                "{name}: gate_evals {evals} vs baseline {b} ({:+.1}%)",
+                100.0 * (*evals as f64 / (*b).max(1) as f64 - 1.0)
+            ),
+            None => println!("{name}: gate_evals {evals} (no baseline entry)"),
+        }
+    }
+    let failures = fscan_bench::check_regression(&base, &cur, tolerance);
+    if failures.is_empty() {
+        println!("baseline check passed (tolerance {tolerance}%)");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("REGRESSION {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
+    let argv: Vec<String> = env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("check-baseline") {
+        return check_baseline(&argv[1..]);
+    }
     let opts = match parse_args() {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: reproduce [table1|table2|table3|figure5|timing|all] [--scale F] [--only NAME] [--threads N] [--json [PATH]]"
+                "usage: reproduce [table1|table2|table3|figure5|timing|all] [--scale F] [--only NAME] [--threads N] [--json [PATH]]\n       reproduce check-baseline BASELINE.json CURRENT.json [--tolerance PCT]"
             );
             return ExitCode::FAILURE;
         }

@@ -21,10 +21,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod bench_json;
 pub mod suite;
 pub mod tables;
 
+pub use baseline::{check_regression, parse_gate_evals};
 pub use bench_json::bench_json;
 pub use suite::{build_circuit, build_design, scaled_config, SuiteCircuit, PAPER_SUITE};
 pub use tables::{

@@ -160,11 +160,7 @@ pub fn run_pipeline_with(
     config: PipelineConfig,
 ) -> PipelineReport {
     let design = build_design(circuit, scale);
-    PipelineSession::new(&design, config)
-        .classify()
-        .alternating()
-        .comb()
-        .seq()
+    PipelineSession::new(&design, config).run()
 }
 
 /// Table 2 row from a pipeline report.
@@ -174,7 +170,7 @@ pub fn table2(report: &PipelineReport) -> Table2Row {
         total: report.total_faults,
         easy: report.classification.easy,
         hard: report.classification.hard,
-        cpu: report.classification.cpu + report.alternating.cpu,
+        cpu: report.classification.metrics.cpu + report.alternating.metrics.cpu,
     }
 }
 
@@ -185,13 +181,13 @@ pub fn table3(report: &PipelineReport) -> Table3Row {
         comb_detected: report.comb.detected,
         comb_undetectable: report.comb.undetectable,
         comb_undetected: report.comb.undetected,
-        comb_cpu: report.comb.cpu,
+        comb_cpu: report.comb.metrics.cpu,
         circuits_initial: report.seq.circuits_initial,
         circuits_final: report.seq.circuits_final,
         seq_detected: report.seq.detected,
         seq_undetectable: report.seq.undetectable,
         seq_undetected: report.seq.undetected,
-        seq_cpu: report.seq.cpu,
+        seq_cpu: report.seq.metrics.cpu,
     }
 }
 

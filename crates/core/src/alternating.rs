@@ -5,7 +5,7 @@ use std::time::{Duration, Instant};
 
 use fscan_fault::Fault;
 use fscan_scan::ScanDesign;
-use fscan_sim::{ParallelFaultSim, ShardStats, V3, WorkCounters};
+use fscan_sim::{ParallelFaultSim, ShardStats, StageMetrics, V3, WorkCounters};
 
 use crate::sequences::scan_vector_layout;
 
@@ -56,13 +56,11 @@ pub struct AlternatingReport {
     pub missed_easy: usize,
     /// Cycles simulated.
     pub cycles: usize,
-    /// Wall-clock time.
-    pub cpu: Duration,
-    /// Work distribution across fault-simulation workers.
-    pub shards: ShardStats,
-    /// Deterministic work counters (gate evaluations, lane·cycles) —
-    /// bit-identical for every thread count.
-    pub counters: WorkCounters,
+    /// The stage's cost triple: wall-clock time, work distribution
+    /// across fault-simulation workers, and deterministic work counters
+    /// (gate evaluations, lane·cycles — bit-identical for every thread
+    /// count).
+    pub metrics: StageMetrics,
 }
 
 impl fmt::Display for AlternatingReport {
@@ -70,7 +68,11 @@ impl fmt::Display for AlternatingReport {
         write!(
             f,
             "alternating sequence: {}/{} detected over {} cycles ({} easy missed), {:.2}s",
-            self.detected, self.targeted, self.cycles, self.missed_easy, self.cpu.as_secs_f64()
+            self.detected,
+            self.targeted,
+            self.cycles,
+            self.missed_easy,
+            self.metrics.cpu.as_secs_f64()
         )
     }
 }
@@ -95,6 +97,13 @@ impl<'d> AlternatingPhase<'d> {
     /// The input sequence used.
     pub fn vectors(&self) -> &[Vec<V3>] {
         &self.vectors
+    }
+
+    /// Consumes the phase and yields the input sequence by value, so a
+    /// caller that is done simulating can keep the vectors without
+    /// cloning them.
+    pub fn into_vectors(self) -> Vec<Vec<V3>> {
+        self.vectors
     }
 
     /// Fault-simulates the sequence; `results[i]` is the first cycle at

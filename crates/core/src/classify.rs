@@ -2,12 +2,13 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::time::Duration;
 
 use fscan_fault::{Fault, FaultSite};
 use fscan_netlist::{GateKind, NodeId};
 use fscan_scan::ScanDesign;
-use fscan_sim::{shard_map_counted, CombEvaluator, ImplicationEngine, ShardStats, V3, WorkCounters};
+use fscan_sim::{
+    shard_map_counted, CombEvaluator, ImplicationEngine, ShardStats, StageMetrics, V3, WorkCounters,
+};
 
 /// The paper's three fault categories.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -75,13 +76,10 @@ pub struct ClassifySummary {
     pub easy: usize,
     /// Category-2 faults (`f_hard`).
     pub hard: usize,
-    /// Wall-clock time spent classifying.
-    pub cpu: Duration,
-    /// Work distribution across classifier workers.
-    pub shards: ShardStats,
-    /// Deterministic work counters (implication events, cone sizes) —
-    /// bit-identical for every thread count.
-    pub counters: WorkCounters,
+    /// The stage's cost triple: wall-clock, work distribution across
+    /// classifier workers, and deterministic work counters (implication
+    /// events, cone sizes — bit-identical for every thread count).
+    pub metrics: StageMetrics,
 }
 
 impl ClassifySummary {
@@ -101,7 +99,7 @@ impl fmt::Display for ClassifySummary {
             100.0 * self.easy as f64 / self.total.max(1) as f64,
             self.hard,
             100.0 * self.hard as f64 / self.total.max(1) as f64,
-            self.cpu.as_secs_f64()
+            self.metrics.cpu.as_secs_f64()
         )
     }
 }

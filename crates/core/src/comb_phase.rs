@@ -3,13 +3,13 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use fscan_atpg::{AtpgOutcome, Podem, PodemConfig};
 use fscan_fault::Fault;
 use fscan_netlist::NodeId;
 use fscan_scan::ScanDesign;
-use fscan_sim::{ParallelFaultSim, ShardStats, V3, WorkCounters};
+use fscan_sim::{ParallelFaultSim, ShardStats, StageMetrics, V3, WorkCounters};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -36,17 +36,14 @@ pub struct CombPhaseReport {
     /// Cumulative detections per simulated window: `(window, detected)`
     /// — the paper's Figure 5 series.
     pub detection_curve: Vec<(usize, usize)>,
-    /// Wall-clock time.
-    pub cpu: Duration,
-    /// Work distribution across confirmation-simulation workers
-    /// (aggregated over all windows; the PODEM loop itself is serial
-    /// because fault-dropping makes it order-dependent).
-    pub shards: ShardStats,
-    /// Deterministic work counters (PODEM decisions/backtracks/aborts,
-    /// confirmation-simulation gate evaluations, windows formed,
-    /// fault-dropping early exits) — bit-identical for every thread
-    /// count.
-    pub counters: WorkCounters,
+    /// The stage's cost triple: wall-clock time, work distribution
+    /// across confirmation-simulation workers (aggregated over all
+    /// windows; the PODEM loop itself is serial because fault-dropping
+    /// makes it order-dependent), and deterministic work counters
+    /// (PODEM decisions/backtracks/aborts, confirmation-simulation gate
+    /// evaluations, windows formed, fault-dropping early exits —
+    /// bit-identical for every thread count).
+    pub metrics: StageMetrics,
 }
 
 impl fmt::Display for CombPhaseReport {
@@ -60,7 +57,7 @@ impl fmt::Display for CombPhaseReport {
             self.undetected,
             self.vectors,
             self.cycles,
-            self.cpu.as_secs_f64()
+            self.metrics.cpu.as_secs_f64()
         )
     }
 }
@@ -294,9 +291,7 @@ impl<'d> CombPhase<'d> {
             vectors: windows,
             cycles: windows * window_len,
             detection_curve: curve,
-            cpu: start.elapsed(),
-            shards,
-            counters,
+            metrics: StageMetrics::new(start.elapsed(), shards, counters),
         };
         CombPhaseOutcome {
             report,
@@ -471,7 +466,7 @@ mod tests {
         assert_eq!(serial.remaining, parallel.remaining);
         assert_eq!(serial.report.detection_curve, parallel.report.detection_curve);
         assert_eq!(
-            serial.report.counters, parallel.report.counters,
+            serial.report.metrics.counters, parallel.report.metrics.counters,
             "work counters must not depend on threads"
         );
         assert_eq!(serial.program.len(), parallel.program.len());

@@ -88,14 +88,14 @@ fn detects_per_test(
 /// # Examples
 ///
 /// ```no_run
-/// use fscan::{compact_program, Pipeline, PipelineConfig};
+/// use fscan::{compact_program, PipelineConfig, PipelineSession};
 /// use fscan_fault::{all_faults, collapse};
 /// use fscan_netlist::{generate, GeneratorConfig};
 /// use fscan_scan::{insert_functional_scan, TpiConfig};
 ///
 /// let circuit = generate(&GeneratorConfig::new("d", 1).gates(150).dffs(10));
 /// let design = insert_functional_scan(&circuit, &TpiConfig::default())?;
-/// let report = Pipeline::new(&design, PipelineConfig::default()).run();
+/// let report = PipelineSession::new(&design, PipelineConfig::default()).run();
 /// let faults = collapse(design.circuit(), &all_faults(design.circuit()));
 /// let result = compact_program(&design, &report.program, &faults);
 /// assert_eq!(result.detections_lost(), 0);
@@ -170,7 +170,7 @@ pub fn truncate_to_coverage(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::{Pipeline, PipelineConfig};
+    use crate::pipeline::{PipelineConfig, PipelineSession};
     use crate::classify::{classify_faults, Category};
     use fscan_fault::{all_faults, collapse};
     use fscan_netlist::{generate, GeneratorConfig};
@@ -179,7 +179,7 @@ mod tests {
     fn setup() -> (fscan_scan::ScanDesign, TestProgram, Vec<Fault>) {
         let circuit = generate(&GeneratorConfig::new("cmp", 9).gates(120).dffs(8));
         let design = insert_functional_scan(&circuit, &TpiConfig::default()).unwrap();
-        let report = Pipeline::new(&design, PipelineConfig::default()).run();
+        let report = PipelineSession::new(&design, PipelineConfig::default()).run();
         let faults = collapse(design.circuit(), &all_faults(design.circuit()));
         let affected: Vec<Fault> = classify_faults(&design, &faults)
             .into_iter()

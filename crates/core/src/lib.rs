@@ -23,9 +23,13 @@
 //!    affected location is controllable, after the last is observable —
 //!    grouped by `LARGE_DIST` / `MED_DIST` / `DIST`.
 //!
-//! [`Pipeline`] chains all steps and produces the per-step reports that
-//! regenerate the paper's Tables 2–3 and Figure 5, plus the emitted
-//! [`TestProgram`]. Around the core flow:
+//! [`PipelineSession`] chains all steps — with an inspectable,
+//! editable checkpoint between each pair — and produces the per-step
+//! reports that regenerate the paper's Tables 2–3 and Figure 5, plus
+//! the emitted [`TestProgram`]. Every report carries its cost as a
+//! [`fscan_sim::StageMetrics`] triple (wall-clock, shard distribution,
+//! deterministic work counters), collected per run by
+//! [`PipelineReport::stages`]. Around the core flow:
 //!
 //! * [`compact_program`] / [`truncate_to_coverage`] — test-set
 //!   compaction (the paper's §6 reduction observation);
@@ -37,11 +41,11 @@
 //! ```
 //! use fscan_netlist::{generate, GeneratorConfig};
 //! use fscan_scan::{insert_functional_scan, TpiConfig};
-//! use fscan::{Pipeline, PipelineConfig};
+//! use fscan::{PipelineConfig, PipelineSession};
 //!
 //! let circuit = generate(&GeneratorConfig::new("demo", 1).gates(100).dffs(8));
 //! let design = insert_functional_scan(&circuit, &TpiConfig::default())?;
-//! let report = Pipeline::new(&design, PipelineConfig::default()).run();
+//! let report = PipelineSession::new(&design, PipelineConfig::default()).run();
 //! assert_eq!(
 //!     report.classification.affected(),
 //!     report.classification.easy + report.classification.hard
@@ -71,9 +75,11 @@ pub use comb_phase::{CombPhase, CombPhaseOutcome, CombPhaseReport};
 pub use compact::{compact_program, truncate_to_coverage, CompactionResult};
 pub use diagnosis::{diagnose_chain, DiagnosisCandidate};
 pub use pipeline::{
-    AfterAlternating, AfterComb, Classified, ConfigError, Pipeline, PipelineConfig,
-    PipelineConfigBuilder, PipelineReport, PipelineSession,
+    AfterAlternating, AfterComb, Classified, ConfigError, PipelineConfig, PipelineConfigBuilder,
+    PipelineReport, PipelineSession,
 };
+#[allow(deprecated)]
+pub use pipeline::Pipeline;
 pub use program::{ScanTest, TestProgram};
 pub use seq_phase::{DistParams, SeqPhase, SeqPhaseReport};
 pub use sequences::{scan_load_vectors, scan_vector_layout, ScanSequence};

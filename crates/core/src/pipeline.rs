@@ -1,17 +1,18 @@
 //! The end-to-end functional scan chain testing pipeline.
 //!
-//! The flow is exposed at two levels:
-//!
-//! * [`PipelineSession`] — the staged API. Each step returns a typed
-//!   checkpoint ([`Classified`] → [`AfterAlternating`] → [`AfterComb`]
-//!   → [`PipelineReport`]) whose fault sets can be inspected or
-//!   modified before the next step runs.
-//! * [`Pipeline`] — a thin compatibility wrapper running all four
-//!   stages back to back.
+//! The flow is exposed through [`PipelineSession`], the staged API.
+//! Each step returns a typed checkpoint ([`Classified`] →
+//! [`AfterAlternating`] → [`AfterComb`] → [`PipelineReport`]) whose
+//! fault sets can be inspected or modified before the next step runs;
+//! [`PipelineSession::run`] chains all four steps when no checkpoint
+//! access is needed. (The older [`Pipeline`] wrapper is deprecated in
+//! favour of the session.)
 //!
 //! Every fault-parallel stage shards its work across
 //! [`PipelineConfig::threads`] workers with deterministic merging, so
-//! reports are bit-identical regardless of thread count.
+//! reports are bit-identical regardless of thread count. Each stage
+//! reports its cost as a [`StageMetrics`] triple, collected per report
+//! by [`PipelineReport::stages`].
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -20,7 +21,7 @@ use std::time::Instant;
 use fscan_atpg::{PodemConfig, SeqAtpgConfig};
 use fscan_fault::{all_faults, collapse, Fault};
 use fscan_scan::ScanDesign;
-use fscan_sim::{ShardStats, WorkCounters};
+use fscan_sim::{ShardStats, StageMetrics, WorkCounters};
 
 use crate::alternating::{AlternatingPhase, AlternatingReport};
 use crate::classify::{
@@ -237,32 +238,36 @@ impl PipelineReport {
         self.seq.undetected as f64 / self.classification.affected().max(1) as f64
     }
 
-    /// Per-stage wall-clock and worker distribution, in flow order —
-    /// the rows of the reproduction's timing table.
-    pub fn stage_timings(&self) -> [(&'static str, std::time::Duration, &ShardStats); 4] {
+    /// Per-stage cost [`StageMetrics`] (wall-clock, worker
+    /// distribution, deterministic work counters), in flow order — the
+    /// single accessor behind the reproduction's timing table and the
+    /// BENCH trajectory.
+    pub fn stages(&self) -> [(&'static str, &StageMetrics); 4] {
         [
-            ("classify", self.classification.cpu, &self.classification.shards),
-            ("alternating", self.alternating.cpu, &self.alternating.shards),
-            ("comb", self.comb.cpu, &self.comb.shards),
-            ("seq", self.seq.cpu, &self.seq.shards),
+            ("classify", &self.classification.metrics),
+            ("alternating", &self.alternating.metrics),
+            ("comb", &self.comb.metrics),
+            ("seq", &self.seq.metrics),
         ]
+    }
+
+    /// Per-stage wall-clock and worker distribution, in flow order.
+    #[deprecated(note = "use `stages()`; the triple now lives in `StageMetrics`")]
+    pub fn stage_timings(&self) -> [(&'static str, std::time::Duration, &ShardStats); 4] {
+        self.stages().map(|(name, m)| (name, m.cpu, &m.shards))
     }
 
     /// Per-stage deterministic work counters, in flow order. Unlike the
     /// wall-clock numbers these count work items, so they are
     /// bit-identical for every thread count.
+    #[deprecated(note = "use `stages()`; the triple now lives in `StageMetrics`")]
     pub fn stage_counters(&self) -> [(&'static str, WorkCounters); 4] {
-        [
-            ("classify", self.classification.counters),
-            ("alternating", self.alternating.counters),
-            ("comb", self.comb.counters),
-            ("seq", self.seq.counters),
-        ]
+        self.stages().map(|(name, m)| (name, m.counters))
     }
 
     /// Sum of every stage's [`WorkCounters`].
     pub fn total_counters(&self) -> WorkCounters {
-        self.stage_counters().iter().map(|(_, c)| *c).sum()
+        self.stages().iter().map(|(_, m)| m.counters).sum()
     }
 }
 
@@ -353,10 +358,16 @@ impl<'d> PipelineSession<'d> {
             config: self.config,
             total_faults: self.faults.len(),
             classified,
-            cpu: start.elapsed(),
-            shards,
-            counters,
+            metrics: StageMetrics::new(start.elapsed(), shards, counters),
         }
+    }
+
+    /// Runs all four stages back to back and returns the final report —
+    /// the one-call form of
+    /// `self.classify().alternating().comb().seq()` for callers that
+    /// need no checkpoint access.
+    pub fn run(self) -> PipelineReport {
+        self.classify().alternating().comb().seq()
     }
 }
 
@@ -370,9 +381,7 @@ pub struct Classified<'d> {
     total_faults: usize,
     /// Per-fault classification results.
     pub classified: Vec<ClassifiedFault>,
-    cpu: std::time::Duration,
-    shards: ShardStats,
-    counters: WorkCounters,
+    metrics: StageMetrics,
 }
 
 impl<'d> Classified<'d> {
@@ -391,9 +400,7 @@ impl<'d> Classified<'d> {
                 .iter()
                 .filter(|c| c.category == Category::Hard)
                 .count(),
-            cpu: self.cpu,
-            shards: self.shards.clone(),
-            counters: self.counters,
+            metrics: self.metrics.clone(),
         }
     }
 
@@ -431,9 +438,7 @@ impl<'d> Classified<'d> {
             detected: detected.len(),
             missed_easy: missed_easy.len(),
             cycles: phase.vectors().len(),
-            cpu,
-            shards,
-            counters,
+            metrics: StageMetrics::new(cpu, shards, counters),
         };
         AfterAlternating {
             design: self.design,
@@ -442,7 +447,7 @@ impl<'d> Classified<'d> {
             classified: self.classified,
             summary,
             report,
-            vectors: phase.vectors().to_vec(),
+            vectors: phase.into_vectors(),
             detected,
             missed_easy,
         }
@@ -596,12 +601,16 @@ impl<'d> AfterComb<'d> {
 /// # Examples
 ///
 /// See the crate-level example.
+#[deprecated(
+    note = "use `PipelineSession::new(design, config).run()` (or step through the checkpoints)"
+)]
 #[derive(Clone, Debug)]
 pub struct Pipeline<'d> {
     design: &'d ScanDesign,
     config: PipelineConfig,
 }
 
+#[allow(deprecated)]
 impl<'d> Pipeline<'d> {
     /// Creates a pipeline over a scan design.
     pub fn new(design: &'d ScanDesign, config: PipelineConfig) -> Pipeline<'d> {
@@ -610,20 +619,12 @@ impl<'d> Pipeline<'d> {
 
     /// Runs the whole flow on the design's collapsed fault universe.
     pub fn run(&self) -> PipelineReport {
-        PipelineSession::new(self.design, self.config.clone())
-            .classify()
-            .alternating()
-            .comb()
-            .seq()
+        PipelineSession::new(self.design, self.config.clone()).run()
     }
 
     /// Runs the whole flow on a caller-provided fault list.
     pub fn run_with_faults(&self, faults: &[Fault]) -> PipelineReport {
-        PipelineSession::with_faults(self.design, self.config.clone(), faults.to_vec())
-            .classify()
-            .alternating()
-            .comb()
-            .seq()
+        PipelineSession::with_faults(self.design, self.config.clone(), faults.to_vec()).run()
     }
 }
 
@@ -637,7 +638,7 @@ mod tests {
     fn end_to_end_counts_are_consistent() {
         let circuit = generate(&GeneratorConfig::new("e2e", 7).gates(200).dffs(12));
         let design = insert_functional_scan(&circuit, &TpiConfig::default()).unwrap();
-        let report = Pipeline::new(&design, PipelineConfig::default()).run();
+        let report = PipelineSession::new(&design, PipelineConfig::default()).run();
         assert_eq!(
             report.classification.total,
             fscan_fault::collapse(design.circuit(), &fscan_fault::all_faults(design.circuit()))
@@ -671,7 +672,7 @@ mod tests {
         for seed in [101u64, 103] {
             let circuit = generate(&GeneratorConfig::new("cov", seed).gates(180).dffs(10));
             let design = insert_functional_scan(&circuit, &TpiConfig::default()).unwrap();
-            let report = Pipeline::new(&design, PipelineConfig::default()).run();
+            let report = PipelineSession::new(&design, PipelineConfig::default()).run();
             affected += report.classification.affected();
             undetected += report.seq.undetected;
         }
@@ -689,7 +690,7 @@ mod tests {
     fn display_renders_all_sections() {
         let circuit = generate(&GeneratorConfig::new("disp", 3).gates(100).dffs(6));
         let design = insert_functional_scan(&circuit, &TpiConfig::default()).unwrap();
-        let report = Pipeline::new(&design, PipelineConfig::default()).run();
+        let report = PipelineSession::new(&design, PipelineConfig::default()).run();
         let s = report.to_string();
         assert!(s.contains("alternating sequence"));
         assert!(s.contains("comb ATPG"));
@@ -737,6 +738,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the deprecated wrapper must keep matching the session
     fn staged_session_matches_monolithic_run() {
         let circuit = generate(&GeneratorConfig::new("staged", 11).gates(180).dffs(10));
         let design = insert_functional_scan(&circuit, &TpiConfig::default()).unwrap();

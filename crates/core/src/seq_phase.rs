@@ -3,12 +3,12 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use fscan_atpg::{SeqAtpg, SeqAtpgConfig, SeqOutcome, SeqTest};
 use fscan_fault::Fault;
 use fscan_scan::ScanDesign;
-use fscan_sim::{detects, shard_map_counted, SeqSim, ShardStats, V3, WorkCounters};
+use fscan_sim::{shard_map_counted, ParallelFaultSim, ShardStats, StageMetrics, V3, WorkCounters};
 
 use crate::classify::ChainLocation;
 use crate::program::ScanTest;
@@ -78,15 +78,13 @@ pub struct SeqPhaseReport {
     pub circuits_initial: usize,
     /// Circuits created for the final per-fault pass (second number).
     pub circuits_final: usize,
-    /// Wall-clock time.
-    pub cpu: Duration,
-    /// Work distribution across ATPG-attempt workers (aggregated over
-    /// the grouped and final passes).
-    pub shards: ShardStats,
-    /// Deterministic work counters (PODEM decisions/backtracks/aborts,
-    /// verification-simulation gate evaluations, circuits formed,
-    /// already-resolved skips) — bit-identical for every thread count.
-    pub counters: WorkCounters,
+    /// The stage's cost triple: wall-clock time, work distribution
+    /// across ATPG-attempt workers (aggregated over the grouped and
+    /// final passes), and deterministic work counters (PODEM
+    /// decisions/backtracks/aborts, verification-simulation gate
+    /// evaluations, circuits formed, already-resolved skips —
+    /// bit-identical for every thread count).
+    pub metrics: StageMetrics,
 }
 
 impl fmt::Display for SeqPhaseReport {
@@ -100,7 +98,7 @@ impl fmt::Display for SeqPhaseReport {
             self.undetected,
             self.circuits_initial,
             self.circuits_final,
-            self.cpu.as_secs_f64()
+            self.metrics.cpu.as_secs_f64()
         )
     }
 }
@@ -130,7 +128,7 @@ pub struct SeqPhaseOutcome {
 ///
 /// # Examples
 ///
-/// See [`crate::Pipeline`] for the end-to-end flow.
+/// See [`crate::PipelineSession`] for the end-to-end flow.
 #[derive(Clone, Debug)]
 pub struct SeqPhase<'d> {
     design: &'d ScanDesign,
@@ -345,9 +343,7 @@ impl<'d> SeqPhase<'d> {
             undetected: remaining.len(),
             circuits_initial,
             circuits_final,
-            cpu: start.elapsed(),
-            shards,
-            counters,
+            metrics: StageMetrics::new(start.elapsed(), shards, counters),
         };
         SeqPhaseOutcome {
             report,
@@ -527,12 +523,14 @@ impl<'d> SeqPhase<'d> {
         for _ in 0..self.design.max_chain_len() + 2 {
             vectors.push(layout.base_vector());
         }
-        let sim = SeqSim::new(circuit);
+        // Event-driven confirmation: one good trace, then a single-fault
+        // word replayed against it inside the fault's fanout cone.
+        let sim = ParallelFaultSim::new(circuit);
         let init = vec![V3::X; circuit.dffs().len()];
-        let good = sim.run(&vectors, &init, None);
-        let bad = sim.run(&vectors, &init, Some(fault));
-        let work = sim.work_for_cycles(good.outputs.len() + bad.outputs.len());
-        (detects(&good, &bad).is_some().then_some(vectors), work)
+        let trace = sim.good_trace(&vectors, &init);
+        let (det, mut work) = sim.fault_sim_with_trace_counted(&[fault], &trace);
+        work += trace.counters();
+        (det[0].is_some().then_some(vectors), work)
     }
 }
 

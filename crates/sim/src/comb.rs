@@ -17,6 +17,7 @@ use crate::value::V3;
 #[derive(Clone, Debug)]
 pub struct CombEvaluator {
     order: Vec<NodeId>,
+    pos: Vec<u32>,
 }
 
 impl CombEvaluator {
@@ -27,7 +28,7 @@ impl CombEvaluator {
     /// Panics if the circuit has combinational cycles.
     pub fn new(circuit: &Circuit) -> CombEvaluator {
         let lv = Levelization::new(circuit);
-        let order = lv
+        let order: Vec<NodeId> = lv
             .order()
             .iter()
             .copied()
@@ -36,12 +37,23 @@ impl CombEvaluator {
                 k.is_gate() || matches!(k, GateKind::Const0 | GateKind::Const1)
             })
             .collect();
-        CombEvaluator { order }
+        let mut pos = vec![u32::MAX; circuit.num_nodes()];
+        for (i, &id) in order.iter().enumerate() {
+            pos[id.index()] = i as u32;
+        }
+        CombEvaluator { order, pos }
     }
 
     /// The evaluation order (constants and gates, topologically sorted).
     pub fn order(&self) -> &[NodeId] {
         &self.order
+    }
+
+    /// Each node's position in [`CombEvaluator::order`], indexed by node
+    /// id (`u32::MAX` for nodes outside the order: inputs, flip-flops).
+    /// Event-driven consumers use this to schedule gates topologically.
+    pub fn order_positions(&self) -> &[u32] {
+        &self.pos
     }
 
     /// Evaluates the fault-free combinational logic.

@@ -11,6 +11,9 @@
 
 use std::fmt;
 use std::ops::{Add, AddAssign};
+use std::time::Duration;
+
+use crate::pool::ShardStats;
 
 /// Exact, machine-independent work counters.
 ///
@@ -20,13 +23,17 @@ use std::ops::{Add, AddAssign};
 ///   [`V3`](crate::V3) gate evaluation counts 1; one packed
 ///   [`Pv64`](crate::Pv64) gate evaluation also counts 1 (it is one
 ///   operation, covering up to 64 lanes — `lane_cycles` captures the
-///   logical coverage).
+///   logical coverage). The event-driven simulators count only gates
+///   *actually re-evaluated* (one full seed pass at cycle 0, changed
+///   gates afterwards), so this measures incremental work, not
+///   `cycles × gates`.
 /// * `lane_cycles` — Σ over simulated cycles of the number of active
 ///   fault lanes (a serial simulation contributes 1 per cycle).
 /// * `implication_events` — nodes popped and re-evaluated by
 ///   [`ImplicationEngine::run`](crate::ImplicationEngine::run).
-/// * `cone_nets` — nets whose value changed under a fault (sizes of the
-///   forward-implication cones, summed).
+/// * `cone_nets` — nets a fault can structurally reach: sizes of the
+///   forward-implication cones, plus the union fault-cone size of every
+///   64-fault word the parallel simulator restricted itself to.
 /// * `podem_decisions` — PODEM objective decisions taken (steps that
 ///   were not reversals).
 /// * `podem_backtracks` — PODEM reversals of a previous decision.
@@ -100,6 +107,34 @@ impl WorkCounters {
             ("windows_formed", self.windows_formed),
             ("early_exits", self.early_exits),
         ]
+    }
+}
+
+/// The cost triple every pipeline stage reports: wall-clock time, work
+/// distribution across shard workers, and deterministic work counters.
+///
+/// `cpu` depends on the machine and thread count; `shards` on the
+/// thread count; `counters` on neither — stripping the first two from a
+/// report leaves thread-invariant output (the property the BENCH
+/// trajectory and CI determinism check rely on).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StageMetrics {
+    /// Wall-clock time the stage took.
+    pub cpu: Duration,
+    /// How the stage's items were distributed over workers.
+    pub shards: ShardStats,
+    /// Deterministic work counters (bit-identical across thread counts).
+    pub counters: WorkCounters,
+}
+
+impl StageMetrics {
+    /// Assembles the triple.
+    pub fn new(cpu: Duration, shards: ShardStats, counters: WorkCounters) -> StageMetrics {
+        StageMetrics {
+            cpu,
+            shards,
+            counters,
+        }
     }
 }
 

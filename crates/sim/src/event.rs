@@ -1,0 +1,410 @@
+//! Event-driven incremental simulation: the shared good-machine trace
+//! and the topological event queue.
+//!
+//! A scan-mode circuit is mostly quiescent — between consecutive cycles
+//! only the shifting chain and its fanout cone change value — yet the
+//! levelized evaluators re-visit every gate every cycle. The two pieces
+//! here exploit that locality:
+//!
+//! * [`EventQueue`] — a topologically-ordered scheduler (the same
+//!   pattern as the implication engine's): gates are processed in
+//!   levelization order, so by the time a gate pops, every fanin it
+//!   depends on holds its final value for the cycle and each gate is
+//!   evaluated at most once per cycle.
+//! * [`GoodTrace`] — the fault-free machine, simulated **once** per
+//!   vector sequence with persistent per-net values: cycle 0 is one
+//!   full levelized pass, every later cycle re-evaluates only the gates
+//!   whose inputs changed. The trace stores the cycle-0 net snapshot
+//!   plus per-cycle delta lists, so fault batches replay the good
+//!   machine read-only by walking the deltas forward instead of
+//!   re-simulating it per 64-lane pass.
+//!
+//! Exactness: a gate whose inputs are unchanged from the previous cycle
+//! produces an unchanged output, so propagating only changes in
+//! topological order yields exactly the values a full re-evaluation
+//! would — the differential proptest oracle in `tests/props.rs` checks
+//! this net-for-net against [`CombEvaluator`] on random circuits.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use fscan_netlist::{Circuit, FanoutTable, NodeId};
+
+use crate::comb::CombEvaluator;
+use crate::counters::WorkCounters;
+use crate::value::V3;
+
+/// A deduplicating, topologically-ordered event scheduler.
+///
+/// Nodes are pushed with their position in the levelized evaluation
+/// order and pop in ascending position; pushing a node twice within one
+/// cycle schedules it once (epoch-stamped, so starting a new cycle is
+/// O(1)).
+#[derive(Clone, Debug)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Reverse<(u32, u32)>>,
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl EventQueue {
+    /// A queue for a circuit with `num_nodes` nodes.
+    pub(crate) fn new(num_nodes: usize) -> EventQueue {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            stamp: vec![0; num_nodes],
+            epoch: 0,
+        }
+    }
+
+    /// Starts a new cycle: previously-popped nodes become schedulable
+    /// again. The queue must be drained first.
+    pub(crate) fn next_cycle(&mut self) {
+        debug_assert!(self.heap.is_empty(), "event queue not drained");
+        self.epoch += 1;
+    }
+
+    /// Schedules `node` (at order position `pos`) unless it is already
+    /// scheduled or was already processed this cycle.
+    pub(crate) fn push(&mut self, pos: u32, node: NodeId) {
+        let i = node.index();
+        if self.stamp[i] != self.epoch {
+            self.stamp[i] = self.epoch;
+            self.heap.push(Reverse((pos, i as u32)));
+        }
+    }
+
+    /// Pops the scheduled node with the lowest order position.
+    pub(crate) fn pop(&mut self) -> Option<NodeId> {
+        self.heap
+            .pop()
+            .map(|Reverse((_, i))| NodeId::from_index(i as usize))
+    }
+}
+
+/// The fault-free machine's full behavior over one vector sequence,
+/// computed once by event-driven simulation and shared read-only by
+/// every fault batch.
+///
+/// Stored as the cycle-0 net-value snapshot plus per-cycle
+/// `(node, new value)` delta lists, which bounds memory to the actual
+/// switching activity instead of `cycles × nets`. Consumers keep a
+/// `Vec<V3>` of current good values and walk the deltas forward with
+/// [`GoodTrace::changes`].
+///
+/// # Examples
+///
+/// ```
+/// use fscan_netlist::{Circuit, GateKind};
+/// use fscan_sim::{ParallelFaultSim, V3};
+///
+/// let mut c = Circuit::new("t");
+/// let a = c.add_input("a");
+/// let g = c.add_gate(GateKind::Not, vec![a], "g");
+/// c.mark_output(g);
+/// let sim = ParallelFaultSim::new(&c);
+/// let trace = sim.good_trace(&[vec![V3::One], vec![V3::One]], &[]);
+/// assert_eq!(trace.outputs()[0], vec![V3::Zero]);
+/// // The second cycle is quiescent: no gate was re-evaluated.
+/// assert_eq!(trace.counters().gate_evals, 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GoodTrace {
+    outputs: Vec<Vec<V3>>,
+    final_state: Vec<V3>,
+    values0: Vec<V3>,
+    delta_nodes: Vec<u32>,
+    delta_values: Vec<V3>,
+    /// `delta_ends[t]` = end of cycle `t`'s deltas in the flat arrays
+    /// (`delta_ends[0] == 0`: cycle 0 is the snapshot).
+    delta_ends: Vec<usize>,
+    counters: WorkCounters,
+}
+
+impl GoodTrace {
+    /// Simulates `vectors.len()` cycles of the fault-free machine from
+    /// flip-flop state `init`, re-evaluating only gates whose inputs
+    /// changed (cycle 0 pays one full levelized pass).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a vector's length differs from the input count or
+    /// `init` from the flip-flop count.
+    pub fn compute(
+        circuit: &Circuit,
+        eval: &CombEvaluator,
+        fanouts: &FanoutTable,
+        vectors: &[Vec<V3>],
+        init: &[V3],
+    ) -> GoodTrace {
+        let c = circuit;
+        assert_eq!(init.len(), c.dffs().len(), "init length != flip-flop count");
+        let n = c.num_nodes();
+        let pos = eval.order_positions();
+        let mut values = vec![V3::X; n];
+        let mut outputs: Vec<Vec<V3>> = Vec::with_capacity(vectors.len());
+        let mut counters = WorkCounters::ZERO;
+        let mut delta_nodes: Vec<u32> = Vec::new();
+        let mut delta_values: Vec<V3> = Vec::new();
+        let mut delta_ends: Vec<usize> = Vec::with_capacity(vectors.len());
+        let mut state: Vec<V3> = init.to_vec();
+
+        let Some(vec0) = vectors.first() else {
+            return GoodTrace {
+                outputs,
+                final_state: state,
+                values0: values,
+                delta_nodes,
+                delta_values,
+                delta_ends,
+                counters,
+            };
+        };
+
+        // Cycle 0: one full levelized pass seeds the persistent values.
+        assert_eq!(vec0.len(), c.inputs().len(), "vector length != input count");
+        for (&pi, &v) in c.inputs().iter().zip(vec0.iter()) {
+            values[pi.index()] = v;
+        }
+        for (&ff, &v) in c.dffs().iter().zip(state.iter()) {
+            values[ff.index()] = v;
+        }
+        eval.eval(c, &mut values);
+        counters.gate_evals += eval.order().len() as u64;
+        counters.lane_cycles += 1;
+        outputs.push(c.outputs().iter().map(|&po| values[po.index()]).collect());
+        delta_ends.push(0);
+        let values0 = values.clone();
+        for (s, &ff) in state.iter_mut().zip(c.dffs().iter()) {
+            *s = values[c.node(ff).fanin()[0].index()];
+        }
+
+        // Cycles 1..: drive only the changed inputs and state bits and
+        // let the event queue propagate.
+        let mut queue = EventQueue::new(n);
+        let schedule = |queue: &mut EventQueue, id: NodeId| {
+            for &(sink, _) in fanouts.fanouts(id) {
+                if c.node(sink).kind().is_gate() {
+                    queue.push(pos[sink.index()], sink);
+                }
+            }
+        };
+        for vec_t in vectors.iter().skip(1) {
+            assert_eq!(vec_t.len(), c.inputs().len(), "vector length != input count");
+            counters.lane_cycles += 1;
+            queue.next_cycle();
+            for (&pi, &v) in c.inputs().iter().zip(vec_t.iter()) {
+                if values[pi.index()] != v {
+                    values[pi.index()] = v;
+                    delta_nodes.push(pi.index() as u32);
+                    delta_values.push(v);
+                    schedule(&mut queue, pi);
+                }
+            }
+            for (&ff, &v) in c.dffs().iter().zip(state.iter()) {
+                if values[ff.index()] != v {
+                    values[ff.index()] = v;
+                    delta_nodes.push(ff.index() as u32);
+                    delta_values.push(v);
+                    schedule(&mut queue, ff);
+                }
+            }
+            while let Some(id) = queue.pop() {
+                counters.gate_evals += 1;
+                let node = c.node(id);
+                let out = V3::eval_gate(
+                    node.kind(),
+                    node.fanin().iter().map(|&src| values[src.index()]),
+                );
+                if values[id.index()] != out {
+                    values[id.index()] = out;
+                    delta_nodes.push(id.index() as u32);
+                    delta_values.push(out);
+                    schedule(&mut queue, id);
+                }
+            }
+            delta_ends.push(delta_nodes.len());
+            outputs.push(c.outputs().iter().map(|&po| values[po.index()]).collect());
+            for (s, &ff) in state.iter_mut().zip(c.dffs().iter()) {
+                *s = values[c.node(ff).fanin()[0].index()];
+            }
+        }
+
+        GoodTrace {
+            outputs,
+            final_state: state,
+            values0,
+            delta_nodes,
+            delta_values,
+            delta_ends,
+            counters,
+        }
+    }
+
+    /// Cycles simulated.
+    pub fn cycles(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Primary-output values per cycle, in `Circuit::outputs` order —
+    /// the same shape as [`Trace::outputs`](crate::Trace).
+    pub fn outputs(&self) -> &[Vec<V3>] {
+        &self.outputs
+    }
+
+    /// Flip-flop state after the last cycle, in `Circuit::dffs` order.
+    pub fn final_state(&self) -> &[V3] {
+        &self.final_state
+    }
+
+    /// The complete net-value snapshot after cycle 0 (indexed by node
+    /// id). Presented flip-flop entries equal the initial state, input
+    /// entries equal `vectors[0]`.
+    pub fn values0(&self) -> &[V3] {
+        &self.values0
+    }
+
+    /// The `(node index, new value)` deltas turning the cycle `t - 1`
+    /// net values into the cycle `t` values (`t >= 1`; cycle 0 has no
+    /// deltas — start from [`GoodTrace::values0`]).
+    pub fn changes(&self, t: usize) -> impl Iterator<Item = (NodeId, V3)> + '_ {
+        let lo = self.delta_ends[t - 1];
+        let hi = self.delta_ends[t];
+        self.delta_nodes[lo..hi]
+            .iter()
+            .zip(self.delta_values[lo..hi].iter())
+            .map(|(&i, &v)| (NodeId::from_index(i as usize), v))
+    }
+
+    /// The exact work this trace's computation performed: `gate_evals`
+    /// counts only the gates actually re-evaluated (one full pass at
+    /// cycle 0, activity only afterwards); `lane_cycles` is one per
+    /// cycle, as for any serial good-machine run.
+    pub fn counters(&self) -> WorkCounters {
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fscan_netlist::{generate, GateKind, GeneratorConfig};
+    use crate::seq::SeqSim;
+
+    fn trace_for(c: &Circuit, vectors: &[Vec<V3>], init: &[V3]) -> GoodTrace {
+        let eval = CombEvaluator::new(c);
+        let fot = FanoutTable::new(c);
+        GoodTrace::compute(c, &eval, &fot, vectors, init)
+    }
+
+    #[test]
+    fn matches_full_reference_simulation() {
+        for seed in 0..4u64 {
+            let c = generate(
+                &GeneratorConfig::new(format!("g{seed}"), seed)
+                    .inputs(6)
+                    .gates(90)
+                    .dffs(7),
+            );
+            let vectors = fscan_atpg_free_vectors(&c, 25, seed);
+            let init: Vec<V3> = (0..c.dffs().len())
+                .map(|i| match i % 3 {
+                    0 => V3::Zero,
+                    1 => V3::One,
+                    _ => V3::X,
+                })
+                .collect();
+            let reference = SeqSim::new(&c).run(&vectors, &init, None);
+            let trace = trace_for(&c, &vectors, &init);
+            assert_eq!(trace.outputs(), &reference.outputs[..], "seed {seed}");
+            assert_eq!(trace.final_state(), &reference.final_state[..]);
+        }
+    }
+
+    /// Deterministic xorshift vectors (avoid depending on fscan-atpg
+    /// from fscan-sim's dev-deps).
+    fn fscan_atpg_free_vectors(c: &Circuit, cycles: usize, seed: u64) -> Vec<Vec<V3>> {
+        let mut s = seed.wrapping_mul(2).wrapping_add(1);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        (0..cycles)
+            .map(|_| {
+                (0..c.inputs().len())
+                    .map(|_| match next() % 3 {
+                        0 => V3::Zero,
+                        1 => V3::One,
+                        _ => V3::X,
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn deltas_replay_to_reference_values() {
+        let c = generate(&GeneratorConfig::new("replay", 3).inputs(5).gates(70).dffs(5));
+        let vectors = fscan_atpg_free_vectors(&c, 15, 9);
+        let init = vec![V3::X; c.dffs().len()];
+        let trace = trace_for(&c, &vectors, &init);
+        // Walk the deltas forward and compare the reconstructed net
+        // values against a full levelized evaluation at every cycle.
+        let eval = CombEvaluator::new(&c);
+        let mut now = trace.values0().to_vec();
+        let mut full = vec![V3::X; c.num_nodes()];
+        let mut state = init.clone();
+        for (t, vec_t) in vectors.iter().enumerate() {
+            if t > 0 {
+                for (id, v) in trace.changes(t) {
+                    now[id.index()] = v;
+                }
+            }
+            for (&pi, &v) in c.inputs().iter().zip(vec_t.iter()) {
+                full[pi.index()] = v;
+            }
+            for (&ff, &v) in c.dffs().iter().zip(state.iter()) {
+                full[ff.index()] = v;
+            }
+            eval.eval(&c, &mut full);
+            assert_eq!(now, full, "cycle {t}");
+            for (s, &ff) in state.iter_mut().zip(c.dffs().iter()) {
+                *s = full[c.node(ff).fanin()[0].index()];
+            }
+        }
+    }
+
+    #[test]
+    fn quiescent_cycles_evaluate_zero_gates() {
+        // A purely combinational circuit under a constant input sequence
+        // is quiescent after cycle 0: the event queue must stay empty.
+        let mut c = Circuit::new("quiet");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g1 = c.add_gate(GateKind::And, vec![a, b], "g1");
+        let g2 = c.add_gate(GateKind::Nor, vec![g1, a], "g2");
+        c.mark_output(g2);
+        let vectors = vec![vec![V3::One, V3::Zero]; 10];
+        let trace = trace_for(&c, &vectors, &[]);
+        let eval = CombEvaluator::new(&c);
+        assert_eq!(
+            trace.counters().gate_evals,
+            eval.order().len() as u64,
+            "only the cycle-0 seed pass may evaluate gates"
+        );
+        assert_eq!(trace.counters().lane_cycles, 10);
+        for t in 1..10 {
+            assert_eq!(trace.changes(t).count(), 0, "cycle {t} must be delta-free");
+        }
+    }
+
+    #[test]
+    fn empty_sequence_is_empty_trace() {
+        let c = generate(&GeneratorConfig::new("e", 1).gates(20).dffs(2));
+        let trace = trace_for(&c, &[], &[V3::X, V3::X]);
+        assert_eq!(trace.cycles(), 0);
+        assert!(trace.counters().is_zero());
+    }
+}

@@ -9,14 +9,19 @@
 //! * [`CombEvaluator`] — levelized combinational evaluation with
 //!   stuck-at fault injection;
 //! * [`SeqSim`] — cycle-accurate sequential simulation and serial
-//!   sequential fault simulation with X-aware detection;
+//!   sequential fault simulation with X-aware detection (the reference
+//!   oracle every faster engine is checked against);
+//! * [`GoodTrace`] — the fault-free machine simulated once per vector
+//!   sequence, event-driven, and shared read-only by every fault batch;
 //! * [`ParallelFaultSim`] — 64-fault-per-pass sequential fault
-//!   simulation;
+//!   simulation, event-driven and restricted to each fault word's
+//!   fanout cone;
 //! * [`shard_map`] — scoped-thread work sharding with a deterministic
 //!   in-order merge, used by every fault-parallel pipeline stage;
 //! * [`WorkCounters`] — exact, machine-independent work counters
 //!   (bit-identical for every thread count) that the pipeline stages
-//!   aggregate for the BENCH trajectory;
+//!   aggregate for the BENCH trajectory — and [`StageMetrics`], the
+//!   per-stage `cpu`/`shards`/`counters` cost triple;
 //! * [`forward_implication`] — the 3-valued forward implication cone of
 //!   a fault under fixed input constraints (paper, Section 3/Figure 3).
 //!
@@ -44,6 +49,7 @@
 
 mod comb;
 mod counters;
+mod event;
 mod implication;
 mod packed;
 mod parallel;
@@ -52,7 +58,8 @@ mod seq;
 mod value;
 
 pub use comb::CombEvaluator;
-pub use counters::WorkCounters;
+pub use counters::{StageMetrics, WorkCounters};
+pub use event::GoodTrace;
 pub use implication::{forward_implication, ImplicationEngine, NetChange};
 pub use packed::Pv64;
 pub use parallel::ParallelFaultSim;

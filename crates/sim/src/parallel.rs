@@ -1,23 +1,32 @@
-//! 64-fault-per-pass sequential fault simulation.
+//! 64-fault-per-pass sequential fault simulation, event-driven and
+//! cone-restricted.
 
 use std::collections::HashMap;
 
 use fscan_fault::{Fault, FaultSite};
-use fscan_netlist::{Circuit, GateKind, NodeId};
+use fscan_netlist::{Circuit, FanoutTable, GateKind, NodeId};
 
 use crate::comb::CombEvaluator;
 use crate::counters::WorkCounters;
+use crate::event::{EventQueue, GoodTrace};
 use crate::packed::Pv64;
-use crate::seq::SeqSim;
 use crate::value::V3;
 
 /// Parallel-fault sequential fault simulator: simulates up to 64 faulty
-/// machines per pass, one machine per bit lane, against a scalar good
-/// machine.
+/// machines per pass, one machine per bit lane, against a shared
+/// fault-free trace.
+///
+/// The good machine is simulated once per vector sequence (event-driven,
+/// see [`GoodTrace`]) and replayed read-only by every 64-fault word.
+/// Each word restricts itself to the union fanout cone of its fault
+/// sites — nets outside the cone provably carry good values — and within
+/// the cone only gates whose inputs changed since the previous cycle are
+/// re-evaluated.
 ///
 /// Produces exactly the same detection verdicts as
-/// [`SeqSim::fault_sim`] (the serial reference), typically an order of
-/// magnitude faster on fault lists larger than a few dozen.
+/// [`SeqSim::fault_sim`](crate::SeqSim::fault_sim) (the serial
+/// reference), typically orders of magnitude faster on fault lists
+/// larger than a few dozen.
 ///
 /// # Examples
 ///
@@ -38,69 +47,75 @@ use crate::value::V3;
 pub struct ParallelFaultSim<'c> {
     circuit: &'c Circuit,
     eval: CombEvaluator,
+    fanouts: FanoutTable,
 }
 
 impl<'c> ParallelFaultSim<'c> {
-    /// Builds a simulator (levelizes the circuit once).
+    /// Builds a simulator (levelizes the circuit and builds its fanout
+    /// table once).
     pub fn new(circuit: &'c Circuit) -> ParallelFaultSim<'c> {
         ParallelFaultSim {
             circuit,
             eval: CombEvaluator::new(circuit),
+            fanouts: FanoutTable::new(circuit),
         }
+    }
+
+    /// Simulates the fault-free machine over `vectors` from state `init`
+    /// once, event-driven. The returned trace can be passed to
+    /// [`fault_sim_with_trace`](Self::fault_sim_with_trace) any number
+    /// of times, so callers re-simulating the same sequence against
+    /// different fault lists pay for the good machine once.
+    pub fn good_trace(&self, vectors: &[Vec<V3>], init: &[V3]) -> GoodTrace {
+        GoodTrace::compute(self.circuit, &self.eval, &self.fanouts, vectors, init)
     }
 
     /// Runs the full sequence for every fault and reports the first
     /// definite detection cycle per fault (`None` if undetected).
     ///
-    /// Semantics match [`SeqSim::fault_sim`]: detection requires the good
-    /// and faulty primary-output values to be known and different in the
-    /// same cycle.
+    /// Semantics match [`SeqSim::fault_sim`](crate::SeqSim::fault_sim):
+    /// detection requires the good and faulty primary-output values to
+    /// be known and different in the same cycle.
     pub fn fault_sim(
         &self,
         vectors: &[Vec<V3>],
         init: &[V3],
         faults: &[Fault],
     ) -> Vec<Option<usize>> {
-        let good = SeqSim::new(self.circuit).run(vectors, init, None);
-        self.fault_sim_with_good(vectors, init, faults, &good.outputs)
+        let trace = self.good_trace(vectors, init);
+        self.fault_sim_with_trace(faults, &trace)
     }
 
     /// [`fault_sim`](Self::fault_sim) against an already-computed good
-    /// trace (`good_outputs[cycle][output]`), so callers simulating the
-    /// same sequence repeatedly — or sharding one fault list across
-    /// workers — pay for the good machine once.
-    pub fn fault_sim_with_good(
-        &self,
-        vectors: &[Vec<V3>],
-        init: &[V3],
-        faults: &[Fault],
-        good_outputs: &[Vec<V3>],
-    ) -> Vec<Option<usize>> {
-        self.fault_sim_with_good_counted(vectors, init, faults, good_outputs)
-            .0
+    /// trace (from [`good_trace`](Self::good_trace) over the same
+    /// circuit).
+    pub fn fault_sim_with_trace(&self, faults: &[Fault], trace: &GoodTrace) -> Vec<Option<usize>> {
+        self.fault_sim_with_trace_counted(faults, trace).0
     }
 
-    /// [`fault_sim_with_good`](Self::fault_sim_with_good) plus exact
-    /// [`WorkCounters`]: one `gate_evals` per packed gate evaluation,
-    /// `lane_cycles` = Σ active lanes per simulated cycle, one
-    /// `early_exits` per 64-lane word whose faults were all detected
-    /// before the vector set ran out.
+    /// [`fault_sim_with_trace`](Self::fault_sim_with_trace) plus exact
+    /// [`WorkCounters`] for the faulty machines: one `gate_evals` per
+    /// packed gate evaluation actually performed (the cycle-0 cone seed
+    /// pass plus event-driven activity afterwards), `cone_nets` = the
+    /// union fault-cone size per 64-fault word, `lane_cycles` = Σ active
+    /// lanes per simulated cycle, one `early_exits` per word whose
+    /// faults were all detected before the vector set ran out. The
+    /// good-machine work is *not* included — it lives in
+    /// [`GoodTrace::counters`] and is paid once, not per word.
     ///
     /// Every contribution is a function of one 64-fault word only, so
     /// sums over any partition of the fault list (at word boundaries)
     /// are identical — the property `fault_sim_sharded` relies on.
-    pub fn fault_sim_with_good_counted(
+    pub fn fault_sim_with_trace_counted(
         &self,
-        vectors: &[Vec<V3>],
-        init: &[V3],
         faults: &[Fault],
-        good_outputs: &[Vec<V3>],
+        trace: &GoodTrace,
     ) -> (Vec<Option<usize>>, WorkCounters) {
         let mut result = vec![None; faults.len()];
         let mut counters = WorkCounters::ZERO;
         for (chunk_idx, chunk) in faults.chunks(64).enumerate() {
             let base = chunk_idx * 64;
-            let (det, work) = self.simulate_chunk(vectors, init, chunk, good_outputs);
+            let (det, work) = self.simulate_chunk(chunk, trace);
             for (lane, d) in det.into_iter().enumerate() {
                 result[base + lane] = d;
             }
@@ -126,24 +141,29 @@ impl<'c> ParallelFaultSim<'c> {
         faults: &[Fault],
         threads: usize,
     ) -> (Vec<Option<usize>>, crate::pool::ShardStats, WorkCounters) {
-        let good_sim = SeqSim::new(self.circuit);
-        let good = good_sim.run(vectors, init, None);
+        let trace = self.good_trace(vectors, init);
         let (detections, stats, mut counters) =
             crate::pool::shard_map_counted(threads, 64, faults, || (), |_, _, chunk| {
-                self.fault_sim_with_good_counted(vectors, init, chunk, &good.outputs)
+                self.fault_sim_with_trace_counted(chunk, &trace)
             });
-        counters += good_sim.work_for_cycles(good.outputs.len());
+        counters += trace.counters();
         (detections, stats, counters)
     }
 
-    fn simulate_chunk(
-        &self,
-        vectors: &[Vec<V3>],
-        init: &[V3],
-        chunk: &[Fault],
-        good_outputs: &[Vec<V3>],
-    ) -> (Vec<Option<usize>>, WorkCounters) {
+    /// Simulates one 64-fault word against the shared good trace.
+    ///
+    /// Restricted to the union fanout cone of the word's fault sites:
+    /// every net outside the cone carries the good value in every lane
+    /// (no structural path from any fault site reaches it), so faulty
+    /// values (`fval`) are maintained — and gates re-evaluated — only
+    /// inside the cone, and only when an input changed.
+    fn simulate_chunk(&self, chunk: &[Fault], trace: &GoodTrace) -> (Vec<Option<usize>>, WorkCounters) {
         let c = self.circuit;
+        let mut detection = vec![None; chunk.len()];
+        let mut counters = WorkCounters::ZERO;
+        if trace.cycles() == 0 {
+            return (detection, counters);
+        }
         let n_lanes = chunk.len() as u32;
         let full_mask: u64 = if n_lanes == 64 {
             !0
@@ -164,60 +184,160 @@ impl<'c> ParallelFaultSim<'c> {
             }
         }
 
-        let mut values: Vec<Pv64> = vec![Pv64::ALL_X; c.num_nodes()];
-        let mut state: Vec<Pv64> = init.iter().map(|&v| Pv64::splat(v)).collect();
-        let mut detected_mask: u64 = 0;
-        let mut detection = vec![None; chunk.len()];
-        let mut counters = WorkCounters::ZERO;
+        // Union fault cone: forward closure of every fault site over the
+        // fanout table (crossing flip-flops — the D pin is a fanout).
+        let mut in_cone = vec![false; c.num_nodes()];
+        let mut stack: Vec<NodeId> = Vec::new();
+        for f in chunk {
+            let site = match f.site {
+                FaultSite::Stem(n) => n,
+                FaultSite::Branch { gate, .. } => gate,
+            };
+            if !in_cone[site.index()] {
+                in_cone[site.index()] = true;
+                stack.push(site);
+            }
+        }
+        while let Some(id) = stack.pop() {
+            for &(sink, _) in self.fanouts.fanouts(id) {
+                if !in_cone[sink.index()] {
+                    in_cone[sink.index()] = true;
+                    stack.push(sink);
+                }
+            }
+        }
+        counters.cone_nets += in_cone.iter().filter(|&&b| b).count() as u64;
 
-        for (t, vec_t) in vectors.iter().enumerate() {
-            counters.gate_evals += self.eval.order().len() as u64;
+        let pos = self.eval.order_positions();
+        let cone_order: Vec<NodeId> = self
+            .eval
+            .order()
+            .iter()
+            .copied()
+            .filter(|&id| in_cone[id.index()])
+            .collect();
+        let cone_pis: Vec<NodeId> = c
+            .inputs()
+            .iter()
+            .copied()
+            .filter(|&pi| in_cone[pi.index()])
+            .collect();
+        let cone_ffs: Vec<NodeId> = c
+            .dffs()
+            .iter()
+            .copied()
+            .filter(|&ff| in_cone[ff.index()])
+            .collect();
+        let cone_outs: Vec<(usize, NodeId)> = c
+            .outputs()
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, po)| in_cone[po.index()])
+            .collect();
+
+        // Current good values (replayed from the trace's deltas) and the
+        // faulty lanes' values, meaningful only inside the cone.
+        let mut good_now: Vec<V3> = trace.values0().to_vec();
+        let mut fval: Vec<Pv64> = vec![Pv64::ALL_X; c.num_nodes()];
+        let schedule = |queue: &mut EventQueue, id: NodeId| {
+            for &(sink, _) in self.fanouts.fanouts(id) {
+                if in_cone[sink.index()] && c.node(sink).kind().is_gate() {
+                    queue.push(pos[sink.index()], sink);
+                }
+            }
+        };
+
+        let mut queue = EventQueue::new(c.num_nodes());
+        let mut fnext: Vec<Pv64> = Vec::with_capacity(cone_ffs.len());
+        let mut buf: Vec<Pv64> = Vec::with_capacity(8);
+        let mut detected_mask: u64 = 0;
+        for t in 0..trace.cycles() {
             counters.lane_cycles += u64::from(n_lanes);
-            // Drive inputs and state.
-            for (&pi, &v) in c.inputs().iter().zip(vec_t.iter()) {
-                let mut w = Pv64::splat(v);
-                if let Some(inj) = stem.get(&pi) {
-                    for &(mask, stuck) in inj {
-                        w = w.force(mask, stuck);
-                    }
+            if t == 0 {
+                // Seed pass: evaluate the whole cone once from the good
+                // snapshot with the faults forced in.
+                for &pi in &cone_pis {
+                    fval[pi.index()] =
+                        force_all(Pv64::splat(good_now[pi.index()]), stem.get(&pi));
                 }
-                values[pi.index()] = w;
-            }
-            for (&ff, w) in c.dffs().iter().zip(state.iter()) {
-                let mut w = *w;
-                if let Some(inj) = stem.get(&ff) {
-                    for &(mask, stuck) in inj {
-                        w = w.force(mask, stuck);
-                    }
+                for &ff in &cone_ffs {
+                    fval[ff.index()] =
+                        force_all(Pv64::splat(good_now[ff.index()]), stem.get(&ff));
                 }
-                values[ff.index()] = w;
-            }
-            // Evaluate combinational logic in topological order.
-            let mut buf: Vec<Pv64> = Vec::with_capacity(8);
-            for &id in self.eval.order() {
-                let node = c.node(id);
-                buf.clear();
-                for (pin, &src) in node.fanin().iter().enumerate() {
-                    let mut w = values[src.index()];
-                    if let Some(inj) = branch.get(&(id, pin)) {
-                        for &(mask, stuck) in inj {
-                            w = w.force(mask, stuck);
+                counters.gate_evals += cone_order.len() as u64;
+                for &id in &cone_order {
+                    let node = c.node(id);
+                    buf.clear();
+                    for (pin, &src) in node.fanin().iter().enumerate() {
+                        let w = if in_cone[src.index()] {
+                            fval[src.index()]
+                        } else {
+                            Pv64::splat(good_now[src.index()])
+                        };
+                        buf.push(force_all(w, branch.get(&(id, pin))));
+                    }
+                    fval[id.index()] =
+                        force_all(Pv64::eval_gate(node.kind(), buf.iter().copied()), stem.get(&id));
+                }
+            } else {
+                queue.next_cycle();
+                // Replay the good machine's deltas. An out-of-cone change
+                // is visible to cone gates reading it; an in-cone input
+                // re-splats its lanes; in-cone gate and flip-flop deltas
+                // need nothing here (the event loop re-derives gates from
+                // their changed fanins, the clocking step below presents
+                // flip-flops).
+                for (id, v) in trace.changes(t) {
+                    good_now[id.index()] = v;
+                    if in_cone[id.index()] {
+                        if c.node(id).kind() == GateKind::Input {
+                            let w = force_all(Pv64::splat(v), stem.get(&id));
+                            if w != fval[id.index()] {
+                                fval[id.index()] = w;
+                                schedule(&mut queue, id);
+                            }
                         }
-                    }
-                    buf.push(w);
-                }
-                let mut out = Pv64::eval_gate(node.kind(), buf.iter().copied());
-                if let Some(inj) = stem.get(&id) {
-                    for &(mask, stuck) in inj {
-                        out = out.force(mask, stuck);
+                    } else {
+                        schedule(&mut queue, id);
                     }
                 }
-                values[id.index()] = out;
+                // Present the captured faulty state to in-cone flip-flops.
+                for (k, &ff) in cone_ffs.iter().enumerate() {
+                    let w = force_all(fnext[k], stem.get(&ff));
+                    if w != fval[ff.index()] {
+                        fval[ff.index()] = w;
+                        schedule(&mut queue, ff);
+                    }
+                }
+                // Drain events in topological order: each gate pops at
+                // most once per cycle, after all its fanins settled.
+                while let Some(id) = queue.pop() {
+                    counters.gate_evals += 1;
+                    let node = c.node(id);
+                    buf.clear();
+                    for (pin, &src) in node.fanin().iter().enumerate() {
+                        let w = if in_cone[src.index()] {
+                            fval[src.index()]
+                        } else {
+                            Pv64::splat(good_now[src.index()])
+                        };
+                        buf.push(force_all(w, branch.get(&(id, pin))));
+                    }
+                    let out =
+                        force_all(Pv64::eval_gate(node.kind(), buf.iter().copied()), stem.get(&id));
+                    if out != fval[id.index()] {
+                        fval[id.index()] = out;
+                        schedule(&mut queue, id);
+                    }
+                }
             }
             // Detection: faulty PO known and opposite of a known good PO.
-            for (k, &po) in c.outputs().iter().enumerate() {
-                let g = good_outputs[t][k];
-                let w = values[po.index()];
+            // Out-of-cone outputs carry good values in every lane and can
+            // never differ.
+            for &(k, po) in &cone_outs {
+                let g = trace.outputs()[t][k];
+                let w = fval[po.index()];
                 let diff = match g {
                     V3::Zero => w.ones(),
                     V3::One => w.zeros(),
@@ -235,31 +355,43 @@ impl<'c> ParallelFaultSim<'c> {
                 }
             }
             if detected_mask == full_mask {
-                if t + 1 < vectors.len() {
+                if t + 1 < trace.cycles() {
                     counters.early_exits += 1;
                 }
                 break;
             }
-            // Clock flip-flops (branch faults on D pins injected here).
-            for (s, &ff) in state.iter_mut().zip(c.dffs().iter()) {
+            // Clock in-cone flip-flops (branch faults on D pins injected
+            // here); out-of-cone state always equals the good machine's.
+            fnext.clear();
+            for &ff in &cone_ffs {
                 debug_assert_eq!(c.node(ff).kind(), GateKind::Dff);
                 let d = c.node(ff).fanin()[0];
-                let mut w = values[d.index()];
-                if let Some(inj) = branch.get(&(ff, 0)) {
-                    for &(mask, stuck) in inj {
-                        w = w.force(mask, stuck);
-                    }
-                }
-                *s = w;
+                let w = if in_cone[d.index()] {
+                    fval[d.index()]
+                } else {
+                    Pv64::splat(good_now[d.index()])
+                };
+                fnext.push(force_all(w, branch.get(&(ff, 0))));
             }
         }
         (detection, counters)
     }
 }
 
+/// Applies every `(lane mask, stuck)` forcing entry to `w`.
+fn force_all(mut w: Pv64, inj: Option<&Vec<(u64, bool)>>) -> Pv64 {
+    if let Some(inj) = inj {
+        for &(mask, stuck) in inj {
+            w = w.force(mask, stuck);
+        }
+    }
+    w
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::seq::SeqSim;
     use fscan_fault::{all_faults, collapse};
     use fscan_netlist::{generate, GeneratorConfig};
     use rand::rngs::StdRng;
@@ -332,11 +464,36 @@ mod tests {
     }
 
     #[test]
+    fn trace_reuse_matches_one_shot_and_is_cheaper_than_full_resim() {
+        let cfg = GeneratorConfig::new("tr", 21).inputs(7).gates(140).dffs(7);
+        let c = generate(&cfg);
+        let faults = collapse(&c, &all_faults(&c));
+        let mut rng = StdRng::seed_from_u64(3);
+        let vectors = random_vectors(&mut rng, 7, 18);
+        let init = vec![V3::X; 7];
+        let sim = ParallelFaultSim::new(&c);
+        let trace = sim.good_trace(&vectors, &init);
+        let (via_trace, work) = sim.fault_sim_with_trace_counted(&faults, &trace);
+        assert_eq!(via_trace, sim.fault_sim(&vectors, &init, &faults));
+        assert!(work.cone_nets > 0, "cones must be accounted");
+        // The whole point: incremental cone simulation does strictly less
+        // gate work than re-evaluating every gate every cycle per word.
+        let words = faults.len().div_ceil(64) as u64;
+        let full = words * vectors.len() as u64 * sim.eval.order().len() as u64;
+        assert!(
+            work.gate_evals < full,
+            "incremental {} >= full relevelization {}",
+            work.gate_evals,
+            full
+        );
+    }
+
+    #[test]
     fn empty_fault_list() {
         let cfg = GeneratorConfig::new("e", 2).gates(20).dffs(2);
         let c = generate(&cfg);
         let sim = ParallelFaultSim::new(&c);
-        let res = sim.fault_sim(&[vec![V3::Zero; c.inputs().len()]], &[V3::X; 2], &[]);
+        let res = sim.fault_sim(&[vec![V3::Zero; c.inputs().len()], ], &[V3::X; 2], &[]);
         assert!(res.is_empty());
     }
 }

@@ -1,6 +1,6 @@
 //! End-to-end reproductions of the paper's illustrative figures.
 
-use fscan::{classify_faults, AlternatingPhase, Category, Pipeline, PipelineConfig};
+use fscan::{classify_faults, AlternatingPhase, Category, PipelineConfig, PipelineSession};
 use fscan_fault::Fault;
 use fscan_netlist::{Circuit, GateKind, NodeId};
 use fscan_scan::{insert_functional_scan, insert_mux_scan, SegmentKind, TpiConfig};
@@ -87,7 +87,7 @@ fn figure2_alternating_misses_but_pipeline_catches() {
     // faulty machine degenerates to an unobservable X-state ring — the
     // same fault class behind the paper's own 11 final undetected
     // faults.
-    let report = Pipeline::new(&design, PipelineConfig::default()).run();
+    let report = PipelineSession::new(&design, PipelineConfig::default()).run();
     assert!(
         !report.undetected_faults.contains(&fault),
         "the flow must close the figure-2 fault: {report}"

@@ -35,11 +35,7 @@ fn run_with_threads(design: &ScanDesign, threads: usize) -> PipelineReport {
         .threads(threads)
         .build()
         .expect("valid config");
-    PipelineSession::new(design, config)
-        .classify()
-        .alternating()
-        .comb()
-        .seq()
+    PipelineSession::new(design, config).run()
 }
 
 /// One pipeline run per `(seed, threads)` pair, shared by every test in
@@ -108,9 +104,9 @@ fn reports_are_identical_across_thread_counts() {
         }
         // The sharded run really distributed the work.
         let parallel = &reports[&(seed, 4)];
-        assert_eq!(parallel.classification.shards.threads, 4);
+        assert_eq!(parallel.classification.metrics.shards.threads, 4);
         assert_eq!(
-            parallel.classification.shards.items(),
+            parallel.classification.metrics.shards.items(),
             parallel.classification.total
         );
     }
@@ -135,14 +131,12 @@ fn work_counters_are_bit_identical_across_thread_counts() {
         assert!(total.windows_formed > 0, "step 2 formed no windows");
         for threads in THREADS.into_iter().skip(1) {
             let parallel = &reports[&(seed, threads)];
-            for ((stage_a, a), (stage_b, b)) in serial
-                .stage_counters()
-                .into_iter()
-                .zip(parallel.stage_counters())
+            for ((stage_a, a), (stage_b, b)) in
+                serial.stages().into_iter().zip(parallel.stages())
             {
                 assert_eq!(stage_a, stage_b);
                 assert_eq!(
-                    a, b,
+                    a.counters, b.counters,
                     "stage {stage_a} counters differ between threads 1 and {threads} (seed {seed})"
                 );
             }
@@ -200,7 +194,7 @@ proptest! {
         prop_assert_eq!(original.hard, permuted.hard);
         // Counters, like counts, are a set property: the permuted run
         // must do exactly the same total work.
-        prop_assert_eq!(original.counters, permuted.counters);
+        prop_assert_eq!(original.metrics.counters, permuted.metrics.counters);
     }
 }
 

@@ -2,7 +2,7 @@
 //! pipeline report makes is re-checked against ground-truth simulation.
 
 use fscan::{
-    classify_faults, AlternatingPhase, Category, CombPhase, Pipeline, PipelineConfig,
+    classify_faults, AlternatingPhase, Category, CombPhase, PipelineConfig, PipelineSession,
 };
 use fscan_atpg::PodemConfig;
 use fscan_fault::{all_faults, collapse, Fault};
@@ -79,7 +79,7 @@ fn comb_phase_detections_are_real_and_cat3_is_immune() {
 #[test]
 fn pipeline_conserves_faults() {
     let design = design_for(302);
-    let report = Pipeline::new(&design, PipelineConfig::default()).run();
+    let report = PipelineSession::new(&design, PipelineConfig::default()).run();
     // Chain-affecting faults: detected by step 1, or routed to step 2
     // (hard − fortuitous step-1 detections), then step 3.
     let affected = report.classification.affected();
@@ -150,7 +150,7 @@ fn headline_shape_holds() {
     let mut late = 0usize;
     for seed in [304u64, 305] {
         let design = design_for(seed);
-        let report = Pipeline::new(&design, PipelineConfig::default()).run();
+        let report = PipelineSession::new(&design, PipelineConfig::default()).run();
         affected += report.classification.affected();
         undetected += report.seq.undetected;
         let curve = &report.comb.detection_curve;
@@ -179,7 +179,7 @@ fn headline_shape_holds() {
 #[test]
 fn program_replay_detects_everything_reported() {
     let design = design_for(306);
-    let report = Pipeline::new(&design, PipelineConfig::default()).run();
+    let report = PipelineSession::new(&design, PipelineConfig::default()).run();
     let faults = collapse(design.circuit(), &all_faults(design.circuit()));
     let affected: Vec<Fault> = classify_faults(&design, &faults)
         .into_iter()
@@ -222,7 +222,7 @@ fn partial_scan_pipeline_is_consistent() {
     let design = insert_partial_scan(&circuit, &PartialScanConfig::default()).unwrap();
     let chained: usize = design.chains().iter().map(|c| c.len()).sum();
     assert!(chained < circuit.dffs().len(), "must really be partial");
-    let report = Pipeline::new(&design, PipelineConfig::default()).run();
+    let report = PipelineSession::new(&design, PipelineConfig::default()).run();
     assert_eq!(
         report.comb.targeted,
         report.comb.detected + report.comb.undetectable + report.comb.undetected

@@ -169,6 +169,68 @@ proptest! {
         }
     }
 
+    /// Differential oracle for the event-driven good-machine trace: the
+    /// persistent per-net values it maintains (cycle-0 snapshot plus
+    /// per-cycle deltas) must agree, net for net and cycle for cycle,
+    /// with a brute-force full levelized re-evaluation of every gate at
+    /// every cycle — and its outputs and final state must match the
+    /// serial sequential reference simulator.
+    #[test]
+    fn event_driven_trace_matches_full_resimulation(
+        circuit in arb_circuit(),
+        vectors in arb_vectors(10, 8),
+    ) {
+        // arb_circuit uses 4..10 inputs; pad/trim vectors to match.
+        let n = circuit.inputs().len();
+        let vectors: Vec<Vec<V3>> = vectors
+            .into_iter()
+            .map(|mut v| { v.resize(n, V3::X); v })
+            .collect();
+        let init = vec![V3::X; circuit.dffs().len()];
+        let trace = ParallelFaultSim::new(&circuit).good_trace(&vectors, &init);
+
+        // Brute force: drive, fully re-evaluate every gate, and clock —
+        // no events, no deltas.
+        let eval = CombEvaluator::new(&circuit);
+        let mut reference = vec![V3::X; circuit.num_nodes()];
+        for (i, &ff) in circuit.dffs().iter().enumerate() {
+            reference[ff.index()] = init[i];
+        }
+        let mut replayed: Vec<V3> = Vec::new();
+        for (t, vec) in vectors.iter().enumerate() {
+            if t > 0 {
+                let state: Vec<V3> = circuit
+                    .dffs()
+                    .iter()
+                    .map(|&ff| reference[circuit.node(ff).fanin()[0].index()])
+                    .collect();
+                for (i, &ff) in circuit.dffs().iter().enumerate() {
+                    reference[ff.index()] = state[i];
+                }
+            }
+            for (k, &pi) in circuit.inputs().iter().enumerate() {
+                reference[pi.index()] = vec[k];
+            }
+            eval.eval(&circuit, &mut reference);
+            // Reconstruct the event-driven view of this cycle from the
+            // snapshot plus the recorded deltas.
+            if t == 0 {
+                replayed = trace.values0().to_vec();
+            } else {
+                for (node, value) in trace.changes(t) {
+                    replayed[node.index()] = value;
+                }
+            }
+            prop_assert_eq!(&replayed, &reference, "per-net values diverge at cycle {}", t);
+            for (k, &po) in circuit.outputs().iter().enumerate() {
+                prop_assert_eq!(trace.outputs()[t][k], reference[po.index()], "po {} cycle {}", k, t);
+            }
+        }
+        let serial = SeqSim::new(&circuit).run(&vectors, &init, None);
+        prop_assert_eq!(serial.outputs.as_slice(), trace.outputs());
+        prop_assert_eq!(serial.final_state.as_slice(), trace.final_state());
+    }
+
     /// Differential oracle for the forward-implication engine: its
     /// incremental cone must agree, net for net and value for value,
     /// with a brute-force faulty-circuit re-simulation from the same
