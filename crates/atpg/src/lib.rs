@@ -42,4 +42,4 @@ pub use dvalue::D5;
 pub use podem::{AtpgOutcome, Podem, PodemConfig};
 pub use random::random_vectors;
 pub use sequential::{SeqAtpg, SeqAtpgConfig, SeqOutcome, SeqTest};
-pub use unroll::{unroll, Unrolled};
+pub use unroll::{unroll, unroll_with_map, unroll_with_map_using, FrameMap, Unrolled};

@@ -1,7 +1,9 @@
 //! Combinational PODEM over a controllability/observability view.
 
+use std::sync::Arc;
+
 use fscan_fault::{Fault, FaultSite};
-use fscan_netlist::{Circuit, FanoutTable, GateKind, NodeId};
+use fscan_netlist::{Circuit, CompiledTopology, GateKind, NodeId};
 use fscan_sim::{CombEvaluator, V3, WorkCounters};
 
 use crate::dvalue::D5;
@@ -62,7 +64,7 @@ pub enum AtpgOutcome {
 pub struct Podem<'c> {
     circuit: &'c Circuit,
     eval: CombEvaluator,
-    fanout: FanoutTable,
+    topo: Arc<CompiledTopology>,
     controllable: Vec<NodeId>,
     is_controllable: Vec<bool>,
     fixed: Vec<(NodeId, bool)>,
@@ -103,6 +105,29 @@ impl<'c> Podem<'c> {
         fixed: Vec<(NodeId, bool)>,
         observable: Vec<NodeId>,
     ) -> Podem<'c> {
+        Podem::with_topology(
+            circuit,
+            CompiledTopology::shared(circuit),
+            controllable,
+            fixed,
+            observable,
+        )
+    }
+
+    /// [`Podem::new`] against an already-compiled topology of `circuit`,
+    /// sharing the plan instead of recompiling it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fixed node is also listed as controllable.
+    pub fn with_topology(
+        circuit: &'c Circuit,
+        topo: Arc<CompiledTopology>,
+        controllable: Vec<NodeId>,
+        fixed: Vec<(NodeId, bool)>,
+        observable: Vec<NodeId>,
+    ) -> Podem<'c> {
+        debug_assert_eq!(circuit.num_nodes(), topo.num_nodes());
         let n = circuit.num_nodes();
         let mut is_controllable = vec![false; n];
         for &c in &controllable {
@@ -118,13 +143,12 @@ impl<'c> Podem<'c> {
         for &o in &observable {
             is_observable[o.index()] = true;
         }
-        let eval = CombEvaluator::new(circuit);
+        let eval = CombEvaluator::with_topology(topo.clone());
         let order = eval.order().to_vec();
-        let fanout = FanoutTable::new(circuit);
         let mut podem = Podem {
             circuit,
             eval,
-            fanout,
+            topo,
             controllable,
             is_controllable,
             fixed,
@@ -242,7 +266,7 @@ impl<'c> Podem<'c> {
         // backwards; a node's distance improves through its fanouts.
         for &id in self.eval.order().to_vec().iter().rev() {
             let mut best = self.obs_dist[id.index()];
-            for &(sink, _) in self.fanout.fanouts(id) {
+            for &sink in self.topo.fanout_sinks(id) {
                 if self.circuit.node(sink).kind().is_gate() {
                     best = best.min(self.obs_dist[sink.index()].saturating_add(1));
                 }
@@ -255,7 +279,7 @@ impl<'c> Podem<'c> {
                 continue;
             }
             let mut best = self.obs_dist[id.index()];
-            for &(sink, _) in self.fanout.fanouts(id) {
+            for &sink in self.topo.fanout_sinks(id) {
                 if self.circuit.node(sink).kind().is_gate() {
                     best = best.min(self.obs_dist[sink.index()].saturating_add(1));
                 }
@@ -448,7 +472,7 @@ impl<'c> Podem<'c> {
             if self.x_reach[id.index()] {
                 continue;
             }
-            let reach = self.fanout.fanouts(id).iter().any(|&(sink, _)| {
+            let reach = self.topo.fanout_sinks(id).iter().any(|&sink| {
                 self.circuit.node(sink).kind().is_gate()
                     && self.values[sink.index()].has_x()
                     && self.x_reach[sink.index()]
@@ -462,7 +486,7 @@ impl<'c> Podem<'c> {
             if self.x_reach[id.index()] || self.circuit.node(id).kind().is_gate() {
                 continue;
             }
-            let reach = self.fanout.fanouts(id).iter().any(|&(sink, _)| {
+            let reach = self.topo.fanout_sinks(id).iter().any(|&sink| {
                 self.circuit.node(sink).kind().is_gate()
                     && self.values[sink.index()].has_x()
                     && self.x_reach[sink.index()]

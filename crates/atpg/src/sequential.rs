@@ -1,11 +1,13 @@
 //! Sequential ATPG by iterative-deepening time-frame expansion.
 
+use std::sync::Arc;
+
 use fscan_fault::Fault;
-use fscan_netlist::{Circuit, NodeId};
+use fscan_netlist::{Circuit, CompiledTopology, NodeId};
 use fscan_sim::WorkCounters;
 
 use crate::podem::{AtpgOutcome, Podem, PodemConfig};
-use crate::unroll::unroll_with_map;
+use crate::unroll::unroll_with_map_using;
 
 /// Tuning knobs for [`SeqAtpg`].
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -90,6 +92,7 @@ pub enum SeqOutcome {
 #[derive(Clone, Debug)]
 pub struct SeqAtpg<'c> {
     circuit: &'c Circuit,
+    topo: Arc<CompiledTopology>,
     controllable_ffs: Vec<usize>,
     observable_ffs: Vec<usize>,
     fixed_pis: Vec<(usize, bool)>,
@@ -99,8 +102,17 @@ impl<'c> SeqAtpg<'c> {
     /// Creates a generator where, by default, no flip-flop is
     /// controllable or observable and no primary input is pinned.
     pub fn new(circuit: &'c Circuit) -> SeqAtpg<'c> {
+        SeqAtpg::with_topology(circuit, CompiledTopology::shared(circuit))
+    }
+
+    /// [`SeqAtpg::new`] against an already-compiled topology of the base
+    /// circuit: every unrolling reuses its levelized order. (The unrolled
+    /// models are distinct circuits and still compile their own plans.)
+    pub fn with_topology(circuit: &'c Circuit, topo: Arc<CompiledTopology>) -> SeqAtpg<'c> {
+        debug_assert_eq!(circuit.num_nodes(), topo.num_nodes());
         SeqAtpg {
             circuit,
+            topo,
             controllable_ffs: Vec::new(),
             observable_ffs: Vec::new(),
             fixed_pis: Vec::new(),
@@ -194,7 +206,7 @@ impl<'c> SeqAtpg<'c> {
         backtrack_limit: usize,
         step_limit: usize,
     ) -> (bool, (usize, usize), WorkCounters) {
-        let (u, map) = unroll_with_map(self.circuit, 1);
+        let (u, map) = unroll_with_map_using(self.circuit, &self.topo, 1);
         let Some(f) = u.map_fault(self.circuit, fault, 0, &map) else {
             return (false, (0, 0), WorkCounters::ZERO);
         };
@@ -248,7 +260,7 @@ impl<'c> SeqAtpg<'c> {
         backtrack_limit: usize,
         step_limit: usize,
     ) -> (AtpgOutcome, (usize, usize), WorkCounters) {
-        let (u, map) = unroll_with_map(self.circuit, frames);
+        let (u, map) = unroll_with_map_using(self.circuit, &self.topo, frames);
         let faults: Vec<Fault> = (0..frames)
             .filter_map(|t| u.map_fault(self.circuit, fault, t, &map))
             .collect();
@@ -280,7 +292,7 @@ impl<'c> SeqAtpg<'c> {
     fn decode(&self, frames: usize, assignments: &[(NodeId, bool)]) -> SeqTest {
         // Rebuild the unrolled tables to map node ids back to slots (the
         // unroll is deterministic, so ids match the generation run).
-        let (u, _) = unroll_with_map(self.circuit, frames);
+        let (u, _) = unroll_with_map_using(self.circuit, &self.topo, frames);
         let n_pis = self.circuit.inputs().len();
         let n_ffs = self.circuit.dffs().len();
         let mut vectors = vec![vec![None; n_pis]; frames];

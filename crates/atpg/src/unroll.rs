@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 
 use fscan_fault::{Fault, FaultSite};
-use fscan_netlist::{Circuit, GateKind, NodeId};
+use fscan_netlist::{Circuit, CompiledTopology, GateKind, NodeId};
 
 /// A sequential circuit unrolled over a fixed number of time frames.
 ///
@@ -150,7 +150,18 @@ pub fn unroll(circuit: &Circuit, frames: usize) -> Unrolled {
 /// Like [`unroll`] but also returns the node map used by
 /// [`Unrolled::map_fault`].
 pub fn unroll_with_map(circuit: &Circuit, frames: usize) -> (Unrolled, FrameMap) {
+    unroll_with_map_using(circuit, &CompiledTopology::compile(circuit), frames)
+}
+
+/// [`unroll_with_map`] against an already-compiled topology of
+/// `circuit`, reusing its levelized order instead of recompiling.
+pub fn unroll_with_map_using(
+    circuit: &Circuit,
+    topo: &CompiledTopology,
+    frames: usize,
+) -> (Unrolled, FrameMap) {
     assert!(frames > 0, "need at least one frame");
+    debug_assert_eq!(circuit.num_nodes(), topo.num_nodes());
     let mut out = Circuit::new(format!("{}@x{}", circuit.name(), frames));
     let mut map = FrameMap::default();
 
@@ -162,7 +173,6 @@ pub fn unroll_with_map(circuit: &Circuit, frames: usize) -> (Unrolled, FrameMap)
         .map(|(k, _)| out.add_input(format!("s0_{k}")))
         .collect();
 
-    let lv = fscan_netlist::Levelization::new(circuit);
     let mut pi_all = Vec::with_capacity(frames);
     let mut capture_all = Vec::with_capacity(frames);
     let mut po_all = Vec::with_capacity(frames);
@@ -193,7 +203,7 @@ pub fn unroll_with_map(circuit: &Circuit, frames: usize) -> (Unrolled, FrameMap)
                 .expect("unresolved fanin must be a flip-flop");
             state[k]
         };
-        for &id in lv.order() {
+        for &id in topo.order() {
             let node = circuit.node(id);
             let kind = node.kind();
             if kind == GateKind::Input || kind == GateKind::Dff {

@@ -1,25 +1,32 @@
-//! Gate-evaluation regression checking against a committed baseline.
+//! Work-counter regression checking against a committed baseline.
 //!
 //! `BENCH_baseline.json` (a [`bench_json`](crate::bench_json) snapshot
-//! committed to the repository) records the per-circuit total
-//! `gate_evals` of a known-good build. [`check_regression`] compares a
-//! fresh snapshot against it and flags every circuit whose total grew
-//! beyond a tolerance — the CI guard that keeps the event-driven
-//! simulator's incremental-work win from silently eroding.
+//! committed to the repository) records the per-circuit
+//! `total_counters` block of a known-good build. [`check_regression`]
+//! compares a fresh snapshot against it and flags every circuit whose
+//! total grew beyond a tolerance — the CI guard that keeps the
+//! event-driven simulator's incremental-work win from silently eroding.
+//! [`check_exact`] guards structural counters (`topology_builds`) that
+//! must not move at all: a pipeline run compiles its circuit exactly
+//! once, and any drift means an engine started rebuilding privately.
 
-/// Extracts `(circuit name, total gate_evals)` pairs from a
-/// [`bench_json`](crate::bench_json)-formatted snapshot.
+/// Per-circuit `total_counters` contents: `(circuit name, [(counter,
+/// value)])` in emission order.
+pub type CircuitCounters = Vec<(String, Vec<(String, u64)>)>;
+
+/// Extracts every `(counter, value)` pair of each circuit's
+/// `total_counters` block from a [`bench_json`](crate::bench_json)
+/// snapshot.
 ///
-/// Only the `total_counters` block of each circuit is consulted; the
-/// per-stage counters (which also contain `gate_evals` keys) are
-/// skipped. The parser is deliberately line-oriented — the emitter
-/// writes one key per line and this keeps the checker free of any JSON
-/// dependency.
+/// Only the `total_counters` block is consulted; the per-stage counters
+/// (which contain the same keys) are skipped. The parser is
+/// deliberately line-oriented — the emitter writes one key per line and
+/// this keeps the checker free of any JSON dependency.
 ///
 /// # Examples
 ///
 /// ```
-/// use fscan_bench::baseline::parse_gate_evals;
+/// use fscan_bench::baseline::parse_total_counters;
 ///
 /// let json = r#"{
 ///   "circuits": [
@@ -33,15 +40,21 @@
 ///         }
 ///       ],
 ///       "total_counters": {
-///         "gate_evals": 42
+///         "gate_evals": 42,
+///         "topology_builds": 1
 ///       }
 ///     }
 ///   ]
 /// }"#;
-/// assert_eq!(parse_gate_evals(json).unwrap(), vec![("s5378".to_string(), 42)]);
+/// let parsed = parse_total_counters(json).unwrap();
+/// assert_eq!(parsed[0].0, "s5378");
+/// assert_eq!(
+///     parsed[0].1,
+///     vec![("gate_evals".to_string(), 42), ("topology_builds".to_string(), 1)]
+/// );
 /// ```
-pub fn parse_gate_evals(json: &str) -> Result<Vec<(String, u64)>, String> {
-    let mut out = Vec::new();
+pub fn parse_total_counters(json: &str) -> Result<CircuitCounters, String> {
+    let mut out: CircuitCounters = Vec::new();
     let mut name: Option<String> = None;
     let mut in_totals = false;
     for line in json.lines() {
@@ -54,18 +67,26 @@ pub fn parse_gate_evals(json: &str) -> Result<Vec<(String, u64)>, String> {
             name = Some(n.to_string());
             in_totals = false;
         } else if line.starts_with("\"total_counters\"") {
+            let n = name
+                .clone()
+                .ok_or_else(|| "total_counters before any circuit name".to_string())?;
+            out.push((n, Vec::new()));
             in_totals = true;
         } else if in_totals {
-            if let Some(rest) = line.strip_prefix("\"gate_evals\": ") {
-                let v: u64 = rest
+            if line.starts_with('}') {
+                in_totals = false;
+            } else if let Some((key, value)) = line.split_once("\": ") {
+                let key = key
+                    .strip_prefix('"')
+                    .ok_or_else(|| format!("malformed counter line: {line}"))?;
+                let v: u64 = value
                     .trim_end_matches(',')
                     .parse()
-                    .map_err(|_| format!("malformed gate_evals line: {line}"))?;
-                let n = name
-                    .clone()
-                    .ok_or_else(|| "total_counters before any circuit name".to_string())?;
-                out.push((n, v));
-                in_totals = false;
+                    .map_err(|_| format!("malformed counter line: {line}"))?;
+                out.last_mut()
+                    .expect("pushed on block entry")
+                    .1
+                    .push((key.to_string(), v));
             }
         }
     }
@@ -73,6 +94,49 @@ pub fn parse_gate_evals(json: &str) -> Result<Vec<(String, u64)>, String> {
         return Err("no circuits with total_counters found".into());
     }
     Ok(out)
+}
+
+/// Projects one counter out of parsed [`CircuitCounters`]: `(circuit
+/// name, value)` for every circuit whose `total_counters` block carries
+/// `key`.
+pub fn counter_totals(circuits: &CircuitCounters, key: &str) -> Vec<(String, u64)> {
+    circuits
+        .iter()
+        .filter_map(|(name, counters)| {
+            counters
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| (name.clone(), *v))
+        })
+        .collect()
+}
+
+/// Extracts `(circuit name, total gate_evals)` pairs from a
+/// [`bench_json`](crate::bench_json)-formatted snapshot.
+///
+/// # Examples
+///
+/// ```
+/// use fscan_bench::baseline::parse_gate_evals;
+///
+/// let json = r#"{
+///   "circuits": [
+///     {
+///       "name": "s5378",
+///       "total_counters": {
+///         "gate_evals": 42
+///       }
+///     }
+///   ]
+/// }"#;
+/// assert_eq!(parse_gate_evals(json).unwrap(), vec![("s5378".to_string(), 42)]);
+/// ```
+pub fn parse_gate_evals(json: &str) -> Result<Vec<(String, u64)>, String> {
+    let totals = counter_totals(&parse_total_counters(json)?, "gate_evals");
+    if totals.is_empty() {
+        return Err("no circuits with a total gate_evals counter found".into());
+    }
+    Ok(totals)
 }
 
 /// Compares a fresh snapshot against a baseline: every circuit present
@@ -103,6 +167,27 @@ pub fn check_regression(
     failures
 }
 
+/// Requires a structural counter to match the baseline exactly on every
+/// circuit present in both snapshots. Used for `topology_builds`: each
+/// pipeline run compiles its circuit once, so any change means an
+/// engine regressed into private rebuilds (or stopped being counted).
+pub fn check_exact(
+    baseline: &[(String, u64)],
+    current: &[(String, u64)],
+    key: &str,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (name, base) in baseline {
+        let Some((_, cur)) = current.iter().find(|(n, _)| n == name) else {
+            continue;
+        };
+        if cur != base {
+            failures.push(format!("{name}: {key} {cur} differs from baseline {base}"));
+        }
+    }
+    failures
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,10 +202,23 @@ mod tests {
     #[test]
     fn parses_real_emitter_output() {
         let report = run_pipeline(&PAPER_SUITE[0], 0.05);
-        let total = report.total_counters().gate_evals;
+        let totals = report.total_counters();
         let json = bench_json(&[report], 0.05, 1);
         let parsed = parse_gate_evals(&json).unwrap();
-        assert_eq!(parsed, vec![("s1196".to_string(), total)]);
+        assert_eq!(parsed, vec![("s1196".to_string(), totals.gate_evals)]);
+        // Every emitted counter — including the new structural ones —
+        // round-trips through the parser.
+        let all = parse_total_counters(&json).unwrap();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].1.len(), totals.fields().len());
+        assert_eq!(
+            counter_totals(&all, "topology_builds"),
+            vec![("s1196".to_string(), 1)]
+        );
+        assert_eq!(
+            counter_totals(&all, "scratch_reuses"),
+            vec![("s1196".to_string(), totals.scratch_reuses)]
+        );
     }
 
     #[test]
@@ -138,6 +236,17 @@ mod tests {
         let base = pairs(&[("a", 1000)]);
         let cur = pairs(&[("a", 200)]);
         assert!(check_regression(&base, &cur, 0.0).is_empty());
+    }
+
+    #[test]
+    fn exact_check_flags_any_drift() {
+        let base = pairs(&[("a", 1), ("b", 1)]);
+        assert!(check_exact(&base, &pairs(&[("a", 1), ("b", 1)]), "topology_builds").is_empty());
+        let failures = check_exact(&base, &pairs(&[("a", 2), ("b", 1)]), "topology_builds");
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].starts_with("a:"), "{failures:?}");
+        // One-sided circuits are ignored, like the tolerance check.
+        assert!(check_exact(&base, &pairs(&[("z", 7)]), "topology_builds").is_empty());
     }
 
     #[test]

@@ -20,7 +20,9 @@
 //!
 //! `check-baseline` compares the per-circuit total `gate_evals` of a
 //! fresh snapshot against a committed baseline and fails if any circuit
-//! regressed beyond the tolerance (default 5%).
+//! regressed beyond the tolerance (default 5%); the structural
+//! `topology_builds` counter must additionally match the baseline
+//! exactly (one compilation per pipeline run).
 
 use std::env;
 use std::process::ExitCode;
@@ -320,17 +322,19 @@ fn check_baseline(args: &[String]) -> ExitCode {
         eprintln!("usage: reproduce check-baseline BASELINE.json CURRENT.json [--tolerance PCT]");
         return ExitCode::FAILURE;
     };
-    let read_evals = |path: &str| -> Result<Vec<(String, u64)>, String> {
+    let read_counters = |path: &str| -> Result<fscan_bench::baseline::CircuitCounters, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        fscan_bench::parse_gate_evals(&text).map_err(|e| format!("{path}: {e}"))
+        fscan_bench::parse_total_counters(&text).map_err(|e| format!("{path}: {e}"))
     };
-    let (base, cur) = match (read_evals(base_path), read_evals(cur_path)) {
+    let (base_all, cur_all) = match (read_counters(base_path), read_counters(cur_path)) {
         (Ok(b), Ok(c)) => (b, c),
         (Err(e), _) | (_, Err(e)) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
+    let base = fscan_bench::counter_totals(&base_all, "gate_evals");
+    let cur = fscan_bench::counter_totals(&cur_all, "gate_evals");
     for (name, evals) in &cur {
         match base.iter().find(|(n, _)| n == name) {
             Some((_, b)) => println!(
@@ -340,9 +344,17 @@ fn check_baseline(args: &[String]) -> ExitCode {
             None => println!("{name}: gate_evals {evals} (no baseline entry)"),
         }
     }
-    let failures = fscan_bench::check_regression(&base, &cur, tolerance);
+    let mut failures = fscan_bench::check_regression(&base, &cur, tolerance);
+    // Structural counters must not move at all: one topology compilation
+    // per pipeline run, whatever the thread count. (Baselines from
+    // before the counter existed simply have no entries to compare.)
+    failures.extend(fscan_bench::check_exact(
+        &fscan_bench::counter_totals(&base_all, "topology_builds"),
+        &fscan_bench::counter_totals(&cur_all, "topology_builds"),
+        "topology_builds",
+    ));
     if failures.is_empty() {
-        println!("baseline check passed (tolerance {tolerance}%)");
+        println!("baseline check passed (tolerance {tolerance}%, topology_builds exact)");
         ExitCode::SUCCESS
     } else {
         for f in &failures {

@@ -26,7 +26,9 @@ pub mod bench_json;
 pub mod suite;
 pub mod tables;
 
-pub use baseline::{check_regression, parse_gate_evals};
+pub use baseline::{
+    check_exact, check_regression, counter_totals, parse_gate_evals, parse_total_counters,
+};
 pub use bench_json::bench_json;
 pub use suite::{build_circuit, build_design, scaled_config, SuiteCircuit, PAPER_SUITE};
 pub use tables::{

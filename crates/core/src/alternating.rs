@@ -123,7 +123,7 @@ impl<'d> AlternatingPhase<'d> {
         threads: usize,
     ) -> (Vec<Option<usize>>, ShardStats, Duration, WorkCounters) {
         let start = Instant::now();
-        let sim = ParallelFaultSim::new(self.design.circuit());
+        let sim = ParallelFaultSim::with_topology(self.design.topology());
         let init = vec![V3::X; self.design.circuit().dffs().len()];
         let (detections, shards, counters) =
             sim.fault_sim_sharded(&self.vectors, &init, faults, threads);

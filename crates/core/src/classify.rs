@@ -128,9 +128,8 @@ pub struct Classifier<'d> {
 impl<'d> Classifier<'d> {
     /// Builds a classifier for `design`.
     pub fn new(design: &'d ScanDesign) -> Classifier<'d> {
-        let circuit = design.circuit();
-        let eval = CombEvaluator::new(circuit);
-        let engine = ImplicationEngine::new(circuit, &eval);
+        let eval = CombEvaluator::with_topology(design.topology());
+        let engine = ImplicationEngine::with_topology(design.topology());
         let steady = design.scan_mode_values();
         let mut chain_net_loc: HashMap<NodeId, Vec<ChainLocation>> = HashMap::new();
         let mut side_loc: HashMap<NodeId, Vec<(ChainLocation, bool)>> = HashMap::new();

@@ -175,11 +175,17 @@ impl<'d> CombPhase<'d> {
         observable.extend(chained.iter().map(|&ff| circuit.node(ff).fanin()[0]));
         observable.sort();
         observable.dedup();
-        let mut podem = Podem::new(circuit, controllable, fixed, observable);
+        let mut podem = Podem::with_topology(
+            circuit,
+            self.design.topology(),
+            controllable,
+            fixed,
+            observable,
+        );
 
         let max_len = self.design.max_chain_len();
         let window_len = 2 * max_len + 2;
-        let sim = ParallelFaultSim::new(circuit);
+        let sim = ParallelFaultSim::with_topology(self.design.topology());
         let init = vec![V3::X; circuit.dffs().len()];
 
         let mut status: Vec<Status> = vec![Status::Pending; hard.len()];

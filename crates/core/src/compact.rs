@@ -52,9 +52,8 @@ fn detects_per_test(
     // For each test (visited in `order`), the indices of still-undetected
     // faults it detects. Each test is self-contained (starts with a full
     // scan load), so per-test simulation from X state is exact.
-    let circuit = design.circuit();
-    let sim = ParallelFaultSim::new(circuit);
-    let init = vec![V3::X; circuit.dffs().len()];
+    let sim = ParallelFaultSim::with_topology(design.topology());
+    let init = vec![V3::X; design.circuit().dffs().len()];
     let mut caught = vec![false; faults.len()];
     let mut per_test: Vec<Vec<usize>> = vec![Vec::new(); program.len()];
     let mut total = 0usize;
@@ -97,27 +96,29 @@ fn detects_per_test(
 /// let design = insert_functional_scan(&circuit, &TpiConfig::default())?;
 /// let report = PipelineSession::new(&design, PipelineConfig::default()).run();
 /// let faults = collapse(design.circuit(), &all_faults(design.circuit()));
-/// let result = compact_program(&design, &report.program, &faults);
+/// let result = compact_program(&design, report.program, &faults);
 /// assert_eq!(result.detections_lost(), 0);
 /// assert!(result.tests_after() <= result.tests_before);
 /// # Ok::<(), fscan_scan::ScanError>(())
 /// ```
 pub fn compact_program(
     design: &ScanDesign,
-    program: &TestProgram,
+    program: TestProgram,
     faults: &[Fault],
 ) -> CompactionResult {
     let n = program.len();
     let (per_test_rev, total) =
-        detects_per_test(design, program, faults, (0..n).rev());
+        detects_per_test(design, &program, faults, (0..n).rev());
     let mut keep: Vec<bool> = per_test_rev.iter().map(|d| !d.is_empty()).collect();
     if n > 0 {
         keep[0] = true; // the alternating sequence stays
     }
     let mut compacted = TestProgram::new();
-    for (t, test) in program.tests().iter().enumerate() {
+    for (t, test) in program.into_tests().into_iter().enumerate() {
         if keep[t] {
-            compacted.push(test.clone());
+            // Kept tests move into the compacted program; their vector
+            // payloads are never copied.
+            compacted.push(test);
         }
     }
     // Re-simulate the kept set forward to report its true coverage (the
@@ -192,7 +193,7 @@ mod tests {
     #[test]
     fn reverse_compaction_preserves_coverage() {
         let (design, program, faults) = setup();
-        let result = compact_program(&design, &program, &faults);
+        let result = compact_program(&design, program, &faults);
         assert_eq!(result.detections_lost(), 0, "reverse compaction is lossless");
         assert!(result.tests_after() <= result.tests_before);
         assert_eq!(result.program.tests()[0].label, "alternating");

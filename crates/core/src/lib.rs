@@ -78,8 +78,6 @@ pub use pipeline::{
     AfterAlternating, AfterComb, Classified, ConfigError, PipelineConfig, PipelineConfigBuilder,
     PipelineReport, PipelineSession,
 };
-#[allow(deprecated)]
-pub use pipeline::Pipeline;
 pub use program::{ScanTest, TestProgram};
 pub use seq_phase::{DistParams, SeqPhase, SeqPhaseReport};
 pub use sequences::{scan_load_vectors, scan_vector_layout, ScanSequence};

@@ -5,8 +5,15 @@
 //! [`AfterAlternating`] → [`AfterComb`] → [`PipelineReport`]) whose
 //! fault sets can be inspected or modified before the next step runs;
 //! [`PipelineSession::run`] chains all four steps when no checkpoint
-//! access is needed. (The older [`Pipeline`] wrapper is deprecated in
-//! favour of the session.)
+//! access is needed.
+//!
+//! The session compiles the design's circuit into one shared
+//! [`fscan_netlist::CompiledTopology`] (via
+//! [`ScanDesign::topology`]) and every stage — classification,
+//! alternating-sequence simulation, PODEM, sequential ATPG,
+//! verification fault simulation — evaluates against that single plan;
+//! the report's `topology_builds` counter stays at 1 for the whole
+//! run.
 //!
 //! Every fault-parallel stage shards its work across
 //! [`PipelineConfig::threads`] workers with deterministic merging, so
@@ -19,9 +26,9 @@ use std::fmt;
 use std::time::Instant;
 
 use fscan_atpg::{PodemConfig, SeqAtpgConfig};
-use fscan_fault::{all_faults, collapse, Fault};
+use fscan_fault::{all_faults_with, collapse_with, Fault};
 use fscan_scan::ScanDesign;
-use fscan_sim::{ShardStats, StageMetrics, WorkCounters};
+use fscan_sim::{StageMetrics, WorkCounters};
 
 use crate::alternating::{AlternatingPhase, AlternatingReport};
 use crate::classify::{
@@ -251,20 +258,6 @@ impl PipelineReport {
         ]
     }
 
-    /// Per-stage wall-clock and worker distribution, in flow order.
-    #[deprecated(note = "use `stages()`; the triple now lives in `StageMetrics`")]
-    pub fn stage_timings(&self) -> [(&'static str, std::time::Duration, &ShardStats); 4] {
-        self.stages().map(|(name, m)| (name, m.cpu, &m.shards))
-    }
-
-    /// Per-stage deterministic work counters, in flow order. Unlike the
-    /// wall-clock numbers these count work items, so they are
-    /// bit-identical for every thread count.
-    #[deprecated(note = "use `stages()`; the triple now lives in `StageMetrics`")]
-    pub fn stage_counters(&self) -> [(&'static str, WorkCounters); 4] {
-        self.stages().map(|(name, m)| (name, m.counters))
-    }
-
     /// Sum of every stage's [`WorkCounters`].
     pub fn total_counters(&self) -> WorkCounters {
         self.stages().iter().map(|(_, m)| m.counters).sum()
@@ -324,8 +317,21 @@ pub struct PipelineSession<'d> {
 
 impl<'d> PipelineSession<'d> {
     /// Opens a session over the design's collapsed fault universe.
+    ///
+    /// This is where the design's [`CompiledTopology`] is first
+    /// demanded: fault enumeration and collapsing run against it, and
+    /// every later stage shares the same `Arc` — the circuit is
+    /// compiled exactly once per session (and cached on the design, so
+    /// repeated sessions do not even recompile).
+    ///
+    /// [`CompiledTopology`]: fscan_netlist::CompiledTopology
     pub fn new(design: &'d ScanDesign, config: PipelineConfig) -> PipelineSession<'d> {
-        let faults = collapse(design.circuit(), &all_faults(design.circuit()));
+        let topo = design.topology();
+        let faults = collapse_with(
+            design.circuit(),
+            &topo,
+            &all_faults_with(design.circuit(), &topo),
+        );
         PipelineSession::with_faults(design, config, faults)
     }
 
@@ -351,8 +357,12 @@ impl<'d> PipelineSession<'d> {
     /// implication, sharded across the configured workers.
     pub fn classify(self) -> Classified<'d> {
         let start = Instant::now();
-        let (classified, shards, counters) =
+        let (classified, shards, mut counters) =
             classify_faults_sharded(self.design, &self.faults, self.config.threads);
+        // The session's one topology compilation is accounted to the
+        // first stage; every later stage shares the same plan, so the
+        // report-wide total stays at exactly 1.
+        counters.topology_builds = 1;
         Classified {
             design: self.design,
             config: self.config,
@@ -593,41 +603,6 @@ impl<'d> AfterComb<'d> {
     }
 }
 
-/// Runs classification, the alternating sequence, combinational ATPG
-/// with sequential fault simulation, and targeted sequential ATPG, in
-/// order, against one scan design — a thin wrapper over
-/// [`PipelineSession`].
-///
-/// # Examples
-///
-/// See the crate-level example.
-#[deprecated(
-    note = "use `PipelineSession::new(design, config).run()` (or step through the checkpoints)"
-)]
-#[derive(Clone, Debug)]
-pub struct Pipeline<'d> {
-    design: &'d ScanDesign,
-    config: PipelineConfig,
-}
-
-#[allow(deprecated)]
-impl<'d> Pipeline<'d> {
-    /// Creates a pipeline over a scan design.
-    pub fn new(design: &'d ScanDesign, config: PipelineConfig) -> Pipeline<'d> {
-        Pipeline { design, config }
-    }
-
-    /// Runs the whole flow on the design's collapsed fault universe.
-    pub fn run(&self) -> PipelineReport {
-        PipelineSession::new(self.design, self.config.clone()).run()
-    }
-
-    /// Runs the whole flow on a caller-provided fault list.
-    pub fn run_with_faults(&self, faults: &[Fault]) -> PipelineReport {
-        PipelineSession::with_faults(self.design, self.config.clone(), faults.to_vec()).run()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -738,12 +713,11 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // the deprecated wrapper must keep matching the session
     fn staged_session_matches_monolithic_run() {
         let circuit = generate(&GeneratorConfig::new("staged", 11).gates(180).dffs(10));
         let design = insert_functional_scan(&circuit, &TpiConfig::default()).unwrap();
         let config = PipelineConfig::default();
-        let monolithic = Pipeline::new(&design, config.clone()).run();
+        let monolithic = PipelineSession::new(&design, config.clone()).run();
         let staged = PipelineSession::new(&design, config)
             .classify()
             .alternating()
@@ -757,6 +731,22 @@ mod tests {
         assert_eq!(staged.seq.detected, monolithic.seq.detected);
         assert_eq!(staged.undetected_faults, monolithic.undetected_faults);
         assert_eq!(staged.program.tests().len(), monolithic.program.tests().len());
+    }
+
+    #[test]
+    fn full_run_reports_exactly_one_topology_build() {
+        let circuit = generate(&GeneratorConfig::new("once", 21).gates(160).dffs(10));
+        let design = insert_functional_scan(&circuit, &TpiConfig::default()).unwrap();
+        let report = PipelineSession::new(&design, PipelineConfig::default()).run();
+        // The session books its single base-circuit compilation against
+        // the classify stage; no other stage may add one. (The global
+        // build-counter delta is asserted in `tests/topology_once.rs`,
+        // which runs in its own process.)
+        assert_eq!(report.total_counters().topology_builds, 1);
+        assert_eq!(report.stages()[0].1.counters.topology_builds, 1);
+        for (_, m) in &report.stages()[1..] {
+            assert_eq!(m.counters.topology_builds, 0);
+        }
     }
 
     #[test]

@@ -78,6 +78,13 @@ impl TestProgram {
         &self.tests
     }
 
+    /// Consumes the program and yields its tests by value, so callers
+    /// that reshuffle or filter tests (compaction) can move them instead
+    /// of cloning vector payloads.
+    pub fn into_tests(self) -> Vec<ScanTest> {
+        self.tests
+    }
+
     /// Number of tests.
     pub fn len(&self) -> usize {
         self.tests.len()

@@ -3,6 +3,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 use fscan_atpg::{SeqAtpg, SeqAtpgConfig, SeqOutcome, SeqTest};
@@ -18,8 +19,9 @@ use crate::sequences::{scan_load_vectors, scan_vector_layout};
 type Extent = HashMap<usize, (usize, usize)>;
 
 /// One sharded ATPG batch: `(fault index, extent)` pairs whose attempts
-/// are mutually independent.
-type Batch = Vec<(usize, Extent)>;
+/// are mutually independent. Extents are shared, not cloned: every
+/// follower riding a seed's circuit points at the seed's extent map.
+type Batch = Vec<(usize, Arc<Extent>)>;
 
 /// The paper's grouping distance parameters.
 ///
@@ -233,7 +235,7 @@ impl<'d> SeqPhase<'d> {
         circuits_initial += group1.len();
         let batch: Batch = group1
             .iter()
-            .map(|&i| (i, self.extent_map(&locations[i])))
+            .map(|&i| (i, Arc::new(self.extent_map(&locations[i]))))
             .collect();
         self.run_batch(&batch, faults, &self.config, &mut status, &mut program, &mut shards, &mut counters);
 
@@ -252,7 +254,8 @@ impl<'d> SeqPhase<'d> {
             let extent = self.extent_map(&locations[i]);
             let seed_chain = chain_of(&locations[i]).expect("group 2 is single-chain");
             let (cmin, omax) = extent[&seed_chain];
-            let mut batch = vec![(i, extent.clone())];
+            let extent = Arc::new(extent);
+            let mut batch = vec![(i, Arc::clone(&extent))];
             for &j in group2.iter().chain(group3.iter()) {
                 if j == i || status[j] != Status::Pending {
                     continue;
@@ -261,7 +264,7 @@ impl<'d> SeqPhase<'d> {
                     let jmin = locations[j].iter().map(|l| l.cell).min().unwrap_or(0);
                     let jmax = locations[j].iter().map(|l| l.cell).max().unwrap_or(0);
                     if jmin >= cmin && jmax <= omax {
-                        batch.push((j, extent.clone()));
+                        batch.push((j, Arc::clone(&extent)));
                     }
                 }
             }
@@ -305,7 +308,8 @@ impl<'d> SeqPhase<'d> {
                 circuits_initial += 1;
                 let mut extent = HashMap::new();
                 extent.insert(chain, (gmin, gmax));
-                batch.extend(group.into_iter().map(|i| (i, extent.clone())));
+                let extent = Arc::new(extent);
+                batch.extend(group.into_iter().map(|i| (i, Arc::clone(&extent))));
             }
         }
         self.run_batch(&batch, faults, &self.config, &mut status, &mut program, &mut shards, &mut counters);
@@ -314,7 +318,7 @@ impl<'d> SeqPhase<'d> {
         // independent attempts, one sharded batch.
         let batch: Batch = (0..faults.len())
             .filter(|&i| status[i] == Status::Pending || status[i] == Status::Unconfirmed)
-            .map(|i| (i, self.extent_map(&locations[i])))
+            .map(|i| (i, Arc::new(self.extent_map(&locations[i]))))
             .collect();
         let circuits_final = batch.len();
         self.run_batch(&batch, faults, &self.final_config, &mut status, &mut program, &mut shards, &mut counters);
@@ -372,7 +376,7 @@ impl<'d> SeqPhase<'d> {
     #[allow(clippy::too_many_arguments)]
     fn run_batch(
         &self,
-        batch: &[(usize, Extent)],
+        batch: &[(usize, Arc<Extent>)],
         faults: &[Fault],
         config: &SeqAtpgConfig,
         status: &mut [Status],
@@ -449,7 +453,7 @@ impl<'d> SeqPhase<'d> {
             }
         }
         let layout = scan_vector_layout(self.design);
-        let atpg = SeqAtpg::new(circuit)
+        let atpg = SeqAtpg::with_topology(circuit, self.design.topology())
             .controllable_ffs(controllable)
             .observable_ffs(observable)
             .fixed_pis(layout.constrained.clone());
@@ -525,7 +529,7 @@ impl<'d> SeqPhase<'d> {
         }
         // Event-driven confirmation: one good trace, then a single-fault
         // word replayed against it inside the fault's fanout cone.
-        let sim = ParallelFaultSim::new(circuit);
+        let sim = ParallelFaultSim::with_topology(self.design.topology());
         let init = vec![V3::X; circuit.dffs().len()];
         let trace = sim.good_trace(&vectors, &init);
         let (det, mut work) = sim.fault_sim_with_trace_counted(&[fault], &trace);

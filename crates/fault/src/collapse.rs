@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use fscan_netlist::{Circuit, FanoutTable, GateKind};
+use fscan_netlist::{Circuit, CompiledTopology, GateKind};
 
 use crate::model::{Fault, FaultSite};
 
@@ -72,6 +72,17 @@ impl Dsu {
 /// assert_eq!(collapse(&c, &all_faults(&c)).len(), 2);
 /// ```
 pub fn collapse(circuit: &Circuit, universe: &[Fault]) -> Vec<Fault> {
+    collapse_with(circuit, &CompiledTopology::compile(circuit), universe)
+}
+
+/// [`collapse`] against an already-compiled topology of `circuit`,
+/// avoiding a redundant compilation when the caller shares one.
+pub fn collapse_with(
+    circuit: &Circuit,
+    topo: &CompiledTopology,
+    universe: &[Fault],
+) -> Vec<Fault> {
+    debug_assert_eq!(circuit.num_nodes(), topo.num_nodes());
     let index: HashMap<Fault, usize> = universe
         .iter()
         .copied()
@@ -79,14 +90,11 @@ pub fn collapse(circuit: &Circuit, universe: &[Fault]) -> Vec<Fault> {
         .map(|(i, f)| (f, i))
         .collect();
     let mut dsu = Dsu::new(universe.len());
-    let fot = FanoutTable::new(circuit);
 
     // Resolve the fault on pin `pin` of node `id` to a universe index:
     // if the net feeding that pin is fanout-free the fault *is* the
     // driver's stem fault.
-    let output_readers = |src| {
-        fot.fanouts(src).len() + circuit.outputs().iter().filter(|&&o| o == src).count()
-    };
+    let output_readers = |src| topo.fanout_count(src) + topo.output_reads(src);
     let pin_fault = |id, pin, src, stuck| -> Option<usize> {
         if output_readers(src) > 1 {
             index.get(&Fault::branch(id, pin, stuck)).copied()

@@ -28,6 +28,6 @@ mod collapse;
 mod list;
 mod model;
 
-pub use collapse::collapse;
+pub use collapse::{collapse, collapse_with};
 pub use list::{FaultList, FaultStatus};
-pub use model::{all_faults, Fault, FaultSite};
+pub use model::{all_faults, all_faults_with, Fault, FaultSite};

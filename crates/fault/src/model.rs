@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use fscan_netlist::{Circuit, NodeId};
+use fscan_netlist::{Circuit, CompiledTopology, NodeId};
 
 /// Where a stuck-at fault sits in the circuit structure.
 ///
@@ -108,7 +108,13 @@ impl fmt::Display for Fault {
 /// assert_eq!(all_faults(&c).len(), 10);
 /// ```
 pub fn all_faults(circuit: &Circuit) -> Vec<Fault> {
-    let fot = fscan_netlist::FanoutTable::new(circuit);
+    all_faults_with(circuit, &CompiledTopology::compile(circuit))
+}
+
+/// [`all_faults`] against an already-compiled topology of `circuit`,
+/// avoiding a redundant compilation when the caller shares one.
+pub fn all_faults_with(circuit: &Circuit, topo: &CompiledTopology) -> Vec<Fault> {
+    debug_assert_eq!(circuit.num_nodes(), topo.num_nodes());
     let mut faults = Vec::new();
     for (id, _node) in circuit.iter() {
         for stuck in [false, true] {
@@ -121,8 +127,7 @@ pub fn all_faults(circuit: &Circuit) -> Vec<Fault> {
             if src == id {
                 continue;
             }
-            let branches = fot.fanouts(src).len()
-                + circuit.outputs().iter().filter(|&&o| o == src).count();
+            let branches = topo.fanout_count(src) + topo.output_reads(src);
             if branches > 1 {
                 for stuck in [false, true] {
                     faults.push(Fault::branch(id, pin, stuck));

@@ -39,6 +39,7 @@ mod gate;
 mod generator;
 mod level;
 mod stats;
+mod topo;
 
 pub use bench::{parse_bench, write_bench, ParseBenchError};
 pub use circuit::{Circuit, Node, NodeId};
@@ -48,3 +49,4 @@ pub use gate::GateKind;
 pub use generator::{generate, GeneratorConfig};
 pub use level::{FanoutTable, Levelization};
 pub use stats::CircuitStats;
+pub use topo::CompiledTopology;

@@ -5,7 +5,7 @@ use std::fmt;
 
 use crate::circuit::Circuit;
 use crate::gate::GateKind;
-use crate::level::{FanoutTable, Levelization};
+use crate::topo::CompiledTopology;
 
 /// Structural statistics of a circuit.
 ///
@@ -42,15 +42,14 @@ pub struct CircuitStats {
 impl CircuitStats {
     /// Computes statistics for `circuit`.
     pub fn new(circuit: &Circuit) -> CircuitStats {
-        let lv = Levelization::new(circuit);
-        let fot = FanoutTable::new(circuit);
+        let topo = CompiledTopology::compile(circuit);
         let mut kind_histogram = BTreeMap::new();
         let mut fanout_sum = 0usize;
         for (id, node) in circuit.iter() {
             if node.kind().is_gate() {
                 *kind_histogram.entry(node.kind()).or_insert(0) += 1;
             }
-            fanout_sum += fot.fanouts(id).len();
+            fanout_sum += topo.fanout_count(id);
         }
         let n = circuit.num_nodes().max(1);
         CircuitStats {
@@ -59,7 +58,7 @@ impl CircuitStats {
             outputs: circuit.outputs().len(),
             gates: circuit.num_gates(),
             dffs: circuit.dffs().len(),
-            depth: lv.depth(),
+            depth: topo.depth(),
             avg_fanout: fanout_sum as f64 / n as f64,
             kind_histogram,
         }

@@ -1,0 +1,405 @@
+//! The compiled circuit plan: CSR adjacency, levelized order and index
+//! tables, built once and shared by every engine.
+//!
+//! Historically each engine (`CombEvaluator`, `ImplicationEngine`,
+//! `ParallelFaultSim`, PODEM, the unroller…) rederived levels and fanout
+//! lists from [`Circuit`] on construction. [`CompiledTopology`] performs
+//! that derivation exactly once and packs the result into flat,
+//! cache-friendly arrays:
+//!
+//! * fanin and fanout adjacency in CSR form (one `u32` offset array plus
+//!   flat edge arrays instead of `Vec<Vec<…>>`);
+//! * the Kahn levelization (full topological order, per-node levels,
+//!   combinational depth) — identical, entry for entry, to
+//!   [`Levelization`](crate::Levelization), which now serves as the
+//!   naive reference oracle;
+//! * the evaluation order (gates and constants only) with per-node
+//!   positions, shared by every levelized and event-driven simulator;
+//! * gate kinds in a flat SoA array and the PI/PO/DFF index tables.
+//!
+//! The struct is immutable after construction; engines hold it behind an
+//! [`Arc`] so one compilation serves all pipeline stages and every
+//! worker thread. The process-wide build counter
+//! ([`CompiledTopology::builds`]) lets tests assert the compile-once
+//! property.
+//!
+//! Invariants (checked by the proptest oracle in `tests/props.rs`):
+//!
+//! * `fanin(id)` equals `Circuit::node(id).fanin()` byte for byte
+//!   (including a placeholder flip-flop's self edge);
+//! * `fanouts(id)` equals `FanoutTable::fanouts(id)` (the placeholder
+//!   self edge is *skipped*, exactly as there);
+//! * `order()`/`level(id)`/`depth()` equal the [`Levelization`] results.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::circuit::{Circuit, NodeId};
+use crate::gate::GateKind;
+
+/// Process-wide count of topology compilations (see
+/// [`CompiledTopology::builds`]).
+static BUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// An immutable, flat compilation of a [`Circuit`]: CSR fanin/fanout
+/// adjacency, the levelized order, per-node levels, gate kinds in SoA
+/// layout and the PI/PO/DFF index tables.
+///
+/// Built once per design (see [`fscan_scan::ScanDesign::topology`] in
+/// the scan crate) and shared by reference across every engine and
+/// worker thread.
+///
+/// # Examples
+///
+/// ```
+/// use fscan_netlist::{Circuit, CompiledTopology, GateKind};
+///
+/// let mut c = Circuit::new("t");
+/// let a = c.add_input("a");
+/// let g1 = c.add_gate(GateKind::Not, vec![a], "g1");
+/// let g2 = c.add_gate(GateKind::And, vec![a, g1], "g2");
+/// let topo = CompiledTopology::compile(&c);
+/// assert_eq!(topo.level(g2), 2);
+/// assert_eq!(topo.fanout_sinks(a), &[g1, g2]);
+/// assert_eq!(topo.fanin(g2), &[a, g1]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CompiledTopology {
+    num_nodes: usize,
+    kinds: Vec<GateKind>,
+    fanin_offsets: Vec<u32>,
+    fanin_edges: Vec<NodeId>,
+    fanout_offsets: Vec<u32>,
+    fanout_sinks: Vec<NodeId>,
+    fanout_pins: Vec<u32>,
+    order: Vec<NodeId>,
+    level: Vec<u32>,
+    depth: u32,
+    eval_order: Vec<NodeId>,
+    eval_pos: Vec<u32>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<NodeId>,
+    dffs: Vec<NodeId>,
+    output_reads: Vec<u32>,
+}
+
+impl CompiledTopology {
+    /// Compiles `circuit` into its flat plan. This is the only place in
+    /// the workspace that levelizes or builds fanout adjacency for
+    /// production engines; each call increments the process-wide
+    /// [`builds`](Self::builds) counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has combinational cycles (call
+    /// [`Circuit::validate`] first for a proper error).
+    pub fn compile(circuit: &Circuit) -> CompiledTopology {
+        BUILDS.fetch_add(1, Ordering::Relaxed);
+        let n = circuit.num_nodes();
+
+        let mut kinds = Vec::with_capacity(n);
+        let mut fanin_offsets = Vec::with_capacity(n + 1);
+        let mut fanin_edges = Vec::new();
+        fanin_offsets.push(0u32);
+        for (_, node) in circuit.iter() {
+            kinds.push(node.kind());
+            fanin_edges.extend_from_slice(node.fanin());
+            fanin_offsets.push(fanin_edges.len() as u32);
+        }
+
+        // Fanout CSR: counting pass, then fill. Iterating nodes in id
+        // order and pins in pin order reproduces FanoutTable's per-source
+        // ordering exactly. A placeholder DFF feeds back on itself; skip
+        // that edge so traversals do not see a phantom reader.
+        let mut fanout_offsets = vec![0u32; n + 1];
+        for (id, node) in circuit.iter() {
+            for &src in node.fanin() {
+                if src == id && node.kind() == GateKind::Dff {
+                    continue;
+                }
+                fanout_offsets[src.index() + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            fanout_offsets[i + 1] += fanout_offsets[i];
+        }
+        let num_edges = fanout_offsets[n] as usize;
+        let mut fanout_sinks = vec![NodeId::from_index(0); num_edges];
+        let mut fanout_pins = vec![0u32; num_edges];
+        let mut next = fanout_offsets.clone();
+        for (id, node) in circuit.iter() {
+            for (pin, &src) in node.fanin().iter().enumerate() {
+                if src == id && node.kind() == GateKind::Dff {
+                    continue;
+                }
+                let slot = next[src.index()] as usize;
+                next[src.index()] += 1;
+                fanout_sinks[slot] = id;
+                fanout_pins[slot] = pin as u32;
+            }
+        }
+
+        // Kahn levelization over combinational edges, identical to the
+        // naive `Levelization` reference: DFF fanins are sequential edges
+        // and do not count, DFF/Input/Const nodes sit at level 0, and the
+        // queue is seeded in node-id order.
+        let mut level = vec![0u32; n];
+        let mut indegree = vec![0u32; n];
+        let mut order: Vec<NodeId> = Vec::with_capacity(n);
+        for (id, node) in circuit.iter() {
+            if node.kind().is_gate() {
+                indegree[id.index()] = node.fanin().len() as u32;
+            }
+        }
+        let mut queue: Vec<NodeId> = circuit
+            .node_ids()
+            .filter(|id| indegree[id.index()] == 0)
+            .collect();
+        let mut head = 0;
+        while head < queue.len() {
+            let id = queue[head];
+            head += 1;
+            order.push(id);
+            let lo = fanout_offsets[id.index()] as usize;
+            let hi = fanout_offsets[id.index() + 1] as usize;
+            for &sink in &fanout_sinks[lo..hi] {
+                if !kinds[sink.index()].is_gate() {
+                    continue;
+                }
+                let l = level[id.index()] + 1;
+                if l > level[sink.index()] {
+                    level[sink.index()] = l;
+                }
+                indegree[sink.index()] -= 1;
+                if indegree[sink.index()] == 0 {
+                    queue.push(sink);
+                }
+            }
+        }
+        assert_eq!(
+            order.len(),
+            n,
+            "topology compilation failed: combinational cycle present"
+        );
+        let depth = level.iter().copied().max().unwrap_or(0);
+
+        let eval_order: Vec<NodeId> = order
+            .iter()
+            .copied()
+            .filter(|&id| {
+                let k = kinds[id.index()];
+                k.is_gate() || matches!(k, GateKind::Const0 | GateKind::Const1)
+            })
+            .collect();
+        let mut eval_pos = vec![u32::MAX; n];
+        for (i, &id) in eval_order.iter().enumerate() {
+            eval_pos[id.index()] = i as u32;
+        }
+
+        let mut output_reads = vec![0u32; n];
+        for &po in circuit.outputs() {
+            output_reads[po.index()] += 1;
+        }
+
+        CompiledTopology {
+            num_nodes: n,
+            kinds,
+            fanin_offsets,
+            fanin_edges,
+            fanout_offsets,
+            fanout_sinks,
+            fanout_pins,
+            order,
+            level,
+            depth,
+            eval_order,
+            eval_pos,
+            inputs: circuit.inputs().to_vec(),
+            outputs: circuit.outputs().to_vec(),
+            dffs: circuit.dffs().to_vec(),
+            output_reads,
+        }
+    }
+
+    /// [`compile`](Self::compile) wrapped in an [`Arc`], ready to share
+    /// across engines and worker threads.
+    pub fn shared(circuit: &Circuit) -> Arc<CompiledTopology> {
+        Arc::new(CompiledTopology::compile(circuit))
+    }
+
+    /// Process-wide number of [`compile`](Self::compile) calls since
+    /// startup. Tests snapshot this before and after a pipeline run to
+    /// verify the compile-once property.
+    pub fn builds() -> u64 {
+        BUILDS.load(Ordering::Relaxed)
+    }
+
+    /// Total number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The kind of node `id` (flat SoA lookup).
+    pub fn kind(&self, id: NodeId) -> GateKind {
+        self.kinds[id.index()]
+    }
+
+    /// The fanin nets of node `id` in pin order — identical to
+    /// `Circuit::node(id).fanin()`, including a placeholder flip-flop's
+    /// self edge.
+    pub fn fanin(&self, id: NodeId) -> &[NodeId] {
+        let lo = self.fanin_offsets[id.index()] as usize;
+        let hi = self.fanin_offsets[id.index() + 1] as usize;
+        &self.fanin_edges[lo..hi]
+    }
+
+    /// The sink nodes reading node `id`'s output (flip-flop D pins
+    /// included; placeholder self edges and output markers excluded).
+    pub fn fanout_sinks(&self, id: NodeId) -> &[NodeId] {
+        let lo = self.fanout_offsets[id.index()] as usize;
+        let hi = self.fanout_offsets[id.index() + 1] as usize;
+        &self.fanout_sinks[lo..hi]
+    }
+
+    /// The pin index at which each [`fanout_sinks`](Self::fanout_sinks)
+    /// entry reads node `id` (parallel slice).
+    pub fn fanout_pins(&self, id: NodeId) -> &[u32] {
+        let lo = self.fanout_offsets[id.index()] as usize;
+        let hi = self.fanout_offsets[id.index() + 1] as usize;
+        &self.fanout_pins[lo..hi]
+    }
+
+    /// The `(sink, pin)` readers of node `id` — the
+    /// [`FanoutTable`](crate::FanoutTable)-shaped view over the CSR
+    /// slices.
+    pub fn fanouts(&self, id: NodeId) -> impl Iterator<Item = (NodeId, usize)> + '_ {
+        self.fanout_sinks(id)
+            .iter()
+            .zip(self.fanout_pins(id).iter())
+            .map(|(&sink, &pin)| (sink, pin as usize))
+    }
+
+    /// Number of fanout readers of node `id` (output markers excluded).
+    pub fn fanout_count(&self, id: NodeId) -> usize {
+        self.fanout_sinks(id).len()
+    }
+
+    /// How many primary-output markers read node `id`.
+    pub fn output_reads(&self, id: NodeId) -> usize {
+        self.output_reads[id.index()] as usize
+    }
+
+    /// All nodes in topological (non-decreasing level) order; level-0
+    /// nodes (inputs, constants, flip-flops) come first.
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// The level of a node (0 for inputs, constants and flip-flops).
+    pub fn level(&self, id: NodeId) -> u32 {
+        self.level[id.index()]
+    }
+
+    /// The maximum level in the circuit (combinational depth).
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// The evaluation order: constants and gates only, topologically
+    /// sorted — the subsequence of [`order`](Self::order) every
+    /// simulator walks.
+    pub fn eval_order(&self) -> &[NodeId] {
+        &self.eval_order
+    }
+
+    /// Each node's position in [`eval_order`](Self::eval_order), indexed
+    /// by node id (`u32::MAX` for nodes outside it: inputs, flip-flops).
+    /// Event-driven consumers use this to schedule gates topologically.
+    pub fn order_positions(&self) -> &[u32] {
+        &self.eval_pos
+    }
+
+    /// Primary inputs in creation order.
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Primary output markers in creation order.
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// Flip-flops in creation order.
+    pub fn dffs(&self) -> &[NodeId] {
+        &self.dffs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GeneratorConfig};
+    use crate::level::{FanoutTable, Levelization};
+
+    fn assert_matches_naive(c: &Circuit) {
+        let topo = CompiledTopology::compile(c);
+        let lv = Levelization::new(c);
+        let fot = FanoutTable::new(c);
+        assert_eq!(topo.order(), lv.order());
+        for id in c.node_ids() {
+            assert_eq!(topo.level(id), lv.level(id), "{id}");
+            assert_eq!(topo.fanin(id), c.node(id).fanin(), "{id}");
+            assert_eq!(topo.kind(id), c.node(id).kind(), "{id}");
+            let csr: Vec<(NodeId, usize)> = topo.fanouts(id).collect();
+            assert_eq!(csr.as_slice(), fot.fanouts(id), "{id}");
+        }
+        assert_eq!(topo.depth(), lv.depth());
+        assert_eq!(topo.inputs(), c.inputs());
+        assert_eq!(topo.outputs(), c.outputs());
+        assert_eq!(topo.dffs(), c.dffs());
+    }
+
+    #[test]
+    fn matches_naive_derivation_on_generated_circuits() {
+        for seed in [1u64, 7, 23] {
+            let c = generate(&GeneratorConfig::new("topo", seed).gates(120).dffs(9));
+            assert_matches_naive(&c);
+        }
+    }
+
+    #[test]
+    fn placeholder_self_edge_is_in_fanin_but_not_fanout() {
+        let mut c = Circuit::new("t");
+        let ff = c.add_dff_placeholder("ff");
+        let topo = CompiledTopology::compile(&c);
+        assert_eq!(topo.fanin(ff), &[ff]);
+        assert!(topo.fanout_sinks(ff).is_empty());
+    }
+
+    #[test]
+    fn eval_order_excludes_inputs_and_dffs() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let k = c.add_const(true, "k");
+        let g = c.add_gate(GateKind::And, vec![a, k], "g");
+        let ff = c.add_dff(g, "ff");
+        c.mark_output(ff);
+        let topo = CompiledTopology::compile(&c);
+        assert_eq!(topo.eval_order(), &[k, g]);
+        let pos = topo.order_positions();
+        assert_eq!(pos[a.index()], u32::MAX);
+        assert_eq!(pos[ff.index()], u32::MAX);
+        assert_eq!(pos[g.index()], 1);
+        assert_eq!(topo.output_reads(ff), 1);
+        assert_eq!(topo.output_reads(g), 0);
+    }
+
+    #[test]
+    fn build_counter_increments() {
+        let c = generate(&GeneratorConfig::new("cnt", 3).gates(30).dffs(2));
+        let before = CompiledTopology::builds();
+        let _one = CompiledTopology::compile(&c);
+        let _two = CompiledTopology::shared(&c);
+        assert!(CompiledTopology::builds() >= before + 2);
+    }
+}

@@ -1,8 +1,9 @@
 //! The scan design produced by insertion: chains, cells, side inputs.
 
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
-use fscan_netlist::{Circuit, NodeId};
+use fscan_netlist::{Circuit, CompiledTopology, NodeId};
 use fscan_sim::{CombEvaluator, V3};
 
 use crate::error::ScanError;
@@ -166,6 +167,9 @@ pub struct ScanDesign {
     chains: Vec<ScanChain>,
     test_points: usize,
     added_gates: usize,
+    /// Compiled topology of the (frozen) transformed circuit, built on
+    /// first use and shared by every engine thereafter.
+    topo: OnceLock<Arc<CompiledTopology>>,
 }
 
 impl ScanDesign {
@@ -184,12 +188,23 @@ impl ScanDesign {
             chains,
             test_points,
             added_gates,
+            topo: OnceLock::new(),
         }
     }
 
     /// The transformed circuit.
     pub fn circuit(&self) -> &Circuit {
         &self.circuit
+    }
+
+    /// The compiled topology of the transformed circuit: CSR adjacency,
+    /// levelized order and index tables, built exactly once on first use
+    /// (the circuit is frozen inside a `ScanDesign`) and shared via
+    /// [`Arc`] by every downstream engine.
+    pub fn topology(&self) -> Arc<CompiledTopology> {
+        self.topo
+            .get_or_init(|| CompiledTopology::shared(&self.circuit))
+            .clone()
     }
 
     /// The `scan_mode` primary input (1 during all scan operations).
@@ -245,7 +260,7 @@ impl ScanDesign {
     /// pinned values, free inputs and flip-flop outputs at X, constants
     /// and gates evaluated.
     pub fn scan_mode_values(&self) -> Vec<V3> {
-        let eval = CombEvaluator::new(&self.circuit);
+        let eval = CombEvaluator::with_topology(self.topology());
         let mut values = vec![V3::X; self.circuit.num_nodes()];
         for &(pi, v) in &self.constraints {
             values[pi.index()] = V3::from_bool(v);

@@ -10,7 +10,7 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use fscan_netlist::{Circuit, FanoutTable, GateKind, NodeId};
+use fscan_netlist::{Circuit, CompiledTopology, GateKind, NodeId};
 
 use crate::design::{ScanChain, ScanDesign};
 use crate::error::ScanError;
@@ -59,7 +59,17 @@ impl Default for PartialScanConfig {
 /// # Ok::<(), fscan_netlist::NetlistError>(())
 /// ```
 pub fn ff_dependency_graph(circuit: &Circuit) -> Vec<Vec<usize>> {
-    let fot = FanoutTable::new(circuit);
+    ff_dependency_graph_with(circuit, &CompiledTopology::compile(circuit))
+}
+
+/// [`ff_dependency_graph`] against an already-compiled topology of
+/// `circuit`, avoiding a redundant compilation when the caller shares
+/// one.
+pub fn ff_dependency_graph_with(
+    circuit: &Circuit,
+    topo: &CompiledTopology,
+) -> Vec<Vec<usize>> {
+    debug_assert_eq!(circuit.num_nodes(), topo.num_nodes());
     let index_of: HashMap<NodeId, usize> = circuit
         .dffs()
         .iter()
@@ -75,7 +85,7 @@ pub fn ff_dependency_graph(circuit: &Circuit) -> Vec<Vec<usize>> {
         queue.push_back(ff);
         seen.insert(ff);
         while let Some(n) = queue.pop_front() {
-            for &(sink, _) in fot.fanouts(n) {
+            for &sink in topo.fanout_sinks(n) {
                 match circuit.node(sink).kind() {
                     GateKind::Dff => {
                         if let Some(&j) = index_of.get(&sink) {

@@ -10,8 +10,9 @@
 //! in normal mode.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
-use fscan_netlist::{Circuit, FanoutTable, GateKind, NodeId};
+use fscan_netlist::{Circuit, CompiledTopology, GateKind, NodeId};
 use fscan_sim::{CombEvaluator, V3};
 
 use crate::design::{ScanCell, ScanChain, ScanDesign, SegmentKind, SideInput};
@@ -81,6 +82,10 @@ struct Builder<'a> {
     /// Side inputs of committed segments: every later plan must keep
     /// them at their required values.
     committed_sides: Vec<SideInput>,
+    /// Compiled topology of the current working circuit, recompiled by
+    /// [`Builder::recompute_steady`] whenever the circuit mutates (the
+    /// only place outside `fscan_netlist` allowed to rebuild one).
+    topo: Arc<CompiledTopology>,
     steady: Vec<V3>,
     test_points: usize,
     original_gates: usize,
@@ -97,6 +102,7 @@ impl<'a> Builder<'a> {
         let (scan_mode, not_scan) = add_scan_infra(&mut c);
         let mut constraints = HashMap::new();
         constraints.insert(scan_mode, true);
+        let topo = CompiledTopology::shared(&c);
         let mut b = Builder {
             circuit: c,
             config,
@@ -107,6 +113,7 @@ impl<'a> Builder<'a> {
             infrastructure: [scan_mode, not_scan].into_iter().collect(),
             reserved: HashSet::new(),
             committed_sides: Vec::new(),
+            topo,
             steady: Vec::new(),
             test_points: 0,
             original_gates,
@@ -117,12 +124,14 @@ impl<'a> Builder<'a> {
     }
 
     fn recompute_steady(&mut self) {
-        let eval = CombEvaluator::new(&self.circuit);
+        // The circuit just mutated (or is fresh): recompile its plan,
+        // then evaluate the steady scan-mode values against it.
+        self.topo = CompiledTopology::shared(&self.circuit);
         let mut values = vec![V3::X; self.circuit.num_nodes()];
         for (&pi, &v) in &self.constraints {
             values[pi.index()] = V3::from_bool(v);
         }
-        eval.eval(&self.circuit, &mut values);
+        CombEvaluator::with_topology(self.topo.clone()).eval_values(&mut values);
         self.steady = values;
     }
 
@@ -134,7 +143,6 @@ impl<'a> Builder<'a> {
         extra: &[(NodeId, bool)],
         pin_overrides: &HashMap<(NodeId, usize), bool>,
     ) -> Vec<V3> {
-        let eval = CombEvaluator::new(&self.circuit);
         let mut values = vec![V3::X; self.circuit.num_nodes()];
         for (&pi, &v) in &self.constraints {
             values[pi.index()] = V3::from_bool(v);
@@ -143,7 +151,7 @@ impl<'a> Builder<'a> {
             values[pi.index()] = V3::from_bool(v);
         }
         // Manual topological pass so pin overrides apply mid-evaluation.
-        for &id in eval.order() {
+        for &id in self.topo.eval_order() {
             let node = self.circuit.node(id);
             let out = fscan_sim::V3::eval_gate(
                 node.kind(),
@@ -171,7 +179,6 @@ impl<'a> Builder<'a> {
         prev: NodeId,
         remaining: &HashSet<NodeId>,
     ) -> Option<(ScanCell, Plan)> {
-        let fot = FanoutTable::new(&self.circuit);
         // parent[gate] = (previous net, pin on gate where data enters)
         let mut parent: HashMap<NodeId, (NodeId, usize)> = HashMap::new();
         let mut depth: HashMap<NodeId, usize> = HashMap::new();
@@ -195,7 +202,7 @@ impl<'a> Builder<'a> {
         };
 
         // Zero-gate path: prev directly drives a remaining flip-flop.
-        for &(sink, pin) in fot.fanouts(prev) {
+        for (sink, pin) in self.topo.fanouts(prev) {
             if pin == 0
                 && self.circuit.node(sink).kind() == GateKind::Dff
                 && remaining.contains(&sink)
@@ -213,7 +220,7 @@ impl<'a> Builder<'a> {
             if d >= self.config.max_path_len {
                 continue;
             }
-            for &(gate, pin) in fot.fanouts(net) {
+            for (gate, pin) in self.topo.fanouts(net) {
                 let node = self.circuit.node(gate);
                 if !node.kind().is_gate()
                     || parent.contains_key(&gate)
@@ -227,7 +234,7 @@ impl<'a> Builder<'a> {
                 parent.insert(gate, (net, pin));
                 depth.insert(gate, d + 1);
                 // Does this gate feed a remaining flip-flop's D pin?
-                for &(sink, spin) in fot.fanouts(gate) {
+                for (sink, spin) in self.topo.fanouts(gate) {
                     if spin == 0
                         && self.circuit.node(sink).kind() == GateKind::Dff
                         && remaining.contains(&sink)
@@ -519,6 +526,9 @@ impl<'a> Builder<'a> {
                 si
             })
             .collect();
+        // Adding the scan-in inputs grew the circuit: refresh the plan
+        // (their steady values are X — nothing else changes).
+        self.recompute_steady();
         let mut pool: HashSet<NodeId> = original_dffs.iter().copied().collect();
         let mut order: Vec<NodeId> = original_dffs.to_vec();
         let mut chains = Vec::with_capacity(num_chains);

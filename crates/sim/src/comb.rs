@@ -1,59 +1,58 @@
 //! Levelized combinational evaluation with stuck-at fault injection.
 
+use std::sync::Arc;
+
 use fscan_fault::{Fault, FaultSite};
-use fscan_netlist::{Circuit, GateKind, Levelization, NodeId};
+use fscan_netlist::{Circuit, CompiledTopology, GateKind, NodeId};
 
 use crate::value::V3;
 
 /// A reusable combinational evaluator for one circuit.
 ///
-/// Holds the topological gate order; evaluation writes into a caller
-/// provided value vector indexed by node id, so callers control where
-/// primary-input and flip-flop values come from.
+/// A thin view over a shared [`CompiledTopology`]; evaluation writes
+/// into a caller provided value vector indexed by node id, so callers
+/// control where primary-input and flip-flop values come from.
 ///
 /// # Examples
 ///
 /// See the crate-level example.
 #[derive(Clone, Debug)]
 pub struct CombEvaluator {
-    order: Vec<NodeId>,
-    pos: Vec<u32>,
+    topo: Arc<CompiledTopology>,
 }
 
 impl CombEvaluator {
-    /// Builds an evaluator for `circuit`.
+    /// Builds an evaluator for `circuit`, compiling a private topology.
+    /// Prefer [`CombEvaluator::with_topology`] when a compiled plan is
+    /// already available.
     ///
     /// # Panics
     ///
     /// Panics if the circuit has combinational cycles.
     pub fn new(circuit: &Circuit) -> CombEvaluator {
-        let lv = Levelization::new(circuit);
-        let order: Vec<NodeId> = lv
-            .order()
-            .iter()
-            .copied()
-            .filter(|&id| {
-                let k = circuit.node(id).kind();
-                k.is_gate() || matches!(k, GateKind::Const0 | GateKind::Const1)
-            })
-            .collect();
-        let mut pos = vec![u32::MAX; circuit.num_nodes()];
-        for (i, &id) in order.iter().enumerate() {
-            pos[id.index()] = i as u32;
-        }
-        CombEvaluator { order, pos }
+        CombEvaluator::with_topology(CompiledTopology::shared(circuit))
+    }
+
+    /// Builds an evaluator over an already-compiled topology.
+    pub fn with_topology(topo: Arc<CompiledTopology>) -> CombEvaluator {
+        CombEvaluator { topo }
+    }
+
+    /// The shared compiled topology this evaluator runs against.
+    pub fn topology(&self) -> &Arc<CompiledTopology> {
+        &self.topo
     }
 
     /// The evaluation order (constants and gates, topologically sorted).
     pub fn order(&self) -> &[NodeId] {
-        &self.order
+        self.topo.eval_order()
     }
 
     /// Each node's position in [`CombEvaluator::order`], indexed by node
     /// id (`u32::MAX` for nodes outside the order: inputs, flip-flops).
     /// Event-driven consumers use this to schedule gates topologically.
     pub fn order_positions(&self) -> &[u32] {
-        &self.pos
+        self.topo.order_positions()
     }
 
     /// Evaluates the fault-free combinational logic.
@@ -65,7 +64,14 @@ impl CombEvaluator {
     ///
     /// Panics if `values` is shorter than the node count.
     pub fn eval(&self, circuit: &Circuit, values: &mut [V3]) {
-        self.eval_inner(circuit, values, None);
+        debug_assert_eq!(circuit.num_nodes(), self.topo.num_nodes());
+        self.eval_inner(values, None);
+    }
+
+    /// [`CombEvaluator::eval`] against the compiled topology alone — for
+    /// callers that no longer hold the `Circuit`.
+    pub fn eval_values(&self, values: &mut [V3]) {
+        self.eval_inner(values, None);
     }
 
     /// Evaluates with a single stuck-at fault injected.
@@ -75,11 +81,12 @@ impl CombEvaluator {
     /// computed output; branch faults override the value seen by one
     /// input pin only.
     pub fn eval_with_fault(&self, circuit: &Circuit, values: &mut [V3], fault: Fault) {
-        self.eval_inner(circuit, values, Some(fault));
+        debug_assert_eq!(circuit.num_nodes(), self.topo.num_nodes());
+        self.eval_inner(values, Some(fault));
     }
 
-    fn eval_inner(&self, circuit: &Circuit, values: &mut [V3], fault: Option<Fault>) {
-        assert!(values.len() >= circuit.num_nodes());
+    fn eval_inner(&self, values: &mut [V3], fault: Option<Fault>) {
+        assert!(values.len() >= self.topo.num_nodes());
         // Pre-pass: stem faults on nodes not in the evaluation order
         // (inputs, flip-flop outputs) must override the preset values.
         if let Some(Fault {
@@ -87,16 +94,15 @@ impl CombEvaluator {
             stuck,
         }) = fault
         {
-            let k = circuit.node(n).kind();
+            let k = self.topo.kind(n);
             if !k.is_gate() && !matches!(k, GateKind::Const0 | GateKind::Const1) {
                 values[n.index()] = V3::from_bool(stuck);
             }
         }
         let mut buf: Vec<V3> = Vec::with_capacity(8);
-        for &id in &self.order {
-            let node = circuit.node(id);
+        for &id in self.topo.eval_order() {
             buf.clear();
-            for (pin, &src) in node.fanin().iter().enumerate() {
+            for (pin, &src) in self.topo.fanin(id).iter().enumerate() {
                 let mut v = values[src.index()];
                 if let Some(Fault {
                     site: FaultSite::Branch { gate, pin: fpin },
@@ -109,7 +115,7 @@ impl CombEvaluator {
                 }
                 buf.push(v);
             }
-            let mut out = V3::eval_gate(node.kind(), buf.iter().copied());
+            let mut out = V3::eval_gate(self.topo.kind(id), buf.iter().copied());
             if let Some(Fault {
                 site: FaultSite::Stem(n),
                 stuck,
@@ -129,7 +135,8 @@ impl CombEvaluator {
     /// The value a flip-flop would capture next cycle, honoring a branch
     /// fault on its D pin and stem faults on its driver.
     pub fn dff_next(&self, circuit: &Circuit, values: &[V3], dff: NodeId, fault: Option<Fault>) -> V3 {
-        let d = circuit.node(dff).fanin()[0];
+        debug_assert_eq!(circuit.num_nodes(), self.topo.num_nodes());
+        let d = self.topo.fanin(dff)[0];
         if let Some(Fault {
             site: FaultSite::Branch { gate, pin: 0 },
             stuck,

@@ -44,6 +44,12 @@ use crate::pool::ShardStats;
 /// * `early_exits` — short-circuits taken: a 64-lane fault word whose
 ///   faults were all detected before the vector set was exhausted, or a
 ///   phase skipping a target already covered by fault dropping.
+/// * `topology_builds` — [`CompiledTopology`](fscan_netlist::CompiledTopology)
+///   compilations a stage triggered. A full pipeline run over one design
+///   reports exactly 1 (the compile-once invariant).
+/// * `scratch_reuses` — 64-fault words served through a reusable
+///   [`SimScratch`](crate::SimScratch) arena instead of freshly
+///   allocated buffers (one per word, so thread-count invariant).
 ///
 /// All fields are `u64` and every aggregation is an unordered sum, so
 /// merging in any order yields the same totals.
@@ -67,6 +73,10 @@ pub struct WorkCounters {
     pub windows_formed: u64,
     /// Early exits taken (word fully detected, target already dropped).
     pub early_exits: u64,
+    /// Circuit topology compilations triggered.
+    pub topology_builds: u64,
+    /// 64-fault words served by a reusable scratch arena.
+    pub scratch_reuses: u64,
 }
 
 impl WorkCounters {
@@ -81,6 +91,8 @@ impl WorkCounters {
         podem_aborts: 0,
         windows_formed: 0,
         early_exits: 0,
+        topology_builds: 0,
+        scratch_reuses: 0,
     };
 
     /// Adds `other` into `self` field-wise.
@@ -95,7 +107,7 @@ impl WorkCounters {
 
     /// The counters as `(name, value)` pairs in a fixed order —
     /// the single source of truth for JSON emission and display.
-    pub fn fields(&self) -> [(&'static str, u64); 9] {
+    pub fn fields(&self) -> [(&'static str, u64); 11] {
         [
             ("gate_evals", self.gate_evals),
             ("lane_cycles", self.lane_cycles),
@@ -106,6 +118,8 @@ impl WorkCounters {
             ("podem_aborts", self.podem_aborts),
             ("windows_formed", self.windows_formed),
             ("early_exits", self.early_exits),
+            ("topology_builds", self.topology_builds),
+            ("scratch_reuses", self.scratch_reuses),
         ]
     }
 }
@@ -149,6 +163,8 @@ impl AddAssign for WorkCounters {
         self.podem_aborts += rhs.podem_aborts;
         self.windows_formed += rhs.windows_formed;
         self.early_exits += rhs.early_exits;
+        self.topology_builds += rhs.topology_builds;
+        self.scratch_reuses += rhs.scratch_reuses;
     }
 }
 
@@ -228,9 +244,11 @@ mod tests {
             podem_aborts: 7,
             windows_formed: 8,
             early_exits: 9,
+            topology_builds: 10,
+            scratch_reuses: 11,
         };
         let vals: Vec<u64> = c.fields().iter().map(|&(_, v)| v).collect();
-        assert_eq!(vals, vec![1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(vals, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]);
         assert!(!c.is_zero());
         assert!(WorkCounters::ZERO.is_zero());
     }

@@ -28,7 +28,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use fscan_netlist::{Circuit, FanoutTable, NodeId};
+use fscan_netlist::NodeId;
 
 use crate::comb::CombEvaluator;
 use crate::counters::WorkCounters;
@@ -61,6 +61,14 @@ impl EventQueue {
     /// again. The queue must be drained first.
     pub(crate) fn next_cycle(&mut self) {
         debug_assert!(self.heap.is_empty(), "event queue not drained");
+        self.epoch += 1;
+    }
+
+    /// Hard reset for arena reuse: drops any still-enqueued events (an
+    /// early-exiting consumer may leave some behind) and starts a fresh
+    /// epoch, keeping the allocated capacity.
+    pub(crate) fn reset(&mut self) {
+        self.heap.clear();
         self.epoch += 1;
     }
 
@@ -124,22 +132,22 @@ pub struct GoodTrace {
 impl GoodTrace {
     /// Simulates `vectors.len()` cycles of the fault-free machine from
     /// flip-flop state `init`, re-evaluating only gates whose inputs
-    /// changed (cycle 0 pays one full levelized pass).
+    /// changed (cycle 0 pays one full levelized pass). Fanout adjacency
+    /// comes from the evaluator's shared [`CompiledTopology`]
+    /// (`fscan_netlist::CompiledTopology`) CSR slices.
     ///
     /// # Panics
     ///
     /// Panics if a vector's length differs from the input count or
     /// `init` from the flip-flop count.
-    pub fn compute(
-        circuit: &Circuit,
-        eval: &CombEvaluator,
-        fanouts: &FanoutTable,
-        vectors: &[Vec<V3>],
-        init: &[V3],
-    ) -> GoodTrace {
-        let c = circuit;
-        assert_eq!(init.len(), c.dffs().len(), "init length != flip-flop count");
-        let n = c.num_nodes();
+    pub fn compute(eval: &CombEvaluator, vectors: &[Vec<V3>], init: &[V3]) -> GoodTrace {
+        let topo = eval.topology();
+        assert_eq!(
+            init.len(),
+            topo.dffs().len(),
+            "init length != flip-flop count"
+        );
+        let n = topo.num_nodes();
         let pos = eval.order_positions();
         let mut values = vec![V3::X; n];
         let mut outputs: Vec<Vec<V3>> = Vec::with_capacity(vectors.len());
@@ -162,38 +170,46 @@ impl GoodTrace {
         };
 
         // Cycle 0: one full levelized pass seeds the persistent values.
-        assert_eq!(vec0.len(), c.inputs().len(), "vector length != input count");
-        for (&pi, &v) in c.inputs().iter().zip(vec0.iter()) {
+        assert_eq!(
+            vec0.len(),
+            topo.inputs().len(),
+            "vector length != input count"
+        );
+        for (&pi, &v) in topo.inputs().iter().zip(vec0.iter()) {
             values[pi.index()] = v;
         }
-        for (&ff, &v) in c.dffs().iter().zip(state.iter()) {
+        for (&ff, &v) in topo.dffs().iter().zip(state.iter()) {
             values[ff.index()] = v;
         }
-        eval.eval(c, &mut values);
+        eval.eval_values(&mut values);
         counters.gate_evals += eval.order().len() as u64;
         counters.lane_cycles += 1;
-        outputs.push(c.outputs().iter().map(|&po| values[po.index()]).collect());
+        outputs.push(topo.outputs().iter().map(|&po| values[po.index()]).collect());
         delta_ends.push(0);
         let values0 = values.clone();
-        for (s, &ff) in state.iter_mut().zip(c.dffs().iter()) {
-            *s = values[c.node(ff).fanin()[0].index()];
+        for (s, &ff) in state.iter_mut().zip(topo.dffs().iter()) {
+            *s = values[topo.fanin(ff)[0].index()];
         }
 
         // Cycles 1..: drive only the changed inputs and state bits and
         // let the event queue propagate.
         let mut queue = EventQueue::new(n);
         let schedule = |queue: &mut EventQueue, id: NodeId| {
-            for &(sink, _) in fanouts.fanouts(id) {
-                if c.node(sink).kind().is_gate() {
+            for &sink in topo.fanout_sinks(id) {
+                if topo.kind(sink).is_gate() {
                     queue.push(pos[sink.index()], sink);
                 }
             }
         };
         for vec_t in vectors.iter().skip(1) {
-            assert_eq!(vec_t.len(), c.inputs().len(), "vector length != input count");
+            assert_eq!(
+                vec_t.len(),
+                topo.inputs().len(),
+                "vector length != input count"
+            );
             counters.lane_cycles += 1;
             queue.next_cycle();
-            for (&pi, &v) in c.inputs().iter().zip(vec_t.iter()) {
+            for (&pi, &v) in topo.inputs().iter().zip(vec_t.iter()) {
                 if values[pi.index()] != v {
                     values[pi.index()] = v;
                     delta_nodes.push(pi.index() as u32);
@@ -201,7 +217,7 @@ impl GoodTrace {
                     schedule(&mut queue, pi);
                 }
             }
-            for (&ff, &v) in c.dffs().iter().zip(state.iter()) {
+            for (&ff, &v) in topo.dffs().iter().zip(state.iter()) {
                 if values[ff.index()] != v {
                     values[ff.index()] = v;
                     delta_nodes.push(ff.index() as u32);
@@ -211,10 +227,9 @@ impl GoodTrace {
             }
             while let Some(id) = queue.pop() {
                 counters.gate_evals += 1;
-                let node = c.node(id);
                 let out = V3::eval_gate(
-                    node.kind(),
-                    node.fanin().iter().map(|&src| values[src.index()]),
+                    topo.kind(id),
+                    topo.fanin(id).iter().map(|&src| values[src.index()]),
                 );
                 if values[id.index()] != out {
                     values[id.index()] = out;
@@ -224,9 +239,9 @@ impl GoodTrace {
                 }
             }
             delta_ends.push(delta_nodes.len());
-            outputs.push(c.outputs().iter().map(|&po| values[po.index()]).collect());
-            for (s, &ff) in state.iter_mut().zip(c.dffs().iter()) {
-                *s = values[c.node(ff).fanin()[0].index()];
+            outputs.push(topo.outputs().iter().map(|&po| values[po.index()]).collect());
+            for (s, &ff) in state.iter_mut().zip(topo.dffs().iter()) {
+                *s = values[topo.fanin(ff)[0].index()];
             }
         }
 
@@ -288,13 +303,12 @@ impl GoodTrace {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fscan_netlist::{generate, GateKind, GeneratorConfig};
+    use fscan_netlist::{generate, Circuit, GateKind, GeneratorConfig};
     use crate::seq::SeqSim;
 
     fn trace_for(c: &Circuit, vectors: &[Vec<V3>], init: &[V3]) -> GoodTrace {
         let eval = CombEvaluator::new(c);
-        let fot = FanoutTable::new(c);
-        GoodTrace::compute(c, &eval, &fot, vectors, init)
+        GoodTrace::compute(&eval, vectors, init)
     }
 
     #[test]

@@ -2,9 +2,10 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use fscan_fault::{Fault, FaultSite};
-use fscan_netlist::{Circuit, FanoutTable, NodeId};
+use fscan_netlist::{Circuit, CompiledTopology, NodeId};
 
 use crate::comb::CombEvaluator;
 use crate::counters::WorkCounters;
@@ -74,11 +75,11 @@ pub fn forward_implication(
 ///
 /// Classifying every fault of a circuit calls the implication thousands
 /// of times; this engine keeps its scratch buffers (epoch-stamped
-/// overlays and the fanout table) across calls.
+/// overlays) across calls and walks the shared [`CompiledTopology`] for
+/// fanout lists and topological positions.
 #[derive(Clone, Debug)]
 pub struct ImplicationEngine {
-    fanout: FanoutTable,
-    pos: Vec<u32>,
+    topo: Arc<CompiledTopology>,
     faulty: Vec<V3>,
     stamp: Vec<u32>,
     queued: Vec<u32>,
@@ -87,16 +88,17 @@ pub struct ImplicationEngine {
 }
 
 impl ImplicationEngine {
-    /// Builds an engine for `circuit` sharing the evaluator's order.
+    /// Builds an engine sharing the evaluator's compiled topology.
     pub fn new(circuit: &Circuit, eval: &CombEvaluator) -> ImplicationEngine {
-        let n = circuit.num_nodes();
-        let mut pos = vec![u32::MAX; n];
-        for (i, &id) in eval.order().iter().enumerate() {
-            pos[id.index()] = i as u32;
-        }
+        debug_assert_eq!(circuit.num_nodes(), eval.topology().num_nodes());
+        ImplicationEngine::with_topology(eval.topology().clone())
+    }
+
+    /// Builds an engine over an already-compiled topology.
+    pub fn with_topology(topo: Arc<CompiledTopology>) -> ImplicationEngine {
+        let n = topo.num_nodes();
         ImplicationEngine {
-            fanout: FanoutTable::new(circuit),
-            pos,
+            topo,
             faulty: vec![V3::X; n],
             stamp: vec![0; n],
             queued: vec![0; n],
@@ -118,6 +120,8 @@ impl ImplicationEngine {
 
     /// Runs the implication; see [`forward_implication`].
     pub fn run(&mut self, circuit: &Circuit, good: &[V3], fault: Fault) -> Vec<NetChange> {
+        debug_assert_eq!(circuit.num_nodes(), self.topo.num_nodes());
+        let _ = circuit;
         self.epoch = self.epoch.wrapping_add(1);
         if self.epoch == 0 {
             // Extremely rare wrap: reset stamps to keep correctness.
@@ -125,19 +129,19 @@ impl ImplicationEngine {
             self.queued.fill(u32::MAX);
             self.epoch = 1;
         }
-        // Split the engine into disjoint borrows so the fanout lists can
-        // be walked by reference while the scratch overlays are updated —
-        // the old `push_gate(&mut self, ..)` shape forced a `to_vec()`
-        // clone of every fanout list on the hot path.
+        // Split the engine into disjoint borrows so the CSR fanout slices
+        // can be walked by reference while the scratch overlays are
+        // updated — the old `push_gate(&mut self, ..)` shape forced a
+        // `to_vec()` clone of every fanout list on the hot path.
         let ImplicationEngine {
-            fanout,
-            pos,
+            topo,
             faulty,
             stamp,
             queued,
             epoch,
             counters,
         } = self;
+        let pos = topo.order_positions();
         let epoch = *epoch;
         let mut heap: BinaryHeap<Reverse<(u32, NodeId)>> = BinaryHeap::new();
         let mut changes: Vec<NetChange> = Vec::new();
@@ -157,7 +161,7 @@ impl ImplicationEngine {
         match fault.site {
             FaultSite::Stem(n) => {
                 let stuck = V3::from_bool(fault.stuck);
-                let kind = circuit.node(n).kind();
+                let kind = topo.kind(n);
                 if kind.is_gate() || matches!(kind, fscan_netlist::GateKind::Const0 | fscan_netlist::GateKind::Const1) {
                     // Re-evaluate at the gate itself (the stem override is
                     // applied when the node is processed below).
@@ -170,8 +174,8 @@ impl ImplicationEngine {
                         good: good[n.index()],
                         faulty: stuck,
                     });
-                    for &(sink, _) in fanout.fanouts(n) {
-                        push_gate(&mut heap, sink);
+                    for sink in topo.fanout_sinks(n) {
+                        push_gate(&mut heap, *sink);
                     }
                 }
             }
@@ -182,10 +186,9 @@ impl ImplicationEngine {
 
         while let Some(Reverse((_, id))) = heap.pop() {
             counters.implication_events += 1;
-            let node = circuit.node(id);
             let mut out = V3::eval_gate(
-                node.kind(),
-                node.fanin().iter().enumerate().map(|(pin, &src)| {
+                topo.kind(id),
+                topo.fanin(id).iter().enumerate().map(|(pin, &src)| {
                     if let FaultSite::Branch { gate, pin: fpin } = fault.site {
                         if gate == id && fpin == pin {
                             return V3::from_bool(fault.stuck);
@@ -209,8 +212,8 @@ impl ImplicationEngine {
                     good: good[id.index()],
                     faulty: out,
                 });
-                for &(sink, _) in fanout.fanouts(id) {
-                    push_gate(&mut heap, sink);
+                for sink in topo.fanout_sinks(id) {
+                    push_gate(&mut heap, *sink);
                 }
             } else {
                 // Value restored to good: make sure an earlier overlay for

@@ -15,7 +15,8 @@
 //!   sequence, event-driven, and shared read-only by every fault batch;
 //! * [`ParallelFaultSim`] — 64-fault-per-pass sequential fault
 //!   simulation, event-driven and restricted to each fault word's
-//!   fanout cone;
+//!   fanout cone, with [`SimScratch`] per-thread arenas reset (not
+//!   reallocated) between fault words;
 //! * [`shard_map`] — scoped-thread work sharding with a deterministic
 //!   in-order merge, used by every fault-parallel pipeline stage;
 //! * [`WorkCounters`] — exact, machine-independent work counters
@@ -54,6 +55,7 @@ mod implication;
 mod packed;
 mod parallel;
 pub mod pool;
+mod scratch;
 mod seq;
 mod value;
 
@@ -64,5 +66,6 @@ pub use implication::{forward_implication, ImplicationEngine, NetChange};
 pub use packed::Pv64;
 pub use parallel::ParallelFaultSim;
 pub use pool::{resolve_threads, shard_map, shard_map_counted, ShardStats};
+pub use scratch::SimScratch;
 pub use seq::{detects, SeqSim, Trace};
 pub use value::V3;

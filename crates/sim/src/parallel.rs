@@ -1,15 +1,16 @@
 //! 64-fault-per-pass sequential fault simulation, event-driven and
 //! cone-restricted.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
 use fscan_fault::{Fault, FaultSite};
-use fscan_netlist::{Circuit, FanoutTable, GateKind, NodeId};
+use fscan_netlist::{Circuit, CompiledTopology, GateKind, NodeId};
 
 use crate::comb::CombEvaluator;
 use crate::counters::WorkCounters;
 use crate::event::{EventQueue, GoodTrace};
 use crate::packed::Pv64;
+use crate::scratch::{SimScratch, NO_ENTRY};
 use crate::value::V3;
 
 /// Parallel-fault sequential fault simulator: simulates up to 64 faulty
@@ -21,7 +22,9 @@ use crate::value::V3;
 /// Each word restricts itself to the union fanout cone of its fault
 /// sites — nets outside the cone provably carry good values — and within
 /// the cone only gates whose inputs changed since the previous cycle are
-/// re-evaluated.
+/// re-evaluated. All structural data comes from the shared
+/// [`CompiledTopology`]; per-word buffers live in a reusable
+/// [`SimScratch`] arena, so the steady-state loop allocates nothing.
 ///
 /// Produces exactly the same detection verdicts as
 /// [`SeqSim::fault_sim`](crate::SeqSim::fault_sim) (the serial
@@ -44,21 +47,37 @@ use crate::value::V3;
 /// assert_eq!(res, vec![Some(0)]);
 /// ```
 #[derive(Clone, Debug)]
-pub struct ParallelFaultSim<'c> {
-    circuit: &'c Circuit,
+pub struct ParallelFaultSim {
     eval: CombEvaluator,
-    fanouts: FanoutTable,
 }
 
-impl<'c> ParallelFaultSim<'c> {
-    /// Builds a simulator (levelizes the circuit and builds its fanout
-    /// table once).
-    pub fn new(circuit: &'c Circuit) -> ParallelFaultSim<'c> {
+impl ParallelFaultSim {
+    /// Builds a simulator, compiling a private topology. Prefer
+    /// [`ParallelFaultSim::with_topology`] when a compiled plan is
+    /// already available.
+    pub fn new(circuit: &Circuit) -> ParallelFaultSim {
         ParallelFaultSim {
-            circuit,
             eval: CombEvaluator::new(circuit),
-            fanouts: FanoutTable::new(circuit),
         }
+    }
+
+    /// Builds a simulator over an already-compiled topology.
+    pub fn with_topology(topo: Arc<CompiledTopology>) -> ParallelFaultSim {
+        ParallelFaultSim {
+            eval: CombEvaluator::with_topology(topo),
+        }
+    }
+
+    /// The shared compiled topology this simulator runs against.
+    pub fn topology(&self) -> &Arc<CompiledTopology> {
+        self.eval.topology()
+    }
+
+    /// A fresh per-thread scratch arena sized for this simulator's
+    /// topology, reusable across any number of
+    /// [`fault_sim_into`](Self::fault_sim_into) calls.
+    pub fn scratch(&self) -> SimScratch {
+        SimScratch::new(self.eval.topology())
     }
 
     /// Simulates the fault-free machine over `vectors` from state `init`
@@ -67,7 +86,7 @@ impl<'c> ParallelFaultSim<'c> {
     /// of times, so callers re-simulating the same sequence against
     /// different fault lists pay for the good machine once.
     pub fn good_trace(&self, vectors: &[Vec<V3>], init: &[V3]) -> GoodTrace {
-        GoodTrace::compute(self.circuit, &self.eval, &self.fanouts, vectors, init)
+        GoodTrace::compute(&self.eval, vectors, init)
     }
 
     /// Runs the full sequence for every fault and reports the first
@@ -99,9 +118,10 @@ impl<'c> ParallelFaultSim<'c> {
     /// pass plus event-driven activity afterwards), `cone_nets` = the
     /// union fault-cone size per 64-fault word, `lane_cycles` = Σ active
     /// lanes per simulated cycle, one `early_exits` per word whose
-    /// faults were all detected before the vector set ran out. The
-    /// good-machine work is *not* included — it lives in
-    /// [`GoodTrace::counters`] and is paid once, not per word.
+    /// faults were all detected before the vector set ran out, one
+    /// `scratch_reuses` per word served by the arena. The good-machine
+    /// work is *not* included — it lives in [`GoodTrace::counters`] and
+    /// is paid once, not per word.
     ///
     /// Every contribution is a function of one 64-fault word only, so
     /// sums over any partition of the fault list (at word boundaries)
@@ -111,25 +131,44 @@ impl<'c> ParallelFaultSim<'c> {
         faults: &[Fault],
         trace: &GoodTrace,
     ) -> (Vec<Option<usize>>, WorkCounters) {
-        let mut result = vec![None; faults.len()];
+        let mut scratch = self.scratch();
+        let mut out = Vec::new();
+        let counters = self.fault_sim_into(faults, trace, &mut scratch, &mut out);
+        (out, counters)
+    }
+
+    /// The zero-allocation workhorse:
+    /// [`fault_sim_with_trace_counted`](Self::fault_sim_with_trace_counted)
+    /// writing verdicts into a caller-owned vector and running every
+    /// 64-fault word through the reusable `scratch` arena. Once
+    /// `scratch` and `out` are warm (one prior call of at least this
+    /// size), a call performs no heap allocation at all — the property
+    /// the allocation-counter integration test pins down.
+    pub fn fault_sim_into(
+        &self,
+        faults: &[Fault],
+        trace: &GoodTrace,
+        scratch: &mut SimScratch,
+        out: &mut Vec<Option<usize>>,
+    ) -> WorkCounters {
+        out.clear();
+        out.resize(faults.len(), None);
         let mut counters = WorkCounters::ZERO;
         for (chunk_idx, chunk) in faults.chunks(64).enumerate() {
             let base = chunk_idx * 64;
-            let (det, work) = self.simulate_chunk(chunk, trace);
-            for (lane, d) in det.into_iter().enumerate() {
-                result[base + lane] = d;
-            }
-            counters += work;
+            counters +=
+                self.simulate_chunk(chunk, trace, scratch, &mut out[base..base + chunk.len()]);
         }
-        (result, counters)
+        counters
     }
 
     /// [`fault_sim`](Self::fault_sim) sharded across `threads` scoped
     /// workers (`0` = hardware thread count).
     ///
     /// The good trace is computed once and shared read-only; each worker
-    /// simulates whole 64-lane words, and verdicts are merged in fault
-    /// order, so the result is identical to the serial
+    /// owns one [`SimScratch`] arena (built in the pool's per-worker
+    /// init) and simulates whole 64-lane words, and verdicts are merged
+    /// in fault order, so the result is identical to the serial
     /// [`fault_sim`](Self::fault_sim) for every thread count. Also
     /// returns the work distribution and the summed [`WorkCounters`]
     /// (good-machine run included), which are bit-identical for every
@@ -142,27 +181,45 @@ impl<'c> ParallelFaultSim<'c> {
         threads: usize,
     ) -> (Vec<Option<usize>>, crate::pool::ShardStats, WorkCounters) {
         let trace = self.good_trace(vectors, init);
-        let (detections, stats, mut counters) =
-            crate::pool::shard_map_counted(threads, 64, faults, || (), |_, _, chunk| {
-                self.fault_sim_with_trace_counted(chunk, &trace)
-            });
+        let (detections, stats, mut counters) = crate::pool::shard_map_counted(
+            threads,
+            64,
+            faults,
+            || self.scratch(),
+            |scratch, _, chunk| {
+                let mut out = Vec::new();
+                let work = self.fault_sim_into(chunk, &trace, scratch, &mut out);
+                (out, work)
+            },
+        );
         counters += trace.counters();
         (detections, stats, counters)
     }
 
-    /// Simulates one 64-fault word against the shared good trace.
+    /// Simulates one 64-fault word against the shared good trace, using
+    /// (and resetting) the caller's scratch arena.
     ///
     /// Restricted to the union fanout cone of the word's fault sites:
     /// every net outside the cone carries the good value in every lane
     /// (no structural path from any fault site reaches it), so faulty
     /// values (`fval`) are maintained — and gates re-evaluated — only
-    /// inside the cone, and only when an input changed.
-    fn simulate_chunk(&self, chunk: &[Fault], trace: &GoodTrace) -> (Vec<Option<usize>>, WorkCounters) {
-        let c = self.circuit;
-        let mut detection = vec![None; chunk.len()];
+    /// inside the cone, and only when an input changed. Stale `fval`
+    /// entries from the previous word are harmless: every in-cone node
+    /// is written by the cycle-0 seed pass before it is first read.
+    fn simulate_chunk(
+        &self,
+        chunk: &[Fault],
+        trace: &GoodTrace,
+        scratch: &mut SimScratch,
+        detection: &mut [Option<usize>],
+    ) -> WorkCounters {
+        let topo = &**self.eval.topology();
+        debug_assert_eq!(scratch.num_nodes, topo.num_nodes());
+        debug_assert_eq!(detection.len(), chunk.len());
         let mut counters = WorkCounters::ZERO;
+        counters.scratch_reuses += 1;
         if trace.cycles() == 0 {
-            return (detection, counters);
+            return counters;
         }
         let n_lanes = chunk.len() as u32;
         let full_mask: u64 = if n_lanes == 64 {
@@ -171,114 +228,154 @@ impl<'c> ParallelFaultSim<'c> {
             (1u64 << n_lanes) - 1
         };
 
-        // Injection tables.
-        let mut stem: HashMap<NodeId, Vec<(u64, bool)>> = HashMap::new();
-        let mut branch: HashMap<(NodeId, usize), Vec<(u64, bool)>> = HashMap::new();
+        scratch.begin_word();
+        let SimScratch {
+            epoch,
+            good_now,
+            fval,
+            cone_stamp,
+            stack,
+            cone_order,
+            cone_pis,
+            cone_ffs,
+            cone_outs,
+            queue,
+            fnext,
+            buf,
+            stem_head,
+            stem_entries,
+            branch_head,
+            branch_entries,
+            ..
+        } = scratch;
+        let epoch = *epoch;
+
+        // Injection tables: epoch-stamped per-node linked lists. Lanes
+        // are disjoint bits, so application order does not matter.
         for (lane, f) in chunk.iter().enumerate() {
             let mask = 1u64 << lane;
             match f.site {
-                FaultSite::Stem(n) => stem.entry(n).or_default().push((mask, f.stuck)),
+                FaultSite::Stem(n) => {
+                    let i = n.index();
+                    let prev = if stem_head[i].0 == epoch {
+                        stem_head[i].1
+                    } else {
+                        NO_ENTRY
+                    };
+                    stem_head[i] = (epoch, stem_entries.len() as u32);
+                    stem_entries.push((mask, f.stuck, prev));
+                }
                 FaultSite::Branch { gate, pin } => {
-                    branch.entry((gate, pin)).or_default().push((mask, f.stuck))
+                    let i = gate.index();
+                    let prev = if branch_head[i].0 == epoch {
+                        branch_head[i].1
+                    } else {
+                        NO_ENTRY
+                    };
+                    branch_head[i] = (epoch, branch_entries.len() as u32);
+                    branch_entries.push((pin as u32, mask, f.stuck, prev));
                 }
             }
         }
+        let force_stem = |mut w: Pv64, id: NodeId| -> Pv64 {
+            let (ep, mut e) = stem_head[id.index()];
+            if ep == epoch {
+                while e != NO_ENTRY {
+                    let (mask, stuck, next) = stem_entries[e as usize];
+                    w = w.force(mask, stuck);
+                    e = next;
+                }
+            }
+            w
+        };
+        let force_branch = |mut w: Pv64, id: NodeId, pin: usize| -> Pv64 {
+            let (ep, mut e) = branch_head[id.index()];
+            if ep == epoch {
+                while e != NO_ENTRY {
+                    let (epin, mask, stuck, next) = branch_entries[e as usize];
+                    if epin as usize == pin {
+                        w = w.force(mask, stuck);
+                    }
+                    e = next;
+                }
+            }
+            w
+        };
 
         // Union fault cone: forward closure of every fault site over the
-        // fanout table (crossing flip-flops — the D pin is a fanout).
-        let mut in_cone = vec![false; c.num_nodes()];
-        let mut stack: Vec<NodeId> = Vec::new();
+        // CSR fanout slices (crossing flip-flops — the D pin is a
+        // fanout), marked by stamping the current epoch.
         for f in chunk {
             let site = match f.site {
                 FaultSite::Stem(n) => n,
                 FaultSite::Branch { gate, .. } => gate,
             };
-            if !in_cone[site.index()] {
-                in_cone[site.index()] = true;
+            if cone_stamp[site.index()] != epoch {
+                cone_stamp[site.index()] = epoch;
+                counters.cone_nets += 1;
                 stack.push(site);
             }
         }
         while let Some(id) = stack.pop() {
-            for &(sink, _) in self.fanouts.fanouts(id) {
-                if !in_cone[sink.index()] {
-                    in_cone[sink.index()] = true;
+            for &sink in topo.fanout_sinks(id) {
+                if cone_stamp[sink.index()] != epoch {
+                    cone_stamp[sink.index()] = epoch;
+                    counters.cone_nets += 1;
                     stack.push(sink);
                 }
             }
         }
-        counters.cone_nets += in_cone.iter().filter(|&&b| b).count() as u64;
+        let in_cone = |id: NodeId| cone_stamp[id.index()] == epoch;
 
         let pos = self.eval.order_positions();
-        let cone_order: Vec<NodeId> = self
-            .eval
-            .order()
-            .iter()
-            .copied()
-            .filter(|&id| in_cone[id.index()])
-            .collect();
-        let cone_pis: Vec<NodeId> = c
-            .inputs()
-            .iter()
-            .copied()
-            .filter(|&pi| in_cone[pi.index()])
-            .collect();
-        let cone_ffs: Vec<NodeId> = c
-            .dffs()
-            .iter()
-            .copied()
-            .filter(|&ff| in_cone[ff.index()])
-            .collect();
-        let cone_outs: Vec<(usize, NodeId)> = c
-            .outputs()
-            .iter()
-            .copied()
-            .enumerate()
-            .filter(|&(_, po)| in_cone[po.index()])
-            .collect();
+        cone_order.extend(topo.eval_order().iter().copied().filter(|&id| in_cone(id)));
+        cone_pis.extend(topo.inputs().iter().copied().filter(|&pi| in_cone(pi)));
+        cone_ffs.extend(topo.dffs().iter().copied().filter(|&ff| in_cone(ff)));
+        cone_outs.extend(
+            topo.outputs()
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(_, po)| in_cone(po))
+                .map(|(k, po)| (k as u32, po)),
+        );
 
-        // Current good values (replayed from the trace's deltas) and the
-        // faulty lanes' values, meaningful only inside the cone.
-        let mut good_now: Vec<V3> = trace.values0().to_vec();
-        let mut fval: Vec<Pv64> = vec![Pv64::ALL_X; c.num_nodes()];
+        // Current good values (replayed from the trace's deltas); faulty
+        // lanes' values are meaningful only inside the cone.
+        good_now.copy_from_slice(trace.values0());
         let schedule = |queue: &mut EventQueue, id: NodeId| {
-            for &(sink, _) in self.fanouts.fanouts(id) {
-                if in_cone[sink.index()] && c.node(sink).kind().is_gate() {
+            for &sink in topo.fanout_sinks(id) {
+                if in_cone(sink) && topo.kind(sink).is_gate() {
                     queue.push(pos[sink.index()], sink);
                 }
             }
         };
 
-        let mut queue = EventQueue::new(c.num_nodes());
-        let mut fnext: Vec<Pv64> = Vec::with_capacity(cone_ffs.len());
-        let mut buf: Vec<Pv64> = Vec::with_capacity(8);
         let mut detected_mask: u64 = 0;
         for t in 0..trace.cycles() {
             counters.lane_cycles += u64::from(n_lanes);
             if t == 0 {
                 // Seed pass: evaluate the whole cone once from the good
                 // snapshot with the faults forced in.
-                for &pi in &cone_pis {
-                    fval[pi.index()] =
-                        force_all(Pv64::splat(good_now[pi.index()]), stem.get(&pi));
+                for &pi in cone_pis.iter() {
+                    fval[pi.index()] = force_stem(Pv64::splat(good_now[pi.index()]), pi);
                 }
-                for &ff in &cone_ffs {
-                    fval[ff.index()] =
-                        force_all(Pv64::splat(good_now[ff.index()]), stem.get(&ff));
+                for &ff in cone_ffs.iter() {
+                    fval[ff.index()] = force_stem(Pv64::splat(good_now[ff.index()]), ff);
                 }
                 counters.gate_evals += cone_order.len() as u64;
-                for &id in &cone_order {
-                    let node = c.node(id);
+                for &id in cone_order.iter() {
                     buf.clear();
-                    for (pin, &src) in node.fanin().iter().enumerate() {
-                        let w = if in_cone[src.index()] {
+                    for (pin, &src) in topo.fanin(id).iter().enumerate() {
+                        let w = if in_cone(src) {
                             fval[src.index()]
                         } else {
                             Pv64::splat(good_now[src.index()])
                         };
-                        buf.push(force_all(w, branch.get(&(id, pin))));
+                        buf.push(force_branch(w, id, pin));
                     }
                     fval[id.index()] =
-                        force_all(Pv64::eval_gate(node.kind(), buf.iter().copied()), stem.get(&id));
+                        force_stem(Pv64::eval_gate(topo.kind(id), buf.iter().copied()), id);
                 }
             } else {
                 queue.next_cycle();
@@ -290,53 +387,52 @@ impl<'c> ParallelFaultSim<'c> {
                 // flip-flops).
                 for (id, v) in trace.changes(t) {
                     good_now[id.index()] = v;
-                    if in_cone[id.index()] {
-                        if c.node(id).kind() == GateKind::Input {
-                            let w = force_all(Pv64::splat(v), stem.get(&id));
+                    if in_cone(id) {
+                        if topo.kind(id) == GateKind::Input {
+                            let w = force_stem(Pv64::splat(v), id);
                             if w != fval[id.index()] {
                                 fval[id.index()] = w;
-                                schedule(&mut queue, id);
+                                schedule(queue, id);
                             }
                         }
                     } else {
-                        schedule(&mut queue, id);
+                        schedule(queue, id);
                     }
                 }
                 // Present the captured faulty state to in-cone flip-flops.
                 for (k, &ff) in cone_ffs.iter().enumerate() {
-                    let w = force_all(fnext[k], stem.get(&ff));
+                    let w = force_stem(fnext[k], ff);
                     if w != fval[ff.index()] {
                         fval[ff.index()] = w;
-                        schedule(&mut queue, ff);
+                        schedule(queue, ff);
                     }
                 }
                 // Drain events in topological order: each gate pops at
                 // most once per cycle, after all its fanins settled.
                 while let Some(id) = queue.pop() {
                     counters.gate_evals += 1;
-                    let node = c.node(id);
                     buf.clear();
-                    for (pin, &src) in node.fanin().iter().enumerate() {
-                        let w = if in_cone[src.index()] {
+                    for (pin, &src) in topo.fanin(id).iter().enumerate() {
+                        let w = if in_cone(src) {
                             fval[src.index()]
                         } else {
                             Pv64::splat(good_now[src.index()])
                         };
-                        buf.push(force_all(w, branch.get(&(id, pin))));
+                        buf.push(force_branch(w, id, pin));
                     }
                     let out =
-                        force_all(Pv64::eval_gate(node.kind(), buf.iter().copied()), stem.get(&id));
+                        force_stem(Pv64::eval_gate(topo.kind(id), buf.iter().copied()), id);
                     if out != fval[id.index()] {
                         fval[id.index()] = out;
-                        schedule(&mut queue, id);
+                        schedule(queue, id);
                     }
                 }
             }
             // Detection: faulty PO known and opposite of a known good PO.
             // Out-of-cone outputs carry good values in every lane and can
             // never differ.
-            for &(k, po) in &cone_outs {
-                let g = trace.outputs()[t][k];
+            for &(k, po) in cone_outs.iter() {
+                let g = trace.outputs()[t][k as usize];
                 let w = fval[po.index()];
                 let diff = match g {
                     V3::Zero => w.ones(),
@@ -363,29 +459,19 @@ impl<'c> ParallelFaultSim<'c> {
             // Clock in-cone flip-flops (branch faults on D pins injected
             // here); out-of-cone state always equals the good machine's.
             fnext.clear();
-            for &ff in &cone_ffs {
-                debug_assert_eq!(c.node(ff).kind(), GateKind::Dff);
-                let d = c.node(ff).fanin()[0];
-                let w = if in_cone[d.index()] {
+            for &ff in cone_ffs.iter() {
+                debug_assert_eq!(topo.kind(ff), GateKind::Dff);
+                let d = topo.fanin(ff)[0];
+                let w = if in_cone(d) {
                     fval[d.index()]
                 } else {
                     Pv64::splat(good_now[d.index()])
                 };
-                fnext.push(force_all(w, branch.get(&(ff, 0))));
+                fnext.push(force_branch(w, ff, 0));
             }
         }
-        (detection, counters)
+        counters
     }
-}
-
-/// Applies every `(lane mask, stuck)` forcing entry to `w`.
-fn force_all(mut w: Pv64, inj: Option<&Vec<(u64, bool)>>) -> Pv64 {
-    if let Some(inj) = inj {
-        for &(mask, stuck) in inj {
-            w = w.force(mask, stuck);
-        }
-    }
-    w
 }
 
 #[cfg(test)]
@@ -456,6 +542,7 @@ mod tests {
             assert_eq!(sharded, reference, "threads = {threads}");
             assert_eq!(stats.items(), faults.len());
             assert!(work.gate_evals > 0 && work.lane_cycles > 0);
+            assert_eq!(work.scratch_reuses, faults.len().div_ceil(64) as u64);
             // Work counters are per-64-lane-word sums: bit-identical for
             // every thread count.
             let expect = *reference_work.get_or_insert(work);
@@ -486,6 +573,29 @@ mod tests {
             work.gate_evals,
             full
         );
+    }
+
+    #[test]
+    fn scratch_reuse_is_verdict_and_counter_identical() {
+        // One arena serving many words must behave exactly like a fresh
+        // arena per call — no state may leak across words.
+        let cfg = GeneratorConfig::new("reuse", 5).inputs(7).gates(120).dffs(6);
+        let c = generate(&cfg);
+        let faults = collapse(&c, &all_faults(&c));
+        assert!(faults.len() > 64);
+        let mut rng = StdRng::seed_from_u64(17);
+        let vectors = random_vectors(&mut rng, 7, 14);
+        let init = vec![V3::X; 6];
+        let sim = ParallelFaultSim::new(&c);
+        let trace = sim.good_trace(&vectors, &init);
+        let (reference, ref_work) = sim.fault_sim_with_trace_counted(&faults, &trace);
+        let mut scratch = sim.scratch();
+        let mut out = Vec::new();
+        for round in 0..3 {
+            let work = sim.fault_sim_into(&faults, &trace, &mut scratch, &mut out);
+            assert_eq!(out, reference, "round {round}");
+            assert_eq!(work, ref_work, "round {round}");
+        }
     }
 
     #[test]

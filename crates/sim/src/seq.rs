@@ -72,11 +72,25 @@ pub struct SeqSim<'c> {
 }
 
 impl<'c> SeqSim<'c> {
-    /// Builds a simulator (levelizes the circuit once).
+    /// Builds a simulator, compiling a private topology. Prefer
+    /// [`SeqSim::with_topology`] when a compiled plan is already
+    /// available.
     pub fn new(circuit: &'c Circuit) -> SeqSim<'c> {
         SeqSim {
             circuit,
             eval: CombEvaluator::new(circuit),
+        }
+    }
+
+    /// Builds a simulator over an already-compiled topology of `circuit`.
+    pub fn with_topology(
+        circuit: &'c Circuit,
+        topo: std::sync::Arc<fscan_netlist::CompiledTopology>,
+    ) -> SeqSim<'c> {
+        debug_assert_eq!(circuit.num_nodes(), topo.num_nodes());
+        SeqSim {
+            circuit,
+            eval: CombEvaluator::with_topology(topo),
         }
     }
 

@@ -3,7 +3,10 @@
 use proptest::prelude::*;
 
 use fscan_fault::{all_faults, collapse, Fault};
-use fscan_netlist::{generate, parse_bench, write_bench, GeneratorConfig};
+use fscan_netlist::{
+    generate, parse_bench, write_bench, CompiledTopology, FanoutTable, GeneratorConfig,
+    Levelization,
+};
 use fscan_scan::{insert_functional_scan, insert_mux_scan, TpiConfig};
 use fscan_sim::{CombEvaluator, ImplicationEngine, ParallelFaultSim, SeqSim, V3};
 
@@ -229,6 +232,56 @@ proptest! {
         let serial = SeqSim::new(&circuit).run(&vectors, &init, None);
         prop_assert_eq!(serial.outputs.as_slice(), trace.outputs());
         prop_assert_eq!(serial.final_state.as_slice(), trace.final_state());
+    }
+
+    /// Differential oracle for the compile-once topology plan: on random
+    /// generator circuits, the CSR-packed fanin/fanout adjacency, the
+    /// levelized order, the per-node levels, and the index tables of
+    /// [`CompiledTopology`] must agree element for element with the
+    /// naive per-engine derivations it replaced ([`Levelization`],
+    /// [`FanoutTable`], and the circuit's own fanin lists).
+    #[test]
+    fn compiled_topology_matches_naive_derivation(circuit in arb_circuit()) {
+        let topo = CompiledTopology::compile(&circuit);
+        let lv = Levelization::new(&circuit);
+        let fot = FanoutTable::new(&circuit);
+        prop_assert_eq!(topo.num_nodes(), circuit.num_nodes());
+        prop_assert_eq!(topo.order(), lv.order());
+        prop_assert_eq!(topo.depth(), lv.depth());
+        prop_assert_eq!(topo.inputs(), circuit.inputs());
+        prop_assert_eq!(topo.outputs(), circuit.outputs());
+        prop_assert_eq!(topo.dffs(), circuit.dffs());
+        for id in circuit.node_ids() {
+            prop_assert_eq!(topo.kind(id), circuit.node(id).kind());
+            prop_assert_eq!(topo.level(id), lv.level(id), "level of {:?}", id);
+            prop_assert_eq!(topo.fanin(id), circuit.node(id).fanin(), "fanin of {:?}", id);
+            let naive = fot.fanouts(id);
+            let csr: Vec<(fscan_netlist::NodeId, usize)> = topo.fanouts(id).collect();
+            prop_assert_eq!(csr.as_slice(), naive, "fanouts of {:?}", id);
+            prop_assert_eq!(topo.fanout_count(id), naive.len());
+            let sinks: Vec<_> = naive.iter().map(|&(s, _)| s).collect();
+            let pins: Vec<u32> = naive.iter().map(|&(_, p)| p as u32).collect();
+            prop_assert_eq!(topo.fanout_sinks(id), sinks.as_slice());
+            prop_assert_eq!(topo.fanout_pins(id), pins.as_slice());
+        }
+        // eval_order is the evaluable subsequence of the full order, and
+        // order_positions is its inverse: each evaluable node maps to its
+        // eval_order slot, everything else (inputs, DFFs) to u32::MAX.
+        let evaluable: Vec<_> = lv
+            .order()
+            .iter()
+            .copied()
+            .filter(|&id| {
+                let k = circuit.node(id).kind();
+                k.is_gate() || matches!(k, fscan_netlist::GateKind::Const0 | fscan_netlist::GateKind::Const1)
+            })
+            .collect();
+        prop_assert_eq!(topo.eval_order(), evaluable.as_slice());
+        let mut expect_pos = vec![u32::MAX; circuit.num_nodes()];
+        for (pos, &id) in evaluable.iter().enumerate() {
+            expect_pos[id.index()] = pos as u32;
+        }
+        prop_assert_eq!(topo.order_positions(), expect_pos.as_slice());
     }
 
     /// Differential oracle for the forward-implication engine: its
