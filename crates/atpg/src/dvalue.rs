@@ -3,7 +3,7 @@
 use std::fmt;
 
 use fscan_netlist::GateKind;
-use fscan_sim::V3;
+use fscan_sim::{Pv64, V3};
 
 /// A five-valued (Roth D-calculus) logic value, stored as the pair of
 /// the good-machine and faulty-machine three-valued values.
@@ -91,16 +91,24 @@ impl D5 {
         !self.good.is_known() || !self.faulty.is_known()
     }
 
-    /// Evaluates a gate over five-valued inputs (each machine evaluated
-    /// independently).
+    /// Evaluates a gate over five-valued inputs in one dual-rail kernel
+    /// walk: lane 0 carries the good machine, lane 1 the faulty machine,
+    /// so a single pass covers both (no `Clone` bound on the iterator).
     ///
-    /// # Panics
-    ///
-    /// Panics for [`GateKind::Input`] / [`GateKind::Dff`].
-    pub fn eval_gate(kind: GateKind, inputs: impl IntoIterator<Item = D5> + Clone) -> D5 {
-        let good = V3::eval_gate(kind, inputs.clone().into_iter().map(|d| d.good));
-        let faulty = V3::eval_gate(kind, inputs.into_iter().map(|d| d.faulty));
-        D5 { good, faulty }
+    /// Non-combinational kinds ([`GateKind::Input`], [`GateKind::Dff`])
+    /// debug-assert and yield [`D5::X`] in release builds — see
+    /// [`fscan_sim::kernel::eval_gate`].
+    pub fn eval(kind: GateKind, inputs: impl IntoIterator<Item = D5>) -> D5 {
+        let out = Pv64::eval(
+            kind,
+            inputs
+                .into_iter()
+                .map(|d| Pv64::ALL_X.with(0, d.good).with(1, d.faulty)),
+        );
+        D5 {
+            good: out.get(0),
+            faulty: out.get(1),
+        }
     }
 }
 
@@ -137,7 +145,7 @@ mod tests {
     #[test]
     fn d_algebra_and() {
         // D AND D = D; D AND D' = 0; D AND 1 = D; D AND 0 = 0; D AND X = X-ish.
-        let and = |a, b| D5::eval_gate(GateKind::And, [a, b]);
+        let and = |a, b| D5::eval(GateKind::And, [a, b]);
         assert_eq!(and(D5::D, D5::D), D5::D);
         assert_eq!(and(D5::D, D5::DBAR), D5::ZERO);
         assert_eq!(and(D5::D, D5::ONE), D5::D);
@@ -147,7 +155,7 @@ mod tests {
 
     #[test]
     fn d_algebra_not() {
-        let not = |a| D5::eval_gate(GateKind::Not, [a]);
+        let not = |a| D5::eval(GateKind::Not, [a]);
         assert_eq!(not(D5::D), D5::DBAR);
         assert_eq!(not(D5::DBAR), D5::D);
         assert_eq!(not(D5::ZERO), D5::ONE);
@@ -155,7 +163,7 @@ mod tests {
 
     #[test]
     fn xor_propagates_d() {
-        let xor = |a, b| D5::eval_gate(GateKind::Xor, [a, b]);
+        let xor = |a, b| D5::eval(GateKind::Xor, [a, b]);
         assert_eq!(xor(D5::D, D5::ZERO), D5::D);
         assert_eq!(xor(D5::D, D5::ONE), D5::DBAR);
         assert_eq!(xor(D5::D, D5::D), D5::ZERO);

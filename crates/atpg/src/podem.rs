@@ -349,7 +349,7 @@ impl<'c> Podem<'c> {
             let id = self.order[oi];
             let node = self.circuit.node(id);
             let mut out = if self.has_branch[id.index()] {
-                D5::eval_gate(
+                D5::eval(
                     node.kind(),
                     node.fanin().iter().enumerate().map(|(pin, &src)| {
                         let mut v = self.values[src.index()];
@@ -360,7 +360,7 @@ impl<'c> Podem<'c> {
                     }),
                 )
             } else {
-                D5::eval_gate(
+                D5::eval(
                     node.kind(),
                     node.fanin().iter().map(|&src| self.values[src.index()]),
                 )

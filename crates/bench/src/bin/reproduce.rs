@@ -92,7 +92,7 @@ fn is_what(s: &str) -> bool {
 fn selected(only: &Option<String>) -> Vec<&'static fscan_bench::SuiteCircuit> {
     PAPER_SUITE
         .iter()
-        .filter(|c| only.as_deref().map_or(true, |n| n == c.name))
+        .filter(|c| only.as_deref().is_none_or(|n| n == c.name))
         .collect()
 }
 
@@ -140,8 +140,8 @@ fn pipeline_reports(opts: &Options) -> Vec<PipelineReport> {
 fn print_timing(reports: &[PipelineReport]) {
     println!("\nTiming: per-stage wall-clock and worker fault counts.");
     println!(
-        "{:<10} {:<12} {:>9} {:>8} {:>8}  {}",
-        "name", "stage", "wall", "threads", "items", "per-worker"
+        "{:<10} {:<12} {:>9} {:>8} {:>8}  per-worker",
+        "name", "stage", "wall", "threads", "items"
     );
     for r in reports {
         let mut total = 0.0;

@@ -7,7 +7,8 @@ use fscan_fault::{Fault, FaultSite};
 use fscan_netlist::{GateKind, NodeId};
 use fscan_scan::ScanDesign;
 use fscan_sim::{
-    shard_map_counted, CombEvaluator, ImplicationEngine, ShardStats, StageMetrics, V3, WorkCounters,
+    shard_map_counted, CombEvaluator, ImplicationEngine, ImplicationEngine64, NetChange,
+    ShardStats, StageMetrics, V3, WorkCounters,
 };
 
 /// The paper's three fault categories.
@@ -107,7 +108,9 @@ impl fmt::Display for ClassifySummary {
 /// Reusable classifier for one scan design.
 ///
 /// Precomputes the chain geometry lookups and the scan-mode steady
-/// values, then classifies faults one by one via forward implication.
+/// values, then classifies faults via forward implication — one by one
+/// ([`classify`](Self::classify), the scalar reference) or 64 per
+/// packed word ([`classify_word`](Self::classify_word)).
 ///
 /// # Examples
 ///
@@ -116,6 +119,7 @@ pub struct Classifier<'d> {
     design: &'d ScanDesign,
     eval: CombEvaluator,
     engine: ImplicationEngine,
+    engine64: ImplicationEngine64,
     steady: Vec<V3>,
     /// net → locations where it carries shifted chain data.
     chain_net_loc: HashMap<NodeId, Vec<ChainLocation>>,
@@ -130,6 +134,7 @@ impl<'d> Classifier<'d> {
     pub fn new(design: &'d ScanDesign) -> Classifier<'d> {
         let eval = CombEvaluator::with_topology(design.topology());
         let engine = ImplicationEngine::with_topology(design.topology());
+        let engine64 = ImplicationEngine64::with_topology(design.topology());
         let steady = design.scan_mode_values();
         let mut chain_net_loc: HashMap<NodeId, Vec<ChainLocation>> = HashMap::new();
         let mut side_loc: HashMap<NodeId, Vec<(ChainLocation, bool)>> = HashMap::new();
@@ -164,6 +169,7 @@ impl<'d> Classifier<'d> {
             design,
             eval,
             engine,
+            engine64,
             steady,
             chain_net_loc,
             side_loc,
@@ -171,8 +177,34 @@ impl<'d> Classifier<'d> {
         }
     }
 
-    /// Classifies one fault.
+    /// Classifies one fault via the scalar implication engine (the
+    /// reference path; the pipeline uses [`classify_word`](Self::classify_word)).
     pub fn classify(&mut self, fault: Fault) -> ClassifiedFault {
+        let changes = self.engine.run(self.design.circuit(), &self.steady, fault);
+        self.assemble(fault, changes.into_iter())
+    }
+
+    /// Classifies up to 64 faults in one packed implication word.
+    ///
+    /// The packed engine's per-lane changes are bit-identical, in the
+    /// same order, to a scalar run on each fault alone, so the verdicts
+    /// match [`classify`](Self::classify) exactly — at a fraction of the
+    /// gate evaluations.
+    pub fn classify_word(&mut self, faults: &[Fault]) -> Vec<ClassifiedFault> {
+        self.engine64.run_word(&self.steady, faults);
+        faults
+            .iter()
+            .enumerate()
+            .map(|(lane, &fault)| self.assemble(fault, self.engine64.lane_changes(lane as u32)))
+            .collect()
+    }
+
+    /// Turns a fault's net-change sequence into its classification.
+    fn assemble(
+        &self,
+        fault: Fault,
+        changes: impl Iterator<Item = NetChange>,
+    ) -> ClassifiedFault {
         let circuit = self.design.circuit();
         let mut locations: Vec<ChainLocation> = Vec::new();
         let mut any_hard = false;
@@ -188,10 +220,7 @@ impl<'d> Classifier<'d> {
             }
         }
 
-        let changes = self
-            .engine
-            .run(circuit, &self.steady, fault);
-        for change in &changes {
+        for change in changes {
             if let Some(locs) = self.chain_net_loc.get(&change.node) {
                 if change.faulty.is_known() {
                     locations.extend(locs.iter().copied());
@@ -247,9 +276,9 @@ impl<'d> Classifier<'d> {
         &self.eval
     }
 
-    /// Drains the implication engine's accumulated [`WorkCounters`].
+    /// Drains both implication engines' accumulated [`WorkCounters`].
     pub fn take_counters(&mut self) -> WorkCounters {
-        self.engine.take_counters()
+        self.engine.take_counters() + self.engine64.take_counters()
     }
 }
 
@@ -281,26 +310,48 @@ pub fn classify_faults(design: &ScanDesign, faults: &[Fault]) -> Vec<ClassifiedF
 }
 
 /// [`classify_faults`] sharded across `threads` workers (`0` = hardware
-/// thread count). Each worker builds its own [`Classifier`] over the
-/// shared design; per-fault classifications are independent and merged
-/// in fault order, so the output — including the summed
-/// [`WorkCounters`] — is identical to the serial version for every
-/// thread count.
+/// thread count), running the packed 64-fault implication engine.
+///
+/// Faults are permuted into 64-lane words whose implication cones
+/// overlap under the scan-mode steady state
+/// ([`fscan_sim::pack_order64`]), each worker classifies whole words
+/// (the 64-aligned chunking keeps every word intact for any thread
+/// count), and the verdicts are scattered back to input order. The
+/// classifications are identical to the serial scalar
+/// [`classify_faults`], and the summed [`WorkCounters`] are
+/// bit-identical for every thread count.
 pub fn classify_faults_sharded(
     design: &ScanDesign,
     faults: &[Fault],
     threads: usize,
 ) -> (Vec<ClassifiedFault>, ShardStats, WorkCounters) {
-    shard_map_counted(
+    // One probe classifier computes the steady state the packer keys on;
+    // its engines do no implication work, so no counters are lost.
+    let probe = Classifier::new(design);
+    let order = fscan_sim::pack_order64(&design.topology(), probe.steady(), faults);
+    let packed: Vec<Fault> = order.iter().map(|&i| faults[i]).collect();
+    let (classified, stats, work) = shard_map_counted(
         threads,
-        1,
-        faults,
+        64,
+        &packed,
         || Classifier::new(design),
         |classifier, _, chunk| {
-            let classified = chunk.iter().map(|&f| classifier.classify(f)).collect();
-            (classified, classifier.take_counters())
+            let out: Vec<ClassifiedFault> = chunk
+                .chunks(64)
+                .flat_map(|word| classifier.classify_word(word))
+                .collect();
+            (out, classifier.take_counters())
         },
-    )
+    );
+    let mut slots: Vec<Option<ClassifiedFault>> = vec![None; faults.len()];
+    for (&slot, cf) in order.iter().zip(classified) {
+        slots[slot] = Some(cf);
+    }
+    let unpacked = slots
+        .into_iter()
+        .map(|s| s.expect("pack_order is a permutation"))
+        .collect();
+    (unpacked, stats, work)
 }
 
 #[cfg(test)]

@@ -695,7 +695,6 @@ mod tests {
         let bad_podem = PipelineConfig::builder().podem(PodemConfig {
             backtrack_limit: 0,
             step_limit: 0,
-            ..PodemConfig::default()
         });
         assert_eq!(bad_podem.build().unwrap_err(), ConfigError::EmptyPodemBudget);
         let bad_dist = PipelineConfig::builder().dist(DistParams {

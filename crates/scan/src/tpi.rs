@@ -153,7 +153,7 @@ impl<'a> Builder<'a> {
         // Manual topological pass so pin overrides apply mid-evaluation.
         for &id in self.topo.eval_order() {
             let node = self.circuit.node(id);
-            let out = fscan_sim::V3::eval_gate(
+            let out = fscan_sim::kernel::eval_v3(
                 node.kind(),
                 node.fanin().iter().enumerate().map(|(pin, &f)| {
                     pin_overrides

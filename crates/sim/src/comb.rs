@@ -5,6 +5,7 @@ use std::sync::Arc;
 use fscan_fault::{Fault, FaultSite};
 use fscan_netlist::{Circuit, CompiledTopology, GateKind, NodeId};
 
+use crate::kernel;
 use crate::value::V3;
 
 /// A reusable combinational evaluator for one circuit.
@@ -115,7 +116,7 @@ impl CombEvaluator {
                 }
                 buf.push(v);
             }
-            let mut out = V3::eval_gate(self.topo.kind(id), buf.iter().copied());
+            let mut out = kernel::eval_v3(self.topo.kind(id), buf.iter().copied());
             if let Some(Fault {
                 site: FaultSite::Stem(n),
                 stuck,

@@ -50,6 +50,13 @@ use crate::pool::ShardStats;
 /// * `scratch_reuses` — 64-fault words served through a reusable
 ///   [`SimScratch`](crate::SimScratch) arena instead of freshly
 ///   allocated buffers (one per word, so thread-count invariant).
+/// * `implication_words` — 64-fault packed words processed by
+///   [`ImplicationEngine64`](crate::ImplicationEngine64) (one per
+///   `run_word` call, so thread-count invariant).
+/// * `kernel_gate_evals` — packed 64-lane dual-rail kernel gate
+///   evaluations. A subset of `gate_evals`: every packed evaluation
+///   counts once in both, so `gate_evals - kernel_gate_evals` is the
+///   scalar share.
 ///
 /// All fields are `u64` and every aggregation is an unordered sum, so
 /// merging in any order yields the same totals.
@@ -77,6 +84,10 @@ pub struct WorkCounters {
     pub topology_builds: u64,
     /// 64-fault words served by a reusable scratch arena.
     pub scratch_reuses: u64,
+    /// 64-fault packed implication words processed.
+    pub implication_words: u64,
+    /// Packed 64-lane kernel gate evaluations (subset of `gate_evals`).
+    pub kernel_gate_evals: u64,
 }
 
 impl WorkCounters {
@@ -93,6 +104,8 @@ impl WorkCounters {
         early_exits: 0,
         topology_builds: 0,
         scratch_reuses: 0,
+        implication_words: 0,
+        kernel_gate_evals: 0,
     };
 
     /// Adds `other` into `self` field-wise.
@@ -107,7 +120,7 @@ impl WorkCounters {
 
     /// The counters as `(name, value)` pairs in a fixed order —
     /// the single source of truth for JSON emission and display.
-    pub fn fields(&self) -> [(&'static str, u64); 11] {
+    pub fn fields(&self) -> [(&'static str, u64); 13] {
         [
             ("gate_evals", self.gate_evals),
             ("lane_cycles", self.lane_cycles),
@@ -120,6 +133,8 @@ impl WorkCounters {
             ("early_exits", self.early_exits),
             ("topology_builds", self.topology_builds),
             ("scratch_reuses", self.scratch_reuses),
+            ("implication_words", self.implication_words),
+            ("kernel_gate_evals", self.kernel_gate_evals),
         ]
     }
 }
@@ -165,6 +180,8 @@ impl AddAssign for WorkCounters {
         self.early_exits += rhs.early_exits;
         self.topology_builds += rhs.topology_builds;
         self.scratch_reuses += rhs.scratch_reuses;
+        self.implication_words += rhs.implication_words;
+        self.kernel_gate_evals += rhs.kernel_gate_evals;
     }
 }
 
@@ -246,9 +263,11 @@ mod tests {
             early_exits: 9,
             topology_builds: 10,
             scratch_reuses: 11,
+            implication_words: 12,
+            kernel_gate_evals: 13,
         };
         let vals: Vec<u64> = c.fields().iter().map(|&(_, v)| v).collect();
-        assert_eq!(vals, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]);
+        assert_eq!(vals, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13]);
         assert!(!c.is_zero());
         assert!(WorkCounters::ZERO.is_zero());
     }

@@ -32,6 +32,7 @@ use fscan_netlist::NodeId;
 
 use crate::comb::CombEvaluator;
 use crate::counters::WorkCounters;
+use crate::kernel;
 use crate::value::V3;
 
 /// A deduplicating, topologically-ordered event scheduler.
@@ -227,7 +228,7 @@ impl GoodTrace {
             }
             while let Some(id) = queue.pop() {
                 counters.gate_evals += 1;
-                let out = V3::eval_gate(
+                let out = kernel::eval_v3(
                     topo.kind(id),
                     topo.fanin(id).iter().map(|&src| values[src.index()]),
                 );

@@ -9,6 +9,9 @@ use fscan_netlist::{Circuit, CompiledTopology, NodeId};
 
 use crate::comb::CombEvaluator;
 use crate::counters::WorkCounters;
+use crate::kernel;
+use crate::packed::Pv64;
+use crate::scratch::{SimScratch, NO_ENTRY};
 use crate::value::V3;
 
 /// One net whose steady scan-mode value changes under a fault.
@@ -25,50 +28,6 @@ pub struct NetChange {
     pub good: V3,
     /// Value under the fault.
     pub faulty: V3,
-}
-
-/// Computes the forward implication cone of `fault` given the fault-free
-/// steady values `good` (produced by a prior [`CombEvaluator::eval`]).
-///
-/// Returns every net whose value changes, in topological order. The
-/// propagation is purely combinational: flip-flops block it (their
-/// outputs keep the value recorded in `good`), matching the static
-/// scan-mode analysis of the paper, which reasons about the logic
-/// *between* consecutive scan flip-flops.
-///
-/// Note that a *branch* fault changes no net by itself — only the value
-/// seen by one gate pin — so its cone starts at the reading gate's
-/// output.
-///
-/// # Examples
-///
-/// ```
-/// use fscan_netlist::{Circuit, GateKind};
-/// use fscan_fault::Fault;
-/// use fscan_sim::{forward_implication, CombEvaluator, V3};
-///
-/// let mut c = Circuit::new("t");
-/// let pi = c.add_input("pi");
-/// let ff = c.add_dff_placeholder("ff");
-/// let g = c.add_gate(GateKind::And, vec![pi, ff], "g");
-/// c.set_dff_input(ff, g)?;
-/// let eval = CombEvaluator::new(&c);
-/// let mut good = vec![V3::X; c.num_nodes()];
-/// good[pi.index()] = V3::One; // scan-mode PI assignment
-/// eval.eval(&c, &mut good);
-/// let changes = forward_implication(&c, &eval, &good, Fault::stem(pi, false));
-/// // PI 1→0 and the AND output X→0 both change.
-/// assert_eq!(changes.len(), 2);
-/// assert_eq!(changes[1].faulty, V3::Zero);
-/// # Ok::<(), fscan_netlist::NetlistError>(())
-/// ```
-pub fn forward_implication(
-    circuit: &Circuit,
-    eval: &CombEvaluator,
-    good: &[V3],
-    fault: Fault,
-) -> Vec<NetChange> {
-    ImplicationEngine::new(circuit, eval).run(circuit, good, fault)
 }
 
 /// Reusable forward-implication engine.
@@ -118,7 +77,43 @@ impl ImplicationEngine {
         std::mem::take(&mut self.counters)
     }
 
-    /// Runs the implication; see [`forward_implication`].
+    /// Computes the forward implication cone of `fault` given the
+    /// fault-free steady values `good` (produced by a prior
+    /// [`CombEvaluator::eval`]).
+    ///
+    /// Returns every net whose value changes, in topological order. The
+    /// propagation is purely combinational: flip-flops block it (their
+    /// outputs keep the value recorded in `good`), matching the static
+    /// scan-mode analysis of the paper, which reasons about the logic
+    /// *between* consecutive scan flip-flops.
+    ///
+    /// Note that a *branch* fault changes no net by itself — only the
+    /// value seen by one gate pin — so its cone starts at the reading
+    /// gate's output.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fscan_netlist::{Circuit, GateKind};
+    /// use fscan_fault::Fault;
+    /// use fscan_sim::{CombEvaluator, ImplicationEngine, V3};
+    ///
+    /// let mut c = Circuit::new("t");
+    /// let pi = c.add_input("pi");
+    /// let ff = c.add_dff_placeholder("ff");
+    /// let g = c.add_gate(GateKind::And, vec![pi, ff], "g");
+    /// c.set_dff_input(ff, g)?;
+    /// let eval = CombEvaluator::new(&c);
+    /// let mut good = vec![V3::X; c.num_nodes()];
+    /// good[pi.index()] = V3::One; // scan-mode PI assignment
+    /// eval.eval(&c, &mut good);
+    /// let mut engine = ImplicationEngine::new(&c, &eval);
+    /// let changes = engine.run(&c, &good, Fault::stem(pi, false));
+    /// // PI 1→0 and the AND output X→0 both change.
+    /// assert_eq!(changes.len(), 2);
+    /// assert_eq!(changes[1].faulty, V3::Zero);
+    /// # Ok::<(), fscan_netlist::NetlistError>(())
+    /// ```
     pub fn run(&mut self, circuit: &Circuit, good: &[V3], fault: Fault) -> Vec<NetChange> {
         debug_assert_eq!(circuit.num_nodes(), self.topo.num_nodes());
         let _ = circuit;
@@ -186,7 +181,8 @@ impl ImplicationEngine {
 
         while let Some(Reverse((_, id))) = heap.pop() {
             counters.implication_events += 1;
-            let mut out = V3::eval_gate(
+            counters.gate_evals += 1;
+            let mut out = kernel::eval_v3(
                 topo.kind(id),
                 topo.fanin(id).iter().enumerate().map(|(pin, &src)| {
                     if let FaultSite::Branch { gate, pin: fpin } = fault.site {
@@ -227,10 +223,358 @@ impl ImplicationEngine {
     }
 }
 
+/// One net change of a packed implication word: up to 64 lanes' faulty
+/// values in one dual-rail [`Pv64`], with `lanes` marking the lanes
+/// whose value actually differs from `good`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PackedChange {
+    /// The net (identified by its driving node).
+    pub node: NodeId,
+    /// Fault-free value.
+    pub good: V3,
+    /// Per-lane values under each lane's fault.
+    pub faulty: Pv64,
+    /// Mask of lanes where `faulty` differs from `good`.
+    pub lanes: u64,
+}
+
+/// Lanes of `w` whose value differs from the scalar `good`.
+fn lanes_changed(w: Pv64, good: V3) -> u64 {
+    match good {
+        V3::Zero => !w.zeros(),
+        V3::One => !w.ones(),
+        V3::X => w.known(),
+    }
+}
+
+/// Packed 64-fault forward implication — the classification kernel.
+///
+/// Runs [`ImplicationEngine::run`]'s propagation for up to 64 faults at
+/// once: the fault-free steady values are splatted across all lanes and
+/// the faulty dual-rail trace propagates only through the union of the
+/// word's fault cones, swept in [`CompiledTopology`] CSR topological
+/// order with [`SimScratch`] arenas — zero steady-state heap
+/// allocations.
+///
+/// Lane-exactness invariant: for every lane, the sequence of net
+/// changes (see [`lane_changes`](Self::lane_changes)) and the
+/// `implication_events` / `cone_nets` counter contributions are
+/// bit-identical to running the scalar engine on that lane's fault
+/// alone. Only `gate_evals` shrinks: one packed kernel evaluation
+/// (counted once in `gate_evals` and once in `kernel_gate_evals`)
+/// covers every lane the scalar engine would have popped individually.
+#[derive(Clone, Debug)]
+pub struct ImplicationEngine64 {
+    topo: Arc<CompiledTopology>,
+    scratch: SimScratch,
+    /// Per-node seed masks, valid when `seed_stamp[n] == word`: lanes
+    /// whose fault forces a re-evaluation of gate `n` even without a
+    /// fanin change (stem-on-gate and branch faults).
+    seed_stamp: Vec<u64>,
+    seed_mask: Vec<u64>,
+    /// Word epoch for the seed stamps (`u64`: never wraps).
+    word: u64,
+    /// Per-node changed-lane masks, valid for cone members only.
+    diff: Vec<u64>,
+    changes: Vec<PackedChange>,
+    counters: WorkCounters,
+}
+
+impl ImplicationEngine64 {
+    /// Builds an engine sharing the evaluator's compiled topology.
+    pub fn new(circuit: &Circuit, eval: &CombEvaluator) -> ImplicationEngine64 {
+        debug_assert_eq!(circuit.num_nodes(), eval.topology().num_nodes());
+        ImplicationEngine64::with_topology(eval.topology().clone())
+    }
+
+    /// Builds an engine over an already-compiled topology.
+    pub fn with_topology(topo: Arc<CompiledTopology>) -> ImplicationEngine64 {
+        let n = topo.num_nodes();
+        ImplicationEngine64 {
+            scratch: SimScratch::new(&topo),
+            seed_stamp: vec![0; n],
+            seed_mask: vec![0; n],
+            word: 0,
+            diff: vec![0; n],
+            changes: Vec::new(),
+            counters: WorkCounters::ZERO,
+            topo,
+        }
+    }
+
+    /// Work counters accumulated across every
+    /// [`run_word`](Self::run_word) since construction (or the last
+    /// [`take_counters`](Self::take_counters)).
+    pub fn counters(&self) -> WorkCounters {
+        self.counters
+    }
+
+    /// Returns the accumulated counters and resets them to zero.
+    pub fn take_counters(&mut self) -> WorkCounters {
+        std::mem::take(&mut self.counters)
+    }
+
+    /// The changes of the last [`run_word`](Self::run_word), restricted
+    /// to `lane` and unpacked to scalar [`NetChange`]s — bit-identical,
+    /// in the same order, to a scalar [`ImplicationEngine::run`] on that
+    /// lane's fault.
+    pub fn lane_changes(&self, lane: u32) -> impl Iterator<Item = NetChange> + '_ {
+        debug_assert!(lane < 64, "packed lane out of range: {lane} >= 64");
+        let bit = 1u64 << lane;
+        self.changes
+            .iter()
+            .filter(move |ch| ch.lanes & bit != 0)
+            .map(move |ch| NetChange {
+                node: ch.node,
+                good: ch.good,
+                faulty: ch.faulty.get(lane),
+            })
+    }
+
+    /// Runs the forward implication of up to 64 faults in one packed
+    /// pass and returns the changed nets in topological order (sources
+    /// first), with per-lane change masks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `faults` holds more than 64 entries.
+    pub fn run_word(&mut self, good: &[V3], faults: &[Fault]) -> &[PackedChange] {
+        assert!(faults.len() <= 64, "a packed word holds at most 64 faults");
+        debug_assert!(good.len() >= self.topo.num_nodes());
+        self.word += 1;
+        self.scratch.begin_word();
+        let ImplicationEngine64 {
+            topo,
+            scratch,
+            seed_stamp,
+            seed_mask,
+            word,
+            diff,
+            changes,
+            counters,
+        } = self;
+        let word = *word;
+        counters.implication_words += 1;
+        counters.scratch_reuses += 1;
+        changes.clear();
+        let full_mask = if faults.len() == 64 {
+            !0u64
+        } else {
+            (1u64 << faults.len()) - 1
+        };
+        let SimScratch {
+            epoch,
+            fval,
+            cone_stamp,
+            stack,
+            cone_order,
+            cone_pis,
+            buf,
+            stem_head,
+            stem_entries,
+            branch_head,
+            branch_entries,
+            ..
+        } = scratch;
+        let epoch = *epoch;
+        let pos = topo.order_positions();
+
+        // Injection tables (epoch-stamped per-node linked lists, as in
+        // the parallel fault simulator) plus per-gate seed masks: the
+        // scalar engine re-evaluates a stem-on-gate or branch site
+        // unconditionally, so those lanes must pop even without a fanin
+        // change.
+        for (lane, f) in faults.iter().enumerate() {
+            let mask = 1u64 << lane;
+            match f.site {
+                FaultSite::Stem(n) => {
+                    let i = n.index();
+                    let prev = if stem_head[i].0 == epoch {
+                        stem_head[i].1
+                    } else {
+                        NO_ENTRY
+                    };
+                    stem_head[i] = (epoch, stem_entries.len() as u32);
+                    stem_entries.push((mask, f.stuck, prev));
+                    if pos[i] != u32::MAX {
+                        if seed_stamp[i] != word {
+                            seed_stamp[i] = word;
+                            seed_mask[i] = 0;
+                        }
+                        seed_mask[i] |= mask;
+                    }
+                }
+                FaultSite::Branch { gate, pin } => {
+                    // A branch behind a non-combinational reader (a
+                    // flip-flop D pin, incl. the placeholder self-loop)
+                    // has no combinational cone: the scalar engine's
+                    // push_gate guard drops it, and funneling it into
+                    // the kernel would evaluate a Dff "gate". The lane
+                    // stays inert.
+                    let i = gate.index();
+                    if pos[i] == u32::MAX {
+                        continue;
+                    }
+                    let prev = if branch_head[i].0 == epoch {
+                        branch_head[i].1
+                    } else {
+                        NO_ENTRY
+                    };
+                    branch_head[i] = (epoch, branch_entries.len() as u32);
+                    branch_entries.push((pin as u32, mask, f.stuck, prev));
+                    if seed_stamp[i] != word {
+                        seed_stamp[i] = word;
+                        seed_mask[i] = 0;
+                    }
+                    seed_mask[i] |= mask;
+                }
+            }
+        }
+        let force_stem = |mut w: Pv64, id: NodeId| -> Pv64 {
+            let (ep, mut e) = stem_head[id.index()];
+            if ep == epoch {
+                while e != NO_ENTRY {
+                    let (mask, stuck, next) = stem_entries[e as usize];
+                    w = w.force(mask, stuck);
+                    e = next;
+                }
+            }
+            w
+        };
+        let force_branch = |mut w: Pv64, id: NodeId, pin: usize| -> Pv64 {
+            let (ep, mut e) = branch_head[id.index()];
+            if ep == epoch {
+                while e != NO_ENTRY {
+                    let (epin, mask, stuck, next) = branch_entries[e as usize];
+                    if epin as usize == pin {
+                        w = w.force(mask, stuck);
+                    }
+                    e = next;
+                }
+            }
+            w
+        };
+
+        // Union fault cone: forward closure of every lane's fault site.
+        // Unlike the sequential simulator's cone, flip-flops block the
+        // closure here — the implication is the paper's static scan-mode
+        // analysis of the logic between consecutive scan flip-flops.
+        // Sources (PI / flip-flop stem sites) go to `cone_pis`,
+        // combinational members to `cone_order`.
+        for f in faults {
+            let site = match f.site {
+                FaultSite::Stem(n) => n,
+                FaultSite::Branch { gate, .. } => {
+                    if pos[gate.index()] == u32::MAX {
+                        continue;
+                    }
+                    gate
+                }
+            };
+            let i = site.index();
+            if cone_stamp[i] != epoch {
+                cone_stamp[i] = epoch;
+                if pos[i] == u32::MAX {
+                    cone_pis.push(site);
+                } else {
+                    cone_order.push(site);
+                }
+                stack.push(site);
+            }
+        }
+        while let Some(id) = stack.pop() {
+            for &sink in topo.fanout_sinks(id) {
+                let s = sink.index();
+                if pos[s] == u32::MAX {
+                    continue; // flip-flop D pin: propagation stops
+                }
+                if cone_stamp[s] != epoch {
+                    cone_stamp[s] = epoch;
+                    cone_order.push(sink);
+                    stack.push(sink);
+                }
+            }
+        }
+        cone_order.sort_unstable_by_key(|id| pos[id.index()]);
+
+        // Sources first: splat the good value, force the stem lanes and
+        // record the excited lanes (the scalar engine reports the seeded
+        // source change before any gate pop).
+        for &src in cone_pis.iter() {
+            let i = src.index();
+            let w = force_stem(Pv64::splat(good[i]), src);
+            fval[i] = w;
+            let d = lanes_changed(w, good[i]) & full_mask;
+            diff[i] = d;
+            if d != 0 {
+                counters.cone_nets += u64::from(d.count_ones());
+                changes.push(PackedChange {
+                    node: src,
+                    good: good[i],
+                    faulty: w,
+                    lanes: d,
+                });
+            }
+        }
+
+        // Sweep the union cone in topological order. A gate pops in the
+        // lanes its fault seeds plus the lanes any in-cone fanin changed
+        // in; lanes that pop nowhere read pure good values everywhere,
+        // so the whole-word evaluation is exact per lane.
+        for &id in cone_order.iter() {
+            let i = id.index();
+            let seeds = if seed_stamp[i] == word { seed_mask[i] } else { 0 };
+            let mut pop = seeds;
+            for &src in topo.fanin(id) {
+                if cone_stamp[src.index()] == epoch {
+                    pop |= diff[src.index()];
+                }
+            }
+            if pop == 0 {
+                // No lane re-evaluates this gate; it keeps the good
+                // value so downstream in-cone reads stay exact.
+                fval[i] = Pv64::splat(good[i]);
+                diff[i] = 0;
+                continue;
+            }
+            counters.implication_events += u64::from(pop.count_ones());
+            counters.gate_evals += 1;
+            counters.kernel_gate_evals += 1;
+            buf.clear();
+            for (pin, &src) in topo.fanin(id).iter().enumerate() {
+                let w = if cone_stamp[src.index()] == epoch {
+                    fval[src.index()]
+                } else {
+                    Pv64::splat(good[src.index()])
+                };
+                buf.push(force_branch(w, id, pin));
+            }
+            let out = force_stem(Pv64::eval(topo.kind(id), buf.iter().copied()), id);
+            fval[i] = out;
+            let d = lanes_changed(out, good[i]) & full_mask;
+            diff[i] = d;
+            if d != 0 {
+                counters.cone_nets += u64::from(d.count_ones());
+                changes.push(PackedChange {
+                    node: id,
+                    good: good[i],
+                    faulty: out,
+                    lanes: d,
+                });
+            }
+        }
+        &self.changes
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use fscan_netlist::{Circuit, GateKind};
+
+    fn imply(c: &Circuit, eval: &CombEvaluator, good: &[V3], f: Fault) -> Vec<NetChange> {
+        ImplicationEngine::new(c, eval).run(c, good, f)
+    }
 
     /// Builds the circuit of the paper's Figure 3:
     ///
@@ -265,7 +609,7 @@ mod tests {
     fn figure3_value_changes() {
         let (c, [pi, a, b, cn, d, e], good) = figure3();
         let eval = CombEvaluator::new(&c);
-        let changes = forward_implication(&c, &eval, &good, Fault::stem(pi, false));
+        let changes = imply(&c, &eval, &good, Fault::stem(pi, false));
         let get = |n: NodeId| changes.iter().find(|ch| ch.node == n).copied();
         // A: 1 → 0
         let ca = get(a).expect("A changes");
@@ -292,7 +636,7 @@ mod tests {
         let (c, [pi, ..], good) = figure3();
         let eval = CombEvaluator::new(&c);
         // PI is already 1; s-a-1 changes nothing.
-        let changes = forward_implication(&c, &eval, &good, Fault::stem(pi, true));
+        let changes = imply(&c, &eval, &good, Fault::stem(pi, true));
         assert!(changes.is_empty());
     }
 
@@ -309,7 +653,7 @@ mod tests {
         good[pi.index()] = V3::Zero;
         good[ff.index()] = V3::X;
         eval.eval(&c, &mut good);
-        let changes = forward_implication(&c, &eval, &good, Fault::stem(pi, true));
+        let changes = imply(&c, &eval, &good, Fault::stem(pi, true));
         // pi and g change; ff's Q and h must not (combinational analysis).
         assert!(changes.iter().any(|ch| ch.node == g));
         assert!(changes.iter().all(|ch| ch.node != ff && ch.node != h));
@@ -327,7 +671,7 @@ mod tests {
         let mut good = vec![V3::X; c.num_nodes()];
         good[pi.index()] = V3::One;
         eval.eval(&c, &mut good);
-        let changes = forward_implication(&c, &eval, &good, Fault::branch(g1, 0, false));
+        let changes = imply(&c, &eval, &good, Fault::branch(g1, 0, false));
         assert_eq!(changes.len(), 1);
         assert_eq!(changes[0].node, g1);
         assert_eq!(changes[0].faulty, V3::Zero);
@@ -356,5 +700,68 @@ mod tests {
         let r3 = engine.run(&c, &good, Fault::stem(pi, false));
         assert_eq!(r1, r3, "engine state must not leak between runs");
         assert_ne!(r1, r2);
+    }
+
+    #[test]
+    fn packed_word_matches_scalar_per_lane() {
+        let (c, nodes, good) = figure3();
+        let eval = CombEvaluator::new(&c);
+        let mut faults: Vec<Fault> = Vec::new();
+        for n in nodes {
+            faults.push(Fault::stem(n, false));
+            faults.push(Fault::stem(n, true));
+        }
+        let mut scalar = ImplicationEngine::new(&c, &eval);
+        let mut packed = ImplicationEngine64::new(&c, &eval);
+        packed.run_word(&good, &faults);
+        for (lane, &f) in faults.iter().enumerate() {
+            let expect = scalar.run(&c, &good, f);
+            let got: Vec<NetChange> = packed.lane_changes(lane as u32).collect();
+            assert_eq!(got, expect, "{f:?}");
+        }
+        let sc = scalar.take_counters();
+        let pc = packed.take_counters();
+        assert_eq!(pc.implication_events, sc.implication_events);
+        assert_eq!(pc.cone_nets, sc.cone_nets);
+        assert_eq!(pc.implication_words, 1);
+        assert_eq!(pc.scratch_reuses, 1);
+        assert_eq!(pc.kernel_gate_evals, pc.gate_evals);
+        assert!(pc.gate_evals <= sc.gate_evals, "packing must not add evals");
+    }
+
+    #[test]
+    fn dff_dpin_branch_lane_is_inert() {
+        // A branch fault behind a flip-flop D pin (here the placeholder
+        // self-loop) has no combinational implication cone; the packed
+        // engine must keep the lane inert instead of funneling a Dff
+        // into the gate kernel, while sibling lanes stay exact.
+        let mut c = Circuit::new("t");
+        let pi = c.add_input("pi");
+        let ff = c.add_dff_placeholder("ff");
+        let g = c.add_gate(GateKind::And, vec![pi, ff], "g");
+        c.set_dff_input(ff, g).unwrap();
+        let eval = CombEvaluator::new(&c);
+        let mut good = vec![V3::X; c.num_nodes()];
+        good[pi.index()] = V3::One;
+        eval.eval(&c, &mut good);
+        let faults = [Fault::branch(ff, 0, false), Fault::stem(pi, false)];
+        let mut packed = ImplicationEngine64::new(&c, &eval);
+        packed.run_word(&good, &faults);
+        assert_eq!(packed.lane_changes(0).count(), 0);
+        let mut scalar = ImplicationEngine::new(&c, &eval);
+        let expect = scalar.run(&c, &good, faults[1]);
+        let got: Vec<NetChange> = packed.lane_changes(1).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn packed_engine_reuse_is_consistent() {
+        let (c, [pi, a, ..], good) = figure3();
+        let eval = CombEvaluator::new(&c);
+        let mut packed = ImplicationEngine64::new(&c, &eval);
+        let r1: Vec<PackedChange> = packed.run_word(&good, &[Fault::stem(pi, false)]).to_vec();
+        packed.run_word(&good, &[Fault::stem(a, true), Fault::stem(pi, true)]);
+        let r3: Vec<PackedChange> = packed.run_word(&good, &[Fault::stem(pi, false)]).to_vec();
+        assert_eq!(r1, r3, "packed engine state must not leak between words");
     }
 }

@@ -3,7 +3,11 @@
 //! Everything the DATE'98 functional scan chain testing flow needs to
 //! *observe* circuits lives here:
 //!
-//! * [`V3`] — three-valued logic (0, 1, X) and gate evaluation;
+//! * [`kernel`] — the single dual-rail three-valued gate-evaluation
+//!   kernel, lane-generic over width (every other engine delegates to
+//!   it);
+//! * [`V3`] — three-valued logic (0, 1, X), the kernel's 1-lane
+//!   instance;
 //! * [`Pv64`] — 64 three-valued machines packed into two words, used by
 //!   the parallel fault simulator;
 //! * [`CombEvaluator`] — levelized combinational evaluation with
@@ -23,8 +27,9 @@
 //!   (bit-identical for every thread count) that the pipeline stages
 //!   aggregate for the BENCH trajectory — and [`StageMetrics`], the
 //!   per-stage `cpu`/`shards`/`counters` cost triple;
-//! * [`forward_implication`] — the 3-valued forward implication cone of
-//!   a fault under fixed input constraints (paper, Section 3/Figure 3).
+//! * [`ImplicationEngine`] / [`ImplicationEngine64`] — the 3-valued
+//!   forward implication cone of a fault under fixed input constraints
+//!   (paper, Section 3/Figure 3), scalar and 64-fault packed.
 //!
 //! # Examples
 //!
@@ -52,6 +57,8 @@ mod comb;
 mod counters;
 mod event;
 mod implication;
+pub mod kernel;
+mod pack;
 mod packed;
 mod parallel;
 pub mod pool;
@@ -62,7 +69,8 @@ mod value;
 pub use comb::CombEvaluator;
 pub use counters::{StageMetrics, WorkCounters};
 pub use event::GoodTrace;
-pub use implication::{forward_implication, ImplicationEngine, NetChange};
+pub use implication::{ImplicationEngine, ImplicationEngine64, NetChange, PackedChange};
+pub use pack::pack_order64;
 pub use packed::Pv64;
 pub use parallel::ParallelFaultSim;
 pub use pool::{resolve_threads, shard_map, shard_map_counted, ShardStats};

@@ -4,6 +4,7 @@ use std::fmt;
 
 use fscan_netlist::GateKind;
 
+use crate::kernel::{self, DualRail, NonCombinational};
 use crate::value::V3;
 
 /// 64 three-valued logic values packed into two machine words.
@@ -121,66 +122,67 @@ impl Pv64 {
         }
     }
 
+    // The logic operations delegate to the dual-rail kernel (`Pv64` is
+    // its 64-lane instance), so the workspace has exactly one
+    // three-valued truth table.
+
     /// Lane-wise NOT.
     #[must_use]
     #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Pv64 {
-        Pv64 {
-            zeros: self.ones,
-            ones: self.zeros,
-        }
+        DualRail::from(self).not().into()
     }
 
     /// Lane-wise three-valued AND.
     #[must_use]
     pub fn and(self, rhs: Pv64) -> Pv64 {
-        Pv64 {
-            zeros: self.zeros | rhs.zeros,
-            ones: self.ones & rhs.ones,
-        }
+        DualRail::from(self).and(rhs.into()).into()
     }
 
     /// Lane-wise three-valued OR.
     #[must_use]
     pub fn or(self, rhs: Pv64) -> Pv64 {
-        Pv64 {
-            zeros: self.zeros & rhs.zeros,
-            ones: self.ones | rhs.ones,
-        }
+        DualRail::from(self).or(rhs.into()).into()
     }
 
     /// Lane-wise three-valued XOR.
     #[must_use]
     pub fn xor(self, rhs: Pv64) -> Pv64 {
-        let known = self.known() & rhs.known();
-        let val = (self.ones ^ rhs.ones) & known;
-        Pv64 {
-            zeros: known & !val,
-            ones: val,
-        }
+        DualRail::from(self).xor(rhs.into()).into()
     }
 
-    /// Evaluates a combinational gate kind lane-wise.
+    /// Evaluates a combinational gate kind lane-wise through the
+    /// dual-rail kernel.
     ///
-    /// # Panics
-    ///
-    /// Panics when called with [`GateKind::Input`] or [`GateKind::Dff`].
-    pub fn eval_gate(kind: GateKind, inputs: impl IntoIterator<Item = Pv64>) -> Pv64 {
-        let mut it = inputs.into_iter();
-        match kind {
-            GateKind::Const0 => Pv64::splat(V3::Zero),
-            GateKind::Const1 => Pv64::splat(V3::One),
-            GateKind::Buf => it.next().unwrap_or(Pv64::ALL_X),
-            GateKind::Not => it.next().unwrap_or(Pv64::ALL_X).not(),
-            GateKind::And => it.fold(Pv64::splat(V3::One), Pv64::and),
-            GateKind::Nand => it.fold(Pv64::splat(V3::One), Pv64::and).not(),
-            GateKind::Or => it.fold(Pv64::splat(V3::Zero), Pv64::or),
-            GateKind::Nor => it.fold(Pv64::splat(V3::Zero), Pv64::or).not(),
-            GateKind::Xor => it.fold(Pv64::splat(V3::Zero), Pv64::xor),
-            GateKind::Xnor => it.fold(Pv64::splat(V3::Zero), Pv64::xor).not(),
-            GateKind::Input | GateKind::Dff => {
-                panic!("eval_gate called on non-combinational kind {kind:?}")
-            }
+    /// Non-combinational kinds ([`GateKind::Input`], [`GateKind::Dff`])
+    /// debug-assert and yield all-X in release builds — see
+    /// [`kernel::eval_gate`]; use [`Pv64::try_eval`] to handle them as
+    /// a typed error.
+    pub fn eval(kind: GateKind, inputs: impl IntoIterator<Item = Pv64>) -> Pv64 {
+        kernel::eval_gate(kind, inputs.into_iter().map(DualRail::from)).into()
+    }
+
+    /// [`Pv64::eval`] returning a typed error for non-combinational
+    /// kinds.
+    pub fn try_eval(
+        kind: GateKind,
+        inputs: impl IntoIterator<Item = Pv64>,
+    ) -> Result<Pv64, NonCombinational> {
+        kernel::try_eval_gate(kind, inputs.into_iter().map(DualRail::from)).map(Pv64::from)
+    }
+}
+
+impl From<Pv64> for DualRail<u64> {
+    fn from(p: Pv64) -> DualRail<u64> {
+        DualRail::new(p.zeros, p.ones)
+    }
+}
+
+impl From<DualRail<u64>> for Pv64 {
+    fn from(d: DualRail<u64>) -> Pv64 {
+        Pv64 {
+            zeros: d.zeros(),
+            ones: d.ones(),
         }
     }
 }
@@ -264,11 +266,17 @@ mod tests {
         for kind in GateKind::COMBINATIONAL {
             let arity = kind.fixed_arity().unwrap_or(3);
             let ins: Vec<Pv64> = (0..arity).map(|_| random_pv(&mut rng)).collect();
-            let out = Pv64::eval_gate(kind, ins.iter().copied());
+            let out = Pv64::eval(kind, ins.iter().copied());
             for lane in 0..64 {
-                let scalar = V3::eval_gate(kind, ins.iter().map(|p| p.get(lane)));
+                let scalar = crate::kernel::eval_v3(kind, ins.iter().map(|p| p.get(lane)));
                 assert_eq!(out.get(lane), scalar, "{kind} lane {lane}");
             }
         }
+    }
+
+    #[test]
+    fn try_eval_rejects_non_combinational() {
+        let err = Pv64::try_eval(GateKind::Dff, [Pv64::splat(V3::One)]).unwrap_err();
+        assert_eq!(err, NonCombinational(GateKind::Dff));
     }
 }

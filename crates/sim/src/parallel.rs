@@ -364,6 +364,7 @@ impl ParallelFaultSim {
                     fval[ff.index()] = force_stem(Pv64::splat(good_now[ff.index()]), ff);
                 }
                 counters.gate_evals += cone_order.len() as u64;
+                counters.kernel_gate_evals += cone_order.len() as u64;
                 for &id in cone_order.iter() {
                     buf.clear();
                     for (pin, &src) in topo.fanin(id).iter().enumerate() {
@@ -375,7 +376,7 @@ impl ParallelFaultSim {
                         buf.push(force_branch(w, id, pin));
                     }
                     fval[id.index()] =
-                        force_stem(Pv64::eval_gate(topo.kind(id), buf.iter().copied()), id);
+                        force_stem(Pv64::eval(topo.kind(id), buf.iter().copied()), id);
                 }
             } else {
                 queue.next_cycle();
@@ -411,6 +412,7 @@ impl ParallelFaultSim {
                 // most once per cycle, after all its fanins settled.
                 while let Some(id) = queue.pop() {
                     counters.gate_evals += 1;
+                    counters.kernel_gate_evals += 1;
                     buf.clear();
                     for (pin, &src) in topo.fanin(id).iter().enumerate() {
                         let w = if in_cone(src) {
@@ -421,7 +423,7 @@ impl ParallelFaultSim {
                         buf.push(force_branch(w, id, pin));
                     }
                     let out =
-                        force_stem(Pv64::eval_gate(topo.kind(id), buf.iter().copied()), id);
+                        force_stem(Pv64::eval(topo.kind(id), buf.iter().copied()), id);
                     if out != fval[id.index()] {
                         fval[id.index()] = out;
                         schedule(queue, id);

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use fscan_netlist::GateKind;
+use crate::kernel::DualRail;
 
 /// A three-valued logic value: 0, 1, or unknown (X).
 ///
@@ -52,77 +52,16 @@ impl V3 {
     pub fn is_known(self) -> bool {
         self != V3::X
     }
-
-    /// Three-valued AND over an iterator (identity: 1).
-    pub fn and_all(values: impl IntoIterator<Item = V3>) -> V3 {
-        let mut acc = V3::One;
-        for v in values {
-            acc = acc & v;
-            if acc == V3::Zero {
-                return V3::Zero;
-            }
-        }
-        acc
-    }
-
-    /// Three-valued OR over an iterator (identity: 0).
-    pub fn or_all(values: impl IntoIterator<Item = V3>) -> V3 {
-        let mut acc = V3::Zero;
-        for v in values {
-            acc = acc | v;
-            if acc == V3::One {
-                return V3::One;
-            }
-        }
-        acc
-    }
-
-    /// Three-valued XOR over an iterator (identity: 0).
-    pub fn xor_all(values: impl IntoIterator<Item = V3>) -> V3 {
-        let mut acc = V3::Zero;
-        for v in values {
-            acc = acc ^ v;
-            if acc == V3::X {
-                return V3::X;
-            }
-        }
-        acc
-    }
-
-    /// Evaluates a combinational gate kind over three-valued inputs.
-    ///
-    /// # Panics
-    ///
-    /// Panics when called with [`GateKind::Input`] or [`GateKind::Dff`],
-    /// which have no combinational function.
-    pub fn eval_gate(kind: GateKind, inputs: impl IntoIterator<Item = V3>) -> V3 {
-        match kind {
-            GateKind::Const0 => V3::Zero,
-            GateKind::Const1 => V3::One,
-            GateKind::Buf => inputs.into_iter().next().unwrap_or(V3::X),
-            GateKind::Not => !inputs.into_iter().next().unwrap_or(V3::X),
-            GateKind::And => V3::and_all(inputs),
-            GateKind::Nand => !V3::and_all(inputs),
-            GateKind::Or => V3::or_all(inputs),
-            GateKind::Nor => !V3::or_all(inputs),
-            GateKind::Xor => V3::xor_all(inputs),
-            GateKind::Xnor => !V3::xor_all(inputs),
-            GateKind::Input | GateKind::Dff => {
-                panic!("eval_gate called on non-combinational kind {kind:?}")
-            }
-        }
-    }
 }
+
+// The operators delegate to the dual-rail kernel (`V3` is its 1-lane
+// instance), so the workspace has exactly one three-valued truth table.
 
 impl std::ops::Not for V3 {
     type Output = V3;
 
     fn not(self) -> V3 {
-        match self {
-            V3::Zero => V3::One,
-            V3::One => V3::Zero,
-            V3::X => V3::X,
-        }
+        DualRail::from(self).not().into()
     }
 }
 
@@ -130,11 +69,7 @@ impl std::ops::BitAnd for V3 {
     type Output = V3;
 
     fn bitand(self, rhs: V3) -> V3 {
-        match (self, rhs) {
-            (V3::Zero, _) | (_, V3::Zero) => V3::Zero,
-            (V3::One, V3::One) => V3::One,
-            _ => V3::X,
-        }
+        DualRail::from(self).and(rhs.into()).into()
     }
 }
 
@@ -142,11 +77,7 @@ impl std::ops::BitOr for V3 {
     type Output = V3;
 
     fn bitor(self, rhs: V3) -> V3 {
-        match (self, rhs) {
-            (V3::One, _) | (_, V3::One) => V3::One,
-            (V3::Zero, V3::Zero) => V3::Zero,
-            _ => V3::X,
-        }
+        DualRail::from(self).or(rhs.into()).into()
     }
 }
 
@@ -154,10 +85,7 @@ impl std::ops::BitXor for V3 {
     type Output = V3;
 
     fn bitxor(self, rhs: V3) -> V3 {
-        match (self.to_bool(), rhs.to_bool()) {
-            (Some(a), Some(b)) => V3::from_bool(a ^ b),
-            _ => V3::X,
-        }
+        DualRail::from(self).xor(rhs.into()).into()
     }
 }
 
@@ -229,28 +157,6 @@ mod tests {
                 assert_eq!((!va).to_bool(), Some(!a));
             }
         }
-    }
-
-    #[test]
-    fn gate_eval_matches_bool_eval() {
-        for kind in GateKind::COMBINATIONAL {
-            let arity = kind.fixed_arity().unwrap_or(3);
-            for bits in 0..(1u32 << arity) {
-                let ins: Vec<bool> = (0..arity).map(|i| bits >> i & 1 == 1).collect();
-                let v3s: Vec<V3> = ins.iter().map(|&b| V3::from(b)).collect();
-                let got = V3::eval_gate(kind, v3s.iter().copied());
-                assert_eq!(got.to_bool(), Some(kind.eval_bool(&ins)), "{kind} {ins:?}");
-            }
-        }
-    }
-
-    #[test]
-    fn controlling_value_decides_despite_x() {
-        assert_eq!(V3::eval_gate(GateKind::And, [V3::Zero, V3::X]), V3::Zero);
-        assert_eq!(V3::eval_gate(GateKind::Nand, [V3::Zero, V3::X]), V3::One);
-        assert_eq!(V3::eval_gate(GateKind::Or, [V3::One, V3::X]), V3::One);
-        assert_eq!(V3::eval_gate(GateKind::Nor, [V3::One, V3::X]), V3::Zero);
-        assert_eq!(V3::eval_gate(GateKind::Xor, [V3::One, V3::X]), V3::X);
     }
 
     #[test]

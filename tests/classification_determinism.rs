@@ -1,0 +1,54 @@
+//! CI guard for the packed 64-fault classification path: on the scaled
+//! s5378 suite circuit the sharded classifier must produce verdicts
+//! byte-identical to the serial scalar oracle for every thread count,
+//! with thread-invariant work counters, while evaluating at least 4×
+//! fewer gates than the scalar engine.
+
+use fscan::{classify_faults_sharded, Classifier};
+use fscan_bench::{build_design, PAPER_SUITE};
+use fscan_fault::{all_faults, collapse};
+
+#[test]
+fn packed_classification_is_deterministic_and_cheaper() {
+    let s5378 = PAPER_SUITE
+        .iter()
+        .find(|c| c.name == "s5378")
+        .expect("s5378 is in the paper suite");
+    let design = build_design(s5378, 0.1);
+    let faults = collapse(design.circuit(), &all_faults(design.circuit()));
+    assert!(faults.len() > 256, "need several 64-fault words");
+
+    // Scalar oracle, one fault at a time.
+    let mut scalar = Classifier::new(&design);
+    let serial: Vec<_> = faults.iter().map(|&f| scalar.classify(f)).collect();
+    let scalar_work = scalar.take_counters();
+
+    let mut reference_work = None;
+    for threads in [1, 2, 4] {
+        let (sharded, stats, work) = classify_faults_sharded(&design, &faults, threads);
+        // Category vectors (and locations) byte-identical to serial.
+        assert_eq!(sharded, serial, "threads = {threads}");
+        assert_eq!(stats.items(), faults.len());
+        let expect = *reference_work.get_or_insert(work);
+        assert_eq!(work, expect, "counters must not depend on threads");
+
+        // The packed engine does the same logical work as the scalar
+        // engine (identical event and cone counts) ...
+        assert_eq!(work.implication_events, scalar_work.implication_events);
+        assert_eq!(work.cone_nets, scalar_work.cone_nets);
+        assert_eq!(
+            work.implication_words,
+            (faults.len() as u64).div_ceil(64),
+            "one packed word per 64 faults"
+        );
+        // ... through the shared dual-rail kernel ...
+        assert_eq!(work.kernel_gate_evals, work.gate_evals);
+        // ... with >= 4x fewer gate evaluations.
+        assert!(
+            work.gate_evals * 4 <= scalar_work.gate_evals,
+            "packed {} vs scalar {} gate evals: expected >= 4x reduction",
+            work.gate_evals,
+            scalar_work.gate_evals
+        );
+    }
+}
