@@ -24,9 +24,10 @@
 //! let b = c.add_input("b");
 //! let g = c.add_gate(GateKind::And, vec![a, b], "g");
 //! c.mark_output(g);
-//! let mut podem = Podem::new(&c, vec![a, b], vec![], vec![g]);
+//! let podem = Podem::new(&c, vec![a, b], vec![], vec![g]);
 //! let outcome = podem.run(&[Fault::stem(g, false)], &PodemConfig::default());
-//! assert!(matches!(outcome, AtpgOutcome::Test(_)));
+//! assert!(matches!(outcome.verdict, AtpgOutcome::Test(_)));
+//! assert!(outcome.vector().is_some());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -39,7 +40,7 @@ mod sequential;
 mod unroll;
 
 pub use dvalue::D5;
-pub use podem::{AtpgOutcome, Podem, PodemConfig};
+pub use podem::{AtpgOutcome, Podem, PodemConfig, PodemOutcome, PodemScratch};
 pub use random::random_vectors;
 pub use sequential::{SeqAtpg, SeqAtpgConfig, SeqOutcome, SeqTest};
 pub use unroll::{unroll, unroll_with_map, unroll_with_map_using, FrameMap, Unrolled};

@@ -1,5 +1,22 @@
 //! Combinational PODEM over a controllability/observability view.
+//!
+//! The generator itself is immutable after construction: [`Podem::run`]
+//! takes `&self` and returns a self-contained [`PodemOutcome`], so one
+//! engine can be shared by any number of shard workers without locks.
+//! Per-search mutable state lives in a [`PodemScratch`], allocated per
+//! run (or reused explicitly via [`Podem::run_with_scratch`]).
+//!
+//! Resimulation is event-driven: a full five-valued pass happens once at
+//! construction (the *base* values, charged to [`Podem::setup_work`]);
+//! each fault injection and each decision/backtrack then re-evaluates
+//! only the gates in the fanout cone of the changed net, in topological
+//! order, stopping where values stabilise. The resulting values are
+//! bit-identical to a full resimulation — values are a pure function of
+//! the assignment and the injections — but `gate_evals` counts only the
+//! gates actually re-evaluated.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 use fscan_fault::{Fault, FaultSite};
@@ -16,9 +33,9 @@ pub struct PodemConfig {
     /// Abort the search after this many backtracks.
     pub backtrack_limit: usize,
     /// Abort after this many search steps (decisions + backtracks).
-    /// Every step costs one full resimulation, so on large (e.g.
-    /// time-frame-expanded) models this is the knob that actually bounds
-    /// runtime.
+    /// Each step costs one event-driven resimulation of the changed
+    /// input's fanout cone, so on large (e.g. time-frame-expanded)
+    /// models this is the knob that actually bounds runtime.
     pub step_limit: usize,
 }
 
@@ -31,7 +48,7 @@ impl Default for PodemConfig {
     }
 }
 
-/// The outcome of one PODEM run.
+/// The verdict of one PODEM run.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum AtpgOutcome {
     /// A test was found: assignments for the controllable inputs that
@@ -42,6 +59,65 @@ pub enum AtpgOutcome {
     Undetectable,
     /// The backtrack budget ran out before a verdict.
     Aborted,
+}
+
+/// Everything one [`Podem::run`] produced, in one value.
+///
+/// Replaces the old `&mut self` run path whose results had to be
+/// scraped out of the engine via `last_backtracks()` / `last_steps()` /
+/// `last_work()` accessors — state that made engines unshardable. The
+/// outcome is self-contained, so per-shard runs compose by value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PodemOutcome {
+    /// The verdict, carrying the generated vector when a test exists.
+    pub verdict: AtpgOutcome,
+    /// Exact, thread-invariant work counters of this run: decisions,
+    /// backtracks, aborts, and the event-driven `gate_evals`. Does not
+    /// include the engine's one-time [`Podem::setup_work`].
+    pub work: WorkCounters,
+    /// Objective decisions taken.
+    pub decisions: usize,
+    /// Decision reversals taken.
+    pub backtracks: usize,
+}
+
+impl PodemOutcome {
+    /// The generated test vector, when the verdict is a test.
+    pub fn vector(&self) -> Option<&[(NodeId, bool)]> {
+        match &self.verdict {
+            AtpgOutcome::Test(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Search steps consumed: decisions + backtracks, for callers that
+    /// spread one budget across several runs.
+    pub fn steps(&self) -> usize {
+        self.decisions + self.backtracks
+    }
+}
+
+/// Reusable per-search mutable state for [`Podem::run_with_scratch`].
+///
+/// One scratch per worker suffices; every run fully re-initialises it,
+/// so reuse never leaks state between faults.
+#[derive(Clone, Debug)]
+pub struct PodemScratch {
+    values: Vec<D5>,
+    assigned: Vec<Option<bool>>,
+    /// X-reachability, recomputed after every value change: `true` when
+    /// the node has a path of X-ish nets to an observable. Makes every
+    /// X-path query O(1).
+    x_reach: Vec<bool>,
+    /// Stem injections of the current fault set, indexed by node.
+    stem_inj: Vec<Option<bool>>,
+    /// Whether a node has any branch-fault injection on its pins.
+    has_branch: Vec<bool>,
+    /// The (gate index, pin, stuck) branch injections (short list).
+    branch_inj: Vec<(usize, usize, bool)>,
+    /// Event queue of order positions pending re-evaluation.
+    queue: BinaryHeap<Reverse<usize>>,
+    in_queue: Vec<bool>,
 }
 
 /// A PODEM test generator over a circuit *view*.
@@ -63,7 +139,6 @@ pub enum AtpgOutcome {
 #[derive(Clone, Debug)]
 pub struct Podem<'c> {
     circuit: &'c Circuit,
-    eval: CombEvaluator,
     topo: Arc<CompiledTopology>,
     controllable: Vec<NodeId>,
     is_controllable: Vec<bool>,
@@ -73,24 +148,17 @@ pub struct Podem<'c> {
     cc0: Vec<u32>,
     cc1: Vec<u32>,
     obs_dist: Vec<u32>,
-    values: Vec<D5>,
-    assigned: Vec<Option<bool>>,
-    /// Topological order cached out of the evaluator so resimulation can
-    /// borrow it alongside `values`.
+    /// Topological evaluation order (gates and constants).
     order: Vec<NodeId>,
-    /// Stem injections of the current fault set, indexed by node.
-    stem_inj: Vec<Option<bool>>,
-    /// Whether a node has any branch-fault injection on its pins.
-    has_branch: Vec<bool>,
-    /// The (gate index, pin, stuck) branch injections (short list).
-    branch_inj: Vec<(usize, usize, bool)>,
-    last_backtracks: usize,
-    last_steps: usize,
-    work: WorkCounters,
-    /// X-reachability, recomputed after every resimulation: `true` when
-    /// the node has a path of X-ish nets to an observable. Makes every
-    /// X-path query O(1).
-    x_reach: Vec<bool>,
+    /// Node index → position in `order`, `usize::MAX` for non-gate nodes.
+    order_pos: Vec<usize>,
+    /// Five-valued values with no assignments and no faults: fixed
+    /// inputs and constants propagated, everything else X. Each run
+    /// starts from a copy and only re-evaluates what its injections and
+    /// decisions change.
+    base_values: Vec<D5>,
+    /// Work charged at construction (one full base pass).
+    setup_work: WorkCounters,
 }
 
 impl<'c> Podem<'c> {
@@ -143,11 +211,13 @@ impl<'c> Podem<'c> {
         for &o in &observable {
             is_observable[o.index()] = true;
         }
-        let eval = CombEvaluator::with_topology(topo.clone());
-        let order = eval.order().to_vec();
+        let order = CombEvaluator::with_topology(topo.clone()).order().to_vec();
+        let mut order_pos = vec![usize::MAX; n];
+        for (pos, &id) in order.iter().enumerate() {
+            order_pos[id.index()] = pos;
+        }
         let mut podem = Podem {
             circuit,
-            eval,
             topo,
             controllable,
             is_controllable,
@@ -157,19 +227,14 @@ impl<'c> Podem<'c> {
             cc0: vec![INF; n],
             cc1: vec![INF; n],
             obs_dist: vec![INF; n],
-            values: vec![D5::X; n],
-            assigned: vec![None; n],
             order,
-            stem_inj: vec![None; n],
-            has_branch: vec![false; n],
-            branch_inj: Vec::new(),
-            last_backtracks: 0,
-            last_steps: 0,
-            work: WorkCounters::ZERO,
-            x_reach: vec![false; n],
+            order_pos,
+            base_values: vec![D5::X; n],
+            setup_work: WorkCounters::ZERO,
         };
         podem.compute_scoap();
         podem.compute_obs_dist();
+        podem.compute_base_values();
         podem
     }
 
@@ -186,7 +251,8 @@ impl<'c> Podem<'c> {
             self.cc1[f.index()] = if v { 0 } else { INF };
         }
         let sat = |a: u32, b: u32| a.saturating_add(b).min(INF);
-        for &id in self.eval.order().to_vec().iter() {
+        for oi in 0..self.order.len() {
+            let id = self.order[oi];
             let node = self.circuit.node(id);
             let kind = node.kind();
             let (c0, c1): (u32, u32) = match kind {
@@ -264,7 +330,8 @@ impl<'c> Podem<'c> {
         }
         // Reverse topological relaxation: iterate the evaluation order
         // backwards; a node's distance improves through its fanouts.
-        for &id in self.eval.order().to_vec().iter().rev() {
+        for oi in (0..self.order.len()).rev() {
+            let id = self.order[oi];
             let mut best = self.obs_dist[id.index()];
             for &sink in self.topo.fanout_sinks(id) {
                 if self.circuit.node(sink).kind().is_gate() {
@@ -288,98 +355,208 @@ impl<'c> Podem<'c> {
         }
     }
 
-    /// Installs the injection lookup tables for a fault set.
-    fn prepare(&mut self, faults: &[Fault]) {
-        self.stem_inj.fill(None);
-        self.has_branch.fill(false);
-        self.branch_inj.clear();
-        for f in faults {
-            match f.site {
-                FaultSite::Stem(n) => {
-                    self.stem_inj[n.index()] = Some(f.stuck);
-                }
-                FaultSite::Branch { gate, pin } => {
-                    self.has_branch[gate.index()] = true;
-                    self.branch_inj.push((gate.index(), pin, f.stuck));
-                }
-            }
+    /// One full five-valued pass with no assignments and no faults:
+    /// the state every run starts from. Charged to [`Podem::setup_work`]
+    /// once, however many runs the engine later serves.
+    fn compute_base_values(&mut self) {
+        for &(f, v) in &self.fixed {
+            self.base_values[f.index()] = D5::known(v);
+        }
+        for oi in 0..self.order.len() {
+            let id = self.order[oi];
+            let node = self.circuit.node(id);
+            let out = D5::eval(
+                node.kind(),
+                node.fanin()
+                    .iter()
+                    .map(|&src| self.base_values[src.index()]),
+            );
+            self.base_values[id.index()] = out;
+        }
+        self.setup_work.gate_evals += self.order.len() as u64;
+    }
+
+    /// The one-time construction work (one full base-values pass).
+    /// Callers summing per-run [`PodemOutcome::work`] add this once per
+    /// engine to keep stage totals exact.
+    pub fn setup_work(&self) -> WorkCounters {
+        self.setup_work
+    }
+
+    /// A fresh scratch sized for this engine, for
+    /// [`Podem::run_with_scratch`] callers that amortise allocation
+    /// across many runs.
+    pub fn scratch(&self) -> PodemScratch {
+        let n = self.circuit.num_nodes();
+        PodemScratch {
+            values: self.base_values.clone(),
+            assigned: vec![None; n],
+            x_reach: vec![false; n],
+            stem_inj: vec![None; n],
+            has_branch: vec![false; n],
+            branch_inj: Vec::new(),
+            queue: BinaryHeap::new(),
+            in_queue: vec![false; self.order.len()],
         }
     }
 
     /// The branch injection on pin `pin` of node `gate_idx`, if any.
-    fn branch_at(&self, gate_idx: usize, pin: usize) -> Option<bool> {
-        if !self.has_branch[gate_idx] {
+    fn branch_at(&self, s: &PodemScratch, gate_idx: usize, pin: usize) -> Option<bool> {
+        if !s.has_branch[gate_idx] {
             return None;
         }
-        self.branch_inj
+        s.branch_inj
             .iter()
             .find(|&&(g, p, _)| g == gate_idx && p == pin)
             .map(|&(_, _, stuck)| stuck)
     }
 
-    /// Full five-valued resimulation under the current assignment with
-    /// every fault site injected in the faulty machine.
-    fn resim(&mut self, _faults: &[Fault]) {
-        // One resimulation evaluates every ordered combinational node
-        // once, in one (scalar) lane.
-        self.work.gate_evals += self.order.len() as u64;
-        let n = self.circuit.num_nodes();
-        for i in 0..n {
-            self.values[i] = D5::X;
+    /// Re-evaluates one ordered node under the current values, with the
+    /// scratch's fault injections applied — the exact per-node function
+    /// a full resimulation would use.
+    fn eval_node(&self, s: &PodemScratch, id: NodeId) -> D5 {
+        let node = self.circuit.node(id);
+        let mut out = if s.has_branch[id.index()] {
+            D5::eval(
+                node.kind(),
+                node.fanin().iter().enumerate().map(|(pin, &src)| {
+                    let mut v = s.values[src.index()];
+                    if let Some(stuck) = self.branch_at(s, id.index(), pin) {
+                        v = D5::new(v.good(), V3::from_bool(stuck));
+                    }
+                    v
+                }),
+            )
+        } else {
+            D5::eval(
+                node.kind(),
+                node.fanin().iter().map(|&src| s.values[src.index()]),
+            )
+        };
+        if let Some(stuck) = s.stem_inj[id.index()] {
+            out = D5::new(out.good(), V3::from_bool(stuck));
         }
-        for &c in &self.controllable {
-            self.values[c.index()] = match self.assigned[c.index()] {
-                Some(b) => D5::known(b),
-                None => D5::X,
-            };
-        }
-        for &(f, v) in &self.fixed {
-            self.values[f.index()] = D5::known(v);
-        }
-        // Stem faults on non-gate nodes override the faulty machine.
-        for i in 0..self.stem_inj.len() {
-            let Some(stuck) = self.stem_inj[i] else { continue };
-            let kind = self.circuit.node(NodeId::from_index(i)).kind();
-            if !kind.is_gate() && !matches!(kind, GateKind::Const0 | GateKind::Const1) {
-                let v = self.values[i];
-                self.values[i] = D5::new(v.good(), V3::from_bool(stuck));
+        out
+    }
+
+    /// Queues every ordered gate reading `id` for re-evaluation.
+    fn schedule_fanouts(&self, s: &mut PodemScratch, id: NodeId) {
+        for &sink in self.topo.fanout_sinks(id) {
+            let pos = self.order_pos[sink.index()];
+            if pos != usize::MAX && !s.in_queue[pos] {
+                s.in_queue[pos] = true;
+                s.queue.push(Reverse(pos));
             }
         }
-        for oi in 0..self.order.len() {
-            let id = self.order[oi];
-            let node = self.circuit.node(id);
-            let mut out = if self.has_branch[id.index()] {
-                D5::eval(
-                    node.kind(),
-                    node.fanin().iter().enumerate().map(|(pin, &src)| {
-                        let mut v = self.values[src.index()];
-                        if let Some(stuck) = self.branch_at(id.index(), pin) {
-                            v = D5::new(v.good(), V3::from_bool(stuck));
+    }
+
+    /// Drains the event queue in topological order, propagating value
+    /// changes. Each popped gate counts one `gate_eval` — the
+    /// event-driven replacement for the old full-resimulation charge.
+    fn drain(&self, s: &mut PodemScratch, work: &mut WorkCounters) {
+        while let Some(Reverse(pos)) = s.queue.pop() {
+            s.in_queue[pos] = false;
+            let id = self.order[pos];
+            work.gate_evals += 1;
+            let out = self.eval_node(s, id);
+            if out != s.values[id.index()] {
+                s.values[id.index()] = out;
+                self.schedule_fanouts(s, id);
+            }
+        }
+    }
+
+    /// Resets the scratch to the base values and injects the fault set,
+    /// propagating each injection through its fanout cone.
+    fn begin(&self, s: &mut PodemScratch, faults: &[Fault], work: &mut WorkCounters) {
+        s.values.copy_from_slice(&self.base_values);
+        s.assigned.fill(None);
+        s.stem_inj.fill(None);
+        s.has_branch.fill(false);
+        s.branch_inj.clear();
+        s.queue.clear();
+        s.in_queue.fill(false);
+        // Install every injection first (a gate may carry several), then
+        // seed the event queue and propagate once.
+        for f in faults {
+            match f.site {
+                FaultSite::Stem(n) => {
+                    s.stem_inj[n.index()] = Some(f.stuck);
+                }
+                FaultSite::Branch { gate, pin } => {
+                    s.has_branch[gate.index()] = true;
+                    s.branch_inj.push((gate.index(), pin, f.stuck));
+                }
+            }
+        }
+        for f in faults {
+            match f.site {
+                FaultSite::Stem(n) => {
+                    let pos = self.order_pos[n.index()];
+                    if pos != usize::MAX {
+                        // Ordered node: the injection changes its output
+                        // function; re-evaluate it in place.
+                        if !s.in_queue[pos] {
+                            s.in_queue[pos] = true;
+                            s.queue.push(Reverse(pos));
                         }
-                        v
-                    }),
-                )
-            } else {
-                D5::eval(
-                    node.kind(),
-                    node.fanin().iter().map(|&src| self.values[src.index()]),
-                )
-            };
-            if let Some(stuck) = self.stem_inj[id.index()] {
-                out = D5::new(out.good(), V3::from_bool(stuck));
+                    } else {
+                        // Input / flip-flop output: override the faulty
+                        // rail directly.
+                        let v = s.values[n.index()];
+                        let nv = D5::new(v.good(), V3::from_bool(f.stuck));
+                        if nv != v {
+                            s.values[n.index()] = nv;
+                            self.schedule_fanouts(s, n);
+                        }
+                    }
+                }
+                FaultSite::Branch { gate, .. } => {
+                    let pos = self.order_pos[gate.index()];
+                    debug_assert_ne!(pos, usize::MAX, "branch faults sit on gates");
+                    if pos != usize::MAX && !s.in_queue[pos] {
+                        s.in_queue[pos] = true;
+                        s.queue.push(Reverse(pos));
+                    }
+                }
             }
-            self.values[id.index()] = out;
         }
-        self.recompute_x_reach();
+        self.drain(s, work);
+        self.recompute_x_reach(s);
+    }
+
+    /// Applies (or retracts) one controllable-input assignment and
+    /// propagates the change through its fanout cone.
+    fn set_input(
+        &self,
+        s: &mut PodemScratch,
+        pi: NodeId,
+        val: Option<bool>,
+        work: &mut WorkCounters,
+    ) {
+        s.assigned[pi.index()] = val;
+        let mut v = match val {
+            Some(b) => D5::known(b),
+            None => D5::X,
+        };
+        if let Some(stuck) = s.stem_inj[pi.index()] {
+            v = D5::new(v.good(), V3::from_bool(stuck));
+        }
+        if v != s.values[pi.index()] {
+            s.values[pi.index()] = v;
+            self.schedule_fanouts(s, pi);
+            self.drain(s, work);
+            self.recompute_x_reach(s);
+        }
     }
 
     /// The good value at a fault's excitation point.
-    fn site_good(&self, fault: &Fault) -> V3 {
+    fn site_good(&self, s: &PodemScratch, fault: &Fault) -> V3 {
         match fault.site {
-            FaultSite::Stem(n) => self.values[n.index()].good(),
+            FaultSite::Stem(n) => s.values[n.index()].good(),
             FaultSite::Branch { gate, pin } => {
                 let src = self.circuit.node(gate).fanin()[pin];
-                self.values[src.index()].good()
+                s.values[src.index()].good()
             }
         }
     }
@@ -392,17 +569,17 @@ impl<'c> Podem<'c> {
         }
     }
 
-    fn fault_effect_at_observable(&self) -> bool {
+    fn fault_effect_at_observable(&self, s: &PodemScratch) -> bool {
         self.observable
             .iter()
-            .any(|&o| self.values[o.index()].is_fault_effect())
+            .any(|&o| s.values[o.index()].is_fault_effect())
     }
 
     /// The five-valued value seen by pin `pin` of gate `id`, including
     /// branch-fault injection.
-    fn pin_value(&self, id: NodeId, pin: usize, src: NodeId, _faults: &[Fault]) -> D5 {
-        let mut v = self.values[src.index()];
-        if let Some(stuck) = self.branch_at(id.index(), pin) {
+    fn pin_value(&self, s: &PodemScratch, id: NodeId, pin: usize, src: NodeId) -> D5 {
+        let mut v = s.values[src.index()];
+        if let Some(stuck) = self.branch_at(s, id.index(), pin) {
             v = D5::new(v.good(), V3::from_bool(stuck));
         }
         v
@@ -410,42 +587,42 @@ impl<'c> Podem<'c> {
 
     /// Whether any fault effect exists: on a net, or injected at a gate
     /// pin by an excited branch fault.
-    fn has_effect(&self, faults: &[Fault]) -> bool {
+    fn has_effect(&self, s: &PodemScratch, faults: &[Fault]) -> bool {
         if self
             .circuit
             .node_ids()
-            .any(|id| self.values[id.index()].is_fault_effect())
+            .any(|id| s.values[id.index()].is_fault_effect())
         {
             return true;
         }
         faults.iter().any(|f| {
             matches!(f.site, FaultSite::Branch { .. })
-                && self.site_good(f).is_known()
-                && self.site_good(f) != V3::from_bool(f.stuck)
+                && self.site_good(s, f).is_known()
+                && self.site_good(s, f) != V3::from_bool(f.stuck)
         })
     }
 
     /// D-frontier: gates with an X-ish output and a fault effect on some
     /// input pin (including branch-fault injection).
-    fn d_frontier(&self, faults: &[Fault]) -> Vec<NodeId> {
+    fn d_frontier(&self, s: &PodemScratch) -> Vec<NodeId> {
         let mut frontier = Vec::new();
-        for &id in self.eval.order() {
+        for &id in &self.order {
             let node = self.circuit.node(id);
             if !node.kind().is_gate() {
                 continue;
             }
-            if !self.values[id.index()].has_x() {
+            if !s.values[id.index()].has_x() {
                 continue;
             }
-            let any_d = if self.has_branch[id.index()] {
+            let any_d = if s.has_branch[id.index()] {
                 node.fanin()
                     .iter()
                     .enumerate()
-                    .any(|(pin, &f)| self.pin_value(id, pin, f, faults).is_fault_effect())
+                    .any(|(pin, &f)| self.pin_value(s, id, pin, f).is_fault_effect())
             } else {
                 node.fanin()
                     .iter()
-                    .any(|&f| self.values[f.index()].is_fault_effect())
+                    .any(|&f| s.values[f.index()].is_fault_effect())
             };
             if any_d {
                 frontier.push(id);
@@ -454,51 +631,43 @@ impl<'c> Podem<'c> {
         frontier
     }
 
-    /// Whether a path of X-ish nets connects `from` to an observable
-    /// (O(1): looked up in the per-resimulation reachability table).
-    fn x_path_exists(&mut self, from: NodeId) -> bool {
-        self.x_reach[from.index()]
-    }
-
-    /// Recomputes [`Podem::x_reach`] by one reverse topological sweep:
-    /// a node reaches an observable through X nets iff it is observable
-    /// itself, or some X-ish gate reading it does.
-    fn recompute_x_reach(&mut self) {
-        for i in 0..self.x_reach.len() {
-            self.x_reach[i] = self.is_observable[i];
+    /// Recomputes the scratch's X-reachability by one reverse
+    /// topological sweep: a node reaches an observable through X nets
+    /// iff it is observable itself, or some X-ish gate reading it does.
+    fn recompute_x_reach(&self, s: &mut PodemScratch) {
+        for i in 0..s.x_reach.len() {
+            s.x_reach[i] = self.is_observable[i];
         }
         for oi in (0..self.order.len()).rev() {
             let id = self.order[oi];
-            if self.x_reach[id.index()] {
+            if s.x_reach[id.index()] {
                 continue;
             }
             let reach = self.topo.fanout_sinks(id).iter().any(|&sink| {
                 self.circuit.node(sink).kind().is_gate()
-                    && self.values[sink.index()].has_x()
-                    && self.x_reach[sink.index()]
+                    && s.values[sink.index()].has_x()
+                    && s.x_reach[sink.index()]
             });
             if reach {
-                self.x_reach[id.index()] = true;
+                s.x_reach[id.index()] = true;
             }
         }
         // Non-gate nodes (inputs, flip-flop outputs) also feed gates.
         for id in self.circuit.node_ids() {
-            if self.x_reach[id.index()] || self.circuit.node(id).kind().is_gate() {
+            if s.x_reach[id.index()] || self.circuit.node(id).kind().is_gate() {
                 continue;
             }
             let reach = self.topo.fanout_sinks(id).iter().any(|&sink| {
                 self.circuit.node(sink).kind().is_gate()
-                    && self.values[sink.index()].has_x()
-                    && self.x_reach[sink.index()]
+                    && s.values[sink.index()].has_x()
+                    && s.x_reach[sink.index()]
             });
             if reach {
-                self.x_reach[id.index()] = true;
+                s.x_reach[id.index()] = true;
             }
         }
     }
 
-    /// Returns the next objective `(net, good_value)` or `None` when the
-    /// current state is a dead end.
     /// Static controllability cost of setting `node` to `val`.
     fn cc(&self, node: NodeId, val: bool) -> u32 {
         if val {
@@ -508,13 +677,15 @@ impl<'c> Podem<'c> {
         }
     }
 
-    fn objective(&mut self, faults: &[Fault]) -> Option<(NodeId, bool)> {
-        if !self.has_effect(faults) {
+    /// Returns the next objective `(net, good_value)` or `None` when the
+    /// current state is a dead end.
+    fn objective(&self, s: &PodemScratch, faults: &[Fault]) -> Option<(NodeId, bool)> {
+        if !self.has_effect(s, faults) {
             // Excitation: find a site whose good value is still X and is
             // statically justifiable (finite SCOAP cost).
             for f in faults {
                 let site = self.site_node(f);
-                if self.site_good(f) == V3::X && self.cc(site, !f.stuck) < INF {
+                if self.site_good(s, f) == V3::X && self.cc(site, !f.stuck) < INF {
                     return Some((site, !f.stuck));
                 }
             }
@@ -523,16 +694,16 @@ impl<'c> Podem<'c> {
         // Propagation: pick the D-frontier gate nearest an observable
         // that still has an X-path, then set one X side-input to the
         // non-controlling value.
-        let mut frontier = self.d_frontier(faults);
+        let mut frontier = self.d_frontier(s);
         frontier.sort_by_key(|&g| self.obs_dist[g.index()]);
         for g in frontier {
-            if !self.x_path_exists(g) {
+            if !s.x_reach[g.index()] {
                 continue;
             }
             let node = self.circuit.node(g);
             let side_val = node.kind().transparent_side_value().unwrap_or(true);
             for &f in node.fanin() {
-                if self.values[f.index()].good() == V3::X && self.cc(f, side_val) < INF {
+                if s.values[f.index()].good() == V3::X && self.cc(f, side_val) < INF {
                     return Some((f, side_val));
                 }
             }
@@ -541,7 +712,7 @@ impl<'c> Podem<'c> {
     }
 
     /// Backtraces an objective to an unassigned controllable input.
-    fn backtrace(&self, net: NodeId, val: bool) -> Option<(NodeId, bool)> {
+    fn backtrace(&self, s: &PodemScratch, net: NodeId, val: bool) -> Option<(NodeId, bool)> {
         let mut net = net;
         let mut val = val;
         let mut hops = 0usize;
@@ -553,9 +724,7 @@ impl<'c> Podem<'c> {
             let node = self.circuit.node(net);
             let kind = node.kind();
             if !kind.is_gate() {
-                return if self.is_controllable[net.index()]
-                    && self.assigned[net.index()].is_none()
-                {
+                return if self.is_controllable[net.index()] && s.assigned[net.index()].is_none() {
                     Some((net, val))
                 } else {
                     None
@@ -584,7 +753,7 @@ impl<'c> Podem<'c> {
                         .fanin()
                         .iter()
                         .copied()
-                        .filter(|&f| self.values[f.index()].good() == V3::X)
+                        .filter(|&f| s.values[f.index()].good() == V3::X)
                         .collect();
                     if candidates.is_empty() {
                         return None;
@@ -620,7 +789,7 @@ impl<'c> Podem<'c> {
                     let mut parity = desired;
                     let mut xs: Vec<NodeId> = Vec::new();
                     for &f in node.fanin() {
-                        match self.values[f.index()].good() {
+                        match s.values[f.index()].good() {
                             V3::One => parity = !parity,
                             V3::Zero => {}
                             V3::X => xs.push(f),
@@ -645,67 +814,98 @@ impl<'c> Podem<'c> {
     }
 
     /// Runs PODEM for the fault (or, for time-frame-expanded models, the
-    /// set of per-frame copies of one fault).
+    /// set of per-frame copies of one fault), allocating a fresh scratch.
     ///
-    /// Returns [`AtpgOutcome::Undetectable`] only after exhausting the
-    /// complete decision space, making that verdict sound for the given
-    /// view.
-    pub fn run(&mut self, faults: &[Fault], config: &PodemConfig) -> AtpgOutcome {
-        self.assigned.fill(None);
-        self.last_backtracks = 0;
-        self.last_steps = 0;
-        self.work = WorkCounters::ZERO;
-        self.prepare(faults);
-        self.resim(faults);
+    /// The verdict is [`AtpgOutcome::Undetectable`] only after
+    /// exhausting the complete decision space, making it sound for the
+    /// given view.
+    pub fn run(&self, faults: &[Fault], config: &PodemConfig) -> PodemOutcome {
+        let mut scratch = self.scratch();
+        self.run_with_scratch(&mut scratch, faults, config)
+    }
+
+    /// [`Podem::run`] against a caller-owned scratch, for hot loops that
+    /// amortise allocation across many runs. The scratch is fully
+    /// re-initialised, so results never depend on what ran before.
+    pub fn run_with_scratch(
+        &self,
+        s: &mut PodemScratch,
+        faults: &[Fault],
+        config: &PodemConfig,
+    ) -> PodemOutcome {
+        let mut work = WorkCounters::ZERO;
+        let mut decisions = 0usize;
+        let mut backtracks = 0usize;
+        let mut steps = 0usize;
+        self.begin(s, faults, &mut work);
         // Decision stack: (input, value, already_flipped).
         let mut stack: Vec<(NodeId, bool, bool)> = Vec::new();
-        let mut backtracks = 0usize;
         // Classic PODEM loop: the existence of an objective (plus a
         // successful backtrace) *is* the progress check; its absence is
         // the conflict signal that triggers backtracking.
         loop {
-            if self.fault_effect_at_observable() {
+            if self.fault_effect_at_observable(s) {
                 let test = stack.iter().map(|&(n, v, _)| (n, v)).collect();
-                return AtpgOutcome::Test(test);
+                return PodemOutcome {
+                    verdict: AtpgOutcome::Test(test),
+                    work,
+                    decisions,
+                    backtracks,
+                };
             }
             let decision = self
-                .objective(faults)
-                .and_then(|(net, val)| self.backtrace(net, val));
+                .objective(s, faults)
+                .and_then(|(net, val)| self.backtrace(s, net, val));
             match decision {
                 Some((pi, val)) => {
                     stack.push((pi, val, false));
-                    self.assigned[pi.index()] = Some(val);
-                    self.last_steps += 1;
-                    self.work.podem_decisions += 1;
-                    if self.last_steps > config.step_limit {
-                        self.work.podem_aborts += 1;
-                        return AtpgOutcome::Aborted;
+                    decisions += 1;
+                    steps += 1;
+                    work.podem_decisions += 1;
+                    if steps > config.step_limit {
+                        work.podem_aborts += 1;
+                        return PodemOutcome {
+                            verdict: AtpgOutcome::Aborted,
+                            work,
+                            decisions,
+                            backtracks,
+                        };
                     }
-                    self.resim(faults);
+                    self.set_input(s, pi, Some(val), &mut work);
                 }
                 None => {
                     // Conflict: flip the most recent unflipped decision.
                     loop {
                         match stack.pop() {
-                            None => return AtpgOutcome::Undetectable,
+                            None => {
+                                return PodemOutcome {
+                                    verdict: AtpgOutcome::Undetectable,
+                                    work,
+                                    decisions,
+                                    backtracks,
+                                };
+                            }
                             Some((pi, val, flipped)) => {
-                                self.assigned[pi.index()] = None;
+                                self.set_input(s, pi, None, &mut work);
                                 if flipped {
                                     continue;
                                 }
                                 backtracks += 1;
-                                self.last_backtracks = backtracks;
-                                self.last_steps += 1;
-                                self.work.podem_backtracks += 1;
+                                steps += 1;
+                                work.podem_backtracks += 1;
                                 if backtracks > config.backtrack_limit
-                                    || self.last_steps > config.step_limit
+                                    || steps > config.step_limit
                                 {
-                                    self.work.podem_aborts += 1;
-                                    return AtpgOutcome::Aborted;
+                                    work.podem_aborts += 1;
+                                    return PodemOutcome {
+                                        verdict: AtpgOutcome::Aborted,
+                                        work,
+                                        decisions,
+                                        backtracks,
+                                    };
                                 }
                                 stack.push((pi, !val, true));
-                                self.assigned[pi.index()] = Some(!val);
-                                self.resim(faults);
+                                self.set_input(s, pi, Some(!val), &mut work);
                                 break;
                             }
                         }
@@ -713,28 +913,6 @@ impl<'c> Podem<'c> {
                 }
             }
         }
-    }
-}
-
-impl Podem<'_> {
-    /// Backtracks consumed by the most recent [`Podem::run`], for
-    /// callers that spread one budget across several runs.
-    pub fn last_backtracks(&self) -> usize {
-        self.last_backtracks
-    }
-
-    /// Search steps (decisions + backtracks) consumed by the most recent
-    /// [`Podem::run`].
-    pub fn last_steps(&self) -> usize {
-        self.last_steps
-    }
-
-    /// Exact [`WorkCounters`] of the most recent [`Podem::run`]:
-    /// decisions, backtracks, aborts, and one `gate_evals` batch per
-    /// resimulation. Depends only on the fault and the view — never on
-    /// wall-clock or thread count.
-    pub fn last_work(&self) -> WorkCounters {
-        self.work
     }
 }
 
@@ -777,6 +955,49 @@ mod tests {
         fscan_sim::detects(&good, &bad).is_some()
     }
 
+    /// Reference full resimulation (the pre-event-driven algorithm):
+    /// recomputes every value from scratch under the scratch's current
+    /// assignment and injections.
+    fn reference_values(podem: &Podem<'_>, s: &PodemScratch) -> Vec<D5> {
+        let n = podem.circuit.num_nodes();
+        let mut values = vec![D5::X; n];
+        for &c in &podem.controllable {
+            values[c.index()] = match s.assigned[c.index()] {
+                Some(b) => D5::known(b),
+                None => D5::X,
+            };
+        }
+        for &(f, v) in &podem.fixed {
+            values[f.index()] = D5::known(v);
+        }
+        for i in 0..n {
+            let Some(stuck) = s.stem_inj[i] else { continue };
+            let kind = podem.circuit.node(NodeId::from_index(i)).kind();
+            if !kind.is_gate() && !matches!(kind, GateKind::Const0 | GateKind::Const1) {
+                let v = values[i];
+                values[i] = D5::new(v.good(), V3::from_bool(stuck));
+            }
+        }
+        for &id in &podem.order {
+            let node = podem.circuit.node(id);
+            let mut out = D5::eval(
+                node.kind(),
+                node.fanin().iter().enumerate().map(|(pin, &src)| {
+                    let mut v = values[src.index()];
+                    if let Some(stuck) = podem.branch_at(s, id.index(), pin) {
+                        v = D5::new(v.good(), V3::from_bool(stuck));
+                    }
+                    v
+                }),
+            );
+            if let Some(stuck) = s.stem_inj[id.index()] {
+                out = D5::new(out.good(), V3::from_bool(stuck));
+            }
+            values[id.index()] = out;
+        }
+        values
+    }
+
     #[test]
     fn finds_tests_for_all_collapsed_c17_faults() {
         let (c, _) = c17_like();
@@ -784,13 +1005,73 @@ mod tests {
         let controllable = c.inputs().to_vec();
         let observable = c.outputs().to_vec();
         for &f in &faults {
-            let mut podem = Podem::new(&c, controllable.clone(), vec![], observable.clone());
-            match podem.run(&[f], &PodemConfig::default()) {
+            let podem = Podem::new(&c, controllable.clone(), vec![], observable.clone());
+            match podem.run(&[f], &PodemConfig::default()).verdict {
                 AtpgOutcome::Test(t) => {
                     assert!(verify_test(&c, f, &t), "bogus test for {f}");
                 }
                 other => panic!("c17 fault {f} should be testable, got {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn incremental_resim_matches_full_reference() {
+        // After injection and after every assignment change, the
+        // event-driven values must equal a from-scratch resimulation.
+        let (c, _) = c17_like();
+        let faults = fscan_fault::collapse(&c, &fscan_fault::all_faults(&c));
+        let podem = Podem::new(&c, c.inputs().to_vec(), vec![], c.outputs().to_vec());
+        let mut s = podem.scratch();
+        let mut work = WorkCounters::ZERO;
+        for f in faults.iter().take(8) {
+            podem.begin(&mut s, std::slice::from_ref(f), &mut work);
+            assert_eq!(s.values, reference_values(&podem, &s), "after begin {f}");
+            let inputs = c.inputs().to_vec();
+            for (i, &pi) in inputs.iter().enumerate() {
+                podem.set_input(&mut s, pi, Some(i % 2 == 0), &mut work);
+                assert_eq!(s.values, reference_values(&podem, &s), "after set {f}");
+            }
+            for &pi in inputs.iter().rev() {
+                podem.set_input(&mut s, pi, None, &mut work);
+                assert_eq!(s.values, reference_values(&podem, &s), "after unset {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        // A shared engine with one reused scratch must produce the same
+        // outcomes and counters as fresh per-run scratches.
+        let (c, _) = c17_like();
+        let faults = fscan_fault::collapse(&c, &fscan_fault::all_faults(&c));
+        let podem = Podem::new(&c, c.inputs().to_vec(), vec![], c.outputs().to_vec());
+        let mut shared = podem.scratch();
+        for &f in &faults {
+            let fresh = podem.run(&[f], &PodemConfig::default());
+            let reused = podem.run_with_scratch(&mut shared, &[f], &PodemConfig::default());
+            assert_eq!(fresh, reused, "{f}");
+        }
+    }
+
+    #[test]
+    fn event_driven_resim_is_cheaper_than_full_passes() {
+        // The old engine charged one full pass (order.len() evals) per
+        // search step plus one initial pass; the event-driven engine
+        // must beat that bound on every c17 fault.
+        let (c, _) = c17_like();
+        let faults = fscan_fault::collapse(&c, &fscan_fault::all_faults(&c));
+        let podem = Podem::new(&c, c.inputs().to_vec(), vec![], c.outputs().to_vec());
+        let full_pass = podem.setup_work().gate_evals;
+        for &f in &faults {
+            let out = podem.run(&[f], &PodemConfig::default());
+            let old_cost = (out.steps() as u64 + 1) * full_pass;
+            assert!(
+                out.work.gate_evals <= old_cost,
+                "{f}: event-driven {} vs full-resim bound {}",
+                out.work.gate_evals,
+                old_cost
+            );
         }
     }
 
@@ -803,9 +1084,10 @@ mod tests {
         let g = c.add_gate(GateKind::And, vec![a, b], "g");
         let y = c.add_gate(GateKind::Or, vec![a, g], "y");
         c.mark_output(y);
-        let mut podem = Podem::new(&c, vec![a, b], vec![], vec![y]);
+        let podem = Podem::new(&c, vec![a, b], vec![], vec![y]);
         let out = podem.run(&[Fault::stem(g, false)], &PodemConfig::default());
-        assert_eq!(out, AtpgOutcome::Undetectable);
+        assert_eq!(out.verdict, AtpgOutcome::Undetectable);
+        assert!(out.vector().is_none());
     }
 
     #[test]
@@ -817,18 +1099,24 @@ mod tests {
         c.mark_output(g);
         // Pin b = 0: output is constantly 0, so g s-a-0 is undetectable
         // and a s-a-1 is too.
-        let mut podem = Podem::new(&c, vec![a], vec![(b, false)], vec![g]);
+        let podem = Podem::new(&c, vec![a], vec![(b, false)], vec![g]);
         assert_eq!(
-            podem.run(&[Fault::stem(g, false)], &PodemConfig::default()),
+            podem
+                .run(&[Fault::stem(g, false)], &PodemConfig::default())
+                .verdict,
             AtpgOutcome::Undetectable
         );
         assert_eq!(
-            podem.run(&[Fault::stem(a, true)], &PodemConfig::default()),
+            podem
+                .run(&[Fault::stem(a, true)], &PodemConfig::default())
+                .verdict,
             AtpgOutcome::Undetectable
         );
         // But g s-a-1 is testable (any a).
         assert!(matches!(
-            podem.run(&[Fault::stem(g, true)], &PodemConfig::default()),
+            podem
+                .run(&[Fault::stem(g, true)], &PodemConfig::default())
+                .verdict,
             AtpgOutcome::Test(_)
         ));
     }
@@ -842,9 +1130,11 @@ mod tests {
         let u = c.add_input("u");
         let g = c.add_gate(GateKind::And, vec![a, u], "g");
         c.mark_output(g);
-        let mut podem = Podem::new(&c, vec![a], vec![], vec![g]);
+        let podem = Podem::new(&c, vec![a], vec![], vec![g]);
         assert_eq!(
-            podem.run(&[Fault::stem(a, false)], &PodemConfig::default()),
+            podem
+                .run(&[Fault::stem(a, false)], &PodemConfig::default())
+                .verdict,
             AtpgOutcome::Undetectable
         );
         let _ = u;
@@ -856,8 +1146,8 @@ mod tests {
         // Branch fault on g16's second pin (reading g11, which fans out).
         let g16 = n[7];
         let f = Fault::branch(g16, 1, true);
-        let mut podem = Podem::new(&c, c.inputs().to_vec(), vec![], c.outputs().to_vec());
-        match podem.run(&[f], &PodemConfig::default()) {
+        let podem = Podem::new(&c, c.inputs().to_vec(), vec![], c.outputs().to_vec());
+        match podem.run(&[f], &PodemConfig::default()).verdict {
             AtpgOutcome::Test(t) => assert!(verify_test(&c, f, &t)),
             other => panic!("expected test, got {other:?}"),
         }
@@ -871,8 +1161,8 @@ mod tests {
         let g = c.add_gate(GateKind::Xor, vec![a, b], "g");
         c.mark_output(g);
         for f in [Fault::stem(a, false), Fault::stem(a, true)] {
-            let mut podem = Podem::new(&c, vec![a, b], vec![], vec![g]);
-            match podem.run(&[f], &PodemConfig::default()) {
+            let podem = Podem::new(&c, vec![a, b], vec![], vec![g]);
+            match podem.run(&[f], &PodemConfig::default()).verdict {
                 AtpgOutcome::Test(t) => assert!(verify_test(&c, f, &t), "{f}"),
                 other => panic!("{f}: {other:?}"),
             }
@@ -889,8 +1179,8 @@ mod tests {
         let g = c.add_gate(GateKind::And, vec![pi, ff], "g");
         c.set_dff_input(ff, g).unwrap();
         c.mark_output(g);
-        let mut podem = Podem::new(&c, vec![pi, ff], vec![], vec![g]);
-        match podem.run(&[Fault::stem(g, false)], &PodemConfig::default()) {
+        let podem = Podem::new(&c, vec![pi, ff], vec![], vec![g]);
+        match podem.run(&[Fault::stem(g, false)], &PodemConfig::default()).verdict {
             AtpgOutcome::Test(t) => {
                 // Test must assign both pi=1 and ff=1.
                 let m: std::collections::HashMap<_, _> = t.into_iter().collect();
@@ -916,9 +1206,9 @@ mod tests {
         let y1 = c.add_gate(GateKind::And, vec![b, one], "y1");
         c.mark_output(y0);
         c.mark_output(y1);
-        let mut podem = Podem::new(&c, vec![a, b], vec![], vec![y0, y1]);
+        let podem = Podem::new(&c, vec![a, b], vec![], vec![y0, y1]);
         let faults = [Fault::stem(y0, false), Fault::stem(y1, false)];
-        match podem.run(&faults, &PodemConfig::default()) {
+        match podem.run(&faults, &PodemConfig::default()).verdict {
             AtpgOutcome::Test(t) => {
                 let m: std::collections::HashMap<_, _> = t.into_iter().collect();
                 assert_eq!(m.get(&b), Some(&true));
@@ -950,7 +1240,7 @@ mod tests {
         }
         let root = level[0];
         c.mark_output(root);
-        let mut podem = Podem::new(&c, nets.clone(), vec![], vec![root]);
+        let podem = Podem::new(&c, nets.clone(), vec![], vec![root]);
         let out = podem.run(
             &[Fault::stem(nets[7], false)],
             &PodemConfig {
@@ -960,6 +1250,7 @@ mod tests {
         );
         // Either it finds the test without backtracking (fine) or aborts;
         // it must never claim undetectable.
-        assert_ne!(out, AtpgOutcome::Undetectable);
+        assert_ne!(out.verdict, AtpgOutcome::Undetectable);
+        assert_eq!(out.backtracks, out.work.podem_backtracks as usize);
     }
 }

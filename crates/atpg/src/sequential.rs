@@ -17,9 +17,9 @@ pub struct SeqAtpgConfig {
     /// Total PODEM backtrack budget per fault, spent across the whole
     /// deepening schedule.
     pub backtrack_limit: usize,
-    /// Total search-step budget per fault (each step is one full
-    /// resimulation of the unrolled model) — the knob that actually
-    /// bounds wall-clock time on deep unrollings.
+    /// Total search-step budget per fault (each step is one event-driven
+    /// resimulation of the changed cone in the unrolled model) — the
+    /// knob that actually bounds wall-clock time on deep unrollings.
     pub step_limit: usize,
 }
 
@@ -86,8 +86,9 @@ pub enum SeqOutcome {
 /// let atpg = SeqAtpg::new(&c)
 ///     .controllable_ffs(vec![])
 ///     .observable_ffs(vec![1]);
-/// let out = atpg.run(Fault::stem(buf, false), &SeqAtpgConfig::default());
+/// let (out, work) = atpg.run(Fault::stem(buf, false), &SeqAtpgConfig::default());
 /// assert!(matches!(out, SeqOutcome::Test(_)));
+/// assert!(work.gate_evals > 0);
 /// ```
 #[derive(Clone, Debug)]
 pub struct SeqAtpg<'c> {
@@ -145,14 +146,12 @@ impl<'c> SeqAtpg<'c> {
     /// Runs a sound undetectability check first (full-scan view, one
     /// frame), then iteratively deepens the restricted view from one
     /// frame up to `config.max_frames`.
-    pub fn run(&self, fault: Fault, config: &SeqAtpgConfig) -> SeqOutcome {
-        self.run_counted(fault, config).0
-    }
-
-    /// [`SeqAtpg::run`] plus the exact [`WorkCounters`] summed over the
-    /// undetectability check and every PODEM run of the deepening
-    /// schedule. Deterministic per `(fault, view, config)`.
-    pub fn run_counted(&self, fault: Fault, config: &SeqAtpgConfig) -> (SeqOutcome, WorkCounters) {
+    ///
+    /// Always returns the exact [`WorkCounters`] alongside the verdict,
+    /// summed over the undetectability check and every PODEM run of the
+    /// deepening schedule (including each unrolled engine's setup pass).
+    /// Deterministic per `(fault, view, config)`.
+    pub fn run(&self, fault: Fault, config: &SeqAtpgConfig) -> (SeqOutcome, WorkCounters) {
         // `backtrack_limit` is a *total* budget for this fault, spent
         // across the undetectability check and the whole deepening
         // schedule, so hopeless faults cannot burn the full budget at
@@ -216,16 +215,17 @@ impl<'c> SeqAtpg<'c> {
         let mut observable: Vec<NodeId> = u.pos(0).to_vec();
         observable.extend_from_slice(u.captures(0));
         let fixed = self.fixed_nodes(&u, 1);
-        let mut podem = Podem::new(u.circuit(), controllable, fixed, observable);
+        let podem = Podem::new(u.circuit(), controllable, fixed, observable);
         let budget = PodemConfig {
             backtrack_limit,
             step_limit,
         };
-        let verdict = podem.run(&[f], &budget) == AtpgOutcome::Undetectable;
+        let out = podem.run(&[f], &budget);
+        let verdict = out.verdict == AtpgOutcome::Undetectable;
         (
             verdict,
-            (podem.last_backtracks(), podem.last_steps()),
-            podem.last_work(),
+            (out.backtracks, out.steps()),
+            podem.setup_work() + out.work,
         )
     }
 
@@ -276,17 +276,15 @@ impl<'c> SeqAtpg<'c> {
             }
         }
         let fixed = self.fixed_nodes(&u, frames);
-        let mut podem = Podem::new(u.circuit(), controllable, fixed, observable);
+        let podem = Podem::new(u.circuit(), controllable, fixed, observable);
         let budget = PodemConfig {
             backtrack_limit,
             step_limit,
         };
-        let outcome = podem.run(&faults, &budget);
-        (
-            outcome,
-            (podem.last_backtracks(), podem.last_steps()),
-            podem.last_work(),
-        )
+        let out = podem.run(&faults, &budget);
+        let used = (out.backtracks, out.steps());
+        let work = podem.setup_work() + out.work;
+        (out.verdict, used, work)
     }
 
     fn decode(&self, frames: usize, assignments: &[(NodeId, bool)]) -> SeqTest {
@@ -377,7 +375,8 @@ mod tests {
         // No controllable state, no observable FFs: must drive from sin
         // across frames and observe at the PO after two more frames.
         let atpg = SeqAtpg::new(&c);
-        let out = atpg.run(Fault::stem(nand, true), &SeqAtpgConfig::default());
+        let (out, work) = atpg.run(Fault::stem(nand, true), &SeqAtpgConfig::default());
+        assert!(work.gate_evals > 0, "work counters must be returned");
         match out {
             SeqOutcome::Test(t) => {
                 assert!(apply_test(&c, &t, Fault::stem(nand, true), 0));
@@ -398,7 +397,7 @@ mod tests {
             max_frames: 1,
             ..SeqAtpgConfig::default()
         };
-        let out = atpg.run(Fault::stem(nand, true), &cfg);
+        let (out, _) = atpg.run(Fault::stem(nand, true), &cfg);
         assert!(matches!(out, SeqOutcome::Test(_)), "got {out:?}");
     }
 
@@ -408,7 +407,7 @@ mod tests {
         // Pin side = 1 (scan mode): side s-a-1 cannot be excited.
         let side_idx = c.inputs().iter().position(|&p| p == side).unwrap();
         let atpg = SeqAtpg::new(&c).fixed_pis(vec![(side_idx, true)]);
-        let out = atpg.run(Fault::stem(side, true), &SeqAtpgConfig::default());
+        let (out, _) = atpg.run(Fault::stem(side, true), &SeqAtpgConfig::default());
         assert_eq!(out, SeqOutcome::Undetectable);
     }
 
@@ -419,7 +418,7 @@ mod tests {
         let atpg = SeqAtpg::new(&c).fixed_pis(vec![(side_idx, true)]);
         // nand s-a-1: excite by making output 0 (ff1=1, side=1), then
         // propagate. side is pinned to 1 so this works.
-        let out = atpg.run(Fault::stem(nand, true), &SeqAtpgConfig::default());
+        let (out, _) = atpg.run(Fault::stem(nand, true), &SeqAtpgConfig::default());
         match out {
             SeqOutcome::Test(t) => {
                 for v in &t.vectors {
@@ -441,7 +440,7 @@ mod tests {
             max_frames: 1,
             ..SeqAtpgConfig::default()
         };
-        let out = SeqAtpg::new(&c).run(Fault::stem(nand, true), &cfg);
+        let (out, _) = SeqAtpg::new(&c).run(Fault::stem(nand, true), &cfg);
         assert_eq!(out, SeqOutcome::Aborted);
     }
 }

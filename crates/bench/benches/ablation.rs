@@ -11,9 +11,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use fscan::{
     alternating_vectors, classify_faults, Category, ChainLocation, Classifier, CombPhase,
+    CombPhaseConfig,
     DistParams, SeqPhase,
 };
-use fscan_atpg::{PodemConfig, SeqAtpgConfig};
+use fscan_atpg::SeqAtpgConfig;
 use fscan_bench::{build_design, PAPER_SUITE};
 use fscan_fault::{all_faults, collapse, Fault};
 use fscan_sim::{ParallelFaultSim, SeqSim, V3};
@@ -59,7 +60,7 @@ fn ablation_grouping(c: &mut Criterion) {
         .filter(|cf| cf.category == Category::Hard)
         .map(|cf| cf.fault)
         .collect();
-    let comb = CombPhase::new(&design, PodemConfig::default()).run(&hard);
+    let comb = CombPhase::new(&design, CombPhaseConfig::default()).run(&hard);
     if comb.remaining.is_empty() {
         return;
     }

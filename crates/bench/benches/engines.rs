@@ -84,7 +84,7 @@ fn bench_podem(c: &mut Criterion) {
     let mut observable: Vec<_> = circuit.outputs().to_vec();
     observable.extend(circuit.dffs().iter().map(|&ff| circuit.node(ff).fanin()[0]));
     c.bench_function("podem_per_fault_fullscan_view", |b| {
-        let mut podem = Podem::new(&circuit, controllable.clone(), vec![], observable.clone());
+        let podem = Podem::new(&circuit, controllable.clone(), vec![], observable.clone());
         let cfg = PodemConfig::default();
         let mut idx = 0usize;
         b.iter(|| {

@@ -12,10 +12,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use fscan::{
-    classify_faults, AlternatingPhase, Category, ChainLocation, Classifier, CombPhase, DistParams,
-    SeqPhase,
+    classify_faults, AlternatingPhase, Category, ChainLocation, Classifier, CombPhase,
+    CombPhaseConfig, DistParams, SeqPhase,
 };
-use fscan_atpg::{PodemConfig, SeqAtpgConfig};
+use fscan_atpg::SeqAtpgConfig;
 use fscan_bench::{build_design, PAPER_SUITE};
 use fscan_fault::{all_faults, collapse, Fault};
 
@@ -62,7 +62,7 @@ fn bench_table3_comb_phase(c: &mut Criterion) {
     let mut group = c.benchmark_group("table3_comb_phase");
     group.sample_size(10);
     group.bench_function("comb_atpg_plus_seq_fault_sim", |b| {
-        let phase = CombPhase::new(&design, PodemConfig::default());
+        let phase = CombPhase::new(&design, CombPhaseConfig::default());
         b.iter(|| phase.run(&hard));
     });
     group.finish();
@@ -77,7 +77,7 @@ fn bench_table3_seq_phase(c: &mut Criterion) {
         .filter(|cf| cf.category == Category::Hard)
         .map(|cf| cf.fault)
         .collect();
-    let comb = CombPhase::new(&design, PodemConfig::default()).run(&hard);
+    let comb = CombPhase::new(&design, CombPhaseConfig::default()).run(&hard);
     let locs: Vec<Vec<ChainLocation>> = comb
         .remaining
         .iter()

@@ -96,6 +96,120 @@ pub fn parse_total_counters(json: &str) -> Result<CircuitCounters, String> {
     Ok(out)
 }
 
+/// Per-circuit, per-stage counter contents: `(circuit name, [(stage
+/// name, [(counter, value)])])` in emission order.
+pub type StageCounters = Vec<(String, Vec<(String, Vec<(String, u64)>)>)>;
+
+/// Extracts every stage's `(counter, value)` pairs of each circuit from
+/// a [`bench_json`](crate::bench_json) snapshot — the per-stage
+/// companion of [`parse_total_counters`], needed by gates that bound a
+/// *single* stage (e.g. the comb-stage `gate_evals` reduction check).
+///
+/// # Examples
+///
+/// ```
+/// use fscan_bench::baseline::parse_stage_counters;
+///
+/// let json = r#"{
+///   "circuits": [
+///     {
+///       "name": "s5378",
+///       "stages": [
+///         {
+///           "stage": "comb",
+///           "counters": {
+///             "gate_evals": 11
+///           }
+///         }
+///       ],
+///       "total_counters": {
+///         "gate_evals": 42
+///       }
+///     }
+///   ]
+/// }"#;
+/// let parsed = parse_stage_counters(json).unwrap();
+/// assert_eq!(parsed[0].0, "s5378");
+/// assert_eq!(parsed[0].1[0].0, "comb");
+/// assert_eq!(parsed[0].1[0].1, vec![("gate_evals".to_string(), 11)]);
+/// ```
+pub fn parse_stage_counters(json: &str) -> Result<StageCounters, String> {
+    let mut out: StageCounters = Vec::new();
+    let mut stage_pending = false;
+    let mut in_counters = false;
+    for line in json.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("\"name\": \"") {
+            let n = rest
+                .strip_suffix("\",")
+                .or_else(|| rest.strip_suffix('"'))
+                .ok_or_else(|| format!("malformed name line: {line}"))?;
+            out.push((n.to_string(), Vec::new()));
+            stage_pending = false;
+            in_counters = false;
+        } else if let Some(rest) = line.strip_prefix("\"stage\": \"") {
+            let s = rest
+                .strip_suffix("\",")
+                .or_else(|| rest.strip_suffix('"'))
+                .ok_or_else(|| format!("malformed stage line: {line}"))?;
+            let circuit = out
+                .last_mut()
+                .ok_or_else(|| "stage before any circuit name".to_string())?;
+            circuit.1.push((s.to_string(), Vec::new()));
+            stage_pending = true;
+        } else if line.starts_with("\"counters\"") && stage_pending {
+            stage_pending = false;
+            in_counters = true;
+        } else if line.starts_with("\"total_counters\"") {
+            stage_pending = false;
+            in_counters = false;
+        } else if in_counters {
+            if line.starts_with('}') {
+                in_counters = false;
+            } else if let Some((key, value)) = line.split_once("\": ") {
+                let key = key
+                    .strip_prefix('"')
+                    .ok_or_else(|| format!("malformed counter line: {line}"))?;
+                let v: u64 = value
+                    .trim_end_matches(',')
+                    .parse()
+                    .map_err(|_| format!("malformed counter line: {line}"))?;
+                out.last_mut()
+                    .expect("pushed on name entry")
+                    .1
+                    .last_mut()
+                    .expect("pushed on stage entry")
+                    .1
+                    .push((key.to_string(), v));
+            }
+        }
+    }
+    if out.is_empty() || out.iter().all(|(_, stages)| stages.is_empty()) {
+        return Err("no circuits with per-stage counters found".into());
+    }
+    Ok(out)
+}
+
+/// Projects one stage's counter out of parsed [`StageCounters`]:
+/// `(circuit name, value)` for every circuit that reports `key` under
+/// `stage`.
+pub fn stage_counter_totals(
+    circuits: &StageCounters,
+    stage: &str,
+    key: &str,
+) -> Vec<(String, u64)> {
+    circuits
+        .iter()
+        .filter_map(|(name, stages)| {
+            stages
+                .iter()
+                .find(|(s, _)| s == stage)
+                .and_then(|(_, counters)| counters.iter().find(|(k, _)| k == key))
+                .map(|(_, v)| (name.clone(), *v))
+        })
+        .collect()
+}
+
 /// Projects one counter out of parsed [`CircuitCounters`]: `(circuit
 /// name, value)` for every circuit whose `total_counters` block carries
 /// `key`.
@@ -161,6 +275,48 @@ pub fn check_regression(
             failures.push(format!(
                 "{name}: gate_evals {cur} exceeds baseline {base} by {:+.1}% (tolerance {tolerance_pct}%)",
                 100.0 * (*cur as f64 / (*base).max(1) as f64 - 1.0)
+            ));
+        }
+    }
+    failures
+}
+
+/// Requires the sum of `key` across every circuit in the fresh snapshot
+/// to reach at least `min`. Used to gate on global fault dropping
+/// actually happening: a comb phase whose `faults_dropped` total
+/// collapses to zero has silently fallen back to one-PODEM-run-per-fault
+/// even if its total work still looks healthy.
+pub fn check_min_total(current: &[(String, u64)], key: &str, min: u64) -> Vec<String> {
+    let total: u64 = current.iter().map(|(_, v)| *v).sum();
+    if total < min {
+        vec![format!(
+            "total {key} {total} is below the required minimum {min}"
+        )]
+    } else {
+        Vec::new()
+    }
+}
+
+/// Requires every circuit present in both snapshots to have improved by
+/// at least `factor`: `baseline ≥ factor × current` for `key`. Used to
+/// hold the comb-stage `gate_evals` reduction (event-driven PODEM
+/// resimulation plus global fault dropping) at ≥ 2× against the
+/// committed pre-optimization baseline.
+pub fn check_improvement(
+    baseline: &[(String, u64)],
+    current: &[(String, u64)],
+    key: &str,
+    factor: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (name, base) in baseline {
+        let Some((_, cur)) = current.iter().find(|(n, _)| n == name) else {
+            continue;
+        };
+        if (*base as f64) < factor * *cur as f64 {
+            failures.push(format!(
+                "{name}: {key} {cur} is only {:.2}x below reference {base} (need >= {factor}x)",
+                *base as f64 / (*cur).max(1) as f64
             ));
         }
     }
@@ -253,5 +409,48 @@ mod tests {
     fn rejects_malformed_input() {
         assert!(parse_gate_evals("{}").is_err());
         assert!(parse_gate_evals("\"total_counters\": {\n\"gate_evals\": 3\n").is_err());
+        assert!(parse_stage_counters("{}").is_err());
+    }
+
+    #[test]
+    fn stage_counters_round_trip_through_the_emitter() {
+        let report = run_pipeline(&PAPER_SUITE[0], 0.05);
+        let comb_evals = report.comb.metrics.counters.gate_evals;
+        let json = bench_json(&[report], 0.05, 1);
+        let parsed = parse_stage_counters(&json).unwrap();
+        assert_eq!(parsed.len(), 1);
+        let stages: Vec<&str> = parsed[0].1.iter().map(|(s, _)| s.as_str()).collect();
+        assert_eq!(
+            stages,
+            vec!["classify", "alternating", "comb", "compact", "seq"]
+        );
+        assert_eq!(
+            stage_counter_totals(&parsed, "comb", "gate_evals"),
+            vec![("s1196".to_string(), comb_evals)]
+        );
+        // Per-stage parsing must not leak the total_counters block in as
+        // a phantom stage.
+        for (_, counters) in &parsed[0].1 {
+            assert_eq!(counters.len(), fscan_sim::WorkCounters::ZERO.fields().len());
+        }
+    }
+
+    #[test]
+    fn min_total_gates_on_the_sum() {
+        let cur = pairs(&[("a", 30), ("b", 12)]);
+        assert!(check_min_total(&cur, "faults_dropped", 42).is_empty());
+        let failures = check_min_total(&cur, "faults_dropped", 43);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("faults_dropped"), "{failures:?}");
+    }
+
+    #[test]
+    fn improvement_requires_the_factor_per_circuit() {
+        let base = pairs(&[("a", 1000), ("b", 1000), ("c", 1000)]);
+        let cur = pairs(&[("a", 500), ("b", 501), ("d", 9999)]);
+        let failures = check_improvement(&base, &cur, "gate_evals", 2.0);
+        // `a` hits exactly 2x, `b` falls short, `c`/`d` are unmatched.
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].starts_with("b:"), "{failures:?}");
     }
 }

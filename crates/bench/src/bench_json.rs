@@ -21,7 +21,7 @@ use fscan::PipelineReport;
 /// let report = run_pipeline(&PAPER_SUITE[0], 0.05);
 /// let json = bench_json(&[report], 0.05, 1);
 /// assert!(json.contains("\"gate_evals\""));
-/// assert!(json.lines().filter(|l| l.contains("wall_s")).count() >= 5);
+/// assert!(json.lines().filter(|l| l.contains("wall_s")).count() >= 6);
 /// ```
 pub fn bench_json(reports: &[PipelineReport], scale: f64, threads: usize) -> String {
     let mut out = String::new();
@@ -122,14 +122,14 @@ mod tests {
     fn emits_every_counter_for_every_stage() {
         let json = bench_json(&[small_report(1)], 0.05, 1);
         for (name, _) in fscan_sim::WorkCounters::ZERO.fields() {
-            // 4 stages + total_counters per circuit.
+            // 5 stages + total_counters per circuit.
             assert_eq!(
                 json.matches(&format!("\"{name}\":")).count(),
-                5,
+                6,
                 "counter {name} missing from some section:\n{json}"
             );
         }
-        for stage in ["classify", "alternating", "comb", "seq"] {
+        for stage in ["classify", "alternating", "comb", "compact", "seq"] {
             assert!(json.contains(&format!("\"stage\": \"{stage}\"")));
         }
     }
@@ -141,8 +141,8 @@ mod tests {
         // wall_s must therefore sit alone on its line.
         let json = bench_json(&[small_report(1)], 0.05, 1);
         let wall_lines = json.lines().filter(|l| l.contains("wall_s")).count();
-        // One per stage (4) plus one per circuit.
-        assert_eq!(wall_lines, 5);
+        // One per stage (5) plus one per circuit.
+        assert_eq!(wall_lines, 6);
         for line in json.lines().filter(|l| l.contains("wall_s")) {
             assert!(line.trim_start().starts_with("\"wall_s\":"), "{line}");
         }

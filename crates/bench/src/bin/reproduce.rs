@@ -22,7 +22,13 @@
 //! fresh snapshot against a committed baseline and fails if any circuit
 //! regressed beyond the tolerance (default 5%); the structural
 //! `topology_builds` counter must additionally match the baseline
-//! exactly (one compilation per pipeline run).
+//! exactly (one compilation per pipeline run). Two optional gates guard
+//! the parallel-ATPG fast path: `--min-faults-dropped N` requires the
+//! fresh snapshot's summed `faults_dropped` to reach `N` (global fault
+//! dropping actually firing), and `--comb-reference REF.json
+//! [--min-comb-speedup R]` requires every circuit's *comb-stage*
+//! `gate_evals` to sit at least `R`× (default 2×) below the committed
+//! pre-optimization reference snapshot.
 
 use std::env;
 use std::process::ExitCode;
@@ -301,25 +307,54 @@ fn print_figure5(reports: &[PipelineReport]) {
     }
 }
 
-/// `check-baseline BASELINE CURRENT [--tolerance PCT]`: compares the
-/// per-circuit total `gate_evals` of two `bench_json` snapshots.
+/// `check-baseline BASELINE CURRENT [--tolerance PCT]
+/// [--min-faults-dropped N] [--comb-reference REF.json]
+/// [--min-comb-speedup R]`: compares the per-circuit total `gate_evals`
+/// of two `bench_json` snapshots, plus the optional fault-dropping and
+/// comb-stage speedup gates.
 fn check_baseline(args: &[String]) -> ExitCode {
+    let usage = "usage: reproduce check-baseline BASELINE.json CURRENT.json [--tolerance PCT] [--min-faults-dropped N] [--comb-reference REF.json] [--min-comb-speedup R]";
     let mut files = Vec::new();
     let mut tolerance = 5.0f64;
+    let mut min_faults_dropped: Option<u64> = None;
+    let mut comb_reference: Option<String> = None;
+    let mut min_comb_speedup = 2.0f64;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
-        if arg == "--tolerance" {
-            let Some(v) = it.next().and_then(|v| v.parse().ok()) else {
-                eprintln!("error: --tolerance needs a numeric value");
-                return ExitCode::FAILURE;
-            };
-            tolerance = v;
-        } else {
-            files.push(arg.clone());
+        match arg.as_str() {
+            "--tolerance" => {
+                let Some(v) = it.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("error: --tolerance needs a numeric value");
+                    return ExitCode::FAILURE;
+                };
+                tolerance = v;
+            }
+            "--min-faults-dropped" => {
+                let Some(v) = it.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("error: --min-faults-dropped needs an integer value");
+                    return ExitCode::FAILURE;
+                };
+                min_faults_dropped = Some(v);
+            }
+            "--comb-reference" => {
+                let Some(v) = it.next() else {
+                    eprintln!("error: --comb-reference needs a snapshot path");
+                    return ExitCode::FAILURE;
+                };
+                comb_reference = Some(v.clone());
+            }
+            "--min-comb-speedup" => {
+                let Some(v) = it.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("error: --min-comb-speedup needs a numeric value");
+                    return ExitCode::FAILURE;
+                };
+                min_comb_speedup = v;
+            }
+            _ => files.push(arg.clone()),
         }
     }
     let [base_path, cur_path] = files.as_slice() else {
-        eprintln!("usage: reproduce check-baseline BASELINE.json CURRENT.json [--tolerance PCT]");
+        eprintln!("{usage}");
         return ExitCode::FAILURE;
     };
     let read_counters = |path: &str| -> Result<fscan_bench::baseline::CircuitCounters, String> {
@@ -353,6 +388,52 @@ fn check_baseline(args: &[String]) -> ExitCode {
         &fscan_bench::counter_totals(&cur_all, "topology_builds"),
         "topology_builds",
     ));
+    // Fault-dropping gate: the fresh run must actually retire targets
+    // through globally simulated vectors, not just stay cheap.
+    if let Some(min) = min_faults_dropped {
+        let dropped = fscan_bench::counter_totals(&cur_all, "faults_dropped");
+        let total: u64 = dropped.iter().map(|(_, v)| *v).sum();
+        println!("faults_dropped total {total} (required >= {min})");
+        failures.extend(fscan_bench::check_min_total(
+            &dropped,
+            "faults_dropped",
+            min,
+        ));
+    }
+    // Comb-stage speedup gate against a pre-optimization reference
+    // snapshot (a separate committed file — the regular baseline is
+    // regenerated and would trivially match itself).
+    if let Some(ref_path) = &comb_reference {
+        let read_stage = |path: &str| -> Result<Vec<(String, u64)>, String> {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let stages =
+                fscan_bench::parse_stage_counters(&text).map_err(|e| format!("{path}: {e}"))?;
+            Ok(fscan_bench::stage_counter_totals(&stages, "comb", "gate_evals"))
+        };
+        match (read_stage(ref_path), read_stage(cur_path)) {
+            (Ok(reference), Ok(cur_comb)) => {
+                for (name, evals) in &cur_comb {
+                    if let Some((_, r)) = reference.iter().find(|(n, _)| n == name) {
+                        println!(
+                            "{name}: comb gate_evals {evals} vs reference {r} ({:.2}x)",
+                            *r as f64 / (*evals).max(1) as f64
+                        );
+                    }
+                }
+                failures.extend(fscan_bench::check_improvement(
+                    &reference,
+                    &cur_comb,
+                    "comb gate_evals",
+                    min_comb_speedup,
+                ));
+            }
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if failures.is_empty() {
         println!("baseline check passed (tolerance {tolerance}%, topology_builds exact)");
         ExitCode::SUCCESS

@@ -9,10 +9,12 @@ use fscan_atpg::{AtpgOutcome, Podem, PodemConfig};
 use fscan_fault::Fault;
 use fscan_netlist::NodeId;
 use fscan_scan::ScanDesign;
+use fscan_sim::pool::shard_map_counted;
 use fscan_sim::{ParallelFaultSim, ShardStats, StageMetrics, V3, WorkCounters};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::pipeline::ConfigError;
 use crate::program::ScanTest;
 use crate::sequences::{scan_load_vectors, scan_vector_layout};
 
@@ -37,11 +39,11 @@ pub struct CombPhaseReport {
     /// — the paper's Figure 5 series.
     pub detection_curve: Vec<(usize, usize)>,
     /// The stage's cost triple: wall-clock time, work distribution
-    /// across confirmation-simulation workers (aggregated over all
-    /// windows; the PODEM loop itself is serial because fault-dropping
-    /// makes it order-dependent), and deterministic work counters
-    /// (PODEM decisions/backtracks/aborts, confirmation-simulation gate
-    /// evaluations, windows formed, fault-dropping early exits —
+    /// across PODEM-batch and confirmation-simulation workers
+    /// (aggregated over all batch rounds and windows), and deterministic
+    /// work counters (PODEM decisions/backtracks/aborts, event-driven
+    /// and confirmation-simulation gate evaluations, windows formed,
+    /// fault-dropping early exits, `faults_dropped`, `podem_shards` —
     /// bit-identical for every thread count).
     pub metrics: StageMetrics,
 }
@@ -79,18 +81,132 @@ pub struct CombPhaseOutcome {
     pub program: Vec<ScanTest>,
 }
 
+/// Configuration for [`CombPhase`], built via
+/// [`CombPhaseConfig::builder`] — the same builder-with-validation
+/// pattern as [`PipelineConfig::builder`](crate::PipelineConfig::builder)
+/// (replacing the old ad-hoc `threads(..)` / `random_windows(..)`
+/// setters on the phase itself).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CombPhaseConfig {
+    /// PODEM budget per targeted fault.
+    pub podem: PodemConfig,
+    /// Random scan windows fault-simulated against whatever the
+    /// targeted vectors leave undetected (0 disables the top-up). The
+    /// paper notes a random test set is the natural simulation-based
+    /// alternative to combinational ATPG here.
+    pub random_windows: usize,
+    /// Seed for the random top-up windows.
+    pub seed: u64,
+    /// Worker threads for the sharded PODEM batches and confirmation
+    /// fault simulations (`0` = hardware thread count). Verdicts,
+    /// programs and counters are identical for every thread count.
+    pub threads: usize,
+    /// Targets per sharded PODEM batch round. Batch composition is
+    /// fixed before the round starts (the next up-to-`podem_batch`
+    /// still-pending faults in input order), so the work done — and
+    /// every counter — is independent of the thread count serving it.
+    pub podem_batch: usize,
+}
+
+impl Default for CombPhaseConfig {
+    fn default() -> CombPhaseConfig {
+        CombPhaseConfig {
+            podem: PodemConfig::default(),
+            random_windows: 128,
+            seed: 0xc0ffee,
+            threads: 1,
+            podem_batch: 64,
+        }
+    }
+}
+
+impl CombPhaseConfig {
+    /// Starts a validated builder from the default configuration.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fscan::CombPhaseConfig;
+    ///
+    /// let config = CombPhaseConfig::builder().threads(4).build()?;
+    /// assert_eq!(config.threads, 4);
+    /// assert_eq!(config.podem_batch, 64);
+    /// # Ok::<(), fscan::ConfigError>(())
+    /// ```
+    pub fn builder() -> CombPhaseConfigBuilder {
+        CombPhaseConfigBuilder {
+            config: CombPhaseConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`CombPhaseConfig`] with validation at
+/// [`build`](CombPhaseConfigBuilder::build).
+#[derive(Clone, Debug)]
+pub struct CombPhaseConfigBuilder {
+    config: CombPhaseConfig,
+}
+
+impl CombPhaseConfigBuilder {
+    /// PODEM budget per targeted fault.
+    pub fn podem(mut self, podem: PodemConfig) -> Self {
+        self.config.podem = podem;
+        self
+    }
+
+    /// Random top-up window count (0 disables the top-up).
+    pub fn random_windows(mut self, windows: usize) -> Self {
+        self.config.random_windows = windows;
+        self
+    }
+
+    /// Seed for the random top-up windows.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Worker threads (`0` = hardware thread count).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Targets per sharded PODEM batch round.
+    pub fn podem_batch(mut self, batch: usize) -> Self {
+        self.config.podem_batch = batch;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<CombPhaseConfig, ConfigError> {
+        let c = &self.config;
+        if c.podem.backtrack_limit == 0 && c.podem.step_limit == 0 {
+            return Err(ConfigError::EmptyPodemBudget);
+        }
+        if c.podem_batch == 0 {
+            return Err(ConfigError::ZeroPodemBatch);
+        }
+        Ok(self.config)
+    }
+}
+
 /// Step 2 of the paper: generate combinational tests for `f_hard` on the
 /// scan-mode circuit view, wrap each in scan-in/scan-out shifting, and
 /// confirm detection by sequential fault simulation (the fault may
 /// damage the chain used to shift, masking itself).
+///
+/// PODEM runs are sharded across independent fault targets in
+/// fixed-composition batches; after every accepted vector the 64-lane
+/// fault simulator re-drops the *entire* remaining fault list, so one
+/// vector can retire dozens of targets globally.
 ///
 /// # Examples
 ///
 /// ```
 /// use fscan_netlist::{generate, GeneratorConfig};
 /// use fscan_scan::{insert_functional_scan, TpiConfig};
-/// use fscan_atpg::PodemConfig;
-/// use fscan::{classify_faults, Category, CombPhase};
+/// use fscan::{classify_faults, Category, CombPhase, CombPhaseConfig};
 /// use fscan_fault::{all_faults, collapse};
 ///
 /// let circuit = generate(&GeneratorConfig::new("d", 4).gates(120).dffs(8));
@@ -101,7 +217,7 @@ pub struct CombPhaseOutcome {
 ///     .filter(|c| c.category == Category::Hard)
 ///     .map(|c| c.fault)
 ///     .collect();
-/// let outcome = CombPhase::new(&design, PodemConfig::default()).run(&hard);
+/// let outcome = CombPhase::new(&design, CombPhaseConfig::default()).run(&hard);
 /// assert_eq!(
 ///     outcome.report.targeted,
 ///     outcome.report.detected + outcome.report.undetectable + outcome.report.undetected
@@ -111,41 +227,13 @@ pub struct CombPhaseOutcome {
 #[derive(Clone, Debug)]
 pub struct CombPhase<'d> {
     design: &'d ScanDesign,
-    podem_config: PodemConfig,
-    random_windows: usize,
-    seed: u64,
-    threads: usize,
+    config: CombPhaseConfig,
 }
 
 impl<'d> CombPhase<'d> {
-    /// Prepares the phase with the default random top-up (128 windows),
-    /// running serially.
-    pub fn new(design: &'d ScanDesign, podem_config: PodemConfig) -> CombPhase<'d> {
-        CombPhase {
-            design,
-            podem_config,
-            random_windows: 128,
-            seed: 0xc0ffee,
-            threads: 1,
-        }
-    }
-
-    /// Shards the confirmation fault simulations across `threads`
-    /// workers (`0` = hardware thread count). Detection verdicts — and
-    /// therefore the whole outcome — are identical for every thread
-    /// count.
-    pub fn threads(mut self, threads: usize) -> CombPhase<'d> {
-        self.threads = threads;
-        self
-    }
-
-    /// Sets the number of random scan windows fault-simulated against
-    /// the faults the targeted vectors leave undetected (0 disables the
-    /// top-up). The paper notes a random test set is the natural
-    /// simulation-based alternative to combinational ATPG here.
-    pub fn random_windows(mut self, windows: usize) -> CombPhase<'d> {
-        self.random_windows = windows;
-        self
+    /// Prepares the phase.
+    pub fn new(design: &'d ScanDesign, config: CombPhaseConfig) -> CombPhase<'d> {
+        CombPhase { design, config }
     }
 
     /// Runs the phase over `hard` (the category-2 faults).
@@ -175,7 +263,7 @@ impl<'d> CombPhase<'d> {
         observable.extend(chained.iter().map(|&ff| circuit.node(ff).fanin()[0]));
         observable.sort();
         observable.dedup();
-        let mut podem = Podem::with_topology(
+        let podem = Podem::with_topology(
             circuit,
             self.design.topology(),
             controllable,
@@ -195,45 +283,105 @@ impl<'d> CombPhase<'d> {
         let mut program: Vec<ScanTest> = Vec::new();
         let mut shards = ShardStats::default();
         let mut counters = WorkCounters::ZERO;
+        // One shared engine for the whole phase; its construction pass
+        // is charged once, however many shard workers borrow it.
+        counters += podem.setup_work();
 
-        for i in 0..hard.len() {
-            if status[i] != Status::Pending {
-                // Fault dropping: the target was already resolved by an
-                // earlier window, so its ATPG run is skipped entirely.
-                counters.early_exits += 1;
+        let batch_size = self.config.podem_batch.max(1);
+        let mut cursor = 0usize;
+        while cursor < hard.len() {
+            // Fixed-composition batch: the next up-to-`podem_batch`
+            // still-pending faults in input order. Composition depends
+            // only on earlier verdicts, never on the thread count.
+            let mut batch: Vec<usize> = Vec::with_capacity(batch_size);
+            while cursor < hard.len() && batch.len() < batch_size {
+                if status[cursor] == Status::Pending {
+                    batch.push(cursor);
+                } else {
+                    // Fault dropping: the target was already resolved by
+                    // an earlier window, so its ATPG run never happens.
+                    counters.early_exits += 1;
+                }
+                cursor += 1;
+            }
+            if batch.is_empty() {
                 continue;
             }
-            let outcome = podem.run(&[hard[i]], &self.podem_config);
-            counters += podem.last_work();
-            match outcome {
-                AtpgOutcome::Undetectable => {
-                    status[i] = Status::Undetectable;
-                    continue;
-                }
-                AtpgOutcome::Aborted => continue,
-                AtpgOutcome::Test(assignments) => {
-                    let window = self.test_window(&assignments, window_len);
-                    windows += 1;
-                    counters.windows_formed += 1;
-                    program.push(ScanTest::new(format!("comb {}", hard[i]), window.clone()));
-                    // Fault-drop: simulate this window against every
-                    // still-pending fault (windows fully re-load state,
-                    // so per-window simulation from X state is exact).
-                    let pending: Vec<usize> = (0..hard.len())
-                        .filter(|&j| status[j] == Status::Pending)
+            // Shard PODEM across the batch's independent targets. Every
+            // batch member runs regardless of how the chunks were cut,
+            // and each run's counters are a pure function of the fault,
+            // so the harvested sums are thread-invariant.
+            counters.podem_shards += 1;
+            let targets: Vec<Fault> = batch.iter().map(|&i| hard[i]).collect();
+            let (outcomes, bstats, bwork) = shard_map_counted(
+                self.config.threads,
+                1,
+                &targets,
+                || podem.scratch(),
+                |scratch, _base, chunk| {
+                    let mut work = WorkCounters::ZERO;
+                    let outs: Vec<_> = chunk
+                        .iter()
+                        .map(|f| {
+                            let out =
+                                podem.run_with_scratch(scratch, &[*f], &self.config.podem);
+                            work += out.work;
+                            out
+                        })
                         .collect();
-                    let faults: Vec<Fault> = pending.iter().map(|&j| hard[j]).collect();
-                    let (det, wstats, wwork) =
-                        sim.fault_sim_sharded(&window, &init, &faults, self.threads);
-                    shards.absorb(&wstats);
-                    counters += wwork;
-                    for (k, d) in det.into_iter().enumerate() {
-                        if d.is_some() {
-                            status[pending[k]] = Status::Detected;
-                            detected_total += 1;
+                    (outs, work)
+                },
+            );
+            shards.absorb(&bstats);
+            counters += bwork;
+            // Deterministic order-preserving merge: outcomes are applied
+            // in batch (input) order, so the first generating shard wins
+            // and later vectors whose target was meanwhile dropped are
+            // discarded (re-dropped against the merged vectors).
+            for (k, &i) in batch.iter().enumerate() {
+                match &outcomes[k].verdict {
+                    AtpgOutcome::Undetectable => {
+                        if status[i] == Status::Pending {
+                            status[i] = Status::Undetectable;
                         }
                     }
-                    curve.push((windows, detected_total));
+                    AtpgOutcome::Aborted => {}
+                    AtpgOutcome::Test(assignments) => {
+                        if status[i] != Status::Pending {
+                            // An earlier vector of this batch already
+                            // resolved the target: the redundant vector
+                            // is dropped at merge time.
+                            counters.early_exits += 1;
+                            continue;
+                        }
+                        let window = self.test_window(assignments, window_len);
+                        windows += 1;
+                        counters.windows_formed += 1;
+                        program.push(ScanTest::new(format!("comb {}", hard[i]), window.clone()));
+                        // Global fault dropping: simulate this window
+                        // against the *entire* remaining fault list
+                        // (windows fully re-load state, so per-window
+                        // simulation from X state is exact).
+                        let pending: Vec<usize> = (0..hard.len())
+                            .filter(|&j| status[j] == Status::Pending)
+                            .collect();
+                        let faults: Vec<Fault> = pending.iter().map(|&j| hard[j]).collect();
+                        let (det, wstats, wwork) =
+                            sim.fault_sim_sharded(&window, &init, &faults, self.config.threads);
+                        shards.absorb(&wstats);
+                        counters += wwork;
+                        for (k2, d) in det.into_iter().enumerate() {
+                            if d.is_some() {
+                                let j = pending[k2];
+                                status[j] = Status::Detected;
+                                detected_total += 1;
+                                if j != i {
+                                    counters.faults_dropped += 1;
+                                }
+                            }
+                        }
+                        curve.push((windows, detected_total));
+                    }
                 }
             }
         }
@@ -241,19 +389,19 @@ impl<'d> CombPhase<'d> {
         // Random top-up: fault-simulate random scan windows (random
         // load state + random free-PI values) against whatever the
         // targeted vectors left pending.
-        if self.random_windows > 0 && status.contains(&Status::Pending) {
-            let mut rng = StdRng::seed_from_u64(self.seed);
+        if self.config.random_windows > 0 && status.contains(&Status::Pending) {
+            let mut rng = StdRng::seed_from_u64(self.config.seed);
             let pending: Vec<usize> = (0..hard.len())
                 .filter(|&j| status[j] == Status::Pending)
                 .collect();
             let mut faults: Vec<Fault> = pending.iter().map(|&j| hard[j]).collect();
             let mut fault_idx = pending;
             let mut sequence: Vec<Vec<V3>> = Vec::new();
-            for _ in 0..self.random_windows {
+            for _ in 0..self.config.random_windows {
                 sequence.extend(self.random_window(&mut rng, window_len));
             }
-            counters.windows_formed += self.random_windows as u64;
-            let (det, rstats, rwork) = sim.fault_sim_sharded(&sequence, &init, &faults, self.threads);
+            counters.windows_formed += self.config.random_windows as u64;
+            let (det, rstats, rwork) = sim.fault_sim_sharded(&sequence, &init, &faults, self.config.threads);
             shards.absorb(&rstats);
             counters += rwork;
             let mut newly = Vec::new();
@@ -276,7 +424,7 @@ impl<'d> CombPhase<'d> {
                 let slice = sequence[w * window_len..(w + 1) * window_len].to_vec();
                 program.push(ScanTest::new(format!("random {w}"), slice));
             }
-            windows += self.random_windows;
+            windows += self.config.random_windows;
         }
 
         let mut detected = Vec::new();
@@ -422,7 +570,7 @@ mod tests {
             let circuit = generate(&GeneratorConfig::new("d", seed).gates(200).dffs(12));
             let design = insert_functional_scan(&circuit, &TpiConfig::default()).unwrap();
             let hard = hard_faults(&design);
-            let outcome = CombPhase::new(&design, PodemConfig::default()).run(&hard);
+            let outcome = CombPhase::new(&design, CombPhaseConfig::default()).run(&hard);
             total_hard += hard.len();
             total_resolved += outcome.report.detected + outcome.report.undetectable;
             // Bookkeeping invariants.
@@ -447,7 +595,7 @@ mod tests {
         let circuit = generate(&GeneratorConfig::new("d", 53).gates(250).dffs(14));
         let design = insert_functional_scan(&circuit, &TpiConfig::default()).unwrap();
         let hard = hard_faults(&design);
-        let outcome = CombPhase::new(&design, PodemConfig::default()).run(&hard);
+        let outcome = CombPhase::new(&design, CombPhaseConfig::default()).run(&hard);
         let curve = &outcome.report.detection_curve;
         for w in curve.windows(2) {
             assert!(w[0].0 < w[1].0);
@@ -463,10 +611,9 @@ mod tests {
         let circuit = generate(&GeneratorConfig::new("d", 43).gates(200).dffs(12));
         let design = insert_functional_scan(&circuit, &TpiConfig::default()).unwrap();
         let hard = hard_faults(&design);
-        let serial = CombPhase::new(&design, PodemConfig::default()).run(&hard);
-        let parallel = CombPhase::new(&design, PodemConfig::default())
-            .threads(4)
-            .run(&hard);
+        let serial = CombPhase::new(&design, CombPhaseConfig::default()).run(&hard);
+        let config = CombPhaseConfig::builder().threads(4).build().unwrap();
+        let parallel = CombPhase::new(&design, config).run(&hard);
         assert_eq!(serial.detected, parallel.detected);
         assert_eq!(serial.undetectable, parallel.undetectable);
         assert_eq!(serial.remaining, parallel.remaining);
@@ -485,7 +632,7 @@ mod tests {
     fn empty_hard_list_is_noop() {
         let circuit = generate(&GeneratorConfig::new("d", 5).gates(60).dffs(4));
         let design = insert_functional_scan(&circuit, &TpiConfig::default()).unwrap();
-        let outcome = CombPhase::new(&design, PodemConfig::default()).run(&[]);
+        let outcome = CombPhase::new(&design, CombPhaseConfig::default()).run(&[]);
         assert_eq!(outcome.report.targeted, 0);
         assert_eq!(outcome.report.vectors, 0);
         assert!(outcome.remaining.is_empty());

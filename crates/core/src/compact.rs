@@ -8,47 +8,117 @@
 //!
 //! * [`compact_program`] — reverse-order fault simulation: tests are
 //!   simulated last-to-first and a test is kept only if it detects a
-//!   fault no kept test detects (classic reverse compaction);
+//!   fault no kept test detects (classic reverse compaction). Lossless
+//!   by construction; the function *verifies* that and returns an error
+//!   instead of silently accepting detection loss;
 //! * [`truncate_to_coverage`] — forward truncation at a target fraction
-//!   of the full program's detections (the paper's Figure-5 cut).
+//!   of the full program's detections (the paper's Figure-5 cut), which
+//!   is deliberately lossy.
+//!
+//! In the staged pipeline, reverse-order compaction runs as a
+//! first-class stage between the combinational and sequential phases
+//! ([`AfterComb::compact`](crate::AfterComb::compact)).
+
+use std::fmt;
+use std::time::Instant;
 
 use fscan_fault::Fault;
 use fscan_scan::ScanDesign;
-use fscan_sim::{ParallelFaultSim, V3};
+use fscan_sim::{ParallelFaultSim, ShardStats, StageMetrics, V3, WorkCounters};
 
 use crate::program::TestProgram;
 
-/// The result of a compaction pass.
-#[derive(Clone, Debug)]
-pub struct CompactionResult {
-    /// The compacted program.
-    pub program: TestProgram,
+/// The aggregate result of a compaction pass.
+#[derive(Clone, Debug, Default)]
+pub struct CompactionReport {
+    /// Tests before compaction.
+    pub tests_before: usize,
+    /// Tests kept after compaction.
+    pub tests_after: usize,
     /// Faults detected by the full program.
     pub detected_before: usize,
     /// Faults detected by the compacted program.
     pub detected_after: usize,
-    /// Tests before compaction.
-    pub tests_before: usize,
+    /// Detections lost by compaction. **0 for reverse-order
+    /// compaction** — [`compact_program`] verifies this and returns
+    /// [`CompactionError::DetectionLoss`] instead of a report that
+    /// silently dropped coverage; only [`truncate_to_coverage`]
+    /// produces non-zero values here.
+    pub lost: usize,
+    /// The stage's cost triple: wall-clock time, work distribution
+    /// across the per-test sharded fault simulations, and deterministic
+    /// work counters (including `vectors_compacted` — bit-identical for
+    /// every thread count).
+    pub metrics: StageMetrics,
 }
 
-impl CompactionResult {
-    /// Tests kept after compaction.
-    pub fn tests_after(&self) -> usize {
-        self.program.len()
-    }
-
-    /// Detections lost by compaction (0 for reverse-order compaction).
-    pub fn detections_lost(&self) -> usize {
-        self.detected_before - self.detected_after
+impl CompactionReport {
+    /// Tests removed by the pass.
+    pub fn removed(&self) -> usize {
+        self.tests_before - self.tests_after
     }
 }
+
+impl fmt::Display for CompactionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "compaction: {} → {} tests ({} removed, {} detections lost, {:.2}s)",
+            self.tests_before,
+            self.tests_after,
+            self.removed(),
+            self.lost,
+            self.metrics.cpu.as_secs_f64()
+        )
+    }
+}
+
+/// A compaction pass's outputs: the (possibly shorter) program plus the
+/// aggregate [`CompactionReport`].
+#[derive(Clone, Debug, Default)]
+pub struct CompactionOutcome {
+    /// The compacted program.
+    pub program: TestProgram,
+    /// The aggregate report.
+    pub report: CompactionReport,
+}
+
+/// A compaction pass that violated its own guarantee.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompactionError {
+    /// Reverse-order compaction must preserve the detected-fault set
+    /// exactly; the verification resimulation found otherwise. This
+    /// indicates an internal invariant violation (e.g. a test whose
+    /// detection depends on state left by a removed predecessor, which
+    /// self-contained scan windows rule out).
+    DetectionLoss {
+        /// Faults the full program detected.
+        before: usize,
+        /// Faults the compacted program detected.
+        after: usize,
+    },
+}
+
+impl fmt::Display for CompactionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompactionError::DetectionLoss { before, after } => write!(
+                f,
+                "reverse-order compaction changed coverage: {before} detected before, {after} after"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompactionError {}
 
 fn detects_per_test(
     design: &ScanDesign,
     program: &TestProgram,
     faults: &[Fault],
     order: impl Iterator<Item = usize>,
-) -> (Vec<Vec<usize>>, usize) {
+    threads: usize,
+) -> (Vec<Vec<usize>>, usize, ShardStats, WorkCounters) {
     // For each test (visited in `order`), the indices of still-undetected
     // faults it detects. Each test is self-contained (starts with a full
     // scan load), so per-test simulation from X state is exact.
@@ -57,13 +127,18 @@ fn detects_per_test(
     let mut caught = vec![false; faults.len()];
     let mut per_test: Vec<Vec<usize>> = vec![Vec::new(); program.len()];
     let mut total = 0usize;
+    let mut shards = ShardStats::default();
+    let mut counters = WorkCounters::ZERO;
     for t in order {
         let pending: Vec<usize> = (0..faults.len()).filter(|&i| !caught[i]).collect();
         if pending.is_empty() {
             break;
         }
         let flist: Vec<Fault> = pending.iter().map(|&i| faults[i]).collect();
-        let det = sim.fault_sim(&program.tests()[t].vectors, &init, &flist);
+        let (det, tstats, twork) =
+            sim.fault_sim_sharded(&program.tests()[t].vectors, &init, &flist, threads);
+        shards.absorb(&tstats);
+        counters += twork;
         for (k, d) in det.into_iter().enumerate() {
             if d.is_some() {
                 caught[pending[k]] = true;
@@ -72,17 +147,24 @@ fn detects_per_test(
             }
         }
     }
-    (per_test, total)
+    (per_test, total, shards, counters)
 }
 
 /// Reverse-order static compaction: fault-simulate the tests from last
 /// to first, keeping only tests that detect something not yet detected.
 /// Preserves the detected-fault set exactly (for the given fault list)
-/// while typically dropping a large share of the tests.
+/// while typically dropping a large share of the tests; the kept set is
+/// resimulated forward and any coverage change is returned as
+/// [`CompactionError::DetectionLoss`] rather than silently accepted, so
+/// a returned report always has `lost == 0`.
 ///
 /// The first test (the alternating sequence, when present) is always
 /// kept: it is the chain integrity test the rest of the methodology
 /// assumes.
+///
+/// Per-test fault simulations shard across `threads` workers (`0` =
+/// hardware thread count); the kept set, the report and its counters
+/// are identical for every thread count.
 ///
 /// # Examples
 ///
@@ -96,19 +178,25 @@ fn detects_per_test(
 /// let design = insert_functional_scan(&circuit, &TpiConfig::default())?;
 /// let report = PipelineSession::new(&design, PipelineConfig::default()).run();
 /// let faults = collapse(design.circuit(), &all_faults(design.circuit()));
-/// let result = compact_program(&design, report.program, &faults);
-/// assert_eq!(result.detections_lost(), 0);
-/// assert!(result.tests_after() <= result.tests_before);
+/// let outcome = compact_program(&design, report.program, &faults, 0).unwrap();
+/// assert_eq!(outcome.report.lost, 0);
+/// assert!(outcome.report.tests_after <= outcome.report.tests_before);
 /// # Ok::<(), fscan_scan::ScanError>(())
 /// ```
 pub fn compact_program(
     design: &ScanDesign,
     program: TestProgram,
     faults: &[Fault],
-) -> CompactionResult {
+    threads: usize,
+) -> Result<CompactionOutcome, CompactionError> {
+    let start = Instant::now();
     let n = program.len();
-    let (per_test_rev, total) =
-        detects_per_test(design, &program, faults, (0..n).rev());
+    let mut shards = ShardStats::default();
+    let mut counters = WorkCounters::ZERO;
+    let (per_test_rev, total, rstats, rwork) =
+        detects_per_test(design, &program, faults, (0..n).rev(), threads);
+    shards.absorb(&rstats);
+    counters += rwork;
     let mut keep: Vec<bool> = per_test_rev.iter().map(|d| !d.is_empty()).collect();
     if n > 0 {
         keep[0] = true; // the alternating sequence stays
@@ -119,23 +207,42 @@ pub fn compact_program(
             // Kept tests move into the compacted program; their vector
             // payloads are never copied.
             compacted.push(test);
+        } else {
+            counters.vectors_compacted += 1;
         }
     }
-    // Re-simulate the kept set forward to report its true coverage (the
-    // reverse pass guarantees it equals the full program's).
-    let (_, after) = detects_per_test(design, &compacted, faults, 0..compacted.len());
-    CompactionResult {
-        program: compacted,
-        detected_before: total,
-        detected_after: after,
-        tests_before: n,
+    // Re-simulate the kept set forward to verify its true coverage (the
+    // reverse pass guarantees it equals the full program's — enforce
+    // that instead of trusting it).
+    let (_, after, fstats, fwork) =
+        detects_per_test(design, &compacted, faults, 0..compacted.len(), threads);
+    shards.absorb(&fstats);
+    counters += fwork;
+    if after != total {
+        return Err(CompactionError::DetectionLoss {
+            before: total,
+            after,
+        });
     }
+    let tests_after = compacted.len();
+    Ok(CompactionOutcome {
+        program: compacted,
+        report: CompactionReport {
+            tests_before: n,
+            tests_after,
+            detected_before: total,
+            detected_after: after,
+            lost: 0,
+            metrics: StageMetrics::new(start.elapsed(), shards, counters),
+        },
+    })
 }
 
 /// Forward truncation: keeps the shortest prefix of the program that
 /// still detects at least `coverage` (0.0–1.0) of the faults the full
 /// program detects — the quantitative form of the paper's Figure-5
-/// observation.
+/// observation. Unlike [`compact_program`] this is deliberately lossy;
+/// the coverage given up is reported in [`CompactionReport::lost`].
 ///
 /// # Panics
 ///
@@ -145,10 +252,13 @@ pub fn truncate_to_coverage(
     program: &TestProgram,
     faults: &[Fault],
     coverage: f64,
-) -> CompactionResult {
+    threads: usize,
+) -> CompactionOutcome {
     assert!((0.0..=1.0).contains(&coverage), "coverage must be in 0..=1");
+    let start = Instant::now();
     let n = program.len();
-    let (per_test, total) = detects_per_test(design, program, faults, 0..n);
+    let (per_test, total, shards, counters) =
+        detects_per_test(design, program, faults, 0..n, threads);
     let target = (total as f64 * coverage).ceil() as usize;
     let mut cum = 0usize;
     let mut cut = 0usize;
@@ -160,19 +270,25 @@ pub fn truncate_to_coverage(
         }
     }
     let program_cut = program.truncated(cut.max(usize::from(n > 0)));
-    CompactionResult {
+    let detected_after = cum.min(total);
+    CompactionOutcome {
+        report: CompactionReport {
+            tests_before: n,
+            tests_after: program_cut.len(),
+            detected_before: total,
+            detected_after,
+            lost: total - detected_after,
+            metrics: StageMetrics::new(start.elapsed(), shards, counters),
+        },
         program: program_cut,
-        detected_before: total,
-        detected_after: cum.min(total),
-        tests_before: n,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::{PipelineConfig, PipelineSession};
     use crate::classify::{classify_faults, Category};
+    use crate::pipeline::{PipelineConfig, PipelineSession};
     use fscan_fault::{all_faults, collapse};
     use fscan_netlist::{generate, GeneratorConfig};
     use fscan_scan::{insert_functional_scan, TpiConfig};
@@ -193,28 +309,66 @@ mod tests {
     #[test]
     fn reverse_compaction_preserves_coverage() {
         let (design, program, faults) = setup();
-        let result = compact_program(&design, program, &faults);
-        assert_eq!(result.detections_lost(), 0, "reverse compaction is lossless");
-        assert!(result.tests_after() <= result.tests_before);
-        assert_eq!(result.program.tests()[0].label, "alternating");
+        let outcome = compact_program(&design, program, &faults, 1).unwrap();
+        assert_eq!(outcome.report.lost, 0, "reverse compaction is lossless");
+        assert_eq!(outcome.report.detected_after, outcome.report.detected_before);
+        assert!(outcome.report.tests_after <= outcome.report.tests_before);
+        assert_eq!(outcome.program.len(), outcome.report.tests_after);
+        assert_eq!(
+            outcome.report.metrics.counters.vectors_compacted,
+            outcome.report.removed() as u64
+        );
+        assert_eq!(outcome.program.tests()[0].label, "alternating");
+    }
+
+    #[test]
+    fn compaction_is_thread_invariant() {
+        let (design, program, faults) = setup();
+        let serial = compact_program(&design, program.clone(), &faults, 1).unwrap();
+        let parallel = compact_program(&design, program, &faults, 4).unwrap();
+        assert_eq!(serial.report.tests_after, parallel.report.tests_after);
+        assert_eq!(serial.report.detected_after, parallel.report.detected_after);
+        assert_eq!(
+            serial.report.metrics.counters,
+            parallel.report.metrics.counters
+        );
+        assert_eq!(serial.program.tests().len(), parallel.program.tests().len());
+        for (a, b) in serial.program.tests().iter().zip(parallel.program.tests()) {
+            assert_eq!(a.vectors, b.vectors);
+        }
     }
 
     #[test]
     fn truncation_trades_tests_for_coverage() {
         let (design, program, faults) = setup();
-        let full = truncate_to_coverage(&design, &program, &faults, 1.0);
-        assert_eq!(full.detected_after, full.detected_before);
-        let half = truncate_to_coverage(&design, &program, &faults, 0.5);
-        assert!(half.tests_after() <= full.tests_after());
-        assert!(half.detected_after * 2 >= half.detected_before);
+        let full = truncate_to_coverage(&design, &program, &faults, 1.0, 1);
+        assert_eq!(full.report.detected_after, full.report.detected_before);
+        assert_eq!(full.report.lost, 0);
+        let half = truncate_to_coverage(&design, &program, &faults, 0.5, 1);
+        assert!(half.report.tests_after <= full.report.tests_after);
+        assert!(half.report.detected_after * 2 >= half.report.detected_before);
+        assert_eq!(
+            half.report.lost,
+            half.report.detected_before - half.report.detected_after
+        );
     }
 
     #[test]
     fn coverage_bounds_checked() {
         let (design, program, faults) = setup();
         let r = std::panic::catch_unwind(|| {
-            truncate_to_coverage(&design, &program, &faults, 1.5)
+            truncate_to_coverage(&design, &program, &faults, 1.5, 1)
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn error_renders_a_reason() {
+        let e = CompactionError::DetectionLoss {
+            before: 10,
+            after: 9,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("9"));
     }
 }

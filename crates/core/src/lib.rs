@@ -71,12 +71,16 @@ pub use classify::{
     classify_faults, classify_faults_sharded, Category, ChainLocation, ClassifiedFault,
     Classifier, ClassifySummary,
 };
-pub use comb_phase::{CombPhase, CombPhaseOutcome, CombPhaseReport};
-pub use compact::{compact_program, truncate_to_coverage, CompactionResult};
+pub use comb_phase::{
+    CombPhase, CombPhaseConfig, CombPhaseConfigBuilder, CombPhaseOutcome, CombPhaseReport,
+};
+pub use compact::{
+    compact_program, truncate_to_coverage, CompactionError, CompactionOutcome, CompactionReport,
+};
 pub use diagnosis::{diagnose_chain, DiagnosisCandidate};
 pub use pipeline::{
-    AfterAlternating, AfterComb, Classified, ConfigError, PipelineConfig, PipelineConfigBuilder,
-    PipelineReport, PipelineSession,
+    AfterAlternating, AfterComb, AfterCompact, Classified, ConfigError, PipelineConfig,
+    PipelineConfigBuilder, PipelineReport, PipelineSession,
 };
 pub use program::{ScanTest, TestProgram};
 pub use seq_phase::{DistParams, SeqPhase, SeqPhaseReport};

@@ -2,10 +2,14 @@
 //!
 //! The flow is exposed through [`PipelineSession`], the staged API.
 //! Each step returns a typed checkpoint ([`Classified`] →
-//! [`AfterAlternating`] → [`AfterComb`] → [`PipelineReport`]) whose
-//! fault sets can be inspected or modified before the next step runs;
-//! [`PipelineSession::run`] chains all four steps when no checkpoint
-//! access is needed.
+//! [`AfterAlternating`] → [`AfterComb`] → [`AfterCompact`] →
+//! [`PipelineReport`]) whose fault sets can be inspected or modified
+//! before the next step runs; [`PipelineSession::run`] chains all five
+//! steps when no checkpoint access is needed. Reverse-order static
+//! compaction is a first-class stage between the combinational and
+//! sequential phases: the program assembled so far (alternating
+//! sequence plus every comb window) is compacted against the
+//! chain-affecting faults before step 3 adds its sequences.
 //!
 //! The session compiles the design's circuit into one shared
 //! [`fscan_netlist::CompiledTopology`] (via
@@ -34,7 +38,8 @@ use crate::alternating::{AlternatingPhase, AlternatingReport};
 use crate::classify::{
     classify_faults_sharded, Category, ChainLocation, ClassifiedFault, ClassifySummary,
 };
-use crate::comb_phase::{CombPhase, CombPhaseOutcome, CombPhaseReport};
+use crate::comb_phase::{CombPhase, CombPhaseConfig, CombPhaseOutcome, CombPhaseReport};
+use crate::compact::{compact_program, CompactionReport};
 use crate::program::{ScanTest, TestProgram};
 use crate::seq_phase::{DistParams, SeqPhase, SeqPhaseReport};
 
@@ -108,6 +113,8 @@ pub enum ConfigError {
     /// The PODEM budget allows zero backtracks *and* zero steps — every
     /// attempt would abort immediately.
     EmptyPodemBudget,
+    /// The sharded PODEM batch size is zero — no batch could ever form.
+    ZeroPodemBatch,
     /// Grouping distances must be ordered `large ≥ med ≥ dist ≥ 1`.
     UnorderedDist(DistParams),
 }
@@ -121,6 +128,7 @@ impl fmt::Display for ConfigError {
             ConfigError::EmptyPodemBudget => {
                 f.write_str("podem budget allows neither backtracks nor steps")
             }
+            ConfigError::ZeroPodemBatch => f.write_str("podem_batch must be at least 1"),
             ConfigError::UnorderedDist(d) => write!(
                 f,
                 "grouping distances must satisfy large >= med >= dist >= 1, got {} / {} / {}",
@@ -207,6 +215,10 @@ pub struct PipelineReport {
     pub alternating: AlternatingReport,
     /// Step-2 results (Table 3, left; Figure 5 series inside).
     pub comb: CombPhaseReport,
+    /// Reverse-order static compaction of the program assembled after
+    /// step 2 (alternating sequence + comb windows), run before step 3.
+    /// Lossless by construction: `compact.lost` is always 0.
+    pub compact: CompactionReport,
     /// Step-3 results (Table 3, right).
     pub seq: SeqPhaseReport,
     /// Category-1 faults the alternating sequence missed that steps 2–3
@@ -249,11 +261,12 @@ impl PipelineReport {
     /// distribution, deterministic work counters), in flow order — the
     /// single accessor behind the reproduction's timing table and the
     /// BENCH trajectory.
-    pub fn stages(&self) -> [(&'static str, &StageMetrics); 4] {
+    pub fn stages(&self) -> [(&'static str, &StageMetrics); 5] {
         [
             ("classify", &self.classification.metrics),
             ("alternating", &self.alternating.metrics),
             ("comb", &self.comb.metrics),
+            ("compact", &self.compact.metrics),
             ("seq", &self.seq.metrics),
         ]
     }
@@ -270,6 +283,7 @@ impl fmt::Display for PipelineReport {
         writeln!(f, "  {}", self.classification)?;
         writeln!(f, "  {}", self.alternating)?;
         writeln!(f, "  {}", self.comb)?;
+        writeln!(f, "  {}", self.compact)?;
         writeln!(f, "  {}", self.seq)?;
         write!(
             f,
@@ -372,12 +386,12 @@ impl<'d> PipelineSession<'d> {
         }
     }
 
-    /// Runs all four stages back to back and returns the final report —
+    /// Runs all five stages back to back and returns the final report —
     /// the one-call form of
-    /// `self.classify().alternating().comb().seq()` for callers that
-    /// need no checkpoint access.
+    /// `self.classify().alternating().comb().compact().seq()` for
+    /// callers that need no checkpoint access.
     pub fn run(self) -> PipelineReport {
-        self.classify().alternating().comb().seq()
+        self.classify().alternating().comb().compact().seq()
     }
 }
 
@@ -501,9 +515,12 @@ impl<'d> AfterAlternating<'d> {
             .filter(|c| c.category == Category::Hard && !self.detected.contains(&c.fault))
             .map(|c| c.fault)
             .collect();
-        let outcome = CombPhase::new(self.design, self.config.podem)
-            .threads(self.config.threads)
-            .run(&hard);
+        let comb_config = CombPhaseConfig {
+            podem: self.config.podem,
+            threads: self.config.threads,
+            ..CombPhaseConfig::default()
+        };
+        let outcome = CombPhase::new(self.design, comb_config).run(&hard);
         AfterComb {
             design: self.design,
             config: self.config,
@@ -544,6 +561,84 @@ impl<'d> AfterComb<'d> {
         &self.outcome.report
     }
 
+    /// The compaction stage (paper §6, run mid-flow): assembles the
+    /// program so far — the alternating sequence plus every comb window
+    /// — and reverse-order compacts it against the chain-affecting
+    /// faults. Lossless by construction; [`compact_program`] verifies
+    /// that, and a violation (impossible for self-contained scan
+    /// windows) would panic rather than silently drop coverage.
+    pub fn compact(self) -> AfterCompact<'d> {
+        let affected: Vec<Fault> = self
+            .classified
+            .iter()
+            .filter(|c| c.category != Category::Unaffected)
+            .map(|c| c.fault)
+            .collect();
+        let CombPhaseOutcome {
+            report: comb_report,
+            program: comb_tests,
+            ..
+        } = self.outcome;
+        let mut program = TestProgram::new();
+        program.push(ScanTest::new("alternating", self.vectors));
+        for t in comb_tests {
+            program.push(t);
+        }
+        let compacted = compact_program(self.design, program, &affected, self.config.threads)
+            .expect("reverse-order compaction preserves every detection");
+        AfterCompact {
+            design: self.design,
+            config: self.config,
+            total_faults: self.total_faults,
+            classified: self.classified,
+            summary: self.summary,
+            alternating: self.alternating,
+            comb: comb_report,
+            compaction: compacted.report,
+            program: compacted.program,
+            remaining: self.remaining,
+            missed_easy: self.missed_easy,
+        }
+    }
+
+    /// Steps 4–5 in one call: compaction, then targeted sequential ATPG
+    /// — shorthand for `self.compact().seq()`.
+    pub fn seq(self) -> PipelineReport {
+        self.compact().seq()
+    }
+}
+
+/// Checkpoint after the compaction stage. `remaining` and `missed_easy`
+/// stay open for modification; their union is step 3's target set.
+#[derive(Clone, Debug)]
+pub struct AfterCompact<'d> {
+    design: &'d ScanDesign,
+    config: PipelineConfig,
+    total_faults: usize,
+    classified: Vec<ClassifiedFault>,
+    summary: ClassifySummary,
+    alternating: AlternatingReport,
+    comb: CombPhaseReport,
+    compaction: CompactionReport,
+    program: TestProgram,
+    /// Hard faults step 2 left unresolved (forwarded to step 3).
+    pub remaining: Vec<Fault>,
+    /// Category-1 faults step 1 missed (forwarded to step 3).
+    pub missed_easy: Vec<Fault>,
+}
+
+impl<'d> AfterCompact<'d> {
+    /// The compaction-stage report.
+    pub fn report(&self) -> &CompactionReport {
+        &self.compaction
+    }
+
+    /// The compacted program assembled so far (alternating sequence
+    /// plus the kept comb windows).
+    pub fn program(&self) -> &TestProgram {
+        &self.program
+    }
+
     /// Step 3 (paper §5): targeted sequential ATPG with enhanced
     /// controllability/observability over `remaining ∪ missed_easy`,
     /// then the final report.
@@ -581,11 +676,7 @@ impl<'d> AfterComb<'d> {
             .filter(|f| seq_detected.contains(f))
             .count();
 
-        let mut program = TestProgram::new();
-        program.push(ScanTest::new("alternating", self.vectors));
-        for t in self.outcome.program {
-            program.push(t);
-        }
+        let mut program = self.program;
         for t in seq_outcome.program {
             program.push(t);
         }
@@ -594,7 +685,8 @@ impl<'d> AfterComb<'d> {
             total_faults: self.total_faults,
             classification: self.summary,
             alternating: self.alternating,
-            comb: self.outcome.report,
+            comb: self.comb,
+            compact: self.compaction,
             seq: seq_outcome.report,
             rescued_easy,
             undetected_faults: seq_outcome.remaining,

@@ -457,7 +457,7 @@ impl<'d> SeqPhase<'d> {
             .controllable_ffs(controllable)
             .observable_ffs(observable)
             .fixed_pis(layout.constrained.clone());
-        let (out, mut work) = atpg.run_counted(fault, config);
+        let (out, mut work) = atpg.run(fault, config);
         if std::env::var("FSCAN_DEBUG").is_ok() {
             let tag = match &out {
                 SeqOutcome::Undetectable => "undetectable".to_string(),
@@ -574,8 +574,8 @@ mod tests {
                 .filter(|c| c.category == Category::Hard)
                 .map(|c| c.fault)
                 .collect();
-            let comb =
-                CombPhase::new(&design, fscan_atpg::PodemConfig::default()).run(&hard);
+            let comb = CombPhase::new(&design, crate::comb_phase::CombPhaseConfig::default())
+                .run(&hard);
             if comb.remaining.is_empty() {
                 continue;
             }

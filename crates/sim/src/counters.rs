@@ -57,6 +57,15 @@ use crate::pool::ShardStats;
 ///   evaluations. A subset of `gate_evals`: every packed evaluation
 ///   counts once in both, so `gate_evals - kernel_gate_evals` is the
 ///   scalar share.
+/// * `faults_dropped` — pending ATPG targets resolved by the global
+///   64-lane drop simulation of a vector that was generated for a
+///   *different* target (the classic fault-dropping win; a target
+///   detected by its own vector does not count).
+/// * `vectors_compacted` — tests removed from a `TestProgram` by
+///   reverse-order static compaction.
+/// * `podem_shards` — sharded PODEM batch rounds dispatched by the
+///   comb phase (one per `shard_map` round, independent of the
+///   thread count that served it).
 ///
 /// All fields are `u64` and every aggregation is an unordered sum, so
 /// merging in any order yields the same totals.
@@ -88,6 +97,12 @@ pub struct WorkCounters {
     pub implication_words: u64,
     /// Packed 64-lane kernel gate evaluations (subset of `gate_evals`).
     pub kernel_gate_evals: u64,
+    /// Pending targets resolved by a vector generated for another target.
+    pub faults_dropped: u64,
+    /// Tests removed by reverse-order static compaction.
+    pub vectors_compacted: u64,
+    /// Sharded PODEM batch rounds dispatched.
+    pub podem_shards: u64,
 }
 
 impl WorkCounters {
@@ -106,6 +121,9 @@ impl WorkCounters {
         scratch_reuses: 0,
         implication_words: 0,
         kernel_gate_evals: 0,
+        faults_dropped: 0,
+        vectors_compacted: 0,
+        podem_shards: 0,
     };
 
     /// Adds `other` into `self` field-wise.
@@ -120,7 +138,7 @@ impl WorkCounters {
 
     /// The counters as `(name, value)` pairs in a fixed order —
     /// the single source of truth for JSON emission and display.
-    pub fn fields(&self) -> [(&'static str, u64); 13] {
+    pub fn fields(&self) -> [(&'static str, u64); 16] {
         [
             ("gate_evals", self.gate_evals),
             ("lane_cycles", self.lane_cycles),
@@ -135,6 +153,9 @@ impl WorkCounters {
             ("scratch_reuses", self.scratch_reuses),
             ("implication_words", self.implication_words),
             ("kernel_gate_evals", self.kernel_gate_evals),
+            ("faults_dropped", self.faults_dropped),
+            ("vectors_compacted", self.vectors_compacted),
+            ("podem_shards", self.podem_shards),
         ]
     }
 }
@@ -182,6 +203,9 @@ impl AddAssign for WorkCounters {
         self.scratch_reuses += rhs.scratch_reuses;
         self.implication_words += rhs.implication_words;
         self.kernel_gate_evals += rhs.kernel_gate_evals;
+        self.faults_dropped += rhs.faults_dropped;
+        self.vectors_compacted += rhs.vectors_compacted;
+        self.podem_shards += rhs.podem_shards;
     }
 }
 
@@ -265,9 +289,15 @@ mod tests {
             scratch_reuses: 11,
             implication_words: 12,
             kernel_gate_evals: 13,
+            faults_dropped: 14,
+            vectors_compacted: 15,
+            podem_shards: 16,
         };
         let vals: Vec<u64> = c.fields().iter().map(|&(_, v)| v).collect();
-        assert_eq!(vals, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13]);
+        assert_eq!(
+            vals,
+            vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16]
+        );
         assert!(!c.is_zero());
         assert!(WorkCounters::ZERO.is_zero());
     }

@@ -114,8 +114,9 @@ impl ParallelFaultSim {
 
     /// [`fault_sim_with_trace`](Self::fault_sim_with_trace) plus exact
     /// [`WorkCounters`] for the faulty machines: one `gate_evals` per
-    /// packed gate evaluation actually performed (the cycle-0 cone seed
-    /// pass plus event-driven activity afterwards), `cone_nets` = the
+    /// packed gate evaluation actually performed (event-driven from
+    /// cycle 0 on — cycle 0 seeds the cone with value *copies* and only
+    /// evaluates gates a fault effect reaches), `cone_nets` = the
     /// union fault-cone size per 64-fault word, `lane_cycles` = Σ active
     /// lanes per simulated cycle, one `early_exits` per word whose
     /// faults were all detected before the vector set ran out, one
@@ -205,7 +206,8 @@ impl ParallelFaultSim {
     /// values (`fval`) are maintained — and gates re-evaluated — only
     /// inside the cone, and only when an input changed. Stale `fval`
     /// entries from the previous word are harmless: every in-cone node
-    /// is written by the cycle-0 seed pass before it is first read.
+    /// is overwritten by the cycle-0 seed copies before it is first
+    /// read.
     fn simulate_chunk(
         &self,
         chunk: &[Fault],
@@ -355,28 +357,37 @@ impl ParallelFaultSim {
         for t in 0..trace.cycles() {
             counters.lane_cycles += u64::from(n_lanes);
             if t == 0 {
-                // Seed pass: evaluate the whole cone once from the good
-                // snapshot with the faults forced in.
+                // Seed: every in-cone net starts at the good snapshot
+                // with the word's forces applied — value copies, not gate
+                // evaluations. A gate is re-evaluated at cycle 0 only if
+                // a fault effect can have changed it: stem forces that
+                // diverge from the good value wake their fanout, a
+                // branch force wakes the gate it feeds, and the shared
+                // event loop below propagates from there.
                 for &pi in cone_pis.iter() {
                     fval[pi.index()] = force_stem(Pv64::splat(good_now[pi.index()]), pi);
                 }
                 for &ff in cone_ffs.iter() {
                     fval[ff.index()] = force_stem(Pv64::splat(good_now[ff.index()]), ff);
                 }
-                counters.gate_evals += cone_order.len() as u64;
-                counters.kernel_gate_evals += cone_order.len() as u64;
                 for &id in cone_order.iter() {
-                    buf.clear();
-                    for (pin, &src) in topo.fanin(id).iter().enumerate() {
-                        let w = if in_cone(src) {
-                            fval[src.index()]
-                        } else {
-                            Pv64::splat(good_now[src.index()])
-                        };
-                        buf.push(force_branch(w, id, pin));
+                    fval[id.index()] = force_stem(Pv64::splat(good_now[id.index()]), id);
+                }
+                for f in chunk {
+                    match f.site {
+                        FaultSite::Stem(n) => {
+                            if fval[n.index()] != Pv64::splat(good_now[n.index()]) {
+                                schedule(queue, n);
+                            }
+                        }
+                        FaultSite::Branch { gate, .. } => {
+                            // A D-pin branch is injected by the clocking
+                            // step; only real gates need a cycle-0 eval.
+                            if topo.kind(gate).is_gate() {
+                                queue.push(pos[gate.index()], gate);
+                            }
+                        }
                     }
-                    fval[id.index()] =
-                        force_stem(Pv64::eval(topo.kind(id), buf.iter().copied()), id);
                 }
             } else {
                 queue.next_cycle();
@@ -408,26 +419,25 @@ impl ParallelFaultSim {
                         schedule(queue, ff);
                     }
                 }
-                // Drain events in topological order: each gate pops at
-                // most once per cycle, after all its fanins settled.
-                while let Some(id) = queue.pop() {
-                    counters.gate_evals += 1;
-                    counters.kernel_gate_evals += 1;
-                    buf.clear();
-                    for (pin, &src) in topo.fanin(id).iter().enumerate() {
-                        let w = if in_cone(src) {
-                            fval[src.index()]
-                        } else {
-                            Pv64::splat(good_now[src.index()])
-                        };
-                        buf.push(force_branch(w, id, pin));
-                    }
-                    let out =
-                        force_stem(Pv64::eval(topo.kind(id), buf.iter().copied()), id);
-                    if out != fval[id.index()] {
-                        fval[id.index()] = out;
-                        schedule(queue, id);
-                    }
+            }
+            // Drain events in topological order: each gate pops at most
+            // once per cycle, after all its fanins settled.
+            while let Some(id) = queue.pop() {
+                counters.gate_evals += 1;
+                counters.kernel_gate_evals += 1;
+                buf.clear();
+                for (pin, &src) in topo.fanin(id).iter().enumerate() {
+                    let w = if in_cone(src) {
+                        fval[src.index()]
+                    } else {
+                        Pv64::splat(good_now[src.index()])
+                    };
+                    buf.push(force_branch(w, id, pin));
+                }
+                let out = force_stem(Pv64::eval(topo.kind(id), buf.iter().copied()), id);
+                if out != fval[id.index()] {
+                    fval[id.index()] = out;
+                    schedule(queue, id);
                 }
             }
             // Detection: faulty PO known and opposite of a known good PO.

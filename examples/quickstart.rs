@@ -65,7 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         comb.report().detected
     );
 
-    let report = comb.seq();
+    let compacted = comb.compact();
+    println!("{} (lossless by construction)", compacted.report());
+
+    let report = compacted.seq();
     println!("{report}");
     Ok(())
 }

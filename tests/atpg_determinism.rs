@@ -1,0 +1,102 @@
+//! CI guard for the fault-parallel ATPG path: on a scaled suite circuit
+//! the batch-sharded comb phase — and the whole pipeline built on it —
+//! must produce verdicts, counters, reports and a `TestProgram`
+//! byte-identical for every thread count. The fixed-composition PODEM
+//! batches with their input-order merge, the 64-lane global fault
+//! dropping and the reverse-order compaction stage all claim
+//! thread-invariance; this test holds them to it end to end.
+
+use fscan::{
+    classify_faults, Category, CombPhase, CombPhaseConfig, PipelineConfig, PipelineSession,
+};
+use fscan_bench::{build_design, PAPER_SUITE};
+use fscan_fault::{all_faults, collapse, Fault};
+
+fn s1196() -> &'static fscan_bench::SuiteCircuit {
+    PAPER_SUITE
+        .iter()
+        .find(|c| c.name == "s1196")
+        .expect("s1196 is in the paper suite")
+}
+
+#[test]
+fn comb_phase_is_byte_identical_across_thread_counts() {
+    let design = build_design(s1196(), 0.2);
+    let faults = collapse(design.circuit(), &all_faults(design.circuit()));
+    let hard: Vec<Fault> = classify_faults(&design, &faults)
+        .into_iter()
+        .filter(|c| c.category == Category::Hard)
+        .map(|c| c.fault)
+        .collect();
+    assert!(hard.len() > 8, "need enough targets to form real batches");
+
+    let mut reference: Option<fscan::CombPhaseOutcome> = None;
+    for threads in [1usize, 2, 4] {
+        let config = CombPhaseConfig::builder().threads(threads).build().unwrap();
+        let outcome = CombPhase::new(&design, config).run(&hard);
+        let expect = reference.get_or_insert(outcome.clone());
+        assert_eq!(outcome.detected, expect.detected, "threads = {threads}");
+        assert_eq!(
+            outcome.undetectable, expect.undetectable,
+            "threads = {threads}"
+        );
+        assert_eq!(outcome.remaining, expect.remaining, "threads = {threads}");
+        assert_eq!(
+            outcome.report.detection_curve, expect.report.detection_curve,
+            "threads = {threads}"
+        );
+        assert_eq!(
+            outcome.report.metrics.counters, expect.report.metrics.counters,
+            "counters must not depend on threads (threads = {threads})"
+        );
+        assert_eq!(outcome.program.len(), expect.program.len());
+        for (a, b) in outcome.program.iter().zip(expect.program.iter()) {
+            assert_eq!(a.label, b.label, "threads = {threads}");
+            assert_eq!(a.vectors, b.vectors, "threads = {threads}");
+        }
+    }
+    // The parallel path really exercises its new machinery.
+    let counters = reference.unwrap().report.metrics.counters;
+    assert!(counters.podem_shards > 0, "no sharded PODEM batch ran");
+}
+
+#[test]
+fn pipeline_report_and_program_are_byte_identical_across_thread_counts() {
+    let design = build_design(s1196(), 0.2);
+
+    let mut reference: Option<fscan::PipelineReport> = None;
+    for threads in [1usize, 2, 4] {
+        let config = PipelineConfig::builder().threads(threads).build().unwrap();
+        let report = PipelineSession::new(&design, config).run();
+        let expect = reference.get_or_insert_with(|| report.clone());
+
+        // Stage reports: detection counts and every deterministic
+        // counter, stage by stage.
+        assert_eq!(report.classification.easy, expect.classification.easy);
+        assert_eq!(report.classification.hard, expect.classification.hard);
+        assert_eq!(report.alternating.detected, expect.alternating.detected);
+        assert_eq!(report.comb.detected, expect.comb.detected);
+        assert_eq!(report.comb.detection_curve, expect.comb.detection_curve);
+        assert_eq!(report.compact.tests_after, expect.compact.tests_after);
+        assert_eq!(report.compact.lost, 0);
+        assert_eq!(report.seq.detected, expect.seq.detected);
+        assert_eq!(report.undetected_faults, expect.undetected_faults);
+        for ((stage, m), (_, em)) in report.stages().iter().zip(expect.stages().iter()) {
+            assert_eq!(
+                m.counters, em.counters,
+                "stage {stage} counters must not depend on threads (threads = {threads})"
+            );
+        }
+
+        // The emitted test program, vector by vector.
+        assert_eq!(
+            report.program.tests().len(),
+            expect.program.tests().len(),
+            "threads = {threads}"
+        );
+        for (a, b) in report.program.tests().iter().zip(expect.program.tests()) {
+            assert_eq!(a.label, b.label, "threads = {threads}");
+            assert_eq!(a.vectors, b.vectors, "threads = {threads}");
+        }
+    }
+}

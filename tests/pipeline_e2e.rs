@@ -2,9 +2,9 @@
 //! pipeline report makes is re-checked against ground-truth simulation.
 
 use fscan::{
-    classify_faults, AlternatingPhase, Category, CombPhase, PipelineConfig, PipelineSession,
+    classify_faults, AlternatingPhase, Category, CombPhase, CombPhaseConfig, PipelineConfig,
+    PipelineSession,
 };
-use fscan_atpg::PodemConfig;
 use fscan_fault::{all_faults, collapse, Fault};
 use fscan_netlist::{generate, GeneratorConfig};
 use fscan_scan::{insert_functional_scan, TpiConfig};
@@ -28,7 +28,7 @@ fn comb_phase_detections_are_real_and_cat3_is_immune() {
         .filter(|c| c.category == Category::Hard)
         .map(|c| c.fault)
         .collect();
-    let outcome = CombPhase::new(&design, PodemConfig::default()).run(&hard);
+    let outcome = CombPhase::new(&design, CombPhaseConfig::default()).run(&hard);
     assert_eq!(
         outcome.detected.len() + outcome.undetectable.len() + outcome.remaining.len(),
         hard.len()
@@ -108,7 +108,7 @@ fn undetectable_verdicts_survive_random_barrage() {
         .filter(|c| c.category == Category::Hard)
         .map(|c| c.fault)
         .collect();
-    let outcome = CombPhase::new(&design, PodemConfig::default()).run(&hard);
+    let outcome = CombPhase::new(&design, CombPhaseConfig::default()).run(&hard);
     if outcome.undetectable.is_empty() {
         return;
     }
