@@ -344,6 +344,48 @@ pub fn check_exact(
     failures
 }
 
+/// Renders one `BENCH_history.jsonl` record: a single line of JSON
+/// carrying the git revision, the rail width, and every circuit's
+/// `total_counters` block from a fresh snapshot.
+///
+/// `check-baseline --history PATH` appends one such line per passing
+/// run, so the committed history file accumulates a per-PR trace of the
+/// deterministic work counters — greppable, diff-friendly, and (unlike
+/// wall-clock) comparable across machines.
+///
+/// # Examples
+///
+/// ```
+/// use fscan_bench::baseline::history_record;
+///
+/// let circuits = vec![(
+///     "s9234".to_string(),
+///     vec![("gate_evals".to_string(), 42u64)],
+/// )];
+/// let line = history_record("abc123", 256, &circuits);
+/// assert!(line.starts_with("{\"rev\":\"abc123\",\"lanes\":256,"));
+/// assert!(line.contains("\"s9234\":{\"gate_evals\":42}"));
+/// assert!(!line.contains('\n'));
+/// ```
+pub fn history_record(rev: &str, lanes: u64, circuits: &CircuitCounters) -> String {
+    let mut out = format!("{{\"rev\":\"{rev}\",\"lanes\":{lanes},\"circuits\":{{");
+    for (ci, (name, counters)) in circuits.iter().enumerate() {
+        if ci > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{name}\":{{"));
+        for (i, (key, value)) in counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{key}\":{value}"));
+        }
+        out.push('}');
+    }
+    out.push_str("}}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -359,7 +401,7 @@ mod tests {
     fn parses_real_emitter_output() {
         let report = run_pipeline(&PAPER_SUITE[0], 0.05);
         let totals = report.total_counters();
-        let json = bench_json(&[report], 0.05, 1);
+        let json = bench_json(&[report], 0.05, 1, 256);
         let parsed = parse_gate_evals(&json).unwrap();
         assert_eq!(parsed, vec![("s1196".to_string(), totals.gate_evals)]);
         // Every emitted counter — including the new structural ones —
@@ -416,7 +458,7 @@ mod tests {
     fn stage_counters_round_trip_through_the_emitter() {
         let report = run_pipeline(&PAPER_SUITE[0], 0.05);
         let comb_evals = report.comb.metrics.counters.gate_evals;
-        let json = bench_json(&[report], 0.05, 1);
+        let json = bench_json(&[report], 0.05, 1, 256);
         let parsed = parse_stage_counters(&json).unwrap();
         assert_eq!(parsed.len(), 1);
         let stages: Vec<&str> = parsed[0].1.iter().map(|(s, _)| s.as_str()).collect();
@@ -442,6 +484,25 @@ mod tests {
         let failures = check_min_total(&cur, "faults_dropped", 43);
         assert_eq!(failures.len(), 1, "{failures:?}");
         assert!(failures[0].contains("faults_dropped"), "{failures:?}");
+    }
+
+    #[test]
+    fn history_record_round_trips_a_real_snapshot() {
+        let report = run_pipeline(&PAPER_SUITE[0], 0.05);
+        let json = bench_json(&[report], 0.05, 1, 256);
+        let circuits = parse_total_counters(&json).unwrap();
+        let line = history_record("deadbeef", 256, &circuits);
+        // One line, every total counter present, parseable back out by
+        // a plain substring check (the consumers are grep and jq).
+        assert_eq!(line.lines().count(), 1);
+        for (key, value) in &circuits[0].1 {
+            assert!(
+                line.contains(&format!("\"{key}\":{value}")),
+                "{key} missing from {line}"
+            );
+        }
+        assert!(line.contains("\"rev\":\"deadbeef\""));
+        assert!(line.contains("\"lanes\":256"));
     }
 
     #[test]

@@ -13,21 +13,28 @@ use fscan::PipelineReport;
 
 /// Renders the benchmark report for a set of pipeline runs.
 ///
+/// `lanes` records the packed-kernel rail width the run used (64 or
+/// 256) so a committed snapshot is self-describing; the line sits in
+/// the header next to `threads` and, like it, never varies within one
+/// run, so the thread-invariance diff is unaffected.
+///
 /// # Examples
 ///
 /// ```
 /// use fscan_bench::{bench_json, run_pipeline, PAPER_SUITE};
 ///
 /// let report = run_pipeline(&PAPER_SUITE[0], 0.05);
-/// let json = bench_json(&[report], 0.05, 1);
+/// let json = bench_json(&[report], 0.05, 1, 256);
 /// assert!(json.contains("\"gate_evals\""));
+/// assert!(json.contains("\"lanes\": 256"));
 /// assert!(json.lines().filter(|l| l.contains("wall_s")).count() >= 6);
 /// ```
-pub fn bench_json(reports: &[PipelineReport], scale: f64, threads: usize) -> String {
+pub fn bench_json(reports: &[PipelineReport], scale: f64, threads: usize, lanes: usize) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"scale\": {},\n", float(scale)));
     out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"lanes\": {lanes},\n"));
     out.push_str("  \"circuits\": [\n");
     for (ci, r) in reports.iter().enumerate() {
         out.push_str("    {\n");
@@ -120,7 +127,7 @@ mod tests {
 
     #[test]
     fn emits_every_counter_for_every_stage() {
-        let json = bench_json(&[small_report(1)], 0.05, 1);
+        let json = bench_json(&[small_report(1)], 0.05, 1, 256);
         for (name, _) in fscan_sim::WorkCounters::ZERO.fields() {
             // 5 stages + total_counters per circuit.
             assert_eq!(
@@ -139,7 +146,7 @@ mod tests {
         // The CI determinism check strips wall-clock lines and then
         // requires byte-identical output across thread counts; each
         // wall_s must therefore sit alone on its line.
-        let json = bench_json(&[small_report(1)], 0.05, 1);
+        let json = bench_json(&[small_report(1)], 0.05, 1, 256);
         let wall_lines = json.lines().filter(|l| l.contains("wall_s")).count();
         // One per stage (5) plus one per circuit.
         assert_eq!(wall_lines, 6);
@@ -156,8 +163,8 @@ mod tests {
                 .collect::<Vec<_>>()
                 .join("\n")
         };
-        let one = bench_json(&[small_report(1)], 0.05, 1);
-        let four = bench_json(&[small_report(4)], 0.05, 4);
+        let one = bench_json(&[small_report(1)], 0.05, 1, 256);
+        let four = bench_json(&[small_report(4)], 0.05, 4, 256);
         assert_eq!(strip(&one), strip(&four));
     }
 

@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! reproduce [table1|table2|table3|figure5|timing|all] [--scale F] [--only NAME] [--threads N] [--json [PATH]]
+//! reproduce [table1|table2|table3|figure5|timing|all] [--scale F] [--only NAME] [--threads N] [--lanes 64|256] [--json [PATH]]
 //! reproduce check-baseline BASELINE.json CURRENT.json [--tolerance PCT]
 //! ```
 //!
@@ -12,28 +12,38 @@
 //! circuits). `--only` restricts the run to one circuit. `--threads`
 //! sets the worker count for the fault-parallel stages (default 0 =
 //! one per hardware thread); reports are identical for every value.
-//! `timing` prints the per-stage wall-clock and worker-distribution
-//! table. `--json` additionally writes `BENCH_pipeline.json` (or
-//! `PATH`): per-circuit, per-stage deterministic work counters plus
-//! wall-clock. Every counter is bit-identical across thread counts, so
-//! stripping the `wall_s` lines yields thread-invariant output.
+//! `--lanes` selects the packed rail width (default 256, the pipeline
+//! default; 64 reproduces the single-word kernel) — verdicts are
+//! identical at both widths, only the work counters move. `timing`
+//! prints the per-stage wall-clock and worker-distribution table.
+//! `--json` additionally writes `BENCH_pipeline.json` (or `PATH`):
+//! per-circuit, per-stage deterministic work counters plus wall-clock.
+//! Every counter is bit-identical across thread counts, so stripping
+//! the `wall_s` lines yields thread-invariant output.
 //!
 //! `check-baseline` compares the per-circuit total `gate_evals` of a
 //! fresh snapshot against a committed baseline and fails if any circuit
 //! regressed beyond the tolerance (default 5%); the structural
 //! `topology_builds` counter must additionally match the baseline
-//! exactly (one compilation per pipeline run). Two optional gates guard
-//! the parallel-ATPG fast path: `--min-faults-dropped N` requires the
+//! exactly (one compilation per pipeline run). Optional gates guard the
+//! fault-parallel fast paths: `--min-faults-dropped N` requires the
 //! fresh snapshot's summed `faults_dropped` to reach `N` (global fault
-//! dropping actually firing), and `--comb-reference REF.json
+//! dropping actually firing); `--comb-reference REF.json
 //! [--min-comb-speedup R]` requires every circuit's *comb-stage*
 //! `gate_evals` to sit at least `R`× (default 2×) below the committed
-//! pre-optimization reference snapshot.
+//! pre-optimization reference snapshot; `--wide-reference REF.json
+//! [--min-classify-speedup R]` requires the *classify-stage*
+//! `gate_evals` to sit at least `R`× (default 1.5×) below the committed
+//! 64-lane reference snapshot and its `implication_words` at least 2×
+//! below — the wide-rail win in work items, not wall-clock. `--history
+//! PATH` appends a one-line JSON record (git revision, rail width,
+//! every circuit's total counters) to `PATH` after a passing check,
+//! building the committed per-PR counter trace `BENCH_history.jsonl`.
 
 use std::env;
 use std::process::ExitCode;
 
-use fscan::{PipelineConfig, PipelineReport};
+use fscan::{LaneWidth, PipelineConfig, PipelineReport};
 use fscan_bench::tables::{run_pipeline_with, table2, table3};
 use fscan_bench::{bench_json, figure5, table1, PAPER_SUITE};
 
@@ -42,6 +52,7 @@ struct Options {
     scale: f64,
     only: Option<String>,
     threads: usize,
+    lanes: LaneWidth,
     json: Option<String>,
 }
 
@@ -50,6 +61,7 @@ fn parse_args() -> Result<Options, String> {
     let mut scale = 0.125;
     let mut only = None;
     let mut threads = 0usize;
+    let mut lanes = LaneWidth::default();
     let mut json = None;
     let mut args = env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
@@ -66,6 +78,14 @@ fn parse_args() -> Result<Options, String> {
             "--threads" => {
                 let v = args.next().ok_or("--threads needs a value")?;
                 threads = v.parse().map_err(|_| format!("bad thread count '{v}'"))?;
+            }
+            "--lanes" => {
+                let v = args.next().ok_or("--lanes needs a value (64 or 256)")?;
+                lanes = match v.as_str() {
+                    "64" => LaneWidth::W64,
+                    "256" => LaneWidth::W256,
+                    _ => return Err(format!("bad lane width '{v}' (supported: 64, 256)")),
+                };
             }
             "--json" => {
                 // Optional path operand; defaults to BENCH_pipeline.json.
@@ -84,6 +104,7 @@ fn parse_args() -> Result<Options, String> {
         scale,
         only,
         threads,
+        lanes,
         json,
     })
 }
@@ -123,20 +144,22 @@ fn print_table1(opts: &Options) {
 fn pipeline_reports(opts: &Options) -> Vec<PipelineReport> {
     let config = PipelineConfig::builder()
         .threads(opts.threads)
+        .lane_width(opts.lanes)
         .build()
         .expect("default budgets are valid");
     selected(&opts.only)
         .into_iter()
         .map(|c| {
             eprintln!(
-                "running pipeline on {} (scale {}, threads {})...",
+                "running pipeline on {} (scale {}, threads {}, {})...",
                 c.name,
                 opts.scale,
                 if opts.threads == 0 {
                     "auto".to_string()
                 } else {
                     opts.threads.to_string()
-                }
+                },
+                opts.lanes
             );
             run_pipeline_with(c, opts.scale, config.clone())
         })
@@ -309,16 +332,22 @@ fn print_figure5(reports: &[PipelineReport]) {
 
 /// `check-baseline BASELINE CURRENT [--tolerance PCT]
 /// [--min-faults-dropped N] [--comb-reference REF.json]
-/// [--min-comb-speedup R]`: compares the per-circuit total `gate_evals`
-/// of two `bench_json` snapshots, plus the optional fault-dropping and
-/// comb-stage speedup gates.
+/// [--min-comb-speedup R] [--wide-reference REF.json]
+/// [--min-classify-speedup R] [--history PATH]`: compares the
+/// per-circuit total `gate_evals` of two `bench_json` snapshots, plus
+/// the optional fault-dropping, comb-stage and wide-classification
+/// speedup gates; on success, `--history` appends a one-line counter
+/// record to the per-PR trace file.
 fn check_baseline(args: &[String]) -> ExitCode {
-    let usage = "usage: reproduce check-baseline BASELINE.json CURRENT.json [--tolerance PCT] [--min-faults-dropped N] [--comb-reference REF.json] [--min-comb-speedup R]";
+    let usage = "usage: reproduce check-baseline BASELINE.json CURRENT.json [--tolerance PCT] [--min-faults-dropped N] [--comb-reference REF.json] [--min-comb-speedup R] [--wide-reference REF.json] [--min-classify-speedup R] [--history PATH]";
     let mut files = Vec::new();
     let mut tolerance = 5.0f64;
     let mut min_faults_dropped: Option<u64> = None;
     let mut comb_reference: Option<String> = None;
     let mut min_comb_speedup = 2.0f64;
+    let mut wide_reference: Option<String> = None;
+    let mut min_classify_speedup = 1.5f64;
+    let mut history: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -349,6 +378,27 @@ fn check_baseline(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 min_comb_speedup = v;
+            }
+            "--wide-reference" => {
+                let Some(v) = it.next() else {
+                    eprintln!("error: --wide-reference needs a snapshot path");
+                    return ExitCode::FAILURE;
+                };
+                wide_reference = Some(v.clone());
+            }
+            "--min-classify-speedup" => {
+                let Some(v) = it.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("error: --min-classify-speedup needs a numeric value");
+                    return ExitCode::FAILURE;
+                };
+                min_classify_speedup = v;
+            }
+            "--history" => {
+                let Some(v) = it.next() else {
+                    eprintln!("error: --history needs a file path");
+                    return ExitCode::FAILURE;
+                };
+                history = Some(v.clone());
             }
             _ => files.push(arg.clone()),
         }
@@ -400,48 +450,113 @@ fn check_baseline(args: &[String]) -> ExitCode {
             min,
         ));
     }
-    // Comb-stage speedup gate against a pre-optimization reference
-    // snapshot (a separate committed file — the regular baseline is
-    // regenerated and would trivially match itself).
-    if let Some(ref_path) = &comb_reference {
-        let read_stage = |path: &str| -> Result<Vec<(String, u64)>, String> {
-            let text =
-                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            let stages =
-                fscan_bench::parse_stage_counters(&text).map_err(|e| format!("{path}: {e}"))?;
-            Ok(fscan_bench::stage_counter_totals(&stages, "comb", "gate_evals"))
-        };
-        match (read_stage(ref_path), read_stage(cur_path)) {
-            (Ok(reference), Ok(cur_comb)) => {
-                for (name, evals) in &cur_comb {
-                    if let Some((_, r)) = reference.iter().find(|(n, _)| n == name) {
-                        println!(
-                            "{name}: comb gate_evals {evals} vs reference {r} ({:.2}x)",
-                            *r as f64 / (*evals).max(1) as f64
-                        );
-                    }
-                }
-                failures.extend(fscan_bench::check_improvement(
-                    &reference,
-                    &cur_comb,
-                    "comb gate_evals",
-                    min_comb_speedup,
-                ));
-            }
-            (Err(e), _) | (_, Err(e)) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
+    // Per-stage speedup gates compare the fresh snapshot against
+    // *separate* committed reference files — the regular baseline is
+    // regenerated and would trivially match itself.
+    let read_stage = |path: &str, stage: &str, key: &str| -> Result<Vec<(String, u64)>, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let stages = fscan_bench::parse_stage_counters(&text).map_err(|e| format!("{path}: {e}"))?;
+        Ok(fscan_bench::stage_counter_totals(&stages, stage, key))
+    };
+    let mut stage_gate = |ref_path: &str, stage: &str, key: &str, factor: f64| -> Result<(), String> {
+        let reference = read_stage(ref_path, stage, key)?;
+        let current = read_stage(cur_path, stage, key)?;
+        for (name, value) in &current {
+            if let Some((_, r)) = reference.iter().find(|(n, _)| n == name) {
+                println!(
+                    "{name}: {stage} {key} {value} vs reference {r} ({:.2}x)",
+                    *r as f64 / (*value).max(1) as f64
+                );
             }
         }
+        failures.extend(fscan_bench::check_improvement(
+            &reference,
+            &current,
+            &format!("{stage} {key}"),
+            factor,
+        ));
+        Ok(())
+    };
+    // Comb-stage gate: event-driven PODEM resimulation plus global
+    // fault dropping against the committed pre-ATPG reference.
+    let comb_gate = comb_reference
+        .iter()
+        .try_for_each(|p| stage_gate(p, "comb", "gate_evals", min_comb_speedup));
+    // Wide-classification gate: the 256-lane rail must keep amortizing
+    // union-cone walks against the committed 64-lane reference. The
+    // gate_evals floor is capped by cone overlap between merged words
+    // (the no-overlap ideal is 4x); implication_words — words actually
+    // pushed through the kernel — must improve at least 2x.
+    let wide_gate = wide_reference.iter().try_for_each(|p| {
+        stage_gate(p, "classify", "gate_evals", min_classify_speedup)?;
+        stage_gate(p, "classify", "implication_words", 2.0)
+    });
+    if let Err(e) = comb_gate.and(wide_gate) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
     }
     if failures.is_empty() {
         println!("baseline check passed (tolerance {tolerance}%, topology_builds exact)");
+        if let Some(path) = &history {
+            return append_history(path, cur_path, &cur_all);
+        }
         ExitCode::SUCCESS
     } else {
         for f in &failures {
             eprintln!("REGRESSION {f}");
         }
         ExitCode::FAILURE
+    }
+}
+
+/// Appends one [`fscan_bench::history_record`] line for the current
+/// snapshot to the per-PR counter trace (`BENCH_history.jsonl`). The
+/// git revision comes from `git rev-parse`; outside a repository (or
+/// without git on PATH) it degrades to `unknown` rather than failing
+/// the gate. The rail width is read back from the snapshot's own
+/// `"lanes"` header (snapshots from before the header existed record
+/// the 64-lane width they were generated at).
+fn append_history(
+    path: &str,
+    cur_path: &str,
+    circuits: &fscan_bench::baseline::CircuitCounters,
+) -> ExitCode {
+    use std::io::Write;
+
+    let rev = std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    let lanes = std::fs::read_to_string(cur_path)
+        .ok()
+        .and_then(|text| {
+            text.lines().find_map(|l| {
+                l.trim()
+                    .strip_prefix("\"lanes\": ")
+                    .and_then(|v| v.trim_end_matches(',').parse::<u64>().ok())
+            })
+        })
+        .unwrap_or(64);
+    let line = fscan_bench::history_record(&rev, lanes, circuits);
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| writeln!(f, "{line}"));
+    match appended {
+        Ok(()) => {
+            println!("appended counter record for {rev} to {path}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: cannot append to {path}: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -455,7 +570,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: reproduce [table1|table2|table3|figure5|timing|all] [--scale F] [--only NAME] [--threads N] [--json [PATH]]\n       reproduce check-baseline BASELINE.json CURRENT.json [--tolerance PCT]"
+                "usage: reproduce [table1|table2|table3|figure5|timing|all] [--scale F] [--only NAME] [--threads N] [--lanes 64|256] [--json [PATH]]\n       reproduce check-baseline BASELINE.json CURRENT.json [--tolerance PCT]"
             );
             return ExitCode::FAILURE;
         }
@@ -480,7 +595,7 @@ fn main() -> ExitCode {
         }
     }
     if let Some(path) = &opts.json {
-        let json = bench_json(&reports, opts.scale, opts.threads);
+        let json = bench_json(&reports, opts.scale, opts.threads, opts.lanes.lanes() as usize);
         if let Err(e) = std::fs::write(path, &json) {
             eprintln!("error: cannot write {path}: {e}");
             return ExitCode::FAILURE;

@@ -28,7 +28,8 @@ pub mod tables;
 
 pub use baseline::{
     check_exact, check_improvement, check_min_total, check_regression, counter_totals,
-    parse_gate_evals, parse_stage_counters, parse_total_counters, stage_counter_totals,
+    history_record, parse_gate_evals, parse_stage_counters, parse_total_counters,
+    stage_counter_totals,
 };
 pub use bench_json::bench_json;
 pub use suite::{build_circuit, build_design, scaled_config, SuiteCircuit, PAPER_SUITE};

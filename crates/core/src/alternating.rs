@@ -5,7 +5,8 @@ use std::time::{Duration, Instant};
 
 use fscan_fault::Fault;
 use fscan_scan::ScanDesign;
-use fscan_sim::{ParallelFaultSim, ShardStats, StageMetrics, V3, WorkCounters};
+use fscan_sim::kernel::{Rail, R256};
+use fscan_sim::{LaneWidth, ParallelFaultSim, ShardStats, StageMetrics, V3, WorkCounters};
 
 use crate::sequences::scan_vector_layout;
 
@@ -122,8 +123,32 @@ impl<'d> AlternatingPhase<'d> {
         faults: &[Fault],
         threads: usize,
     ) -> (Vec<Option<usize>>, ShardStats, Duration, WorkCounters) {
+        self.run_sharded_wide::<u64>(faults, threads)
+    }
+
+    /// [`run_sharded`](Self::run_sharded) dispatched on a runtime
+    /// [`LaneWidth`]. Verdicts are identical at every width; the wider
+    /// rail retires more faults per union-cone walk.
+    pub fn run_sharded_at(
+        &self,
+        faults: &[Fault],
+        threads: usize,
+        width: LaneWidth,
+    ) -> (Vec<Option<usize>>, ShardStats, Duration, WorkCounters) {
+        match width {
+            LaneWidth::W64 => self.run_sharded_wide::<u64>(faults, threads),
+            LaneWidth::W256 => self.run_sharded_wide::<R256>(faults, threads),
+        }
+    }
+
+    /// [`run_sharded`](Self::run_sharded) at rail width `W`.
+    pub fn run_sharded_wide<W: Rail>(
+        &self,
+        faults: &[Fault],
+        threads: usize,
+    ) -> (Vec<Option<usize>>, ShardStats, Duration, WorkCounters) {
         let start = Instant::now();
-        let sim = ParallelFaultSim::with_topology(self.design.topology());
+        let sim = ParallelFaultSim::<W>::with_topology_wide(self.design.topology());
         let init = vec![V3::X; self.design.circuit().dffs().len()];
         let (detections, shards, counters) =
             sim.fault_sim_sharded(&self.vectors, &init, faults, threads);

@@ -6,9 +6,10 @@ use std::fmt;
 use fscan_fault::{Fault, FaultSite};
 use fscan_netlist::{GateKind, NodeId};
 use fscan_scan::ScanDesign;
+use fscan_sim::kernel::{Rail, R256};
 use fscan_sim::{
-    shard_map_counted, CombEvaluator, ImplicationEngine, ImplicationEngine64, NetChange,
-    ShardStats, StageMetrics, V3, WorkCounters,
+    shard_map_counted, CombEvaluator, ImplicationEngine, LaneWidth, NetChange,
+    PackedImplicationEngine, ShardStats, StageMetrics, V3, WorkCounters,
 };
 
 /// The paper's three fault categories.
@@ -109,17 +110,18 @@ impl fmt::Display for ClassifySummary {
 ///
 /// Precomputes the chain geometry lookups and the scan-mode steady
 /// values, then classifies faults via forward implication — one by one
-/// ([`classify`](Self::classify), the scalar reference) or 64 per
-/// packed word ([`classify_word`](Self::classify_word)).
+/// ([`classify`](Self::classify), the scalar reference) or `W::LANES`
+/// per packed word ([`classify_word`](Self::classify_word); 64 lanes at
+/// the default `u64` rail, 256 at `R256`).
 ///
 /// # Examples
 ///
 /// See [`classify_faults`].
-pub struct Classifier<'d> {
+pub struct Classifier<'d, W: Rail = u64> {
     design: &'d ScanDesign,
     eval: CombEvaluator,
     engine: ImplicationEngine,
-    engine64: ImplicationEngine64,
+    packed: PackedImplicationEngine<W>,
     steady: Vec<V3>,
     /// net → locations where it carries shifted chain data.
     chain_net_loc: HashMap<NodeId, Vec<ChainLocation>>,
@@ -130,11 +132,19 @@ pub struct Classifier<'d> {
 }
 
 impl<'d> Classifier<'d> {
-    /// Builds a classifier for `design`.
+    /// Builds a 64-lane classifier for `design` (the historical
+    /// default; [`Classifier::new_wide`] picks the rail width).
     pub fn new(design: &'d ScanDesign) -> Classifier<'d> {
+        Classifier::new_wide(design)
+    }
+}
+
+impl<'d, W: Rail> Classifier<'d, W> {
+    /// Builds a classifier for `design` at rail width `W`.
+    pub fn new_wide(design: &'d ScanDesign) -> Classifier<'d, W> {
         let eval = CombEvaluator::with_topology(design.topology());
         let engine = ImplicationEngine::with_topology(design.topology());
-        let engine64 = ImplicationEngine64::with_topology(design.topology());
+        let packed = PackedImplicationEngine::with_topology(design.topology());
         let steady = design.scan_mode_values();
         let mut chain_net_loc: HashMap<NodeId, Vec<ChainLocation>> = HashMap::new();
         let mut side_loc: HashMap<NodeId, Vec<(ChainLocation, bool)>> = HashMap::new();
@@ -169,7 +179,7 @@ impl<'d> Classifier<'d> {
             design,
             eval,
             engine,
-            engine64,
+            packed,
             steady,
             chain_net_loc,
             side_loc,
@@ -184,18 +194,19 @@ impl<'d> Classifier<'d> {
         self.assemble(fault, changes.into_iter())
     }
 
-    /// Classifies up to 64 faults in one packed implication word.
+    /// Classifies up to `W::LANES` faults in one packed implication
+    /// word.
     ///
     /// The packed engine's per-lane changes are bit-identical, in the
     /// same order, to a scalar run on each fault alone, so the verdicts
     /// match [`classify`](Self::classify) exactly — at a fraction of the
     /// gate evaluations.
     pub fn classify_word(&mut self, faults: &[Fault]) -> Vec<ClassifiedFault> {
-        self.engine64.run_word(&self.steady, faults);
+        self.packed.run_word(&self.steady, faults);
         faults
             .iter()
             .enumerate()
-            .map(|(lane, &fault)| self.assemble(fault, self.engine64.lane_changes(lane as u32)))
+            .map(|(lane, &fault)| self.assemble(fault, self.packed.lane_changes(lane as u32)))
             .collect()
     }
 
@@ -278,7 +289,7 @@ impl<'d> Classifier<'d> {
 
     /// Drains both implication engines' accumulated [`WorkCounters`].
     pub fn take_counters(&mut self) -> WorkCounters {
-        self.engine.take_counters() + self.engine64.take_counters()
+        self.engine.take_counters() + self.packed.take_counters()
     }
 }
 
@@ -310,17 +321,46 @@ pub fn classify_faults(design: &ScanDesign, faults: &[Fault]) -> Vec<ClassifiedF
 }
 
 /// [`classify_faults`] sharded across `threads` workers (`0` = hardware
-/// thread count), running the packed 64-fault implication engine.
+/// thread count), running the packed 64-lane implication engine — the
+/// historical default; [`classify_faults_sharded_at`] picks the width
+/// at runtime.
+pub fn classify_faults_sharded(
+    design: &ScanDesign,
+    faults: &[Fault],
+    threads: usize,
+) -> (Vec<ClassifiedFault>, ShardStats, WorkCounters) {
+    classify_faults_sharded_wide::<u64>(design, faults, threads)
+}
+
+/// [`classify_faults_sharded_wide`] dispatched on a runtime
+/// [`LaneWidth`] (the switch [`PipelineConfig`](crate::PipelineConfig)
+/// carries).
+pub fn classify_faults_sharded_at(
+    design: &ScanDesign,
+    faults: &[Fault],
+    threads: usize,
+    width: LaneWidth,
+) -> (Vec<ClassifiedFault>, ShardStats, WorkCounters) {
+    match width {
+        LaneWidth::W64 => classify_faults_sharded_wide::<u64>(design, faults, threads),
+        LaneWidth::W256 => classify_faults_sharded_wide::<R256>(design, faults, threads),
+    }
+}
+
+/// [`classify_faults`] sharded across `threads` workers (`0` = hardware
+/// thread count), running the packed `W::LANES`-fault implication
+/// engine.
 ///
-/// Faults are permuted into 64-lane words whose implication cones
-/// overlap under the scan-mode steady state
-/// ([`fscan_sim::pack_order64`]), each worker classifies whole words
-/// (the 64-aligned chunking keeps every word intact for any thread
-/// count), and the verdicts are scattered back to input order. The
+/// Faults are permuted into words whose implication cones overlap under
+/// the scan-mode steady state ([`fscan_sim::pack_order`] — the
+/// permutation is width-invariant, so verdicts are byte-identical
+/// across rail widths), each worker classifies whole words (the
+/// word-aligned chunking keeps every word intact for any thread count),
+/// and the verdicts are scattered back to input order. The
 /// classifications are identical to the serial scalar
 /// [`classify_faults`], and the summed [`WorkCounters`] are
 /// bit-identical for every thread count.
-pub fn classify_faults_sharded(
+pub fn classify_faults_sharded_wide<W: Rail>(
     design: &ScanDesign,
     faults: &[Fault],
     threads: usize,
@@ -328,16 +368,17 @@ pub fn classify_faults_sharded(
     // One probe classifier computes the steady state the packer keys on;
     // its engines do no implication work, so no counters are lost.
     let probe = Classifier::new(design);
-    let order = fscan_sim::pack_order64(&design.topology(), probe.steady(), faults);
+    let order = fscan_sim::pack_order(&design.topology(), probe.steady(), faults);
     let packed: Vec<Fault> = order.iter().map(|&i| faults[i]).collect();
+    let lanes = W::LANES as usize;
     let (classified, stats, work) = shard_map_counted(
         threads,
-        64,
+        lanes,
         &packed,
-        || Classifier::new(design),
+        || Classifier::<W>::new_wide(design),
         |classifier, _, chunk| {
             let out: Vec<ClassifiedFault> = chunk
-                .chunks(64)
+                .chunks(lanes)
                 .flat_map(|word| classifier.classify_word(word))
                 .collect();
             (out, classifier.take_counters())
@@ -519,6 +560,44 @@ mod tests {
             assert!(work.implication_events > 0);
             let expect = *reference_work.get_or_insert(work);
             assert_eq!(work, expect, "counters must not depend on threads");
+        }
+    }
+
+    #[test]
+    fn classification_is_identical_across_lane_widths() {
+        let circuit = fscan_netlist::generate(
+            &fscan_netlist::GeneratorConfig::new("width", 7).gates(180).dffs(12),
+        );
+        let design = insert_functional_scan(&circuit, &TpiConfig::default()).unwrap();
+        let faults =
+            fscan_fault::collapse(design.circuit(), &fscan_fault::all_faults(design.circuit()));
+        // A tail word at 256 lanes exercises the partial-mask path.
+        assert!(!faults.len().is_multiple_of(256), "want a 256-lane tail word");
+        let serial = classify_faults(&design, &faults);
+        let (w64, _, work64) =
+            classify_faults_sharded_at(&design, &faults, 1, LaneWidth::W64);
+        let (w256, _, work256) =
+            classify_faults_sharded_at(&design, &faults, 1, LaneWidth::W256);
+        assert_eq!(w64, serial);
+        assert_eq!(w256, serial, "verdicts must be width-invariant");
+        // The per-lane implication behavior is width-invariant…
+        assert_eq!(work64.implication_events, work256.implication_events);
+        assert_eq!(work64.cone_nets, work256.cone_nets);
+        // …while the wider rail amortizes each union-cone walk over four
+        // times as many faults: strictly fewer kernel evaluations.
+        assert!(
+            work256.kernel_gate_evals < work64.kernel_gate_evals,
+            "256-lane kernel evals {} not below 64-lane {}",
+            work256.kernel_gate_evals,
+            work64.kernel_gate_evals
+        );
+        assert!(work256.implication_words < work64.implication_words);
+        // Wide verdicts are also thread-invariant.
+        for threads in [2, 4] {
+            let (w, _, work) =
+                classify_faults_sharded_at(&design, &faults, threads, LaneWidth::W256);
+            assert_eq!(w, serial, "threads = {threads}");
+            assert_eq!(work, work256, "counters must not depend on threads");
         }
     }
 

@@ -9,8 +9,9 @@ use fscan_atpg::{AtpgOutcome, Podem, PodemConfig};
 use fscan_fault::Fault;
 use fscan_netlist::NodeId;
 use fscan_scan::ScanDesign;
+use fscan_sim::kernel::{Rail, R256};
 use fscan_sim::pool::shard_map_counted;
-use fscan_sim::{ParallelFaultSim, ShardStats, StageMetrics, V3, WorkCounters};
+use fscan_sim::{LaneWidth, ParallelFaultSim, ShardStats, StageMetrics, V3, WorkCounters};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -106,6 +107,12 @@ pub struct CombPhaseConfig {
     /// still-pending faults in input order), so the work done — and
     /// every counter — is independent of the thread count serving it.
     pub podem_batch: usize,
+    /// Packed rail width for the confirmation fault simulations.
+    /// Verdicts, programs and curves are identical at every width;
+    /// wider rails retire more faults per union-cone walk (visible in
+    /// `gate_evals`/`kernel_gate_evals`). Defaults to
+    /// [`LaneWidth::W256`].
+    pub lane_width: LaneWidth,
 }
 
 impl Default for CombPhaseConfig {
@@ -116,6 +123,7 @@ impl Default for CombPhaseConfig {
             seed: 0xc0ffee,
             threads: 1,
             podem_batch: 64,
+            lane_width: LaneWidth::default(),
         }
     }
 }
@@ -178,6 +186,14 @@ impl CombPhaseConfigBuilder {
         self
     }
 
+    /// Packed rail width for the confirmation fault simulations
+    /// (default [`LaneWidth::W256`]). Verdicts are identical at every
+    /// width.
+    pub fn lane_width(mut self, lane_width: LaneWidth) -> Self {
+        self.config.lane_width = lane_width;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<CombPhaseConfig, ConfigError> {
         let c = &self.config;
@@ -197,9 +213,10 @@ impl CombPhaseConfigBuilder {
 /// damage the chain used to shift, masking itself).
 ///
 /// PODEM runs are sharded across independent fault targets in
-/// fixed-composition batches; after every accepted vector the 64-lane
-/// fault simulator re-drops the *entire* remaining fault list, so one
-/// vector can retire dozens of targets globally.
+/// fixed-composition batches; after every accepted vector the packed
+/// fault simulator (64 or 256 lanes per [`CombPhaseConfig::lane_width`])
+/// re-drops the *entire* remaining fault list, so one vector can retire
+/// dozens of targets globally.
 ///
 /// # Examples
 ///
@@ -236,8 +253,16 @@ impl<'d> CombPhase<'d> {
         CombPhase { design, config }
     }
 
-    /// Runs the phase over `hard` (the category-2 faults).
+    /// Runs the phase over `hard` (the category-2 faults), dispatching
+    /// on the configured [`LaneWidth`] to the monomorphized rail.
     pub fn run(&self, hard: &[Fault]) -> CombPhaseOutcome {
+        match self.config.lane_width {
+            LaneWidth::W64 => self.run_wide::<u64>(hard),
+            LaneWidth::W256 => self.run_wide::<R256>(hard),
+        }
+    }
+
+    fn run_wide<W: Rail>(&self, hard: &[Fault]) -> CombPhaseOutcome {
         let start = Instant::now();
         let circuit = self.design.circuit();
         let layout = scan_vector_layout(self.design);
@@ -273,7 +298,7 @@ impl<'d> CombPhase<'d> {
 
         let max_len = self.design.max_chain_len();
         let window_len = 2 * max_len + 2;
-        let sim = ParallelFaultSim::with_topology(self.design.topology());
+        let sim = ParallelFaultSim::<W>::with_topology_wide(self.design.topology());
         let init = vec![V3::X; circuit.dffs().len()];
 
         let mut status: Vec<Status> = vec![Status::Pending; hard.len()];

@@ -24,7 +24,8 @@ use std::time::Instant;
 
 use fscan_fault::Fault;
 use fscan_scan::ScanDesign;
-use fscan_sim::{ParallelFaultSim, ShardStats, StageMetrics, V3, WorkCounters};
+use fscan_sim::kernel::{Rail, R256};
+use fscan_sim::{LaneWidth, ParallelFaultSim, ShardStats, StageMetrics, V3, WorkCounters};
 
 use crate::program::TestProgram;
 
@@ -112,7 +113,7 @@ impl fmt::Display for CompactionError {
 
 impl std::error::Error for CompactionError {}
 
-fn detects_per_test(
+fn detects_per_test<W: Rail>(
     design: &ScanDesign,
     program: &TestProgram,
     faults: &[Fault],
@@ -122,7 +123,7 @@ fn detects_per_test(
     // For each test (visited in `order`), the indices of still-undetected
     // faults it detects. Each test is self-contained (starts with a full
     // scan load), so per-test simulation from X state is exact.
-    let sim = ParallelFaultSim::with_topology(design.topology());
+    let sim = ParallelFaultSim::<W>::with_topology_wide(design.topology());
     let init = vec![V3::X; design.circuit().dffs().len()];
     let mut caught = vec![false; faults.len()];
     let mut per_test: Vec<Vec<usize>> = vec![Vec::new(); program.len()];
@@ -189,12 +190,37 @@ pub fn compact_program(
     faults: &[Fault],
     threads: usize,
 ) -> Result<CompactionOutcome, CompactionError> {
+    compact_program_wide::<u64>(design, program, faults, threads)
+}
+
+/// [`compact_program`] dispatched on a runtime [`LaneWidth`]. The kept
+/// set and the report are identical at every width.
+pub fn compact_program_at(
+    design: &ScanDesign,
+    program: TestProgram,
+    faults: &[Fault],
+    threads: usize,
+    width: LaneWidth,
+) -> Result<CompactionOutcome, CompactionError> {
+    match width {
+        LaneWidth::W64 => compact_program_wide::<u64>(design, program, faults, threads),
+        LaneWidth::W256 => compact_program_wide::<R256>(design, program, faults, threads),
+    }
+}
+
+/// [`compact_program`] at rail width `W`.
+pub fn compact_program_wide<W: Rail>(
+    design: &ScanDesign,
+    program: TestProgram,
+    faults: &[Fault],
+    threads: usize,
+) -> Result<CompactionOutcome, CompactionError> {
     let start = Instant::now();
     let n = program.len();
     let mut shards = ShardStats::default();
     let mut counters = WorkCounters::ZERO;
     let (per_test_rev, total, rstats, rwork) =
-        detects_per_test(design, &program, faults, (0..n).rev(), threads);
+        detects_per_test::<W>(design, &program, faults, (0..n).rev(), threads);
     shards.absorb(&rstats);
     counters += rwork;
     let mut keep: Vec<bool> = per_test_rev.iter().map(|d| !d.is_empty()).collect();
@@ -215,7 +241,7 @@ pub fn compact_program(
     // reverse pass guarantees it equals the full program's — enforce
     // that instead of trusting it).
     let (_, after, fstats, fwork) =
-        detects_per_test(design, &compacted, faults, 0..compacted.len(), threads);
+        detects_per_test::<W>(design, &compacted, faults, 0..compacted.len(), threads);
     shards.absorb(&fstats);
     counters += fwork;
     if after != total {
@@ -258,7 +284,7 @@ pub fn truncate_to_coverage(
     let start = Instant::now();
     let n = program.len();
     let (per_test, total, shards, counters) =
-        detects_per_test(design, program, faults, 0..n, threads);
+        detects_per_test::<u64>(design, program, faults, 0..n, threads);
     let target = (total as f64 * coverage).ceil() as usize;
     let mut cum = 0usize;
     let mut cut = 0usize;

@@ -32,14 +32,14 @@ use std::time::Instant;
 use fscan_atpg::{PodemConfig, SeqAtpgConfig};
 use fscan_fault::{all_faults_with, collapse_with, Fault};
 use fscan_scan::ScanDesign;
-use fscan_sim::{StageMetrics, WorkCounters};
+use fscan_sim::{LaneWidth, StageMetrics, WorkCounters};
 
 use crate::alternating::{AlternatingPhase, AlternatingReport};
 use crate::classify::{
-    classify_faults_sharded, Category, ChainLocation, ClassifiedFault, ClassifySummary,
+    classify_faults_sharded_at, Category, ChainLocation, ClassifiedFault, ClassifySummary,
 };
 use crate::comb_phase::{CombPhase, CombPhaseConfig, CombPhaseOutcome, CombPhaseReport};
-use crate::compact::{compact_program, CompactionReport};
+use crate::compact::{compact_program_at, CompactionReport};
 use crate::program::{ScanTest, TestProgram};
 use crate::seq_phase::{DistParams, SeqPhase, SeqPhaseReport};
 
@@ -60,6 +60,11 @@ pub struct PipelineConfig {
     /// available hardware thread. Results are identical for every
     /// value.
     pub threads: usize,
+    /// Packed rail width for the word-parallel stages (classification
+    /// and step-2 fault simulation). Verdicts are identical at every
+    /// width; wider rails retire more faults per union-cone walk.
+    /// Defaults to [`LaneWidth::W256`].
+    pub lane_width: LaneWidth,
 }
 
 impl Default for PipelineConfig {
@@ -80,6 +85,7 @@ impl Default for PipelineConfig {
             },
             dist: None,
             threads: 0,
+            lane_width: LaneWidth::default(),
         }
     }
 }
@@ -177,6 +183,13 @@ impl PipelineConfigBuilder {
     /// the longest chain).
     pub fn dist(mut self, dist: DistParams) -> Self {
         self.config.dist = Some(dist);
+        self
+    }
+
+    /// Packed rail width for the word-parallel stages (default
+    /// [`LaneWidth::W256`]). Verdicts are identical at every width.
+    pub fn lane_width(mut self, lane_width: LaneWidth) -> Self {
+        self.config.lane_width = lane_width;
         self
     }
 
@@ -371,8 +384,12 @@ impl<'d> PipelineSession<'d> {
     /// implication, sharded across the configured workers.
     pub fn classify(self) -> Classified<'d> {
         let start = Instant::now();
-        let (classified, shards, mut counters) =
-            classify_faults_sharded(self.design, &self.faults, self.config.threads);
+        let (classified, shards, mut counters) = classify_faults_sharded_at(
+            self.design,
+            &self.faults,
+            self.config.threads,
+            self.config.lane_width,
+        );
         // The session's one topology compilation is accounted to the
         // first stage; every later stage shares the same plan, so the
         // report-wide total stays at exactly 1.
@@ -446,7 +463,7 @@ impl<'d> Classified<'d> {
             .collect();
         let phase = AlternatingPhase::new(self.design);
         let (detections, shards, cpu, counters) =
-            phase.run_sharded(&affected, self.config.threads);
+            phase.run_sharded_at(&affected, self.config.threads, self.config.lane_width);
         let detected: HashSet<Fault> = affected
             .iter()
             .zip(detections.iter())
@@ -518,6 +535,7 @@ impl<'d> AfterAlternating<'d> {
         let comb_config = CombPhaseConfig {
             podem: self.config.podem,
             threads: self.config.threads,
+            lane_width: self.config.lane_width,
             ..CombPhaseConfig::default()
         };
         let outcome = CombPhase::new(self.design, comb_config).run(&hard);
@@ -584,8 +602,14 @@ impl<'d> AfterComb<'d> {
         for t in comb_tests {
             program.push(t);
         }
-        let compacted = compact_program(self.design, program, &affected, self.config.threads)
-            .expect("reverse-order compaction preserves every detection");
+        let compacted = compact_program_at(
+            self.design,
+            program,
+            &affected,
+            self.config.threads,
+            self.config.lane_width,
+        )
+        .expect("reverse-order compaction preserves every detection");
         AfterCompact {
             design: self.design,
             config: self.config,

@@ -163,7 +163,20 @@ pub fn parse_bench(text: &str, name: &str) -> Result<Circuit, ParseBenchError> {
                 continue;
             }
             if args.is_empty() {
+                // A zero-fanin logic gate has no defined value: the
+                // kernel's fold identities would evaluate `AND()` to a
+                // constant 1 (`OR()` to 0), silently inventing logic.
                 return Err(ParseBenchError::new(*lineno, "gate with no inputs"));
+            }
+            if let Some(n) = kind.fixed_arity() {
+                if args.len() != n {
+                    // Without this check `add_gate` would panic on e.g.
+                    // `y = NOT(a, b)` instead of reporting the line.
+                    return Err(ParseBenchError::new(
+                        *lineno,
+                        format!("{kind} requires exactly {n} input(s), got {}", args.len()),
+                    ));
+                }
             }
             // Temporarily wire every pin to node 0 (patched below); node 0
             // always exists if there is at least one declaration.
@@ -324,6 +337,31 @@ G17 = NOT(G11)
         let out1 = c.node(c.outputs()[0]).name().unwrap();
         let out2 = c2.node(c2.outputs()[0]).name().unwrap();
         assert_eq!(out1, out2);
+    }
+
+    #[test]
+    fn rejects_zero_fanin_gate() {
+        // `AND()` must be a parse error, not a constant-1 node: the
+        // three-valued kernel's fold identities give zero-fanin And = 1
+        // and Or = 0, so letting one through would invent logic.
+        for kind in ["AND", "OR", "NAND", "NOR", "XOR"] {
+            let src = format!("INPUT(a)\ny = {kind}()\nOUTPUT(y)\n");
+            let err = parse_bench(&src, "t").unwrap_err();
+            assert!(err.to_string().contains("no inputs"), "{kind}: {err}");
+            assert_eq!(err.line(), 2, "{kind}");
+        }
+    }
+
+    #[test]
+    fn rejects_fixed_arity_mismatch() {
+        // A typed error with the offending line, not an `add_gate`
+        // panic deep inside the builder.
+        let err = parse_bench("INPUT(a)\nINPUT(b)\ny = NOT(a, b)\nOUTPUT(y)\n", "t")
+            .unwrap_err();
+        assert!(err.to_string().contains("exactly 1"), "{err}");
+        assert_eq!(err.line(), 3);
+        let err = parse_bench("INPUT(a)\ny = BUF(a, a)\nOUTPUT(y)\n", "t").unwrap_err();
+        assert!(err.to_string().contains("exactly 1"), "{err}");
     }
 
     #[test]

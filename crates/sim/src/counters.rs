@@ -21,19 +21,22 @@ use crate::pool::ShardStats;
 ///
 /// * `gate_evals` — gate-evaluation operations executed. One scalar
 ///   [`V3`](crate::V3) gate evaluation counts 1; one packed
-///   [`Pv64`](crate::Pv64) gate evaluation also counts 1 (it is one
-///   operation, covering up to 64 lanes — `lane_cycles` captures the
-///   logical coverage). The event-driven simulators count only gates
-///   *actually re-evaluated* (one full seed pass at cycle 0, changed
-///   gates afterwards), so this measures incremental work, not
-///   `cycles × gates`.
+///   [`Pv<W>`](crate::Pv) gate evaluation also counts 1 (it is one
+///   operation, covering up to `W::LANES` fault lanes — 64 on the
+///   `u64` rail, 256 on [`R256`](crate::kernel::R256); `lane_cycles`
+///   captures the logical coverage). The event-driven simulators count
+///   only gates *actually re-evaluated* (one full seed pass at cycle
+///   0, changed gates afterwards), so this measures incremental work,
+///   not `cycles × gates`.
 /// * `lane_cycles` — Σ over simulated cycles of the number of active
 ///   fault lanes (a serial simulation contributes 1 per cycle).
 /// * `implication_events` — nodes popped and re-evaluated by
 ///   [`ImplicationEngine::run`](crate::ImplicationEngine::run).
 /// * `cone_nets` — nets a fault can structurally reach: sizes of the
 ///   forward-implication cones, plus the union fault-cone size of every
-///   64-fault word the parallel simulator restricted itself to.
+///   packed fault word the parallel simulator restricted itself to
+///   (tallied per lane, so the total is identical at every rail
+///   width).
 /// * `podem_decisions` — PODEM objective decisions taken (steps that
 ///   were not reversals).
 /// * `podem_backtracks` — PODEM reversals of a previous decision.
@@ -41,24 +44,26 @@ use crate::pool::ShardStats;
 ///   budget without a verdict.
 /// * `windows_formed` — candidate test windows (scan-in / apply /
 ///   scan-out sequences) assembled by the core phases.
-/// * `early_exits` — short-circuits taken: a 64-lane fault word whose
+/// * `early_exits` — short-circuits taken: a packed fault word whose
 ///   faults were all detected before the vector set was exhausted, or a
 ///   phase skipping a target already covered by fault dropping.
 /// * `topology_builds` — [`CompiledTopology`](fscan_netlist::CompiledTopology)
 ///   compilations a stage triggered. A full pipeline run over one design
 ///   reports exactly 1 (the compile-once invariant).
-/// * `scratch_reuses` — 64-fault words served through a reusable
+/// * `scratch_reuses` — packed fault words served through a reusable
 ///   [`SimScratch`](crate::SimScratch) arena instead of freshly
-///   allocated buffers (one per word, so thread-count invariant).
-/// * `implication_words` — 64-fault packed words processed by
-///   [`ImplicationEngine64`](crate::ImplicationEngine64) (one per
-///   `run_word` call, so thread-count invariant).
-/// * `kernel_gate_evals` — packed 64-lane dual-rail kernel gate
-///   evaluations. A subset of `gate_evals`: every packed evaluation
+///   allocated buffers (one per word, so thread-count invariant; wider
+///   rails serve fewer, larger words).
+/// * `implication_words` — packed words processed by
+///   [`PackedImplicationEngine`](crate::PackedImplicationEngine) (one
+///   per `run_word` call, so thread-count invariant; the most direct
+///   measure of wide-rail amortization).
+/// * `kernel_gate_evals` — packed dual-rail kernel gate evaluations at
+///   any rail width. A subset of `gate_evals`: every packed evaluation
 ///   counts once in both, so `gate_evals - kernel_gate_evals` is the
 ///   scalar share.
 /// * `faults_dropped` — pending ATPG targets resolved by the global
-///   64-lane drop simulation of a vector that was generated for a
+///   packed drop simulation of a vector that was generated for a
 ///   *different* target (the classic fault-dropping win; a target
 ///   detected by its own vector does not count).
 /// * `vectors_compacted` — tests removed from a `TestProgram` by
@@ -91,11 +96,11 @@ pub struct WorkCounters {
     pub early_exits: u64,
     /// Circuit topology compilations triggered.
     pub topology_builds: u64,
-    /// 64-fault words served by a reusable scratch arena.
+    /// Packed fault words served by a reusable scratch arena.
     pub scratch_reuses: u64,
-    /// 64-fault packed implication words processed.
+    /// Packed implication words processed.
     pub implication_words: u64,
-    /// Packed 64-lane kernel gate evaluations (subset of `gate_evals`).
+    /// Packed dual-rail kernel gate evaluations (subset of `gate_evals`).
     pub kernel_gate_evals: u64,
     /// Pending targets resolved by a vector generated for another target.
     pub faults_dropped: u64,

@@ -9,8 +9,8 @@ use fscan_netlist::{Circuit, CompiledTopology, NodeId};
 
 use crate::comb::CombEvaluator;
 use crate::counters::WorkCounters;
-use crate::kernel;
-use crate::packed::Pv64;
+use crate::kernel::{self, Rail};
+use crate::packed::Pv;
 use crate::scratch::{SimScratch, NO_ENTRY};
 use crate::value::V3;
 
@@ -223,23 +223,23 @@ impl ImplicationEngine {
     }
 }
 
-/// One net change of a packed implication word: up to 64 lanes' faulty
-/// values in one dual-rail [`Pv64`], with `lanes` marking the lanes
-/// whose value actually differs from `good`.
+/// One net change of a packed implication word: up to `W::LANES` lanes'
+/// faulty values in one dual-rail [`Pv<W>`](Pv), with `lanes` marking
+/// the lanes whose value actually differs from `good`.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
-pub struct PackedChange {
+pub struct PackedChange<W: Rail = u64> {
     /// The net (identified by its driving node).
     pub node: NodeId,
     /// Fault-free value.
     pub good: V3,
     /// Per-lane values under each lane's fault.
-    pub faulty: Pv64,
+    pub faulty: Pv<W>,
     /// Mask of lanes where `faulty` differs from `good`.
-    pub lanes: u64,
+    pub lanes: W,
 }
 
 /// Lanes of `w` whose value differs from the scalar `good`.
-fn lanes_changed(w: Pv64, good: V3) -> u64 {
+fn lanes_changed<W: Rail>(w: Pv<W>, good: V3) -> W {
     match good {
         V3::Zero => !w.zeros(),
         V3::One => !w.ones(),
@@ -247,10 +247,14 @@ fn lanes_changed(w: Pv64, good: V3) -> u64 {
     }
 }
 
-/// Packed 64-fault forward implication — the classification kernel.
+/// Packed `W::LANES`-fault forward implication — the classification
+/// kernel. [`ImplicationEngine64`] is the historical 64-lane alias; the
+/// pipeline default is the 256-lane instance
+/// (`PackedImplicationEngine<R256>`).
 ///
-/// Runs [`ImplicationEngine::run`]'s propagation for up to 64 faults at
-/// once: the fault-free steady values are splatted across all lanes and
+/// Runs [`ImplicationEngine::run`]'s propagation for up to `W::LANES`
+/// faults at once: the fault-free steady values are splatted across all
+/// lanes and
 /// the faulty dual-rail trace propagates only through the union of the
 /// word's fault cones, swept in [`CompiledTopology`] CSR topological
 /// order with [`SimScratch`] arenas — zero steady-state heap
@@ -264,38 +268,41 @@ fn lanes_changed(w: Pv64, good: V3) -> u64 {
 /// (counted once in `gate_evals` and once in `kernel_gate_evals`)
 /// covers every lane the scalar engine would have popped individually.
 #[derive(Clone, Debug)]
-pub struct ImplicationEngine64 {
+pub struct PackedImplicationEngine<W: Rail = u64> {
     topo: Arc<CompiledTopology>,
-    scratch: SimScratch,
+    scratch: SimScratch<W>,
     /// Per-node seed masks, valid when `seed_stamp[n] == word`: lanes
     /// whose fault forces a re-evaluation of gate `n` even without a
     /// fanin change (stem-on-gate and branch faults).
     seed_stamp: Vec<u64>,
-    seed_mask: Vec<u64>,
+    seed_mask: Vec<W>,
     /// Word epoch for the seed stamps (`u64`: never wraps).
     word: u64,
     /// Per-node changed-lane masks, valid for cone members only.
-    diff: Vec<u64>,
-    changes: Vec<PackedChange>,
+    diff: Vec<W>,
+    changes: Vec<PackedChange<W>>,
     counters: WorkCounters,
 }
 
-impl ImplicationEngine64 {
+/// The 64-lane packed implication engine (the historical name).
+pub type ImplicationEngine64 = PackedImplicationEngine<u64>;
+
+impl<W: Rail> PackedImplicationEngine<W> {
     /// Builds an engine sharing the evaluator's compiled topology.
-    pub fn new(circuit: &Circuit, eval: &CombEvaluator) -> ImplicationEngine64 {
+    pub fn new(circuit: &Circuit, eval: &CombEvaluator) -> PackedImplicationEngine<W> {
         debug_assert_eq!(circuit.num_nodes(), eval.topology().num_nodes());
-        ImplicationEngine64::with_topology(eval.topology().clone())
+        PackedImplicationEngine::with_topology(eval.topology().clone())
     }
 
     /// Builds an engine over an already-compiled topology.
-    pub fn with_topology(topo: Arc<CompiledTopology>) -> ImplicationEngine64 {
+    pub fn with_topology(topo: Arc<CompiledTopology>) -> PackedImplicationEngine<W> {
         let n = topo.num_nodes();
-        ImplicationEngine64 {
+        PackedImplicationEngine {
             scratch: SimScratch::new(&topo),
             seed_stamp: vec![0; n],
-            seed_mask: vec![0; n],
+            seed_mask: vec![W::EMPTY; n],
             word: 0,
-            diff: vec![0; n],
+            diff: vec![W::EMPTY; n],
             changes: Vec::new(),
             counters: WorkCounters::ZERO,
             topo,
@@ -319,11 +326,13 @@ impl ImplicationEngine64 {
     /// in the same order, to a scalar [`ImplicationEngine::run`] on that
     /// lane's fault.
     pub fn lane_changes(&self, lane: u32) -> impl Iterator<Item = NetChange> + '_ {
-        debug_assert!(lane < 64, "packed lane out of range: {lane} >= 64");
-        let bit = 1u64 << lane;
+        // `lane_bit` is width-checked in every build profile: an
+        // out-of-range lane panics instead of silently reading the
+        // wrong lane's changes.
+        let bit = W::lane_bit(lane);
         self.changes
             .iter()
-            .filter(move |ch| ch.lanes & bit != 0)
+            .filter(move |ch| !(ch.lanes & bit).is_empty())
             .map(move |ch| NetChange {
                 node: ch.node,
                 good: ch.good,
@@ -331,19 +340,23 @@ impl ImplicationEngine64 {
             })
     }
 
-    /// Runs the forward implication of up to 64 faults in one packed
-    /// pass and returns the changed nets in topological order (sources
-    /// first), with per-lane change masks.
+    /// Runs the forward implication of up to `W::LANES` faults in one
+    /// packed pass and returns the changed nets in topological order
+    /// (sources first), with per-lane change masks.
     ///
     /// # Panics
     ///
-    /// Panics if `faults` holds more than 64 entries.
-    pub fn run_word(&mut self, good: &[V3], faults: &[Fault]) -> &[PackedChange] {
-        assert!(faults.len() <= 64, "a packed word holds at most 64 faults");
+    /// Panics if `faults` holds more than `W::LANES` entries.
+    pub fn run_word(&mut self, good: &[V3], faults: &[Fault]) -> &[PackedChange<W>] {
+        assert!(
+            faults.len() <= W::LANES as usize,
+            "a packed word holds at most {} faults",
+            W::LANES
+        );
         debug_assert!(good.len() >= self.topo.num_nodes());
         self.word += 1;
         self.scratch.begin_word();
-        let ImplicationEngine64 {
+        let PackedImplicationEngine {
             topo,
             scratch,
             seed_stamp,
@@ -357,11 +370,7 @@ impl ImplicationEngine64 {
         counters.implication_words += 1;
         counters.scratch_reuses += 1;
         changes.clear();
-        let full_mask = if faults.len() == 64 {
-            !0u64
-        } else {
-            (1u64 << faults.len()) - 1
-        };
+        let full_mask = W::low_mask(faults.len() as u32);
         let SimScratch {
             epoch,
             fval,
@@ -385,7 +394,7 @@ impl ImplicationEngine64 {
         // unconditionally, so those lanes must pop even without a fanin
         // change.
         for (lane, f) in faults.iter().enumerate() {
-            let mask = 1u64 << lane;
+            let mask = W::lane_bit(lane as u32);
             match f.site {
                 FaultSite::Stem(n) => {
                     let i = n.index();
@@ -399,7 +408,7 @@ impl ImplicationEngine64 {
                     if pos[i] != u32::MAX {
                         if seed_stamp[i] != word {
                             seed_stamp[i] = word;
-                            seed_mask[i] = 0;
+                            seed_mask[i] = W::EMPTY;
                         }
                         seed_mask[i] |= mask;
                     }
@@ -424,13 +433,13 @@ impl ImplicationEngine64 {
                     branch_entries.push((pin as u32, mask, f.stuck, prev));
                     if seed_stamp[i] != word {
                         seed_stamp[i] = word;
-                        seed_mask[i] = 0;
+                        seed_mask[i] = W::EMPTY;
                     }
                     seed_mask[i] |= mask;
                 }
             }
         }
-        let force_stem = |mut w: Pv64, id: NodeId| -> Pv64 {
+        let force_stem = |mut w: Pv<W>, id: NodeId| -> Pv<W> {
             let (ep, mut e) = stem_head[id.index()];
             if ep == epoch {
                 while e != NO_ENTRY {
@@ -441,7 +450,7 @@ impl ImplicationEngine64 {
             }
             w
         };
-        let force_branch = |mut w: Pv64, id: NodeId, pin: usize| -> Pv64 {
+        let force_branch = |mut w: Pv<W>, id: NodeId, pin: usize| -> Pv<W> {
             let (ep, mut e) = branch_head[id.index()];
             if ep == epoch {
                 while e != NO_ENTRY {
@@ -502,12 +511,12 @@ impl ImplicationEngine64 {
         // source change before any gate pop).
         for &src in cone_pis.iter() {
             let i = src.index();
-            let w = force_stem(Pv64::splat(good[i]), src);
+            let w = force_stem(Pv::splat(good[i]), src);
             fval[i] = w;
             let d = lanes_changed(w, good[i]) & full_mask;
             diff[i] = d;
-            if d != 0 {
-                counters.cone_nets += u64::from(d.count_ones());
+            if !d.is_empty() {
+                counters.cone_nets += u64::from(d.count());
                 changes.push(PackedChange {
                     node: src,
                     good: good[i],
@@ -523,21 +532,25 @@ impl ImplicationEngine64 {
         // so the whole-word evaluation is exact per lane.
         for &id in cone_order.iter() {
             let i = id.index();
-            let seeds = if seed_stamp[i] == word { seed_mask[i] } else { 0 };
+            let seeds = if seed_stamp[i] == word {
+                seed_mask[i]
+            } else {
+                W::EMPTY
+            };
             let mut pop = seeds;
             for &src in topo.fanin(id) {
                 if cone_stamp[src.index()] == epoch {
                     pop |= diff[src.index()];
                 }
             }
-            if pop == 0 {
+            if pop.is_empty() {
                 // No lane re-evaluates this gate; it keeps the good
                 // value so downstream in-cone reads stay exact.
-                fval[i] = Pv64::splat(good[i]);
-                diff[i] = 0;
+                fval[i] = Pv::splat(good[i]);
+                diff[i] = W::EMPTY;
                 continue;
             }
-            counters.implication_events += u64::from(pop.count_ones());
+            counters.implication_events += u64::from(pop.count());
             counters.gate_evals += 1;
             counters.kernel_gate_evals += 1;
             buf.clear();
@@ -545,16 +558,16 @@ impl ImplicationEngine64 {
                 let w = if cone_stamp[src.index()] == epoch {
                     fval[src.index()]
                 } else {
-                    Pv64::splat(good[src.index()])
+                    Pv::splat(good[src.index()])
                 };
                 buf.push(force_branch(w, id, pin));
             }
-            let out = force_stem(Pv64::eval(topo.kind(id), buf.iter().copied()), id);
+            let out = force_stem(Pv::eval(topo.kind(id), buf.iter().copied()), id);
             fval[i] = out;
             let d = lanes_changed(out, good[i]) & full_mask;
             diff[i] = d;
-            if d != 0 {
-                counters.cone_nets += u64::from(d.count_ones());
+            if !d.is_empty() {
+                counters.cone_nets += u64::from(d.count());
                 changes.push(PackedChange {
                     node: id,
                     good: good[i],
@@ -702,8 +715,7 @@ mod tests {
         assert_ne!(r1, r2);
     }
 
-    #[test]
-    fn packed_word_matches_scalar_per_lane() {
+    fn packed_matches_scalar_at<W: Rail>() {
         let (c, nodes, good) = figure3();
         let eval = CombEvaluator::new(&c);
         let mut faults: Vec<Fault> = Vec::new();
@@ -712,7 +724,7 @@ mod tests {
             faults.push(Fault::stem(n, true));
         }
         let mut scalar = ImplicationEngine::new(&c, &eval);
-        let mut packed = ImplicationEngine64::new(&c, &eval);
+        let mut packed = PackedImplicationEngine::<W>::new(&c, &eval);
         packed.run_word(&good, &faults);
         for (lane, &f) in faults.iter().enumerate() {
             let expect = scalar.run(&c, &good, f);
@@ -727,6 +739,32 @@ mod tests {
         assert_eq!(pc.scratch_reuses, 1);
         assert_eq!(pc.kernel_gate_evals, pc.gate_evals);
         assert!(pc.gate_evals <= sc.gate_evals, "packing must not add evals");
+    }
+
+    #[test]
+    fn packed_word_matches_scalar_per_lane() {
+        packed_matches_scalar_at::<u64>();
+    }
+
+    #[test]
+    fn wide_packed_word_matches_scalar_per_lane() {
+        // The same lane-exactness invariant at 256 lanes; the 12-fault
+        // word also exercises the tail masking (12 % 256 != 0).
+        packed_matches_scalar_at::<crate::kernel::R256>();
+    }
+
+    #[test]
+    fn lane_changes_is_width_checked() {
+        let (c, [pi, ..], good) = figure3();
+        let eval = CombEvaluator::new(&c);
+        let mut packed = ImplicationEngine64::new(&c, &eval);
+        packed.run_word(&good, &[Fault::stem(pi, false)]);
+        // A hard (release-mode) check: the old debug_assert let the
+        // mask wrap to lane % 64 and report the wrong lane's changes.
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            packed.lane_changes(64).count()
+        }));
+        assert!(r.is_err());
     }
 
     #[test]

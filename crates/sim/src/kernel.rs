@@ -16,7 +16,8 @@
 //! [`Pv64`](crate::Pv64).
 
 use std::fmt;
-use std::ops::{BitAnd, BitOr, BitXor, Not};
+use std::hash::Hash;
+use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, BitXor, Not};
 
 use fscan_netlist::GateKind;
 
@@ -24,33 +25,240 @@ use crate::value::V3;
 
 /// A lane mask: the rail type of a dual-rail value.
 ///
-/// Implemented for `bool` (one lane) and `u64` (64 lanes); any
-/// fixed-width unsigned integer would do. The required operators are
-/// lane-wise, so every dual-rail formula written against this trait is
-/// automatically lane-exact at any width.
+/// Implemented for `bool` (one lane), `u64` (64 lanes) and
+/// [`Lanes<N>`] (`64 * N` lanes). The required operators are lane-wise,
+/// so every dual-rail formula written against this trait is
+/// automatically lane-exact at any width, and the lane-indexed
+/// accessors ([`lane_bit`](Rail::lane_bit), [`low_mask`](Rail::low_mask))
+/// are *width-checked in every build profile*: an out-of-range lane
+/// index panics instead of silently wrapping onto the wrong lane.
 pub trait Rail:
     Copy
     + Eq
+    + Hash
     + fmt::Debug
+    + Send
+    + Sync
+    + 'static
     + BitAnd<Output = Self>
     + BitOr<Output = Self>
     + BitXor<Output = Self>
+    + BitAndAssign
+    + BitOrAssign
     + Not<Output = Self>
 {
+    /// Number of lanes this mask carries.
+    const LANES: u32;
     /// No lanes set.
     const EMPTY: Self;
     /// Every lane set.
     const FULL: Self;
+
+    /// The mask with only `lane` set.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane >= Self::LANES` — in release builds too. A
+    /// plain `1u64 << lane` wraps the shift amount on x86 and silently
+    /// reads the *wrong lane*; this accessor is the checked replacement.
+    fn lane_bit(lane: u32) -> Self;
+
+    /// The mask with the low `n` lanes set (`n == LANES` gives `FULL`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n > Self::LANES`.
+    fn low_mask(n: u32) -> Self;
+
+    /// Number of set lanes.
+    fn count(self) -> u32;
+
+    /// Whether no lanes are set.
+    fn is_empty(self) -> bool {
+        self == Self::EMPTY
+    }
+
+    /// Calls `f` with every set lane index, lowest first.
+    fn for_each_set_lane(self, f: impl FnMut(u32));
+}
+
+#[cold]
+#[inline(never)]
+fn lane_out_of_range(lane: u32, lanes: u32) -> ! {
+    panic!("lane index {lane} out of range for a {lanes}-lane rail");
 }
 
 impl Rail for bool {
+    const LANES: u32 = 1;
     const EMPTY: bool = false;
     const FULL: bool = true;
+
+    fn lane_bit(lane: u32) -> bool {
+        if lane >= 1 {
+            lane_out_of_range(lane, 1);
+        }
+        true
+    }
+
+    fn low_mask(n: u32) -> bool {
+        if n > 1 {
+            lane_out_of_range(n, 1);
+        }
+        n == 1
+    }
+
+    fn count(self) -> u32 {
+        self as u32
+    }
+
+    fn for_each_set_lane(self, mut f: impl FnMut(u32)) {
+        if self {
+            f(0);
+        }
+    }
 }
 
 impl Rail for u64 {
+    const LANES: u32 = 64;
     const EMPTY: u64 = 0;
     const FULL: u64 = !0;
+
+    fn lane_bit(lane: u32) -> u64 {
+        if lane >= 64 {
+            lane_out_of_range(lane, 64);
+        }
+        1u64 << lane
+    }
+
+    fn low_mask(n: u32) -> u64 {
+        match n {
+            64 => !0,
+            0..=63 => (1u64 << n) - 1,
+            _ => lane_out_of_range(n, 64),
+        }
+    }
+
+    fn count(self) -> u32 {
+        self.count_ones()
+    }
+
+    fn for_each_set_lane(self, mut f: impl FnMut(u32)) {
+        let mut m = self;
+        while m != 0 {
+            f(m.trailing_zeros());
+            m &= m - 1;
+        }
+    }
+}
+
+/// A wide lane mask: `N` 64-bit words glued into one `64 * N`-lane
+/// rail. `Lanes<4>` (aliased [`R256`]) is the 256-lane mask behind the
+/// pipeline's default packed width.
+///
+/// The newtype exists because coherence forbids implementing the `std`
+/// bit operators directly on `[u64; N]`; all operators act word-wise,
+/// which is exactly lane-wise.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Lanes<const N: usize>(pub [u64; N]);
+
+/// The 256-lane rail (four 64-bit words).
+pub type R256 = Lanes<4>;
+
+impl<const N: usize> BitAnd for Lanes<N> {
+    type Output = Lanes<N>;
+    fn bitand(mut self, rhs: Lanes<N>) -> Lanes<N> {
+        for i in 0..N {
+            self.0[i] &= rhs.0[i];
+        }
+        self
+    }
+}
+
+impl<const N: usize> BitOr for Lanes<N> {
+    type Output = Lanes<N>;
+    fn bitor(mut self, rhs: Lanes<N>) -> Lanes<N> {
+        for i in 0..N {
+            self.0[i] |= rhs.0[i];
+        }
+        self
+    }
+}
+
+impl<const N: usize> BitXor for Lanes<N> {
+    type Output = Lanes<N>;
+    fn bitxor(mut self, rhs: Lanes<N>) -> Lanes<N> {
+        for i in 0..N {
+            self.0[i] ^= rhs.0[i];
+        }
+        self
+    }
+}
+
+impl<const N: usize> BitAndAssign for Lanes<N> {
+    fn bitand_assign(&mut self, rhs: Lanes<N>) {
+        for i in 0..N {
+            self.0[i] &= rhs.0[i];
+        }
+    }
+}
+
+impl<const N: usize> BitOrAssign for Lanes<N> {
+    fn bitor_assign(&mut self, rhs: Lanes<N>) {
+        for i in 0..N {
+            self.0[i] |= rhs.0[i];
+        }
+    }
+}
+
+impl<const N: usize> Not for Lanes<N> {
+    type Output = Lanes<N>;
+    fn not(mut self) -> Lanes<N> {
+        for i in 0..N {
+            self.0[i] = !self.0[i];
+        }
+        self
+    }
+}
+
+impl<const N: usize> Rail for Lanes<N> {
+    const LANES: u32 = 64 * N as u32;
+    const EMPTY: Lanes<N> = Lanes([0; N]);
+    const FULL: Lanes<N> = Lanes([!0; N]);
+
+    fn lane_bit(lane: u32) -> Lanes<N> {
+        if lane >= Self::LANES {
+            lane_out_of_range(lane, Self::LANES);
+        }
+        let mut words = [0u64; N];
+        words[(lane / 64) as usize] = 1u64 << (lane % 64);
+        Lanes(words)
+    }
+
+    fn low_mask(n: u32) -> Lanes<N> {
+        if n > Self::LANES {
+            lane_out_of_range(n, Self::LANES);
+        }
+        let mut words = [0u64; N];
+        for (i, w) in words.iter_mut().enumerate() {
+            let lo = i as u32 * 64;
+            *w = u64::low_mask(n.saturating_sub(lo).min(64));
+        }
+        Lanes(words)
+    }
+
+    fn count(self) -> u32 {
+        self.0.iter().map(|w| w.count_ones()).sum()
+    }
+
+    fn for_each_set_lane(self, mut f: impl FnMut(u32)) {
+        for (i, &word) in self.0.iter().enumerate() {
+            let mut m = word;
+            while m != 0 {
+                f(i as u32 * 64 + m.trailing_zeros());
+                m &= m - 1;
+            }
+        }
+    }
 }
 
 /// A dual-rail three-valued value over the lane mask `M`.
@@ -343,6 +551,63 @@ mod tests {
     #[cfg(debug_assertions)]
     fn non_combinational_asserts_in_debug() {
         assert!(std::panic::catch_unwind(|| eval_v3(GateKind::Dff, [V3::One])).is_err());
+    }
+
+    #[test]
+    fn wide_rail_lanes_agree_with_scalar_lanes() {
+        // Same oracle as the u64 test, at 256 lanes: every lane of a
+        // Lanes<4> evaluation equals the scalar evaluation of that lane.
+        let pat = |salt: u64| {
+            let word = |k: u64| {
+                let zeros = 0x9e37_79b9_7f4a_7c15u64.rotate_left((salt + 13 * k) as u32);
+                let ones = !zeros & 0x5555_5555_5555_5555u64.rotate_left((salt * 7 + k) as u32);
+                (zeros & !ones, ones)
+            };
+            let ws: Vec<(u64, u64)> = (0..4).map(word).collect();
+            DualRail::new(
+                Lanes([ws[0].0, ws[1].0, ws[2].0, ws[3].0]),
+                Lanes([ws[0].1, ws[1].1, ws[2].1, ws[3].1]),
+            )
+        };
+        let lane_of = |d: DualRail<R256>, i: u32| {
+            let (w, b) = ((i / 64) as usize, i % 64);
+            DualRail::<bool>::new(d.zeros().0[w] >> b & 1 == 1, d.ones().0[w] >> b & 1 == 1)
+        };
+        for kind in GateKind::COMBINATIONAL {
+            let arity = kind.fixed_arity().unwrap_or(3);
+            let ins: Vec<DualRail<R256>> = (0..arity as u64).map(pat).collect();
+            let wide = eval_gate(kind, ins.iter().copied());
+            for i in 0..256 {
+                let narrow = eval_gate(kind, ins.iter().map(|&d| lane_of(d, i)));
+                assert_eq!(lane_of(wide, i), narrow, "{kind} lane {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn rail_lane_accessors_are_width_checked() {
+        // Hard checks at every width, release builds included.
+        assert_eq!(u64::lane_bit(63), 1u64 << 63);
+        assert_eq!(u64::low_mask(64), !0u64);
+        assert_eq!(u64::low_mask(0), 0);
+        assert!(std::panic::catch_unwind(|| u64::lane_bit(64)).is_err());
+        assert!(std::panic::catch_unwind(|| bool::lane_bit(1)).is_err());
+        assert!(std::panic::catch_unwind(|| R256::lane_bit(256)).is_err());
+        assert!(std::panic::catch_unwind(|| R256::low_mask(257)).is_err());
+        assert_eq!(R256::lane_bit(130), Lanes([0, 0, 4, 0]));
+        assert_eq!(R256::low_mask(256), R256::FULL);
+        assert_eq!(R256::low_mask(70), Lanes([!0, 0x3f, 0, 0]));
+    }
+
+    #[test]
+    fn wide_rail_set_lane_iteration_is_ordered() {
+        let m = Lanes([1u64 << 5, 0, 1 | 1 << 63, 1 << 2]);
+        let mut seen = Vec::new();
+        m.for_each_set_lane(|l| seen.push(l));
+        assert_eq!(seen, vec![5, 128, 191, 194]);
+        assert_eq!(m.count(), 4);
+        assert!(!m.is_empty());
+        assert!(R256::EMPTY.is_empty());
     }
 
     #[test]

@@ -8,8 +8,9 @@
 //!   it);
 //! * [`V3`] — three-valued logic (0, 1, X), the kernel's 1-lane
 //!   instance;
-//! * [`Pv64`] — 64 three-valued machines packed into two words, used by
-//!   the parallel fault simulator;
+//! * [`Pv<W>`](Pv) — `W::LANES` three-valued machines packed into one
+//!   dual-rail pair ([`Pv64`] and [`Pv256`] are the 64- and 256-lane
+//!   instances), used by the parallel fault simulator;
 //! * [`CombEvaluator`] — levelized combinational evaluation with
 //!   stuck-at fault injection;
 //! * [`SeqSim`] — cycle-accurate sequential simulation and serial
@@ -17,19 +18,21 @@
 //!   oracle every faster engine is checked against);
 //! * [`GoodTrace`] — the fault-free machine simulated once per vector
 //!   sequence, event-driven, and shared read-only by every fault batch;
-//! * [`ParallelFaultSim`] — 64-fault-per-pass sequential fault
-//!   simulation, event-driven and restricted to each fault word's
-//!   fanout cone, with [`SimScratch`] per-thread arenas reset (not
-//!   reallocated) between fault words;
+//! * [`ParallelFaultSim`] — `W::LANES`-fault-per-pass sequential fault
+//!   simulation (width-generic; [`LaneWidth`] is the runtime switch,
+//!   256 lanes the default), event-driven and restricted to each fault
+//!   word's fanout cone, with [`SimScratch`] per-thread arenas reset
+//!   (not reallocated) between fault words;
 //! * [`shard_map`] — scoped-thread work sharding with a deterministic
 //!   in-order merge, used by every fault-parallel pipeline stage;
 //! * [`WorkCounters`] — exact, machine-independent work counters
 //!   (bit-identical for every thread count) that the pipeline stages
 //!   aggregate for the BENCH trajectory — and [`StageMetrics`], the
 //!   per-stage `cpu`/`shards`/`counters` cost triple;
-//! * [`ImplicationEngine`] / [`ImplicationEngine64`] — the 3-valued
+//! * [`ImplicationEngine`] / [`PackedImplicationEngine`] — the 3-valued
 //!   forward implication cone of a fault under fixed input constraints
-//!   (paper, Section 3/Figure 3), scalar and 64-fault packed.
+//!   (paper, Section 3/Figure 3), scalar and packed at any rail width
+//!   ([`ImplicationEngine64`] is the 64-lane alias).
 //!
 //! # Examples
 //!
@@ -65,15 +68,19 @@ pub mod pool;
 mod scratch;
 mod seq;
 mod value;
+mod width;
 
 pub use comb::CombEvaluator;
 pub use counters::{StageMetrics, WorkCounters};
 pub use event::GoodTrace;
-pub use implication::{ImplicationEngine, ImplicationEngine64, NetChange, PackedChange};
-pub use pack::pack_order64;
-pub use packed::Pv64;
+pub use implication::{
+    ImplicationEngine, ImplicationEngine64, NetChange, PackedChange, PackedImplicationEngine,
+};
+pub use pack::{pack_order, pack_order64};
+pub use packed::{Pv, Pv256, Pv64};
 pub use parallel::ParallelFaultSim;
 pub use pool::{resolve_threads, shard_map, shard_map_counted, ShardStats};
 pub use scratch::SimScratch;
 pub use seq::{detects, SeqSim, Trace};
 pub use value::V3;
+pub use width::LaneWidth;

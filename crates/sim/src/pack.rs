@@ -1,11 +1,12 @@
-//! Value-aware 64-lane word packing for [`ImplicationEngine64`].
+//! Value-aware word packing for the packed implication engine
+//! ([`PackedImplicationEngine`](crate::PackedImplicationEngine)).
 //!
 //! The packed engine evaluates each gate of a word's union implication
-//! cone once for all 64 lanes, so its work is `Σ_w |union cone of word
-//! w|` — minimized when the faults sharing a word have overlapping
-//! cones. [`pack_order64`] orders a collapsed fault list so consecutive
-//! 64-fault words do exactly that, using two cheap analyses of the
-//! steady state the engine will run against:
+//! cone once for all `W::LANES` lanes, so its work is `Σ_w |union cone
+//! of word w|` — minimized when the faults sharing a word have
+//! overlapping cones. [`pack_order`] orders a collapsed fault list so
+//! consecutive fault words do exactly that, using two cheap analyses of
+//! the steady state the engine will run against:
 //!
 //! 1. **Sensitized depth-first positions.** A DFS pre-order over only
 //!    the *sensitized* fanout edges — an edge `u → g` is skipped when
@@ -160,7 +161,7 @@ fn transmitted_effect(topo: &CompiledTopology, good: &[V3], fault: Fault) -> Opt
     }
 }
 
-/// Deterministic permutation packing `faults` into 64-lane words with
+/// Deterministic permutation packing `faults` into words with
 /// overlapping implication cones under the `good` steady state (see the
 /// module docs for the two analyses behind it).
 ///
@@ -168,10 +169,16 @@ fn transmitted_effect(topo: &CompiledTopology, good: &[V3], fault: Fault) -> Opt
 /// position, so the order is a pure function of the fault list, the
 /// topology and the steady values — identical for every thread count.
 ///
-/// Returns `order` such that `faults[order[w * 64 + lane]]` is the
-/// fault in lane `lane` of word `w`; it is always a permutation of
-/// `0..faults.len()`.
-pub fn pack_order64(topo: &CompiledTopology, good: &[V3], faults: &[Fault]) -> Vec<usize> {
+/// The sort key never mentions a lane width: the permutation is
+/// *width-invariant*, so cutting it into 64- or 256-lane words yields
+/// the same fault order lane by lane — the property that keeps packed
+/// verdicts byte-identical across rail widths. (Wider words simply
+/// merge adjacent runs of the same order into one union cone.)
+///
+/// Returns `order` such that `faults[order[w * LANES + lane]]` is the
+/// fault in lane `lane` of word `w` at any lane width; it is always a
+/// permutation of `0..faults.len()`.
+pub fn pack_order(topo: &CompiledTopology, good: &[V3], faults: &[Fault]) -> Vec<usize> {
     assert_eq!(
         good.len(),
         topo.num_nodes(),
@@ -193,6 +200,11 @@ pub fn pack_order64(topo: &CompiledTopology, good: &[V3], faults: &[Fault]) -> V
         (class, dfs[node.index()], node.index(), pin, f.stuck, i)
     });
     order
+}
+
+/// [`pack_order`] under its historical 64-lane name.
+pub fn pack_order64(topo: &CompiledTopology, good: &[V3], faults: &[Fault]) -> Vec<usize> {
+    pack_order(topo, good, faults)
 }
 
 #[cfg(test)]
@@ -221,7 +233,8 @@ mod tests {
     fn order_is_a_permutation() {
         let (c, faults, _) = sample();
         let topo = CompiledTopology::compile(&c);
-        let order = pack_order64(&topo, &all_x(&c), &faults);
+        let order = pack_order(&topo, &all_x(&c), &faults);
+        assert_eq!(order, pack_order64(&topo, &all_x(&c), &faults));
         let mut seen = vec![false; faults.len()];
         for &i in &order {
             assert!(!seen[i], "index {i} repeated");
@@ -235,7 +248,7 @@ mod tests {
         let (c, faults, _) = sample();
         let topo = CompiledTopology::compile(&c);
         let good = all_x(&c);
-        let order = pack_order64(&topo, &good, &faults);
+        let order = pack_order(&topo, &good, &faults);
         // Faults whose local difference reaches the same stem with the
         // same value have identical cones from that stem on — the
         // cheapest possible lane sharing — so each such class must
@@ -264,10 +277,10 @@ mod tests {
         let (c, faults, _) = sample();
         let topo = CompiledTopology::compile(&c);
         let good = all_x(&c);
-        let order = pack_order64(&topo, &good, &faults);
+        let order = pack_order(&topo, &good, &faults);
         let mut reversed: Vec<Fault> = faults.clone();
         reversed.reverse();
-        let rev_order = pack_order64(&topo, &good, &reversed);
+        let rev_order = pack_order(&topo, &good, &reversed);
         let packed: Vec<Fault> = order.iter().map(|&i| faults[i]).collect();
         let packed_rev: Vec<Fault> = rev_order.iter().map(|&i| reversed[i]).collect();
         assert_eq!(packed, packed_rev, "packing depends only on the faults");

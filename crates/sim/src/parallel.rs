@@ -1,6 +1,7 @@
-//! 64-fault-per-pass sequential fault simulation, event-driven and
-//! cone-restricted.
+//! Lane-parallel sequential fault simulation (one fault word —
+//! `W::LANES` faults — per pass), event-driven and cone-restricted.
 
+use std::marker::PhantomData;
 use std::sync::Arc;
 
 use fscan_fault::{Fault, FaultSite};
@@ -9,16 +10,20 @@ use fscan_netlist::{Circuit, CompiledTopology, GateKind, NodeId};
 use crate::comb::CombEvaluator;
 use crate::counters::WorkCounters;
 use crate::event::{EventQueue, GoodTrace};
-use crate::packed::Pv64;
+use crate::kernel::Rail;
+use crate::packed::Pv;
 use crate::scratch::{SimScratch, NO_ENTRY};
 use crate::value::V3;
 
-/// Parallel-fault sequential fault simulator: simulates up to 64 faulty
-/// machines per pass, one machine per bit lane, against a shared
-/// fault-free trace.
+/// Parallel-fault sequential fault simulator: simulates up to
+/// `W::LANES` faulty machines per pass (64 at the default `u64` rail,
+/// 256 at [`R256`](crate::kernel::R256)), one machine per bit lane,
+/// against a shared fault-free trace.
 ///
 /// The good machine is simulated once per vector sequence (event-driven,
-/// see [`GoodTrace`]) and replayed read-only by every 64-fault word.
+/// see [`GoodTrace`]) and replayed read-only by every fault word — the
+/// trace is scalar and width-independent, so widening the rail divides
+/// the number of cone walks without touching the good machine.
 /// Each word restricts itself to the union fanout cone of its fault
 /// sites — nets outside the cone provably carry good values — and within
 /// the cone only gates whose inputs changed since the previous cycle are
@@ -47,24 +52,43 @@ use crate::value::V3;
 /// assert_eq!(res, vec![Some(0)]);
 /// ```
 #[derive(Clone, Debug)]
-pub struct ParallelFaultSim {
+pub struct ParallelFaultSim<W: Rail = u64> {
     eval: CombEvaluator,
+    _width: PhantomData<W>,
 }
 
 impl ParallelFaultSim {
-    /// Builds a simulator, compiling a private topology. Prefer
+    /// Builds a 64-lane simulator, compiling a private topology. Prefer
     /// [`ParallelFaultSim::with_topology`] when a compiled plan is
-    /// already available.
+    /// already available; use [`ParallelFaultSim::new_wide`] /
+    /// [`ParallelFaultSim::with_topology_wide`] to pick another rail
+    /// width.
     pub fn new(circuit: &Circuit) -> ParallelFaultSim {
+        ParallelFaultSim::new_wide(circuit)
+    }
+
+    /// Builds a 64-lane simulator over an already-compiled topology.
+    pub fn with_topology(topo: Arc<CompiledTopology>) -> ParallelFaultSim {
+        ParallelFaultSim::with_topology_wide(topo)
+    }
+}
+
+impl<W: Rail> ParallelFaultSim<W> {
+    /// Builds a simulator at rail width `W`, compiling a private
+    /// topology.
+    pub fn new_wide(circuit: &Circuit) -> ParallelFaultSim<W> {
         ParallelFaultSim {
             eval: CombEvaluator::new(circuit),
+            _width: PhantomData,
         }
     }
 
-    /// Builds a simulator over an already-compiled topology.
-    pub fn with_topology(topo: Arc<CompiledTopology>) -> ParallelFaultSim {
+    /// Builds a simulator at rail width `W` over an already-compiled
+    /// topology.
+    pub fn with_topology_wide(topo: Arc<CompiledTopology>) -> ParallelFaultSim<W> {
         ParallelFaultSim {
             eval: CombEvaluator::with_topology(topo),
+            _width: PhantomData,
         }
     }
 
@@ -76,7 +100,7 @@ impl ParallelFaultSim {
     /// A fresh per-thread scratch arena sized for this simulator's
     /// topology, reusable across any number of
     /// [`fault_sim_into`](Self::fault_sim_into) calls.
-    pub fn scratch(&self) -> SimScratch {
+    pub fn scratch(&self) -> SimScratch<W> {
         SimScratch::new(self.eval.topology())
     }
 
@@ -149,14 +173,15 @@ impl ParallelFaultSim {
         &self,
         faults: &[Fault],
         trace: &GoodTrace,
-        scratch: &mut SimScratch,
+        scratch: &mut SimScratch<W>,
         out: &mut Vec<Option<usize>>,
     ) -> WorkCounters {
         out.clear();
         out.resize(faults.len(), None);
         let mut counters = WorkCounters::ZERO;
-        for (chunk_idx, chunk) in faults.chunks(64).enumerate() {
-            let base = chunk_idx * 64;
+        let lanes = W::LANES as usize;
+        for (chunk_idx, chunk) in faults.chunks(lanes).enumerate() {
+            let base = chunk_idx * lanes;
             counters +=
                 self.simulate_chunk(chunk, trace, scratch, &mut out[base..base + chunk.len()]);
         }
@@ -184,7 +209,7 @@ impl ParallelFaultSim {
         let trace = self.good_trace(vectors, init);
         let (detections, stats, mut counters) = crate::pool::shard_map_counted(
             threads,
-            64,
+            W::LANES as usize,
             faults,
             || self.scratch(),
             |scratch, _, chunk| {
@@ -212,7 +237,7 @@ impl ParallelFaultSim {
         &self,
         chunk: &[Fault],
         trace: &GoodTrace,
-        scratch: &mut SimScratch,
+        scratch: &mut SimScratch<W>,
         detection: &mut [Option<usize>],
     ) -> WorkCounters {
         let topo = &**self.eval.topology();
@@ -224,11 +249,7 @@ impl ParallelFaultSim {
             return counters;
         }
         let n_lanes = chunk.len() as u32;
-        let full_mask: u64 = if n_lanes == 64 {
-            !0
-        } else {
-            (1u64 << n_lanes) - 1
-        };
+        let full_mask = W::low_mask(n_lanes);
 
         scratch.begin_word();
         let SimScratch {
@@ -255,7 +276,7 @@ impl ParallelFaultSim {
         // Injection tables: epoch-stamped per-node linked lists. Lanes
         // are disjoint bits, so application order does not matter.
         for (lane, f) in chunk.iter().enumerate() {
-            let mask = 1u64 << lane;
+            let mask = W::lane_bit(lane as u32);
             match f.site {
                 FaultSite::Stem(n) => {
                     let i = n.index();
@@ -279,7 +300,7 @@ impl ParallelFaultSim {
                 }
             }
         }
-        let force_stem = |mut w: Pv64, id: NodeId| -> Pv64 {
+        let force_stem = |mut w: Pv<W>, id: NodeId| -> Pv<W> {
             let (ep, mut e) = stem_head[id.index()];
             if ep == epoch {
                 while e != NO_ENTRY {
@@ -290,7 +311,7 @@ impl ParallelFaultSim {
             }
             w
         };
-        let force_branch = |mut w: Pv64, id: NodeId, pin: usize| -> Pv64 {
+        let force_branch = |mut w: Pv<W>, id: NodeId, pin: usize| -> Pv<W> {
             let (ep, mut e) = branch_head[id.index()];
             if ep == epoch {
                 while e != NO_ENTRY {
@@ -353,7 +374,7 @@ impl ParallelFaultSim {
             }
         };
 
-        let mut detected_mask: u64 = 0;
+        let mut detected_mask = W::EMPTY;
         for t in 0..trace.cycles() {
             counters.lane_cycles += u64::from(n_lanes);
             if t == 0 {
@@ -365,18 +386,18 @@ impl ParallelFaultSim {
                 // branch force wakes the gate it feeds, and the shared
                 // event loop below propagates from there.
                 for &pi in cone_pis.iter() {
-                    fval[pi.index()] = force_stem(Pv64::splat(good_now[pi.index()]), pi);
+                    fval[pi.index()] = force_stem(Pv::splat(good_now[pi.index()]), pi);
                 }
                 for &ff in cone_ffs.iter() {
-                    fval[ff.index()] = force_stem(Pv64::splat(good_now[ff.index()]), ff);
+                    fval[ff.index()] = force_stem(Pv::splat(good_now[ff.index()]), ff);
                 }
                 for &id in cone_order.iter() {
-                    fval[id.index()] = force_stem(Pv64::splat(good_now[id.index()]), id);
+                    fval[id.index()] = force_stem(Pv::splat(good_now[id.index()]), id);
                 }
                 for f in chunk {
                     match f.site {
                         FaultSite::Stem(n) => {
-                            if fval[n.index()] != Pv64::splat(good_now[n.index()]) {
+                            if fval[n.index()] != Pv::splat(good_now[n.index()]) {
                                 schedule(queue, n);
                             }
                         }
@@ -401,7 +422,7 @@ impl ParallelFaultSim {
                     good_now[id.index()] = v;
                     if in_cone(id) {
                         if topo.kind(id) == GateKind::Input {
-                            let w = force_stem(Pv64::splat(v), id);
+                            let w = force_stem(Pv::splat(v), id);
                             if w != fval[id.index()] {
                                 fval[id.index()] = w;
                                 schedule(queue, id);
@@ -430,11 +451,11 @@ impl ParallelFaultSim {
                     let w = if in_cone(src) {
                         fval[src.index()]
                     } else {
-                        Pv64::splat(good_now[src.index()])
+                        Pv::splat(good_now[src.index()])
                     };
                     buf.push(force_branch(w, id, pin));
                 }
-                let out = force_stem(Pv64::eval(topo.kind(id), buf.iter().copied()), id);
+                let out = force_stem(Pv::eval(topo.kind(id), buf.iter().copied()), id);
                 if out != fval[id.index()] {
                     fval[id.index()] = out;
                     schedule(queue, id);
@@ -449,16 +470,11 @@ impl ParallelFaultSim {
                 let diff = match g {
                     V3::Zero => w.ones(),
                     V3::One => w.zeros(),
-                    V3::X => 0,
+                    V3::X => W::EMPTY,
                 };
                 let newly = diff & full_mask & !detected_mask;
-                if newly != 0 {
-                    let mut bits = newly;
-                    while bits != 0 {
-                        let lane = bits.trailing_zeros();
-                        detection[lane as usize] = Some(t);
-                        bits &= bits - 1;
-                    }
+                if !newly.is_empty() {
+                    newly.for_each_set_lane(|lane| detection[lane as usize] = Some(t));
                     detected_mask |= newly;
                 }
             }
@@ -477,7 +493,7 @@ impl ParallelFaultSim {
                 let w = if in_cone(d) {
                     fval[d.index()]
                 } else {
-                    Pv64::splat(good_now[d.index()])
+                    Pv::splat(good_now[d.index()])
                 };
                 fnext.push(force_branch(w, ff, 0));
             }
@@ -607,6 +623,43 @@ mod tests {
             let work = sim.fault_sim_into(&faults, &trace, &mut scratch, &mut out);
             assert_eq!(out, reference, "round {round}");
             assert_eq!(work, ref_work, "round {round}");
+        }
+    }
+
+    #[test]
+    fn wide_rail_matches_default_width_verdicts() {
+        use crate::kernel::R256;
+        // 256-lane words must give the exact verdicts of the 64-lane
+        // default (and the serial reference), with fewer cone walks.
+        let cfg = GeneratorConfig::new("wide", 11).inputs(8).gates(160).dffs(8);
+        let c = generate(&cfg);
+        let faults = collapse(&c, &all_faults(&c));
+        assert!(faults.len() > 64, "need more than one 64-lane word");
+        assert_ne!(faults.len() % 256, 0, "want a tail word");
+        let mut rng = StdRng::seed_from_u64(7);
+        let vectors = random_vectors(&mut rng, 8, 16);
+        let init = vec![V3::X; 8];
+        let narrow = ParallelFaultSim::new(&c);
+        let wide = ParallelFaultSim::<R256>::new_wide(&c);
+        let trace = narrow.good_trace(&vectors, &init);
+        let (nres, nwork) = narrow.fault_sim_with_trace_counted(&faults, &trace);
+        let (wres, wwork) = wide.fault_sim_with_trace_counted(&faults, &trace);
+        assert_eq!(wres, nres, "verdicts must be width-invariant");
+        assert_eq!(wwork.scratch_reuses, faults.len().div_ceil(256) as u64);
+        assert!(
+            wwork.gate_evals < nwork.gate_evals,
+            "wider words must walk fewer cones ({} vs {})",
+            wwork.gate_evals,
+            nwork.gate_evals
+        );
+        // Thread count must not change wide verdicts or counters.
+        let mut reference_work = None;
+        for threads in [1, 2, 4] {
+            let (sharded, stats, work) = wide.fault_sim_sharded(&vectors, &init, &faults, threads);
+            assert_eq!(sharded, nres, "threads = {threads}");
+            assert_eq!(stats.items(), faults.len());
+            let expect = *reference_work.get_or_insert(work);
+            assert_eq!(work, expect, "threads = {threads}");
         }
     }
 

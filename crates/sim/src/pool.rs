@@ -104,7 +104,7 @@ impl std::fmt::Display for ShardStats {
 /// `init`), the chunk's base index into `items`, and the chunk slice;
 /// it must return one result per chunk item. Chunks are at least
 /// `min_chunk` items (the fault simulator wants multiples of its
-/// 64-lane word, classification is happy with anything).
+/// packed word's lane count, classification is happy with anything).
 ///
 /// Determinism: results depend only on `(index, item)`, never on the
 /// worker that ran the chunk or the interleaving, so the merged output
@@ -155,10 +155,10 @@ where
 ///
 /// `f` returns `(results, counters)` per chunk. Because chunk geometry
 /// depends on the thread count, the counters a chunk reports must be an
-/// unordered sum of per-item (or, with `min_chunk == 64`, per-64-lane
-/// word) contributions; `u64` addition then makes the total identical
-/// for every thread count — the determinism the pipeline's BENCH
-/// counters rely on.
+/// unordered sum of per-item (or, with `min_chunk` = the rail's lane
+/// count, per-packed-word) contributions; `u64` addition then makes the
+/// total identical for every thread count — the determinism the
+/// pipeline's BENCH counters rely on.
 ///
 /// # Panics
 ///
@@ -197,11 +197,15 @@ where
     let threads = resolve_threads(threads);
     let min_chunk = min_chunk.max(1);
     if items.is_empty() {
+        // Report the *resolved* worker count: a hard-coded `threads: 1`
+        // here made `ShardStats::absorb` (and the per-stage reports)
+        // understate worker counts for stages that ever saw an empty
+        // item list.
         return (
             Vec::new(),
             ShardStats {
-                threads: 1,
-                per_worker: vec![0],
+                threads,
+                per_worker: vec![0; threads],
             },
             WorkCounters::ZERO,
         );
@@ -377,6 +381,12 @@ mod tests {
         let (got, stats) = shard_map(4, 64, &[] as &[u32], || (), |_, _, c| c.to_vec());
         assert!(got.is_empty());
         assert_eq!(stats.items(), 0);
+        // The empty-input early return must report the resolved worker
+        // count, not a hard-coded 1.
+        assert_eq!(stats.threads, 4);
+        assert_eq!(stats.per_worker, vec![0; 4]);
+        let (_, auto_stats) = shard_map(0, 1, &[] as &[u32], || (), |_, _, c| c.to_vec());
+        assert_eq!(auto_stats.threads, resolve_threads(0));
     }
 
     #[test]
@@ -394,6 +404,25 @@ mod tests {
         assert_eq!(total.per_worker, vec![11, 7, 3, 4]);
         assert_eq!(total.items(), 25);
         assert_eq!(total.to_string(), "4w [11 7 3 4]");
+    }
+
+    #[test]
+    fn absorb_covers_empty_calls() {
+        // A stage that fires shard_map with an empty list (e.g. a window
+        // with nothing left pending) must still absorb the requested
+        // worker count without distorting the item distribution.
+        let mut total = ShardStats::default();
+        let (_, empty_stats, _) =
+            shard_map_counted(4, 64, &[] as &[u32], || (), |_, _, c| (c.to_vec(), WorkCounters::ZERO));
+        total.absorb(&empty_stats);
+        assert_eq!(total.threads, 4);
+        assert_eq!(total.items(), 0);
+        let items: Vec<u32> = (0..100).collect();
+        let (_, full_stats, _) =
+            shard_map_counted(2, 1, &items, || (), |_, _, c| (c.to_vec(), WorkCounters::ZERO));
+        total.absorb(&full_stats);
+        assert_eq!(total.threads, 4, "empty call's worker count sticks");
+        assert_eq!(total.items(), 100);
     }
 
     #[test]

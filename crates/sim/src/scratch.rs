@@ -3,7 +3,8 @@
 use fscan_netlist::{CompiledTopology, NodeId};
 
 use crate::event::EventQueue;
-use crate::packed::Pv64;
+use crate::kernel::Rail;
+use crate::packed::Pv;
 use crate::value::V3;
 
 /// Sentinel for "no entry" in the epoch-stamped injection lists.
@@ -12,7 +13,8 @@ pub(crate) const NO_ENTRY: u32 = u32::MAX;
 /// A per-thread scratch arena for
 /// [`ParallelFaultSim`](crate::ParallelFaultSim).
 ///
-/// Holds every buffer a 64-fault word needs — the replayed good values,
+/// Holds every buffer a `W::LANES`-fault word needs — the replayed good
+/// values,
 /// the packed faulty values, epoch-stamped cone marks, the event queue,
 /// the cone work lists and the fault-injection tables. `shard_map`
 /// workers construct one arena per thread (in the per-worker init
@@ -47,12 +49,12 @@ pub(crate) const NO_ENTRY: u32 = u32::MAX;
 /// assert_eq!(w.scratch_reuses, 1);
 /// ```
 #[derive(Clone, Debug)]
-pub struct SimScratch {
+pub struct SimScratch<W: Rail = u64> {
     pub(crate) num_nodes: usize,
     /// Current word epoch; stamps equal to it are valid for this word.
     pub(crate) epoch: u32,
     pub(crate) good_now: Vec<V3>,
-    pub(crate) fval: Vec<Pv64>,
+    pub(crate) fval: Vec<Pv<W>>,
     /// `cone_stamp[n] == epoch` marks node `n` as inside the union cone.
     pub(crate) cone_stamp: Vec<u32>,
     pub(crate) stack: Vec<NodeId>,
@@ -61,28 +63,28 @@ pub struct SimScratch {
     pub(crate) cone_ffs: Vec<NodeId>,
     pub(crate) cone_outs: Vec<(u32, NodeId)>,
     pub(crate) queue: EventQueue,
-    pub(crate) fnext: Vec<Pv64>,
-    pub(crate) buf: Vec<Pv64>,
+    pub(crate) fnext: Vec<Pv<W>>,
+    pub(crate) buf: Vec<Pv<W>>,
     /// Per-node `(epoch, first stem entry)` heads.
     pub(crate) stem_head: Vec<(u32, u32)>,
     /// `(lane mask, stuck value, next entry)` stem-injection entries.
-    pub(crate) stem_entries: Vec<(u64, bool, u32)>,
+    pub(crate) stem_entries: Vec<(W, bool, u32)>,
     /// Per-gate `(epoch, first branch entry)` heads.
     pub(crate) branch_head: Vec<(u32, u32)>,
     /// `(pin, lane mask, stuck value, next entry)` branch entries.
-    pub(crate) branch_entries: Vec<(u32, u64, bool, u32)>,
+    pub(crate) branch_entries: Vec<(u32, W, bool, u32)>,
 }
 
-impl SimScratch {
+impl<W: Rail> SimScratch<W> {
     /// A fresh arena sized for `topo`. All buffers are allocated here,
     /// once; reuse across words never reallocates.
-    pub fn new(topo: &CompiledTopology) -> SimScratch {
+    pub fn new(topo: &CompiledTopology) -> SimScratch<W> {
         let n = topo.num_nodes();
         SimScratch {
             num_nodes: n,
             epoch: 0,
             good_now: vec![V3::X; n],
-            fval: vec![Pv64::ALL_X; n],
+            fval: vec![Pv::ALL_X; n],
             cone_stamp: vec![0; n],
             stack: Vec::new(),
             cone_order: Vec::new(),

@@ -1,0 +1,51 @@
+//! Runtime selection of the packed rail width.
+
+use std::fmt;
+
+/// The packed lane width a pipeline stage runs at.
+///
+/// The packed stack ([`Pv<W>`](crate::Pv),
+/// [`PackedImplicationEngine<W>`](crate::PackedImplicationEngine),
+/// [`ParallelFaultSim<W>`](crate::ParallelFaultSim)) is generic over the
+/// [`Rail`](crate::kernel::Rail) type at compile time; this enum is the
+/// runtime switch configs carry, dispatched once per stage to the
+/// monomorphized engines. Verdicts are identical at every width — wider
+/// words only retire more faults per union-cone walk, which the
+/// deterministic work counters (`gate_evals`, `kernel_gate_evals`,
+/// `implication_words`, `scratch_reuses`) make visible.
+///
+/// # Examples
+///
+/// ```
+/// use fscan_sim::LaneWidth;
+///
+/// assert_eq!(LaneWidth::default(), LaneWidth::W256);
+/// assert_eq!(LaneWidth::W64.lanes(), 64);
+/// assert_eq!(LaneWidth::W256.lanes(), 256);
+/// ```
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub enum LaneWidth {
+    /// 64 faults per word (the `u64` rail).
+    W64,
+    /// 256 faults per word (the [`R256`](crate::kernel::R256) rail) —
+    /// the default: four 64-bit words per rail amortize each union-cone
+    /// walk over four times as many faults.
+    #[default]
+    W256,
+}
+
+impl LaneWidth {
+    /// Number of lanes a word carries at this width.
+    pub fn lanes(self) -> u32 {
+        match self {
+            LaneWidth::W64 => 64,
+            LaneWidth::W256 => 256,
+        }
+    }
+}
+
+impl fmt::Display for LaneWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} lanes", self.lanes())
+    }
+}

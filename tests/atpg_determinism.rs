@@ -7,7 +7,8 @@
 //! thread-invariance; this test holds them to it end to end.
 
 use fscan::{
-    classify_faults, Category, CombPhase, CombPhaseConfig, PipelineConfig, PipelineSession,
+    classify_faults, Category, CombPhase, CombPhaseConfig, LaneWidth, PipelineConfig,
+    PipelineSession,
 };
 use fscan_bench::{build_design, PAPER_SUITE};
 use fscan_fault::{all_faults, collapse, Fault};
@@ -58,6 +59,64 @@ fn comb_phase_is_byte_identical_across_thread_counts() {
     // The parallel path really exercises its new machinery.
     let counters = reference.unwrap().report.metrics.counters;
     assert!(counters.podem_shards > 0, "no sharded PODEM batch ran");
+}
+
+#[test]
+fn comb_phase_is_byte_identical_across_lane_widths() {
+    // s5378 at 0.1 yields ~90 hard faults — more than one 64-lane word,
+    // so the 256-lane rail provably merges words (s1196 would fit in a
+    // single word at either width and show no difference).
+    let s5378 = PAPER_SUITE
+        .iter()
+        .find(|c| c.name == "s5378")
+        .expect("s5378 is in the paper suite");
+    let design = build_design(s5378, 0.1);
+    let faults = collapse(design.circuit(), &all_faults(design.circuit()));
+    let hard: Vec<Fault> = classify_faults(&design, &faults)
+        .into_iter()
+        .filter(|c| c.category == Category::Hard)
+        .map(|c| c.fault)
+        .collect();
+    assert!(hard.len() > 64, "need more than one 64-lane word");
+
+    let narrow_cfg = CombPhaseConfig::builder()
+        .lane_width(LaneWidth::W64)
+        .build()
+        .unwrap();
+    let narrow = CombPhase::new(&design, narrow_cfg).run(&hard);
+    let wide = CombPhase::new(&design, CombPhaseConfig::default()).run(&hard);
+    assert_eq!(CombPhaseConfig::default().lane_width, LaneWidth::W256);
+
+    // Everything the phase emits — verdicts, the Figure 5 curve, the
+    // test program — is byte-identical across rail widths.
+    assert_eq!(wide.detected, narrow.detected);
+    assert_eq!(wide.undetectable, narrow.undetectable);
+    assert_eq!(wide.remaining, narrow.remaining);
+    assert_eq!(
+        wide.report.detection_curve,
+        narrow.report.detection_curve
+    );
+    assert_eq!(wide.program.len(), narrow.program.len());
+    for (a, b) in wide.program.iter().zip(narrow.program.iter()) {
+        assert_eq!(a.label, b.label);
+        assert_eq!(a.vectors, b.vectors);
+    }
+    // Only the work changes: the PODEM side is width-independent, and
+    // the confirmation fault simulations retire 4x the faults per
+    // union-cone walk, so the wide run costs strictly fewer kernel
+    // evaluations.
+    let n = narrow.report.metrics.counters;
+    let w = wide.report.metrics.counters;
+    assert_eq!(w.podem_decisions, n.podem_decisions);
+    assert_eq!(w.podem_backtracks, n.podem_backtracks);
+    assert_eq!(w.windows_formed, n.windows_formed);
+    assert_eq!(w.faults_dropped, n.faults_dropped);
+    assert!(
+        w.kernel_gate_evals < n.kernel_gate_evals,
+        "wide {} vs narrow {} kernel gate evals",
+        w.kernel_gate_evals,
+        n.kernel_gate_evals
+    );
 }
 
 #[test]

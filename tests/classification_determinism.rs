@@ -1,10 +1,12 @@
-//! CI guard for the packed 64-fault classification path: on the scaled
-//! s5378 suite circuit the sharded classifier must produce verdicts
-//! byte-identical to the serial scalar oracle for every thread count,
-//! with thread-invariant work counters, while evaluating at least 4×
-//! fewer gates than the scalar engine.
+//! CI guard for the packed classification path: on the scaled s5378
+//! suite circuit the sharded classifier must produce verdicts
+//! byte-identical to the serial scalar oracle for every thread count
+//! and every rail width (64 and 256 lanes), with thread-invariant work
+//! counters, while evaluating at least 4× fewer gates than the scalar
+//! engine at 64 lanes — and at least 1.5× fewer again at 256 (4× is
+//! the no-overlap ideal; merged words share less of their union cone).
 
-use fscan::{classify_faults_sharded, Classifier};
+use fscan::{classify_faults_sharded, classify_faults_sharded_at, Classifier, LaneWidth};
 use fscan_bench::{build_design, PAPER_SUITE};
 use fscan_fault::{all_faults, collapse};
 
@@ -49,6 +51,50 @@ fn packed_classification_is_deterministic_and_cheaper() {
             "packed {} vs scalar {} gate evals: expected >= 4x reduction",
             work.gate_evals,
             scalar_work.gate_evals
+        );
+    }
+}
+
+#[test]
+fn wide_classification_matches_every_narrower_oracle() {
+    let s5378 = PAPER_SUITE
+        .iter()
+        .find(|c| c.name == "s5378")
+        .expect("s5378 is in the paper suite");
+    let design = build_design(s5378, 0.1);
+    let faults = collapse(design.circuit(), &all_faults(design.circuit()));
+    assert!(faults.len() > 512, "need several 256-fault words");
+    assert!(!faults.len().is_multiple_of(256), "want a partial tail word");
+
+    let (w64, _, work64) = classify_faults_sharded_at(&design, &faults, 1, LaneWidth::W64);
+    let mut reference_work = None;
+    for threads in [1, 2, 4] {
+        let (w256, stats, work) =
+            classify_faults_sharded_at(&design, &faults, threads, LaneWidth::W256);
+        // Verdicts byte-identical across rail widths and thread counts.
+        assert_eq!(w256, w64, "threads = {threads}");
+        assert_eq!(stats.items(), faults.len());
+        let expect = *reference_work.get_or_insert(work);
+        assert_eq!(work, expect, "counters must not depend on threads");
+
+        // Identical logical work at every width ...
+        assert_eq!(work.implication_events, work64.implication_events);
+        assert_eq!(work.cone_nets, work64.cone_nets);
+        assert_eq!(
+            work.implication_words,
+            (faults.len() as u64).div_ceil(256),
+            "one packed word per 256 faults"
+        );
+        // ... and at least another 1.5x fewer union-cone gate
+        // evaluations than the 64-lane engine. The no-overlap ideal is
+        // 4x; merging four 64-lane words grows the union cone, so the
+        // realized reduction on the suite circuits sits between.
+        assert_eq!(work.kernel_gate_evals, work.gate_evals);
+        assert!(
+            work.gate_evals * 3 <= work64.gate_evals * 2,
+            "256-lane {} vs 64-lane {} gate evals: expected >= 1.5x reduction",
+            work.gate_evals,
+            work64.gate_evals
         );
     }
 }

@@ -8,8 +8,10 @@ use fscan_netlist::{
     Levelization,
 };
 use fscan_scan::{insert_functional_scan, insert_mux_scan, TpiConfig};
+use fscan_sim::kernel::R256;
 use fscan_sim::{
-    CombEvaluator, ImplicationEngine, ImplicationEngine64, NetChange, ParallelFaultSim, SeqSim, V3,
+    CombEvaluator, ImplicationEngine, ImplicationEngine64, NetChange, PackedImplicationEngine,
+    ParallelFaultSim, SeqSim, V3,
 };
 
 fn arb_circuit() -> impl Strategy<Value = fscan_netlist::Circuit> {
@@ -53,7 +55,10 @@ proptest! {
     }
 
     /// The parallel fault simulator agrees with the serial reference on
-    /// arbitrary circuits, vectors (including X inputs) and faults.
+    /// arbitrary circuits, vectors (including X inputs) and faults — at
+    /// the 64-lane default and at the 256-lane wide rail (96 faults
+    /// leave a 32-lane tail word at 64 lanes and a partial word at 256,
+    /// so both widths exercise their partial-mask paths).
     #[test]
     fn parallel_equals_serial_fault_sim(
         circuit in arb_circuit(),
@@ -67,7 +72,9 @@ proptest! {
         let init = vec![V3::X; circuit.dffs().len()];
         let serial = SeqSim::new(&circuit).fault_sim(&vectors, &init, &faults);
         let parallel = ParallelFaultSim::new(&circuit).fault_sim(&vectors, &init, &faults);
-        prop_assert_eq!(serial, parallel);
+        prop_assert_eq!(&serial, &parallel);
+        let wide = ParallelFaultSim::<R256>::new_wide(&circuit).fault_sim(&vectors, &init, &faults);
+        prop_assert_eq!(&serial, &wide, "verdicts must be width-invariant");
     }
 
     /// Three-valued simulation is monotone: refining an X input to a
@@ -413,6 +420,55 @@ proptest! {
         // evaluates gates.
         prop_assert_eq!(p.kernel_gate_evals, p.gate_evals);
         prop_assert!(p.gate_evals <= s.gate_evals);
+    }
+
+    /// The same lane-by-lane oracle at the 256-lane rail: every lane of
+    /// every 256-fault word — including the final partial word, since a
+    /// collapsed fault list is practically never a multiple of 256 —
+    /// must reproduce the scalar engine's change list exactly, with
+    /// width-invariant `implication_events`/`cone_nets` and strictly
+    /// fewer packed words than at 64 lanes.
+    #[test]
+    fn wide_packed_implication_matches_scalar(
+        circuit in arb_circuit(),
+        seed in 0u64..1000,
+    ) {
+        let eval = CombEvaluator::new(&circuit);
+        let mut state = seed.wrapping_mul(2).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut good = vec![V3::X; circuit.num_nodes()];
+        for &pi in circuit.inputs() {
+            good[pi.index()] = match next() % 3 {
+                0 => V3::Zero,
+                1 => V3::One,
+                _ => V3::X,
+            };
+        }
+        eval.eval(&circuit, &mut good);
+
+        let faults = collapse(&circuit, &all_faults(&circuit));
+        let mut scalar = ImplicationEngine::new(&circuit, &eval);
+        let mut wide = PackedImplicationEngine::<R256>::new(&circuit, &eval);
+        for word in faults.chunks(256) {
+            wide.run_word(&good, word);
+            for (lane, &fault) in word.iter().enumerate() {
+                let expect = scalar.run(&circuit, &good, fault);
+                let got: Vec<NetChange> = wide.lane_changes(lane as u32).collect();
+                prop_assert_eq!(got, expect, "lane {} under {}", lane, fault);
+            }
+        }
+        let s = scalar.take_counters();
+        let w = wide.take_counters();
+        prop_assert_eq!(w.implication_events, s.implication_events);
+        prop_assert_eq!(w.cone_nets, s.cone_nets);
+        prop_assert_eq!(w.implication_words, (faults.len() as u64).div_ceil(256));
+        prop_assert_eq!(w.kernel_gate_evals, w.gate_evals);
+        prop_assert!(w.gate_evals <= s.gate_evals);
     }
 }
 
