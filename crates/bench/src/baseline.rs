@@ -10,6 +10,8 @@
 //! must not move at all: a pipeline run compiles its circuit exactly
 //! once, and any drift means an engine started rebuilding privately.
 
+use fscan::json::Value;
+
 /// Per-circuit `total_counters` contents: `(circuit name, [(counter,
 /// value)])` in emission order.
 pub type CircuitCounters = Vec<(String, Vec<(String, u64)>)>;
@@ -19,9 +21,10 @@ pub type CircuitCounters = Vec<(String, Vec<(String, u64)>)>;
 /// snapshot.
 ///
 /// Only the `total_counters` block is consulted; the per-stage counters
-/// (which contain the same keys) are skipped. The parser is
-/// deliberately line-oriented — the emitter writes one key per line and
-/// this keeps the checker free of any JSON dependency.
+/// (which contain the same keys) are skipped. Snapshots are parsed with
+/// the canonical [`fscan::json`] parser (order-preserving, so the
+/// extracted pairs keep emission order), replacing the line-oriented
+/// scraper this module started with.
 ///
 /// # Examples
 ///
@@ -55,45 +58,50 @@ pub type CircuitCounters = Vec<(String, Vec<(String, u64)>)>;
 /// ```
 pub fn parse_total_counters(json: &str) -> Result<CircuitCounters, String> {
     let mut out: CircuitCounters = Vec::new();
-    let mut name: Option<String> = None;
-    let mut in_totals = false;
-    for line in json.lines() {
-        let line = line.trim();
-        if let Some(rest) = line.strip_prefix("\"name\": \"") {
-            let n = rest
-                .strip_suffix("\",")
-                .or_else(|| rest.strip_suffix('"'))
-                .ok_or_else(|| format!("malformed name line: {line}"))?;
-            name = Some(n.to_string());
-            in_totals = false;
-        } else if line.starts_with("\"total_counters\"") {
-            let n = name
-                .clone()
-                .ok_or_else(|| "total_counters before any circuit name".to_string())?;
-            out.push((n, Vec::new()));
-            in_totals = true;
-        } else if in_totals {
-            if line.starts_with('}') {
-                in_totals = false;
-            } else if let Some((key, value)) = line.split_once("\": ") {
-                let key = key
-                    .strip_prefix('"')
-                    .ok_or_else(|| format!("malformed counter line: {line}"))?;
-                let v: u64 = value
-                    .trim_end_matches(',')
-                    .parse()
-                    .map_err(|_| format!("malformed counter line: {line}"))?;
-                out.last_mut()
-                    .expect("pushed on block entry")
-                    .1
-                    .push((key.to_string(), v));
-            }
-        }
+    for (name, circuit) in circuits_of(json)? {
+        let totals = circuit
+            .get("total_counters")
+            .ok_or_else(|| format!("circuit {name} has no total_counters"))?;
+        out.push((name, counter_pairs(totals)?));
     }
     if out.is_empty() {
         return Err("no circuits with total_counters found".into());
     }
     Ok(out)
+}
+
+/// Parses a snapshot and yields each circuit as `(name, object)`.
+fn circuits_of(json: &str) -> Result<Vec<(String, Value)>, String> {
+    let doc = fscan::json::parse(json).map_err(|e| e.to_string())?;
+    let circuits = doc
+        .get("circuits")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "no circuits with total_counters found".to_string())?;
+    circuits
+        .iter()
+        .map(|c| {
+            let name = c
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "circuit without a name".to_string())?;
+            Ok((name.to_string(), c.clone()))
+        })
+        .collect()
+}
+
+/// Flattens a counters object into `(key, value)` pairs in emission
+/// order.
+fn counter_pairs(counters: &Value) -> Result<Vec<(String, u64)>, String> {
+    counters
+        .as_object()
+        .ok_or_else(|| "counters block is not an object".to_string())?
+        .iter()
+        .map(|(key, v)| {
+            v.as_u64()
+                .map(|v| (key.clone(), v))
+                .ok_or_else(|| format!("malformed counter {key}"))
+        })
+        .collect()
 }
 
 /// Per-circuit, per-stage counter contents: `(circuit name, [(stage
@@ -135,54 +143,23 @@ pub type StageCounters = Vec<(String, Vec<(String, Vec<(String, u64)>)>)>;
 /// ```
 pub fn parse_stage_counters(json: &str) -> Result<StageCounters, String> {
     let mut out: StageCounters = Vec::new();
-    let mut stage_pending = false;
-    let mut in_counters = false;
-    for line in json.lines() {
-        let line = line.trim();
-        if let Some(rest) = line.strip_prefix("\"name\": \"") {
-            let n = rest
-                .strip_suffix("\",")
-                .or_else(|| rest.strip_suffix('"'))
-                .ok_or_else(|| format!("malformed name line: {line}"))?;
-            out.push((n.to_string(), Vec::new()));
-            stage_pending = false;
-            in_counters = false;
-        } else if let Some(rest) = line.strip_prefix("\"stage\": \"") {
-            let s = rest
-                .strip_suffix("\",")
-                .or_else(|| rest.strip_suffix('"'))
-                .ok_or_else(|| format!("malformed stage line: {line}"))?;
-            let circuit = out
-                .last_mut()
-                .ok_or_else(|| "stage before any circuit name".to_string())?;
-            circuit.1.push((s.to_string(), Vec::new()));
-            stage_pending = true;
-        } else if line.starts_with("\"counters\"") && stage_pending {
-            stage_pending = false;
-            in_counters = true;
-        } else if line.starts_with("\"total_counters\"") {
-            stage_pending = false;
-            in_counters = false;
-        } else if in_counters {
-            if line.starts_with('}') {
-                in_counters = false;
-            } else if let Some((key, value)) = line.split_once("\": ") {
-                let key = key
-                    .strip_prefix('"')
-                    .ok_or_else(|| format!("malformed counter line: {line}"))?;
-                let v: u64 = value
-                    .trim_end_matches(',')
-                    .parse()
-                    .map_err(|_| format!("malformed counter line: {line}"))?;
-                out.last_mut()
-                    .expect("pushed on name entry")
-                    .1
-                    .last_mut()
-                    .expect("pushed on stage entry")
-                    .1
-                    .push((key.to_string(), v));
-            }
+    for (name, circuit) in circuits_of(json)? {
+        let mut stages = Vec::new();
+        for stage in circuit
+            .get("stages")
+            .and_then(Value::as_array)
+            .unwrap_or(&[])
+        {
+            let label = stage
+                .get("stage")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("circuit {name} has a stage without a label"))?;
+            let counters = stage
+                .get("counters")
+                .ok_or_else(|| format!("stage {label} of {name} has no counters"))?;
+            stages.push((label.to_string(), counter_pairs(counters)?));
         }
+        out.push((name, stages));
     }
     if out.is_empty() || out.iter().all(|(_, stages)| stages.is_empty()) {
         return Err("no circuits with per-stage counters found".into());
@@ -368,22 +345,30 @@ pub fn check_exact(
 /// assert!(!line.contains('\n'));
 /// ```
 pub fn history_record(rev: &str, lanes: u64, circuits: &CircuitCounters) -> String {
-    let mut out = format!("{{\"rev\":\"{rev}\",\"lanes\":{lanes},\"circuits\":{{");
-    for (ci, (name, counters)) in circuits.iter().enumerate() {
-        if ci > 0 {
-            out.push(',');
-        }
-        out.push_str(&format!("\"{name}\":{{"));
-        for (i, (key, value)) in counters.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!("\"{key}\":{value}"));
-        }
-        out.push('}');
-    }
-    out.push_str("}}");
-    out
+    Value::object([
+        ("rev", Value::Str(rev.to_string())),
+        ("lanes", Value::UInt(lanes)),
+        (
+            "circuits",
+            Value::Object(
+                circuits
+                    .iter()
+                    .map(|(name, counters)| {
+                        (
+                            name.clone(),
+                            Value::Object(
+                                counters
+                                    .iter()
+                                    .map(|(key, v)| (key.clone(), Value::UInt(*v)))
+                                    .collect(),
+                            ),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .render_compact()
 }
 
 #[cfg(test)]

@@ -1,14 +1,17 @@
 //! `BENCH_pipeline.json` emission: per-circuit, per-stage deterministic
-//! work counters plus wall-clock, serialized without any external JSON
-//! dependency.
+//! work counters plus wall-clock, built as one [`fscan::json::Value`]
+//! tree and rendered by the canonical pretty printer.
 //!
 //! The format is stable and diff-friendly: two-space indentation, one
 //! key per line, and every wall-clock figure on a line whose key
 //! contains `wall_s`. Stripping those lines (e.g. `grep -v wall_s`)
 //! leaves only deterministic content, so outputs from runs with
 //! different thread counts must compare byte-identical — CI checks
-//! exactly that.
+//! exactly that. The printer's contract is shared with every other JSON
+//! surface of the project (committed snapshots re-render to themselves
+//! after a parse round trip; see `fscan::json`).
 
+use fscan::json::{counters_to_value, Value};
 use fscan::PipelineReport;
 
 /// Renders the benchmark report for a set of pipeline runs.
@@ -30,87 +33,45 @@ use fscan::PipelineReport;
 /// assert!(json.lines().filter(|l| l.contains("wall_s")).count() >= 6);
 /// ```
 pub fn bench_json(reports: &[PipelineReport], scale: f64, threads: usize, lanes: usize) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str(&format!("  \"scale\": {},\n", float(scale)));
-    out.push_str(&format!("  \"threads\": {threads},\n"));
-    out.push_str(&format!("  \"lanes\": {lanes},\n"));
-    out.push_str("  \"circuits\": [\n");
-    for (ci, r) in reports.iter().enumerate() {
-        out.push_str("    {\n");
-        out.push_str(&format!("      \"name\": \"{}\",\n", escape(&r.name)));
-        out.push_str(&format!("      \"total_faults\": {},\n", r.total_faults));
-        out.push_str(&format!(
-            "      \"affected\": {},\n",
-            r.classification.affected()
-        ));
-        out.push_str(&format!("      \"undetected\": {},\n", r.undetected()));
-        let stages = r.stages();
-        let wall: f64 = stages.iter().map(|(_, m)| m.cpu.as_secs_f64()).sum();
-        out.push_str(&format!("      \"wall_s\": {},\n", float(wall)));
-        out.push_str("      \"stages\": [\n");
-        for (si, (stage, m)) in stages.iter().enumerate() {
-            out.push_str("        {\n");
-            out.push_str(&format!("          \"stage\": \"{stage}\",\n"));
-            out.push_str(&format!(
-                "          \"wall_s\": {},\n",
-                float(m.cpu.as_secs_f64())
-            ));
-            out.push_str(&format!("          \"items\": {},\n", m.shards.items()));
-            out.push_str("          \"counters\": {\n");
-            push_counters(&mut out, "            ", &m.counters);
-            out.push_str("          }\n");
-            out.push_str(if si + 1 < stages.len() {
-                "        },\n"
-            } else {
-                "        }\n"
-            });
-        }
-        out.push_str("      ],\n");
-        out.push_str("      \"total_counters\": {\n");
-        push_counters(&mut out, "        ", &r.total_counters());
-        out.push_str("      }\n");
-        out.push_str(if ci + 1 < reports.len() {
-            "    },\n"
-        } else {
-            "    }\n"
-        });
-    }
-    out.push_str("  ]\n");
-    out.push_str("}\n");
-    out
+    Value::object([
+        ("scale", Value::Float(scale)),
+        ("threads", Value::UInt(threads as u64)),
+        ("lanes", Value::UInt(lanes as u64)),
+        (
+            "circuits",
+            Value::Array(reports.iter().map(circuit_value).collect()),
+        ),
+    ])
+    .render_pretty()
 }
 
-fn push_counters(out: &mut String, indent: &str, work: &fscan_sim::WorkCounters) {
-    let fields = work.fields();
-    for (i, (name, value)) in fields.iter().enumerate() {
-        let comma = if i + 1 < fields.len() { "," } else { "" };
-        out.push_str(&format!("{indent}\"{name}\": {value}{comma}\n"));
-    }
-}
-
-/// Minimal JSON number formatting: always includes a decimal point so
-/// the value parses as a float, never uses exponent notation for the
-/// magnitudes involved here.
-fn float(v: f64) -> String {
-    let s = format!("{v:.6}");
-    debug_assert!(s.parse::<f64>().is_ok());
-    s
-}
-
-/// Minimal JSON string escaping (circuit names are plain ASCII, but be
-/// safe).
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
+fn circuit_value(r: &PipelineReport) -> Value {
+    let stages = r.stages();
+    let wall: f64 = stages.iter().map(|(_, m)| m.cpu.as_secs_f64()).sum();
+    Value::object([
+        ("name", Value::Str(r.name.clone())),
+        ("total_faults", Value::UInt(r.total_faults as u64)),
+        ("affected", Value::UInt(r.classification.affected() as u64)),
+        ("undetected", Value::UInt(r.undetected() as u64)),
+        ("wall_s", Value::Float(wall)),
+        (
+            "stages",
+            Value::Array(
+                stages
+                    .iter()
+                    .map(|(stage, m)| {
+                        Value::object([
+                            ("stage", Value::Str((*stage).to_string())),
+                            ("wall_s", Value::Float(m.cpu.as_secs_f64())),
+                            ("items", Value::UInt(m.shards.items() as u64)),
+                            ("counters", counters_to_value(&m.counters)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("total_counters", counters_to_value(&r.total_counters())),
+    ])
 }
 
 #[cfg(test)]
@@ -118,9 +79,10 @@ mod tests {
     use super::*;
     use crate::suite::PAPER_SUITE;
     use crate::tables::run_pipeline_with;
+    use fscan::json::parse;
     use fscan::PipelineConfig;
 
-    fn small_report(threads: usize) -> PipelineReport {
+    fn small_report(threads: usize) -> fscan::PipelineReport {
         let config = PipelineConfig::builder().threads(threads).build().unwrap();
         run_pipeline_with(&PAPER_SUITE[0], 0.05, config)
     }
@@ -169,9 +131,15 @@ mod tests {
     }
 
     #[test]
-    fn escape_handles_specials() {
-        assert_eq!(escape("plain"), "plain");
-        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
-        assert_eq!(escape("x\ny"), "x\\u000ay");
+    fn output_parses_and_rerenders_byte_identically() {
+        // The emitter and the canonical parser/printer agree exactly —
+        // the same identity CI asserts for the committed baseline file.
+        let json = bench_json(&[small_report(1)], 0.05, 1, 256);
+        let reparsed = parse(&json).unwrap();
+        assert_eq!(reparsed.render_pretty(), json);
+        assert_eq!(
+            reparsed.get("scale").and_then(|v| v.as_f64()),
+            Some(0.05)
+        );
     }
 }

@@ -81,11 +81,7 @@ fn parse_args() -> Result<Options, String> {
             }
             "--lanes" => {
                 let v = args.next().ok_or("--lanes needs a value (64 or 256)")?;
-                lanes = match v.as_str() {
-                    "64" => LaneWidth::W64,
-                    "256" => LaneWidth::W256,
-                    _ => return Err(format!("bad lane width '{v}' (supported: 64, 256)")),
-                };
+                lanes = v.parse::<LaneWidth>().map_err(|e| e.to_string())?;
             }
             "--json" => {
                 // Optional path operand; defaults to BENCH_pipeline.json.
@@ -534,13 +530,8 @@ fn append_history(
         .unwrap_or_else(|| "unknown".to_string());
     let lanes = std::fs::read_to_string(cur_path)
         .ok()
-        .and_then(|text| {
-            text.lines().find_map(|l| {
-                l.trim()
-                    .strip_prefix("\"lanes\": ")
-                    .and_then(|v| v.trim_end_matches(',').parse::<u64>().ok())
-            })
-        })
+        .and_then(|text| fscan::json::parse(&text).ok())
+        .and_then(|doc| doc.get("lanes").and_then(|v| v.as_u64()))
         .unwrap_or(64);
     let line = fscan_bench::history_record(&rev, lanes, circuits);
     let appended = std::fs::OpenOptions::new()

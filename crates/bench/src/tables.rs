@@ -153,14 +153,16 @@ pub fn run_pipeline(circuit: &SuiteCircuit, scale: f64) -> PipelineReport {
 }
 
 /// [`run_pipeline`] under an explicit configuration (thread count, ATPG
-/// budgets), walking the staged [`PipelineSession`] API.
+/// budgets), running an owned [`PipelineSession`] over the freshly
+/// built design (the design is consumed into the session's `Arc`, so no
+/// clone is paid).
 pub fn run_pipeline_with(
     circuit: &SuiteCircuit,
     scale: f64,
     config: PipelineConfig,
 ) -> PipelineReport {
-    let design = build_design(circuit, scale);
-    PipelineSession::new(&design, config).run()
+    let design = std::sync::Arc::new(build_design(circuit, scale));
+    PipelineSession::shared(design, config).run()
 }
 
 /// Table 2 row from a pipeline report.

@@ -61,6 +61,8 @@ mod classify;
 mod comb_phase;
 mod compact;
 mod diagnosis;
+mod error;
+pub mod json;
 mod pipeline;
 mod program;
 mod seq_phase;
@@ -81,6 +83,7 @@ pub use compact::{
     CompactionError, CompactionOutcome, CompactionReport,
 };
 pub use diagnosis::{diagnose_chain, DiagnosisCandidate};
+pub use error::Error;
 pub use pipeline::{
     AfterAlternating, AfterComb, AfterCompact, Classified, ConfigError, PipelineConfig,
     PipelineConfigBuilder, PipelineReport, PipelineSession,

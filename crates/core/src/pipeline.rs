@@ -27,6 +27,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 use fscan_atpg::{PodemConfig, SeqAtpgConfig};
@@ -106,6 +107,44 @@ impl PipelineConfig {
         PipelineConfigBuilder {
             config: PipelineConfig::default(),
         }
+    }
+
+    /// Checks the invariants [`build`](PipelineConfigBuilder::build)
+    /// enforces, for configurations assembled outside the builder —
+    /// field-by-field construction, or decoding from JSON
+    /// ([`crate::json::config_from_value`] calls this before handing a
+    /// config to the serving layer).
+    ///
+    /// # Errors
+    ///
+    /// The same [`ConfigError`]s the builder reports.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fscan::PipelineConfig;
+    ///
+    /// let mut config = PipelineConfig::default();
+    /// assert!(config.validate().is_ok());
+    /// config.seq.max_frames = 0;
+    /// assert!(config.validate().is_err());
+    /// ```
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.seq.max_frames == 0 {
+            return Err(ConfigError::ZeroMaxFrames("seq"));
+        }
+        if self.final_seq.max_frames == 0 {
+            return Err(ConfigError::ZeroMaxFrames("final_seq"));
+        }
+        if self.podem.backtrack_limit == 0 && self.podem.step_limit == 0 {
+            return Err(ConfigError::EmptyPodemBudget);
+        }
+        if let Some(d) = self.dist {
+            if d.dist == 0 || d.med < d.dist || d.large < d.med {
+                return Err(ConfigError::UnorderedDist(d));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -195,21 +234,7 @@ impl PipelineConfigBuilder {
 
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<PipelineConfig, ConfigError> {
-        let c = &self.config;
-        if c.seq.max_frames == 0 {
-            return Err(ConfigError::ZeroMaxFrames("seq"));
-        }
-        if c.final_seq.max_frames == 0 {
-            return Err(ConfigError::ZeroMaxFrames("final_seq"));
-        }
-        if c.podem.backtrack_limit == 0 && c.podem.step_limit == 0 {
-            return Err(ConfigError::EmptyPodemBudget);
-        }
-        if let Some(d) = c.dist {
-            if d.dist == 0 || d.med < d.dist || d.large < d.med {
-                return Err(ConfigError::UnorderedDist(d));
-            }
-        }
+        self.config.validate()?;
         Ok(self.config)
     }
 }
@@ -311,6 +336,16 @@ impl fmt::Display for PipelineReport {
 /// The staged pipeline: run the flow one step at a time, inspecting or
 /// modifying the fault sets between steps.
 ///
+/// The session *owns* its design as an [`Arc<ScanDesign>`], so sessions
+/// and every checkpoint are `'static + Send` — they can be handed to
+/// worker threads, stored across requests, and run concurrently against
+/// one shared design (the serving layer does all three). The borrowed
+/// constructors ([`new`](Self::new), [`with_faults`](Self::with_faults))
+/// remain as thin wrappers that clone the design once — after forcing
+/// its cached [`CompiledTopology`](fscan_netlist::CompiledTopology), so
+/// the clone shares the already-compiled plan and repeated sessions
+/// still never recompile.
+///
 /// # Examples
 ///
 /// ```
@@ -335,15 +370,43 @@ impl fmt::Display for PipelineReport {
 /// assert_eq!(report.undetected(), report.seq.undetected);
 /// # Ok::<(), fscan_scan::ScanError>(())
 /// ```
+///
+/// Sharing one design across concurrent sessions:
+///
+/// ```
+/// use std::sync::Arc;
+/// use fscan_netlist::{generate, GeneratorConfig};
+/// use fscan_scan::{insert_functional_scan, TpiConfig};
+/// use fscan::{PipelineConfig, PipelineSession};
+///
+/// let circuit = generate(&GeneratorConfig::new("demo", 1).gates(100).dffs(8));
+/// let design = Arc::new(insert_functional_scan(&circuit, &TpiConfig::default())?);
+/// let handles: Vec<_> = (0..2)
+///     .map(|_| {
+///         let session = PipelineSession::shared(
+///             Arc::clone(&design),
+///             PipelineConfig::default(),
+///         );
+///         std::thread::spawn(move || session.run())
+///     })
+///     .collect();
+/// for h in handles {
+///     assert!(h.join().unwrap().undetected() <= 1_000);
+/// }
+/// # Ok::<(), fscan_scan::ScanError>(())
+/// ```
 #[derive(Clone, Debug)]
-pub struct PipelineSession<'d> {
-    design: &'d ScanDesign,
+pub struct PipelineSession {
+    design: Arc<ScanDesign>,
     config: PipelineConfig,
     faults: Vec<Fault>,
 }
 
-impl<'d> PipelineSession<'d> {
-    /// Opens a session over the design's collapsed fault universe.
+impl PipelineSession {
+    /// Opens a session over a shared design's collapsed fault universe —
+    /// the canonical constructor: the session co-owns the design, so it
+    /// is `'static + Send` and many sessions can run concurrently
+    /// against one `Arc`.
     ///
     /// This is where the design's [`CompiledTopology`] is first
     /// demanded: fault enumeration and collapsing run against it, and
@@ -352,22 +415,23 @@ impl<'d> PipelineSession<'d> {
     /// repeated sessions do not even recompile).
     ///
     /// [`CompiledTopology`]: fscan_netlist::CompiledTopology
-    pub fn new(design: &'d ScanDesign, config: PipelineConfig) -> PipelineSession<'d> {
+    pub fn shared(design: Arc<ScanDesign>, config: PipelineConfig) -> PipelineSession {
         let topo = design.topology();
         let faults = collapse_with(
             design.circuit(),
             &topo,
             &all_faults_with(design.circuit(), &topo),
         );
-        PipelineSession::with_faults(design, config, faults)
+        PipelineSession::shared_with_faults(design, config, faults)
     }
 
-    /// Opens a session over a caller-provided fault list.
-    pub fn with_faults(
-        design: &'d ScanDesign,
+    /// Opens a session over a shared design and a caller-provided fault
+    /// list.
+    pub fn shared_with_faults(
+        design: Arc<ScanDesign>,
         config: PipelineConfig,
         faults: Vec<Fault>,
-    ) -> PipelineSession<'d> {
+    ) -> PipelineSession {
         PipelineSession {
             design,
             config,
@@ -375,17 +439,43 @@ impl<'d> PipelineSession<'d> {
         }
     }
 
+    /// Opens a session over a borrowed design — a thin wrapper around
+    /// [`shared`](Self::shared) that clones the design once. The clone
+    /// happens *after* the design's topology cache is forced, so it
+    /// shares the already-compiled plan: repeated sessions over the same
+    /// `&ScanDesign` still compile the circuit exactly once.
+    pub fn new(design: &ScanDesign, config: PipelineConfig) -> PipelineSession {
+        let _ = design.topology();
+        PipelineSession::shared(Arc::new(design.clone()), config)
+    }
+
+    /// Opens a session over a borrowed design and a caller-provided
+    /// fault list (see [`new`](Self::new) for the cloning contract).
+    pub fn with_faults(
+        design: &ScanDesign,
+        config: PipelineConfig,
+        faults: Vec<Fault>,
+    ) -> PipelineSession {
+        let _ = design.topology();
+        PipelineSession::shared_with_faults(Arc::new(design.clone()), config, faults)
+    }
+
     /// The fault universe this session will classify.
     pub fn faults(&self) -> &[Fault] {
         &self.faults
     }
 
+    /// The shared design the session runs against.
+    pub fn design(&self) -> &Arc<ScanDesign> {
+        &self.design
+    }
+
     /// Step 0 (paper §3): classify every fault by 3-valued forward
     /// implication, sharded across the configured workers.
-    pub fn classify(self) -> Classified<'d> {
+    pub fn classify(self) -> Classified {
         let start = Instant::now();
         let (classified, shards, mut counters) = classify_faults_sharded_at(
-            self.design,
+            &self.design,
             &self.faults,
             self.config.threads,
             self.config.lane_width,
@@ -416,8 +506,8 @@ impl<'d> PipelineSession<'d> {
 /// inspection and modification — faults removed (or re-categorized)
 /// here never reach the later steps.
 #[derive(Clone, Debug)]
-pub struct Classified<'d> {
-    design: &'d ScanDesign,
+pub struct Classified {
+    design: Arc<ScanDesign>,
     config: PipelineConfig,
     total_faults: usize,
     /// Per-fault classification results.
@@ -425,7 +515,7 @@ pub struct Classified<'d> {
     metrics: StageMetrics,
 }
 
-impl<'d> Classified<'d> {
+impl Classified {
     /// Aggregate counts over the *current* `classified` set (recomputed
     /// on each call, so checkpoint edits are reflected).
     pub fn summary(&self) -> ClassifySummary {
@@ -447,7 +537,7 @@ impl<'d> Classified<'d> {
 
     /// Step 1: shift the alternating sequence and fault-simulate it
     /// against every chain-affecting fault.
-    pub fn alternating(self) -> AfterAlternating<'d> {
+    pub fn alternating(self) -> AfterAlternating {
         let summary = self.summary();
         let affected: Vec<Fault> = self
             .classified
@@ -461,7 +551,7 @@ impl<'d> Classified<'d> {
             .filter(|c| c.category == Category::AlternatingDetectable)
             .map(|c| c.fault)
             .collect();
-        let phase = AlternatingPhase::new(self.design);
+        let phase = AlternatingPhase::new(&self.design);
         let (detections, shards, cpu, counters) =
             phase.run_sharded_at(&affected, self.config.threads, self.config.lane_width);
         let detected: HashSet<Fault> = affected
@@ -481,6 +571,7 @@ impl<'d> Classified<'d> {
             cycles: phase.vectors().len(),
             metrics: StageMetrics::new(cpu, shards, counters),
         };
+        let vectors = phase.into_vectors();
         AfterAlternating {
             design: self.design,
             config: self.config,
@@ -488,7 +579,7 @@ impl<'d> Classified<'d> {
             classified: self.classified,
             summary,
             report,
-            vectors: phase.into_vectors(),
+            vectors,
             detected,
             missed_easy,
         }
@@ -498,8 +589,8 @@ impl<'d> Classified<'d> {
 /// Checkpoint after the alternating-sequence phase. `missed_easy` is
 /// open for modification — those faults are forwarded to step 3.
 #[derive(Clone, Debug)]
-pub struct AfterAlternating<'d> {
-    design: &'d ScanDesign,
+pub struct AfterAlternating {
+    design: Arc<ScanDesign>,
     config: PipelineConfig,
     total_faults: usize,
     classified: Vec<ClassifiedFault>,
@@ -511,7 +602,7 @@ pub struct AfterAlternating<'d> {
     pub missed_easy: Vec<Fault>,
 }
 
-impl<'d> AfterAlternating<'d> {
+impl AfterAlternating {
     /// The step-1 report.
     pub fn report(&self) -> &AlternatingReport {
         &self.report
@@ -525,7 +616,7 @@ impl<'d> AfterAlternating<'d> {
     /// Step 2 (paper §4): combinational PODEM on the scan-mode view for
     /// the hard faults step 1 did not fortuitously catch, each test
     /// confirmed by (sharded) sequential fault simulation.
-    pub fn comb(self) -> AfterComb<'d> {
+    pub fn comb(self) -> AfterComb {
         let hard: Vec<Fault> = self
             .classified
             .iter()
@@ -538,7 +629,7 @@ impl<'d> AfterAlternating<'d> {
             lane_width: self.config.lane_width,
             ..CombPhaseConfig::default()
         };
-        let outcome = CombPhase::new(self.design, comb_config).run(&hard);
+        let outcome = CombPhase::new(&self.design, comb_config).run(&hard);
         AfterComb {
             design: self.design,
             config: self.config,
@@ -558,8 +649,8 @@ impl<'d> AfterAlternating<'d> {
 /// leftovers) and `missed_easy` are open for modification; their union
 /// is step 3's target set.
 #[derive(Clone, Debug)]
-pub struct AfterComb<'d> {
-    design: &'d ScanDesign,
+pub struct AfterComb {
+    design: Arc<ScanDesign>,
     config: PipelineConfig,
     total_faults: usize,
     classified: Vec<ClassifiedFault>,
@@ -573,7 +664,7 @@ pub struct AfterComb<'d> {
     pub missed_easy: Vec<Fault>,
 }
 
-impl<'d> AfterComb<'d> {
+impl AfterComb {
     /// The step-2 report.
     pub fn report(&self) -> &CombPhaseReport {
         &self.outcome.report
@@ -585,7 +676,7 @@ impl<'d> AfterComb<'d> {
     /// faults. Lossless by construction; [`compact_program`] verifies
     /// that, and a violation (impossible for self-contained scan
     /// windows) would panic rather than silently drop coverage.
-    pub fn compact(self) -> AfterCompact<'d> {
+    pub fn compact(self) -> AfterCompact {
         let affected: Vec<Fault> = self
             .classified
             .iter()
@@ -603,7 +694,7 @@ impl<'d> AfterComb<'d> {
             program.push(t);
         }
         let compacted = compact_program_at(
-            self.design,
+            &self.design,
             program,
             &affected,
             self.config.threads,
@@ -635,8 +726,8 @@ impl<'d> AfterComb<'d> {
 /// Checkpoint after the compaction stage. `remaining` and `missed_easy`
 /// stay open for modification; their union is step 3's target set.
 #[derive(Clone, Debug)]
-pub struct AfterCompact<'d> {
-    design: &'d ScanDesign,
+pub struct AfterCompact {
+    design: Arc<ScanDesign>,
     config: PipelineConfig,
     total_faults: usize,
     classified: Vec<ClassifiedFault>,
@@ -651,7 +742,7 @@ pub struct AfterCompact<'d> {
     pub missed_easy: Vec<Fault>,
 }
 
-impl<'d> AfterCompact<'d> {
+impl AfterCompact {
     /// The compaction-stage report.
     pub fn report(&self) -> &CompactionReport {
         &self.compaction
@@ -689,7 +780,7 @@ impl<'d> AfterCompact<'d> {
         seq_cfg.max_frames = seq_cfg.max_frames.max(min_frames);
         let mut final_cfg = self.config.final_seq;
         final_cfg.max_frames = final_cfg.max_frames.max(min_frames);
-        let phase = SeqPhase::new(self.design, dist, seq_cfg, final_cfg)
+        let phase = SeqPhase::new(&self.design, dist, seq_cfg, final_cfg)
             .threads(self.config.threads);
         let seq_outcome = phase.run(&targets, &target_locs);
 
@@ -862,6 +953,58 @@ mod tests {
         for (_, m) in &report.stages()[1..] {
             assert_eq!(m.counters.topology_builds, 0);
         }
+    }
+
+    #[test]
+    fn sessions_and_checkpoints_are_send_and_static() {
+        fn assert_send<T: Send + 'static>() {}
+        assert_send::<PipelineSession>();
+        assert_send::<Classified>();
+        assert_send::<AfterAlternating>();
+        assert_send::<AfterComb>();
+        assert_send::<AfterCompact>();
+        assert_send::<PipelineReport>();
+    }
+
+    #[test]
+    fn shared_session_matches_borrowed_session() {
+        let circuit = generate(&GeneratorConfig::new("own", 17).gates(160).dffs(10));
+        let design = insert_functional_scan(&circuit, &TpiConfig::default()).unwrap();
+        let borrowed = PipelineSession::new(&design, PipelineConfig::default()).run();
+        let shared = Arc::new(design);
+        // Two concurrent sessions over one Arc — both 'static + Send.
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let s =
+                    PipelineSession::shared(Arc::clone(&shared), PipelineConfig::default());
+                std::thread::spawn(move || s.run())
+            })
+            .collect();
+        for h in handles {
+            let report = h.join().unwrap();
+            assert_eq!(report.classification.total, borrowed.classification.total);
+            assert_eq!(report.seq.detected, borrowed.seq.detected);
+            assert_eq!(report.undetected_faults, borrowed.undetected_faults);
+            assert_eq!(report.total_counters(), borrowed.total_counters());
+        }
+    }
+
+    #[test]
+    fn borrowed_constructor_shares_the_compiled_topology() {
+        let circuit = generate(&GeneratorConfig::new("share", 19).gates(140).dffs(8));
+        let design = insert_functional_scan(&circuit, &TpiConfig::default()).unwrap();
+        let first = PipelineSession::new(&design, PipelineConfig::default());
+        let second = PipelineSession::new(&design, PipelineConfig::default());
+        // Both clones must share the topology already cached on `design`
+        // (forced before cloning), not recompile their own.
+        assert!(Arc::ptr_eq(
+            &design.topology(),
+            &first.design().topology()
+        ));
+        assert!(Arc::ptr_eq(
+            &design.topology(),
+            &second.design().topology()
+        ));
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Stable content hashing for netlist payloads.
+//!
+//! The serving layer keys its compiled-design cache by the *content* of
+//! an uploaded `.bench` netlist (plus the scan parameters that shape the
+//! compiled design), so two uploads of the same file share one
+//! [`CompiledTopology`](crate::CompiledTopology) no matter how they were
+//! transported. `std::hash::DefaultHasher` is explicitly documented as
+//! unstable across releases, so the key uses a fixed algorithm instead:
+//! 64-bit FNV-1a, implemented here in a dozen lines. The hash is a cache
+//! key, not a cryptographic digest — collisions are astronomically
+//! unlikely at cache sizes (tens of entries) and cost only a stale
+//! verdict for the colliding upload, never memory unsafety.
+
+/// Incremental 64-bit FNV-1a hasher with a stable, documented algorithm
+/// (unlike `DefaultHasher`, the output never changes across toolchains),
+/// so it can key persistent or cross-process caches.
+///
+/// # Examples
+///
+/// ```
+/// use fscan_netlist::Fnv1a64;
+///
+/// let mut h = Fnv1a64::new();
+/// h.write(b"INPUT(a)\n");
+/// h.write_u64(2); // e.g. a chain count that shapes the compiled design
+/// let key = h.finish();
+/// assert_ne!(key, Fnv1a64::new().finish());
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Fnv1a64(u64);
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv1a64 {
+    /// A fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Fnv1a64 {
+        Fnv1a64(FNV_OFFSET)
+    }
+
+    /// Folds `bytes` into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds a `u64` into the hash (little-endian), for mixing
+    /// non-textual key components such as scan chain counts.
+    pub fn write_u64(&mut self, value: u64) {
+        self.write(&value.to_le_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a64 {
+    fn default() -> Fnv1a64 {
+        Fnv1a64::new()
+    }
+}
+
+/// One-shot FNV-1a over a byte slice — the common case of hashing an
+/// uploaded netlist body.
+///
+/// # Examples
+///
+/// ```
+/// use fscan_netlist::content_hash64;
+///
+/// let a = content_hash64(b"INPUT(a)\n");
+/// assert_eq!(a, content_hash64(b"INPUT(a)\n"));
+/// assert_ne!(a, content_hash64(b"INPUT(b)\n"));
+/// ```
+pub fn content_hash64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_published_fnv1a_vectors() {
+        // Reference values from the FNV specification.
+        assert_eq!(content_hash64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(content_hash64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(content_hash64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let mut h = Fnv1a64::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), content_hash64(b"foobar"));
+    }
+
+    #[test]
+    fn u64_components_change_the_key() {
+        let mut one = Fnv1a64::new();
+        one.write(b"netlist");
+        one.write_u64(1);
+        let mut two = Fnv1a64::new();
+        two.write(b"netlist");
+        two.write_u64(2);
+        assert_ne!(one.finish(), two.finish());
+    }
+}

@@ -37,11 +37,13 @@ mod dot;
 mod error;
 mod gate;
 mod generator;
+mod hash;
 mod level;
 mod stats;
 mod topo;
 
 pub use bench::{parse_bench, write_bench, ParseBenchError};
+pub use hash::{content_hash64, Fnv1a64};
 pub use circuit::{Circuit, Node, NodeId};
 pub use dot::to_dot;
 pub use error::NetlistError;

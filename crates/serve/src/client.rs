@@ -1,0 +1,97 @@
+//! A minimal blocking client for the server's endpoints.
+//!
+//! One connection per exchange, mirroring the server's
+//! `Connection: close` model. Used by the `smoke` binary and the
+//! integration tests; it is deliberately dependency-free so CI can
+//! exercise the full wire format without external tooling.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+
+use fscan::json::{config_to_value, Value};
+use fscan::PipelineConfig;
+
+use crate::http::{read_response, RequestError, Response};
+
+/// Everything needed to POST one `/run`.
+#[derive(Clone, Debug)]
+pub struct RunRequest<'a> {
+    /// The `.bench` netlist text.
+    pub bench: &'a str,
+    /// Circuit name recorded in the report.
+    pub name: &'a str,
+    /// Scan chain count for functional scan insertion.
+    pub chains: usize,
+    /// Pipeline configuration; `None` uses the server default.
+    pub config: Option<&'a PipelineConfig>,
+    /// Request chunked per-checkpoint streaming.
+    pub stream: bool,
+}
+
+impl<'a> RunRequest<'a> {
+    /// A default-configured, non-streaming request.
+    pub fn new(bench: &'a str, name: &'a str, chains: usize) -> RunRequest<'a> {
+        RunRequest {
+            bench,
+            name,
+            chains,
+            config: None,
+            stream: false,
+        }
+    }
+
+    /// The JSON envelope the server accepts.
+    pub fn to_json(&self) -> String {
+        let mut fields = vec![
+            ("bench", Value::Str(self.bench.to_string())),
+            ("name", Value::Str(self.name.to_string())),
+            ("chains", Value::UInt(self.chains as u64)),
+        ];
+        if let Some(config) = self.config {
+            fields.push(("config", config_to_value(config)));
+        }
+        if self.stream {
+            fields.push(("stream", Value::Bool(true)));
+        }
+        Value::object(fields).render_compact()
+    }
+}
+
+fn exchange(addr: SocketAddr, head: &str, body: &[u8]) -> Result<Response, RequestError> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+    read_response(&mut stream)
+}
+
+/// Sends `GET path`.
+pub fn get(addr: SocketAddr, path: &str) -> Result<Response, RequestError> {
+    exchange(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nhost: fscan\r\nconnection: close\r\n\r\n"),
+        b"",
+    )
+}
+
+/// Sends `POST path` with an arbitrary body.
+pub fn post(
+    addr: SocketAddr,
+    path: &str,
+    content_type: &str,
+    body: &[u8],
+) -> Result<Response, RequestError> {
+    exchange(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nhost: fscan\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            body.len()
+        ),
+        body,
+    )
+}
+
+/// Sends a `/run` request as the JSON envelope.
+pub fn post_run(addr: SocketAddr, run: &RunRequest<'_>) -> Result<Response, RequestError> {
+    post(addr, "/run", "application/json", run.to_json().as_bytes())
+}

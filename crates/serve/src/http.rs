@@ -1,0 +1,491 @@
+//! A deliberately small HTTP/1.1 layer over [`std::net::TcpStream`].
+//!
+//! The build environment is offline, so the server cannot lean on hyper
+//! or tokio; it speaks exactly the subset of HTTP/1.1 its own endpoints
+//! and smoke client need: request lines with an `origin-form` target,
+//! `Content-Length` bodies (bounded), fixed-length responses, and
+//! `Transfer-Encoding: chunked` responses for the streaming mode. Each
+//! connection carries one exchange (`Connection: close` semantics);
+//! pipelining and keep-alive are intentionally out of scope.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on an accepted request body (`.bench` uploads are text;
+/// the largest suite circuits are well under a megabyte).
+pub const MAX_BODY: usize = 16 * 1024 * 1024;
+
+/// Upper bound on the request head (request line plus headers).
+const MAX_HEAD: usize = 64 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Request method, uppercased (`GET`, `POST`, …).
+    pub method: String,
+    /// Decoded path component of the target (no query string).
+    pub path: String,
+    /// Decoded `key=value` pairs of the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Header `(name, value)` pairs; names are lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a (lowercase) header name, if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of a query parameter, if present.
+    pub fn query(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RequestError {
+    /// The connection dropped or a read failed.
+    Io(String),
+    /// The request line or a header was malformed.
+    Malformed(String),
+    /// The declared body length exceeded [`MAX_BODY`].
+    TooLarge(usize),
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::Io(e) => write!(f, "i/o error: {e}"),
+            RequestError::Malformed(m) => write!(f, "malformed request: {m}"),
+            RequestError::TooLarge(n) => write!(f, "body of {n} bytes exceeds limit"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+impl From<io::Error> for RequestError {
+    fn from(e: io::Error) -> RequestError {
+        RequestError::Io(e.to_string())
+    }
+}
+
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    std::str::from_utf8(h)
+                        .ok()
+                        .and_then(|h| u8::from_str_radix(h, 16).ok())
+                });
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn parse_query(raw: &str) -> Vec<(String, String)> {
+    raw.split('&')
+        .filter(|p| !p.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(pair), String::new()),
+        })
+        .collect()
+}
+
+/// Reads one HTTP/1.1 request from the stream.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
+    let mut reader = BufReader::new(stream);
+    let mut head = String::new();
+    let mut line = String::new();
+
+    // Request line.
+    reader.read_line(&mut line)?;
+    if line.is_empty() {
+        return Err(RequestError::Io("connection closed before request".into()));
+    }
+    let request_line = line.trim_end().to_string();
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("empty request line".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("missing request target".into()))?
+        .to_string();
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        _ => return Err(RequestError::Malformed("expected an HTTP/1.x version".into())),
+    }
+
+    // Headers.
+    let mut headers = Vec::new();
+    loop {
+        line.clear();
+        reader.read_line(&mut line)?;
+        if line.is_empty() {
+            return Err(RequestError::Io("connection closed inside headers".into()));
+        }
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        head.push_str(&line);
+        if head.len() > MAX_HEAD {
+            return Err(RequestError::Malformed("request head too large".into()));
+        }
+        let (name, value) = trimmed
+            .split_once(':')
+            .ok_or_else(|| RequestError::Malformed(format!("header without colon: {trimmed}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    // Body: Content-Length only (requests never use chunked here).
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| RequestError::Malformed(format!("bad content-length: {v}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY {
+        return Err(RequestError::TooLarge(content_length));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (percent_decode(p), parse_query(q)),
+        None => (percent_decode(&target), Vec::new()),
+    };
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete fixed-length response and flushes it.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+        status,
+        reason(status),
+        content_type,
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// An in-flight `Transfer-Encoding: chunked` response.
+///
+/// Created by [`start_chunked`]; each [`chunk`](ChunkedWriter::chunk)
+/// flushes immediately so the client observes checkpoints as they
+/// complete, and [`finish`](ChunkedWriter::finish) terminates the body.
+pub struct ChunkedWriter<'a> {
+    stream: &'a mut TcpStream,
+}
+
+impl ChunkedWriter<'_> {
+    /// Sends one chunk (empty input is skipped: a zero-length chunk
+    /// would terminate the body).
+    pub fn chunk(&mut self, data: &[u8]) -> io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.stream, "{:x}\r\n", data.len())?;
+        self.stream.write_all(data)?;
+        self.stream.write_all(b"\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Terminates the chunked body.
+    pub fn finish(self) -> io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
+/// Writes a chunked-response head and returns the body writer.
+pub fn start_chunked<'a>(
+    stream: &'a mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+) -> io::Result<ChunkedWriter<'a>> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ntransfer-encoding: chunked\r\nconnection: close\r\n",
+        status,
+        reason(status),
+        content_type,
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.flush()?;
+    Ok(ChunkedWriter { stream })
+}
+
+/// A response as read back by the client side.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The full body. For chunked responses this is the concatenation
+    /// of all chunks; [`Response::chunks`] preserves the boundaries.
+    pub body: Vec<u8>,
+    /// Chunk payloads in arrival order (empty for fixed-length bodies).
+    pub chunks: Vec<Vec<u8>>,
+}
+
+impl Response {
+    /// First value of a (lowercase) header name, if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Reads one HTTP/1.1 response (fixed-length or chunked).
+pub fn read_response(stream: &mut TcpStream) -> Result<Response, RequestError> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let status = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| RequestError::Malformed(format!("bad status line: {line}")))?;
+
+    let mut headers = Vec::new();
+    loop {
+        line.clear();
+        reader.read_line(&mut line)?;
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        let (name, value) = trimmed
+            .split_once(':')
+            .ok_or_else(|| RequestError::Malformed(format!("header without colon: {trimmed}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let chunked = headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let mut body = Vec::new();
+    let mut chunks = Vec::new();
+    if chunked {
+        loop {
+            line.clear();
+            reader.read_line(&mut line)?;
+            let size = usize::from_str_radix(line.trim(), 16)
+                .map_err(|_| RequestError::Malformed(format!("bad chunk size: {line}")))?;
+            if size > MAX_BODY || body.len() + size > MAX_BODY {
+                return Err(RequestError::TooLarge(body.len() + size));
+            }
+            let mut chunk = vec![0u8; size];
+            reader.read_exact(&mut chunk)?;
+            let mut crlf = [0u8; 2];
+            reader.read_exact(&mut crlf)?;
+            if size == 0 {
+                break;
+            }
+            body.extend_from_slice(&chunk);
+            chunks.push(chunk);
+        }
+    } else {
+        let length = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .and_then(|(_, v)| v.parse::<usize>().ok());
+        match length {
+            Some(n) if n > MAX_BODY => return Err(RequestError::TooLarge(n)),
+            Some(n) => {
+                body = vec![0u8; n];
+                reader.read_exact(&mut body)?;
+            }
+            // No length: read to connection close.
+            None => {
+                reader.read_to_end(&mut body)?;
+            }
+        }
+    }
+    Ok(Response {
+        status,
+        headers,
+        body,
+        chunks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::thread;
+
+    fn roundtrip(raw: &str) -> Result<Request, RequestError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_string();
+        let sender = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(raw.as_bytes()).unwrap();
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let req = read_request(&mut conn);
+        sender.join().unwrap();
+        req
+    }
+
+    #[test]
+    fn parses_a_post_with_query_and_body() {
+        let req = roundtrip(
+            "POST /run?name=s27&chains=2&stream=1 HTTP/1.1\r\ncontent-type: text/plain\r\ncontent-length: 5\r\n\r\nhello",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/run");
+        assert_eq!(req.query("name"), Some("s27"));
+        assert_eq!(req.query("chains"), Some("2"));
+        assert_eq!(req.query("stream"), Some("1"));
+        assert_eq!(req.header("content-type"), Some("text/plain"));
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn percent_decoding_applies_to_query_values() {
+        let req = roundtrip("GET /stats?name=a%2Fb+c HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.query("name"), Some("a/b c"));
+    }
+
+    #[test]
+    fn rejects_malformed_request_lines() {
+        assert!(matches!(
+            roundtrip("NONSENSE\r\n\r\n"),
+            Err(RequestError::Malformed(_))
+        ));
+        assert!(matches!(
+            roundtrip("GET / SMTP/3\r\n\r\n"),
+            Err(RequestError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_without_reading_them() {
+        let huge = format!("POST /run HTTP/1.1\r\ncontent-length: {}\r\n\r\n", MAX_BODY + 1);
+        assert!(matches!(roundtrip(&huge), Err(RequestError::TooLarge(_))));
+    }
+
+    #[test]
+    fn fixed_and_chunked_responses_round_trip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            write_response(&mut conn, 200, "application/json", &[("x-fscan-cache", "hit")], b"{}")
+                .unwrap();
+            let (mut conn, _) = listener.accept().unwrap();
+            let mut w = start_chunked(&mut conn, 200, "application/jsonl", &[]).unwrap();
+            w.chunk(b"one\n").unwrap();
+            w.chunk(b"").unwrap(); // skipped, must not terminate
+            w.chunk(b"two\n").unwrap();
+            w.finish().unwrap();
+        });
+
+        let mut s = TcpStream::connect(addr).unwrap();
+        let fixed = read_response(&mut s).unwrap();
+        assert_eq!(fixed.status, 200);
+        assert_eq!(fixed.header("x-fscan-cache"), Some("hit"));
+        assert_eq!(fixed.body, b"{}");
+        assert!(fixed.chunks.is_empty());
+
+        let mut s = TcpStream::connect(addr).unwrap();
+        let streamed = read_response(&mut s).unwrap();
+        assert_eq!(streamed.status, 200);
+        assert_eq!(streamed.chunks.len(), 2);
+        assert_eq!(streamed.text(), "one\ntwo\n");
+        server.join().unwrap();
+    }
+}

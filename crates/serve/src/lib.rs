@@ -1,0 +1,45 @@
+//! `fscan-serve`: a long-lived pipeline server for functional scan
+//! chain testing.
+//!
+//! Screening a netlist ([`fscan`]'s three-step pipeline) is dominated
+//! by per-design setup — `.bench` parsing, functional scan insertion,
+//! levelized topology compilation — all pure functions of the uploaded
+//! content. A long-lived process amortizes that setup across requests:
+//! clients POST a `.bench` netlist plus a pipeline configuration, the
+//! server resolves the upload in a content-hash-keyed LRU of compiled
+//! [`fscan_scan::ScanDesign`]s ([`cache::DesignCache`], single-flight),
+//! and each request runs its own owned
+//! [`fscan::PipelineSession`] over the shared `Arc` — many concurrent
+//! sessions, one compiled topology.
+//!
+//! The stack is std-only (the build environment has no async runtime
+//! and no registry access): a hand-rolled HTTP/1.1 subset
+//! ([`http`]) over [`std::net::TcpListener`] with a fixed worker pool
+//! ([`server`]), plus a matching blocking client ([`client`]) used by
+//! the smoke binary and the integration tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use fscan_serve::{client, server};
+//!
+//! let handle = server::spawn(&server::ServerConfig::default())?;
+//! let addr = handle.addr();
+//! let health = client::get(addr, "/healthz")?;
+//! assert_eq!(health.status, 200);
+//! handle.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod server;
+
+pub use cache::{CacheStats, DesignCache};
+pub use client::{get, post, post_run, RunRequest};
+pub use http::{Request, RequestError, Response};
+pub use server::{spawn, ServerConfig, ServerHandle};

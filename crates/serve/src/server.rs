@@ -1,0 +1,542 @@
+//! The pipeline server: a [`TcpListener`] accept loop feeding a
+//! fixed-size worker pool, one request per connection.
+//!
+//! ## Endpoints
+//!
+//! | Method | Path        | Behaviour                                          |
+//! |--------|-------------|----------------------------------------------------|
+//! | POST   | `/run`      | Compile (or reuse) the uploaded netlist, run the pipeline, return the full report as JSON. `stream` switches to chunked per-checkpoint metrics. |
+//! | GET    | `/stats`    | Server counters: requests, runs, cache hits/misses/evictions, server-wide `topology_builds`. |
+//! | GET    | `/healthz`  | Liveness probe.                                    |
+//! | POST   | `/shutdown` | Acknowledge, then stop accepting and drain.        |
+//!
+//! `/run` accepts either a JSON envelope (`content-type:
+//! application/json`) — `{"bench": "...", "name": "...", "chains": N,
+//! "config": {...}, "stream": bool}` — or a raw `.bench` body with the
+//! same knobs as query parameters (`name`, `chains`, `stream`,
+//! `threads`, `lanes`). Failures map to structured 4xx bodies
+//! `{"error": {"kind": "...", "message": "..."}}` where `kind` is
+//! [`fscan::Error::kind`]. Every `/run` response carries an
+//! `x-fscan-cache: hit|miss` header.
+//!
+//! ## Ownership and shutdown
+//!
+//! Workers run owned [`PipelineSession`]s over `Arc<ScanDesign>`s
+//! shared out of the [`DesignCache`] — no request borrows from another.
+//! Graceful shutdown flips an [`AtomicBool`], wakes the accept loop
+//! with a self-connection, drops the queue sender so workers drain
+//! in-flight connections, and joins every thread.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+
+use fscan::json::{self, config_from_value, metrics_to_value, report_to_value, Value};
+use fscan::{Error, LaneWidth, PipelineConfig, PipelineSession};
+use fscan_netlist::{content_hash64, parse_bench, Fnv1a64};
+use fscan_scan::{insert_functional_scan, ScanDesign, TpiConfig};
+
+use crate::cache::DesignCache;
+use crate::http::{read_request, start_chunked, write_response, Request, RequestError};
+
+/// Server construction parameters.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Worker thread count (minimum 1).
+    pub workers: usize,
+    /// Compiled-design cache capacity.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            cache_capacity: 16,
+        }
+    }
+}
+
+/// Counters shared by all workers, snapshotted by `/stats`.
+#[derive(Debug, Default)]
+struct ServerCounters {
+    requests: AtomicU64,
+    runs: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// Everything a worker needs to answer requests.
+struct Shared {
+    cache: DesignCache,
+    counters: ServerCounters,
+    shutdown: AtomicBool,
+}
+
+/// A running server; dropping the handle does **not** stop it — call
+/// [`shutdown`](ServerHandle::shutdown) (or POST `/shutdown`).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when `:0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown and blocks until every thread has drained.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept loop; it re-checks the flag per connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    /// Blocks until the server stops (i.e. someone POSTs `/shutdown`).
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Binds and spawns the server threads; returns immediately.
+pub fn spawn(config: &ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        cache: DesignCache::new(config.cache_capacity),
+        counters: ServerCounters::default(),
+        shutdown: AtomicBool::new(false),
+    });
+
+    let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
+    let rx = Arc::new(Mutex::new(rx));
+    let workers: Vec<_> = (0..config.workers.max(1))
+        .map(|i| {
+            let rx = Arc::clone(&rx);
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name(format!("fscan-serve-worker-{i}"))
+                .spawn(move || worker_loop(&rx, &shared))
+                .expect("spawn worker")
+        })
+        .collect();
+
+    let accept_shared = Arc::clone(&shared);
+    let accept_thread = thread::Builder::new()
+        .name("fscan-serve-accept".to_string())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if accept_shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(conn) = conn else { continue };
+                // Dropping the sender (loop exit) closes the queue.
+                if tx.send(conn).is_err() {
+                    break;
+                }
+            }
+        })
+        .expect("spawn accept loop");
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept_thread: Some(accept_thread),
+        workers,
+    })
+}
+
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, shared: &Shared) {
+    loop {
+        let conn = {
+            let guard = rx.lock().unwrap();
+            guard.recv()
+        };
+        match conn {
+            Ok(mut stream) => handle_connection(&mut stream, shared),
+            Err(_) => break, // queue closed: shutdown
+        }
+    }
+}
+
+fn handle_connection(stream: &mut TcpStream, shared: &Shared) {
+    shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+    let request = match read_request(stream) {
+        Ok(r) => r,
+        Err(RequestError::TooLarge(_)) => {
+            let _ = error_response(stream, 413, "json", "request body too large");
+            return;
+        }
+        Err(RequestError::Malformed(m)) => {
+            let _ = error_response(stream, 400, "http", &m);
+            return;
+        }
+        Err(RequestError::Io(_)) => return, // peer went away (incl. shutdown wake)
+    };
+    let outcome = match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => write_response(
+            stream,
+            200,
+            "application/json",
+            &[],
+            b"{\"status\":\"ok\"}",
+        ),
+        ("GET", "/stats") => {
+            let body = stats_json(shared);
+            write_response(stream, 200, "application/json", &[], body.as_bytes())
+        }
+        ("POST", "/shutdown") => {
+            let done = write_response(
+                stream,
+                200,
+                "application/json",
+                &[],
+                b"{\"status\":\"shutting_down\"}",
+            );
+            shared.shutdown.store(true, Ordering::SeqCst);
+            // Wake the accept loop so it observes the flag.
+            if let Ok(addr) = stream.local_addr() {
+                let _ = TcpStream::connect(addr);
+            }
+            done
+        }
+        ("POST", "/run") => handle_run(stream, &request, shared),
+        (_, "/run" | "/shutdown") | ("POST" | "PUT" | "DELETE", "/stats" | "/healthz") => {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            error_response(stream, 405, "http", "method not allowed")
+        }
+        _ => {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            error_response(stream, 404, "http", "no such endpoint")
+        }
+    };
+    let _ = outcome;
+}
+
+/// A parsed `/run` request, whichever wire shape carried it.
+struct RunParams {
+    bench: String,
+    name: String,
+    chains: usize,
+    config: PipelineConfig,
+    stream: bool,
+}
+
+fn parse_run_request(request: &Request) -> Result<RunParams, Error> {
+    let is_json = request
+        .header("content-type")
+        .is_some_and(|t| t.contains("application/json"))
+        || request.body.first() == Some(&b'{');
+    if is_json {
+        let text = std::str::from_utf8(&request.body)
+            .map_err(|_| json::JsonError::new("request body is not UTF-8"))?;
+        let doc = json::parse(text)?;
+        let obj = doc
+            .as_object()
+            .ok_or_else(|| json::JsonError::new("run envelope: expected an object"))?;
+        let mut bench = None;
+        let mut name = "upload".to_string();
+        let mut chains = 1usize;
+        let mut config = PipelineConfig::default();
+        let mut stream = false;
+        for (key, value) in obj {
+            match key.as_str() {
+                "bench" => {
+                    bench = Some(
+                        value
+                            .as_str()
+                            .ok_or_else(|| json::JsonError::new("run envelope: bench: expected a string"))?
+                            .to_string(),
+                    );
+                }
+                "name" => {
+                    name = value
+                        .as_str()
+                        .ok_or_else(|| json::JsonError::new("run envelope: name: expected a string"))?
+                        .to_string();
+                }
+                "chains" => {
+                    chains = value
+                        .as_u64()
+                        .ok_or_else(|| json::JsonError::new("run envelope: chains: expected an integer"))?
+                        as usize;
+                }
+                "config" => config = config_from_value(value).map_err(Error::from)?,
+                "stream" => {
+                    stream = value
+                        .as_bool()
+                        .ok_or_else(|| json::JsonError::new("run envelope: stream: expected a bool"))?;
+                }
+                other => {
+                    return Err(json::JsonError::new(format!(
+                        "run envelope: unknown key `{other}`"
+                    ))
+                    .into())
+                }
+            }
+        }
+        let bench =
+            bench.ok_or_else(|| json::JsonError::new("run envelope: missing required `bench`"))?;
+        config.validate()?;
+        Ok(RunParams {
+            bench,
+            name,
+            chains,
+            config,
+            stream,
+        })
+    } else {
+        let bench = std::str::from_utf8(&request.body)
+            .map_err(|_| json::JsonError::new("request body is not UTF-8"))?
+            .to_string();
+        let name = request.query("name").unwrap_or("upload").to_string();
+        let chains = match request.query("chains") {
+            Some(v) => v
+                .parse::<usize>()
+                .map_err(|_| json::JsonError::new(format!("query chains: not an integer: {v}")))?,
+            None => 1,
+        };
+        let mut builder = PipelineConfig::builder();
+        if let Some(v) = request.query("threads") {
+            let threads = v
+                .parse::<usize>()
+                .map_err(|_| json::JsonError::new(format!("query threads: not an integer: {v}")))?;
+            builder = builder.threads(threads);
+        }
+        if let Some(v) = request.query("lanes") {
+            let lanes = v
+                .parse::<LaneWidth>()
+                .map_err(|e| json::JsonError::new(format!("query lanes: {e}")))?;
+            builder = builder.lane_width(lanes);
+        }
+        let stream = matches!(request.query("stream"), Some("1" | "true"));
+        Ok(RunParams {
+            bench,
+            name,
+            chains,
+            config: builder.build()?,
+            stream,
+        })
+    }
+}
+
+/// The cache key: FNV-1a over the exact upload content and compile
+/// parameters. Configuration is *not* part of the key — it affects the
+/// run, not the compiled design.
+fn design_key(params: &RunParams) -> u64 {
+    let mut h = Fnv1a64::new();
+    h.write_u64(content_hash64(params.name.as_bytes()));
+    h.write_u64(params.chains as u64);
+    h.write(params.bench.as_bytes());
+    h.finish()
+}
+
+fn build_design(params: &RunParams) -> Result<Arc<ScanDesign>, Error> {
+    let circuit = parse_bench(&params.bench, &params.name)?;
+    let tpi = TpiConfig {
+        num_chains: params.chains.max(1),
+        ..TpiConfig::default()
+    };
+    let design = insert_functional_scan(&circuit, &tpi)?;
+    // Compile the topology while still single-flight: every session on
+    // this design then shares the one Arc<CompiledTopology>.
+    design.topology();
+    Ok(Arc::new(design))
+}
+
+fn handle_run(stream: &mut TcpStream, request: &Request, shared: &Shared) -> io::Result<()> {
+    let params = match parse_run_request(request) {
+        Ok(p) => p,
+        Err(e) => {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            return error_response(stream, 400, e.kind(), &e.to_string());
+        }
+    };
+    let (design, hit) = shared
+        .cache
+        .get_or_build(design_key(&params), || build_design(&params));
+    let cache_header = if hit { "hit" } else { "miss" };
+    let design = match design {
+        Ok(d) => d,
+        Err(e) => {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            return error_response(stream, 400, e.kind(), &e.to_string());
+        }
+    };
+
+    let session = PipelineSession::shared(design, params.config);
+    shared.counters.runs.fetch_add(1, Ordering::Relaxed);
+    if params.stream {
+        stream_run(stream, session, cache_header)
+    } else {
+        let report = session.run();
+        let body = json::report_to_json(&report);
+        write_response(
+            stream,
+            200,
+            "application/json",
+            &[("x-fscan-cache", cache_header)],
+            body.as_bytes(),
+        )
+    }
+}
+
+/// Runs the pipeline checkpoint by checkpoint, emitting one compact
+/// JSON line per completed stage as a chunk, then the full report.
+fn stream_run(stream: &mut TcpStream, session: PipelineSession, cache: &str) -> io::Result<()> {
+    let mut writer = start_chunked(
+        stream,
+        200,
+        "application/x-ndjson",
+        &[("x-fscan-cache", cache)],
+    )?;
+    let line = |stage: &str, extra: Vec<(&'static str, Value)>, metrics: &fscan_sim::StageMetrics| {
+        let mut fields = vec![("checkpoint", Value::Str(stage.to_string()))];
+        fields.extend(extra);
+        fields.push(("metrics", metrics_to_value(metrics)));
+        let mut text = Value::object(fields).render_compact();
+        text.push('\n');
+        text
+    };
+
+    let classified = session.classify();
+    let summary = classified.summary();
+    writer.chunk(
+        line(
+            "classify",
+            vec![
+                ("total", Value::UInt(summary.total as u64)),
+                ("easy", Value::UInt(summary.easy as u64)),
+                ("hard", Value::UInt(summary.hard as u64)),
+            ],
+            &summary.metrics,
+        )
+        .as_bytes(),
+    )?;
+
+    let alternating = classified.alternating();
+    let alt = alternating.report().clone();
+    writer.chunk(
+        line(
+            "alternating",
+            vec![
+                ("targeted", Value::UInt(alt.targeted as u64)),
+                ("detected", Value::UInt(alt.detected as u64)),
+            ],
+            &alt.metrics,
+        )
+        .as_bytes(),
+    )?;
+
+    let comb = alternating.comb();
+    let comb_report = comb.report().clone();
+    writer.chunk(
+        line(
+            "comb",
+            vec![
+                ("targeted", Value::UInt(comb_report.targeted as u64)),
+                ("detected", Value::UInt(comb_report.detected as u64)),
+                ("undetected", Value::UInt(comb_report.undetected as u64)),
+            ],
+            &comb_report.metrics,
+        )
+        .as_bytes(),
+    )?;
+
+    let compacted = comb.compact();
+    let compact_report = compacted.report().clone();
+    writer.chunk(
+        line(
+            "compact",
+            vec![
+                ("tests_before", Value::UInt(compact_report.tests_before as u64)),
+                ("tests_after", Value::UInt(compact_report.tests_after as u64)),
+            ],
+            &compact_report.metrics,
+        )
+        .as_bytes(),
+    )?;
+
+    let report = compacted.seq();
+    writer.chunk(
+        line(
+            "seq",
+            vec![
+                ("targeted", Value::UInt(report.seq.targeted as u64)),
+                ("detected", Value::UInt(report.seq.detected as u64)),
+                ("undetected", Value::UInt(report.seq.undetected as u64)),
+            ],
+            &report.seq.metrics,
+        )
+        .as_bytes(),
+    )?;
+
+    let mut final_line = Value::object([
+        ("checkpoint", Value::Str("report".to_string())),
+        ("report", report_to_value(&report)),
+    ])
+    .render_compact();
+    final_line.push('\n');
+    writer.chunk(final_line.as_bytes())?;
+    writer.finish()
+}
+
+fn stats_json(shared: &Shared) -> String {
+    let cache = shared.cache.stats();
+    Value::object([
+        (
+            "requests",
+            Value::UInt(shared.counters.requests.load(Ordering::Relaxed)),
+        ),
+        (
+            "runs",
+            Value::UInt(shared.counters.runs.load(Ordering::Relaxed)),
+        ),
+        (
+            "errors",
+            Value::UInt(shared.counters.errors.load(Ordering::Relaxed)),
+        ),
+        (
+            "cache",
+            Value::object([
+                ("hits", Value::UInt(cache.hits)),
+                ("misses", Value::UInt(cache.misses)),
+                ("evictions", Value::UInt(cache.evictions)),
+                ("entries", Value::UInt(cache.entries)),
+            ]),
+        ),
+        ("topology_builds", Value::UInt(cache.builds)),
+    ])
+    .render_compact()
+}
+
+fn error_response(stream: &mut TcpStream, status: u16, kind: &str, message: &str) -> io::Result<()> {
+    let body = Value::object([(
+        "error",
+        Value::object([
+            ("kind", Value::Str(kind.to_string())),
+            ("message", Value::Str(message.to_string())),
+        ]),
+    )])
+    .render_compact();
+    write_response(stream, status, "application/json", &[], body.as_bytes())
+}

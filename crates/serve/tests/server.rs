@@ -1,0 +1,242 @@
+//! End-to-end tests over a real socket: the acceptance criteria of the
+//! serving layer.
+
+use std::sync::Arc;
+use std::thread;
+
+use fscan::json;
+use fscan_netlist::{generate, write_bench, GeneratorConfig};
+use fscan_serve::server::{spawn, ServerConfig};
+use fscan_serve::{client, RunRequest};
+
+fn bench_text(seed: u64) -> String {
+    write_bench(&generate(
+        &GeneratorConfig::new("itest", seed).gates(70).dffs(5),
+    ))
+}
+
+fn strip_wall(text: &str) -> String {
+    text.lines()
+        .filter(|l| !l.contains("wall_s"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn concurrent_uploads_of_one_netlist_compile_the_topology_once() {
+    let handle = spawn(&ServerConfig {
+        workers: 4,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+    let bench = Arc::new(bench_text(1));
+
+    let responses: Vec<_> = (0..4)
+        .map(|_| {
+            let bench = Arc::clone(&bench);
+            thread::spawn(move || {
+                client::post_run(addr, &RunRequest::new(&bench, "itest", 1)).unwrap()
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|t| t.join().unwrap())
+        .collect();
+    for r in &responses {
+        assert_eq!(r.status, 200, "{}", r.text());
+    }
+    // All four reports agree once wall-clock is stripped.
+    let first = strip_wall(&responses[0].text());
+    for r in &responses[1..] {
+        assert_eq!(strip_wall(&r.text()), first);
+    }
+
+    let stats = client::get(addr, "/stats").unwrap();
+    let doc = json::parse(&stats.text()).unwrap();
+    assert_eq!(
+        doc.get("topology_builds").and_then(|v| v.as_u64()),
+        Some(1),
+        "one netlist must compile exactly once server-wide: {}",
+        stats.text()
+    );
+    let hits = doc
+        .get("cache")
+        .and_then(|c| c.get("hits"))
+        .and_then(|v| v.as_u64())
+        .unwrap();
+    assert!(hits >= 1, "expected cache hits, stats: {}", stats.text());
+    assert_eq!(
+        doc.get("cache")
+            .and_then(|c| c.get("misses"))
+            .and_then(|v| v.as_u64()),
+        Some(1)
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn reports_are_byte_identical_across_worker_pool_sizes() {
+    let bench = bench_text(2);
+    let mut outputs = Vec::new();
+    for workers in [1, 4] {
+        let handle = spawn(&ServerConfig {
+            workers,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let response =
+            client::post_run(handle.addr(), &RunRequest::new(&bench, "itest", 1)).unwrap();
+        assert_eq!(response.status, 200, "{}", response.text());
+        outputs.push(strip_wall(&response.text()));
+        handle.shutdown();
+    }
+    assert_eq!(outputs[0], outputs[1]);
+    // And the payload decodes back into a structured report.
+    let report = json::report_from_json(&client_report_text(&bench)).unwrap();
+    assert_eq!(report.name, "itest");
+}
+
+fn client_report_text(bench: &str) -> String {
+    let handle = spawn(&ServerConfig::default()).unwrap();
+    let text = client::post_run(handle.addr(), &RunRequest::new(bench, "itest", 1))
+        .unwrap()
+        .text();
+    handle.shutdown();
+    text
+}
+
+#[test]
+fn streaming_emits_a_checkpoint_chunk_per_stage() {
+    let handle = spawn(&ServerConfig::default()).unwrap();
+    let bench = bench_text(3);
+    let request = RunRequest {
+        stream: true,
+        ..RunRequest::new(&bench, "itest", 1)
+    };
+    let response = client::post_run(handle.addr(), &request).unwrap();
+    assert_eq!(response.status, 200);
+    assert_eq!(response.header("x-fscan-cache"), Some("miss"));
+    assert_eq!(response.chunks.len(), 6);
+    let stages: Vec<String> = response
+        .chunks
+        .iter()
+        .map(|c| {
+            let doc = json::parse(&String::from_utf8_lossy(c)).unwrap();
+            doc.get("checkpoint")
+                .and_then(|v| v.as_str())
+                .unwrap()
+                .to_string()
+        })
+        .collect();
+    assert_eq!(
+        stages,
+        ["classify", "alternating", "comb", "compact", "seq", "report"]
+    );
+    // Every stage chunk carries its metrics; the last carries the
+    // decodable full report.
+    let first = json::parse(&String::from_utf8_lossy(&response.chunks[0])).unwrap();
+    assert!(first.get("metrics").and_then(|m| m.get("counters")).is_some());
+    let last = json::parse(&String::from_utf8_lossy(&response.chunks[5])).unwrap();
+    let report = json::report_from_value(last.get("report").unwrap()).unwrap();
+    assert_eq!(report.name, "itest");
+    handle.shutdown();
+}
+
+#[test]
+fn failures_map_to_structured_error_bodies() {
+    let handle = spawn(&ServerConfig::default()).unwrap();
+    let addr = handle.addr();
+
+    let kind_of = |response: &fscan_serve::Response| {
+        json::parse(&response.text())
+            .unwrap()
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(|k| k.as_str())
+            .map(str::to_string)
+    };
+
+    // Malformed netlist, raw upload.
+    let bad_bench = client::post(addr, "/run", "text/plain", b"INPUT(").unwrap();
+    assert_eq!(bad_bench.status, 400);
+    assert_eq!(kind_of(&bad_bench).as_deref(), Some("bench_parse"));
+
+    // Unknown envelope key.
+    let bad_key = client::post(
+        addr,
+        "/run",
+        "application/json",
+        b"{\"bench\": \"INPUT(a)\", \"nmae\": \"x\"}",
+    )
+    .unwrap();
+    assert_eq!(bad_key.status, 400);
+    assert_eq!(kind_of(&bad_key).as_deref(), Some("json"));
+
+    // Invalid configuration (zero max_frames).
+    let bad_config = client::post(
+        addr,
+        "/run",
+        "application/json",
+        b"{\"bench\": \"INPUT(a)\", \"config\": {\"seq\": {\"max_frames\": 0}}}",
+    )
+    .unwrap();
+    assert_eq!(bad_config.status, 400);
+    assert_eq!(kind_of(&bad_config).as_deref(), Some("json"));
+
+    // A netlist with no flip-flops cannot take a scan chain.
+    let no_ffs = client::post(
+        addr,
+        "/run",
+        "text/plain",
+        b"INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n",
+    )
+    .unwrap();
+    assert_eq!(no_ffs.status, 400);
+    assert_eq!(kind_of(&no_ffs).as_deref(), Some("scan"));
+
+    // Routing errors.
+    let missing = client::get(addr, "/nope").unwrap();
+    assert_eq!(missing.status, 404);
+    let wrong_method = client::get(addr, "/run").unwrap();
+    assert_eq!(wrong_method.status, 405);
+
+    // The server is still healthy after every failure.
+    assert_eq!(client::get(addr, "/healthz").unwrap().status, 200);
+    handle.shutdown();
+}
+
+#[test]
+fn distinct_netlists_occupy_distinct_cache_entries() {
+    let handle = spawn(&ServerConfig::default()).unwrap();
+    let addr = handle.addr();
+    for seed in [10, 11] {
+        let bench = bench_text(seed);
+        let r = client::post_run(addr, &RunRequest::new(&bench, "itest", 1)).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.header("x-fscan-cache"), Some("miss"));
+    }
+    let stats = client::get(addr, "/stats").unwrap();
+    let doc = json::parse(&stats.text()).unwrap();
+    assert_eq!(doc.get("topology_builds").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(
+        doc.get("cache")
+            .and_then(|c| c.get("entries"))
+            .and_then(|v| v.as_u64()),
+        Some(2)
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_endpoint_stops_the_server() {
+    let handle = spawn(&ServerConfig::default()).unwrap();
+    let addr = handle.addr();
+    let response = client::post(addr, "/shutdown", "application/json", b"").unwrap();
+    assert_eq!(response.status, 200);
+    // join() returns only once all threads exit; bounded by the test
+    // harness timeout.
+    handle.join();
+    // New exchanges now fail (accept loop is gone).
+    assert!(client::get(addr, "/healthz").is_err());
+}

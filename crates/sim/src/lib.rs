@@ -83,4 +83,4 @@ pub use pool::{resolve_threads, shard_map, shard_map_counted, ShardStats};
 pub use scratch::SimScratch;
 pub use seq::{detects, SeqSim, Trace};
 pub use value::V3;
-pub use width::LaneWidth;
+pub use width::{LaneWidth, ParseLaneWidthError};

@@ -1,6 +1,7 @@
 //! Runtime selection of the packed rail width.
 
 use std::fmt;
+use std::str::FromStr;
 
 /// The packed lane width a pipeline stage runs at.
 ///
@@ -42,10 +43,87 @@ impl LaneWidth {
             LaneWidth::W256 => 256,
         }
     }
+
+    /// The width whose words carry exactly `lanes` lanes, if one is
+    /// compiled in — the inverse of [`lanes`](Self::lanes), shared by
+    /// every config surface that accepts a numeric width (the
+    /// `reproduce --lanes` flag, the serving JSON config).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fscan_sim::LaneWidth;
+    ///
+    /// assert_eq!(LaneWidth::from_lanes(64), Some(LaneWidth::W64));
+    /// assert_eq!(LaneWidth::from_lanes(256), Some(LaneWidth::W256));
+    /// assert_eq!(LaneWidth::from_lanes(128), None);
+    /// ```
+    pub fn from_lanes(lanes: u32) -> Option<LaneWidth> {
+        match lanes {
+            64 => Some(LaneWidth::W64),
+            256 => Some(LaneWidth::W256),
+            _ => None,
+        }
+    }
+}
+
+/// A lane-width string that names no compiled-in rail.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseLaneWidthError(String);
+
+impl fmt::Display for ParseLaneWidthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad lane width '{}' (supported: 64, 256)", self.0)
+    }
+}
+
+impl std::error::Error for ParseLaneWidthError {}
+
+impl FromStr for LaneWidth {
+    type Err = ParseLaneWidthError;
+
+    /// Parses a numeric lane count (`"64"` or `"256"`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fscan_sim::LaneWidth;
+    ///
+    /// assert_eq!("64".parse::<LaneWidth>().unwrap(), LaneWidth::W64);
+    /// assert_eq!("256".parse::<LaneWidth>().unwrap(), LaneWidth::W256);
+    /// assert!("128".parse::<LaneWidth>().is_err());
+    /// ```
+    fn from_str(s: &str) -> Result<LaneWidth, ParseLaneWidthError> {
+        s.parse::<u32>()
+            .ok()
+            .and_then(LaneWidth::from_lanes)
+            .ok_or_else(|| ParseLaneWidthError(s.to_string()))
+    }
 }
 
 impl fmt::Display for LaneWidth {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{} lanes", self.lanes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_rejects_unknown_widths() {
+        for bad in ["0", "63", "512", "sixty-four", ""] {
+            let err = bad.parse::<LaneWidth>().unwrap_err();
+            assert!(err.to_string().contains(bad), "{err}");
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_every_width() {
+        for w in [LaneWidth::W64, LaneWidth::W256] {
+            assert_eq!(w.lanes().to_string().parse::<LaneWidth>().unwrap(), w);
+            assert_eq!(LaneWidth::from_lanes(w.lanes()), Some(w));
+        }
     }
 }

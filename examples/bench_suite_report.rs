@@ -25,8 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // and edit the slice below for the full dozen.
     let config = PipelineConfig::builder().threads(0).build()?;
     for suite in &PAPER_SUITE[..5] {
-        let design = build_design(suite, scale);
-        let report = PipelineSession::new(&design, config.clone())
+        // The owned session form: the design moves into an `Arc` and the
+        // session is `'static + Send` (the shape a job queue would use).
+        let design = std::sync::Arc::new(build_design(suite, scale));
+        let chains = design.chains().len();
+        let report = PipelineSession::shared(design, config.clone())
             .classify()
             .alternating()
             .comb()
@@ -35,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{:<10} {:>7} {:>5} {:>8} {:>7} {:>7} {:>7} {:>9}",
             report.name,
             report.total_faults,
-            design.chains().len(),
+            chains,
             report.classification.affected(),
             report.classification.hard,
             report.comb.detected,

@@ -35,7 +35,11 @@ fn run_with_threads(design: &ScanDesign, threads: usize) -> PipelineReport {
         .threads(threads)
         .build()
         .expect("valid config");
-    PipelineSession::new(design, config).run()
+    // Owned-session form: determinism must hold through the `Arc` path
+    // the server uses, not just the borrowed wrapper. Forcing the
+    // topology first lets every per-thread clone share one compilation.
+    design.topology();
+    PipelineSession::shared(std::sync::Arc::new(design.clone()), config).run()
 }
 
 /// One pipeline run per `(seed, threads)` pair, shared by every test in
