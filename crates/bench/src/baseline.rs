@@ -104,6 +104,107 @@ fn counter_pairs(counters: &Value) -> Result<Vec<(String, u64)>, String> {
         .collect()
 }
 
+/// Extracts each circuit's `total_mem` block as scalar `(quantity,
+/// value)` pairs. The `cone_hist` bucket array is folded into a
+/// synthetic `cone_total` entry (the number of cones recorded), so mem
+/// gates can use the same `(name, value)` machinery as the counter
+/// gates.
+///
+/// # Examples
+///
+/// ```
+/// use fscan_bench::baseline::parse_total_mem;
+///
+/// let json = r#"{
+///   "circuits": [
+///     {
+///       "name": "stress100k",
+///       "total_mem": {
+///         "peak_bytes": 0,
+///         "arena_bytes": 4096,
+///         "cone_hist": [1, 2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]
+///       }
+///     }
+///   ]
+/// }"#;
+/// let parsed = parse_total_mem(json).unwrap();
+/// assert_eq!(parsed[0].0, "stress100k");
+/// assert!(parsed[0].1.contains(&("arena_bytes".to_string(), 4096)));
+/// assert!(parsed[0].1.contains(&("cone_total".to_string(), 3)));
+/// ```
+pub fn parse_total_mem(json: &str) -> Result<CircuitCounters, String> {
+    let mut out: CircuitCounters = Vec::new();
+    for (name, circuit) in circuits_of(json)? {
+        let mem = circuit
+            .get("total_mem")
+            .ok_or_else(|| format!("circuit {name} has no total_mem"))?;
+        out.push((name, mem_pairs(mem)?));
+    }
+    if out.is_empty() {
+        return Err("no circuits with total_mem found".into());
+    }
+    Ok(out)
+}
+
+/// Flattens a mem object into scalar `(quantity, value)` pairs,
+/// folding the `cone_hist` array into a `cone_total` entry.
+fn mem_pairs(mem: &Value) -> Result<Vec<(String, u64)>, String> {
+    let fields = mem
+        .as_object()
+        .ok_or_else(|| "mem block is not an object".to_string())?;
+    let mut out = Vec::new();
+    for (key, v) in fields {
+        if key == "cone_hist" {
+            let buckets = v
+                .as_array()
+                .ok_or_else(|| "cone_hist is not an array".to_string())?;
+            let mut total = 0u64;
+            for b in buckets {
+                total += b
+                    .as_u64()
+                    .ok_or_else(|| "malformed cone_hist bucket".to_string())?;
+            }
+            out.push(("cone_total".to_string(), total));
+        } else {
+            out.push((
+                key.clone(),
+                v.as_u64()
+                    .ok_or_else(|| format!("malformed mem quantity {key}"))?,
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// Requires every circuit's `key` to stay at or below `limit × base`
+/// for the matching baseline entry — the gate for allocator-observed
+/// peaks, which are nondeterministic but must not balloon. Baseline
+/// entries of 0 (no tracking allocator in the baseline run) are
+/// skipped: there is nothing meaningful to compare against.
+pub fn check_max_factor(
+    baseline: &[(String, u64)],
+    current: &[(String, u64)],
+    key: &str,
+    factor: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (name, base) in baseline {
+        if *base == 0 {
+            continue;
+        }
+        let Some((_, cur)) = current.iter().find(|(n, _)| n == name) else {
+            continue;
+        };
+        let limit = *base as f64 * factor;
+        if *cur as f64 > limit {
+            failures.push(format!(
+                "{name}: {key} {cur} exceeds {factor}x the baseline {base}"
+            ));
+        }
+    }
+    failures
+}
+
 /// Per-circuit, per-stage counter contents: `(circuit name, [(stage
 /// name, [(counter, value)])])` in emission order.
 pub type StageCounters = Vec<(String, Vec<(String, Vec<(String, u64)>)>)>;
@@ -321,6 +422,84 @@ pub fn check_exact(
     failures
 }
 
+/// One record of `BENCH_history.jsonl`, parsed back out of the line
+/// [`history_record`] emitted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistoryPoint {
+    /// Git revision the record was taken at.
+    pub rev: String,
+    /// Packed rail width of the run.
+    pub lanes: u64,
+    /// Per-circuit counter pairs, in record order.
+    pub circuits: CircuitCounters,
+}
+
+impl HistoryPoint {
+    /// Sums `key` across every circuit of the record (0 when no circuit
+    /// carries it — old records simply predate newer counters).
+    pub fn total(&self, key: &str) -> u64 {
+        self.circuits
+            .iter()
+            .filter_map(|(_, counters)| {
+                counters.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+            })
+            .sum()
+    }
+}
+
+/// Parses a `BENCH_history.jsonl` file — one [`history_record`] line
+/// per passing `check-baseline --history` run, blank lines ignored —
+/// back into its points, oldest first. This is the read side of the
+/// trajectory: `reproduce history` renders the result as a table.
+///
+/// # Examples
+///
+/// ```
+/// use fscan_bench::baseline::{history_record, parse_history};
+///
+/// let circuits = vec![("s9234".to_string(), vec![("gate_evals".to_string(), 7u64)])];
+/// let file = format!("{}\n", history_record("abc123", 256, &circuits));
+/// let points = parse_history(&file).unwrap();
+/// assert_eq!(points[0].rev, "abc123");
+/// assert_eq!(points[0].total("gate_evals"), 7);
+/// ```
+pub fn parse_history(jsonl: &str) -> Result<Vec<HistoryPoint>, String> {
+    let mut out = Vec::new();
+    for (i, line) in jsonl.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let at = |msg: &str| format!("history line {}: {msg}", i + 1);
+        let doc = fscan::json::parse(line).map_err(|e| at(&e.to_string()))?;
+        let rev = doc
+            .get("rev")
+            .and_then(Value::as_str)
+            .ok_or_else(|| at("no rev"))?
+            .to_string();
+        let lanes = doc
+            .get("lanes")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| at("no lanes"))?;
+        let mut circuits = Vec::new();
+        for (name, counters) in doc
+            .get("circuits")
+            .and_then(Value::as_object)
+            .ok_or_else(|| at("no circuits object"))?
+        {
+            circuits.push((name.clone(), counter_pairs(counters).map_err(|e| at(&e))?));
+        }
+        out.push(HistoryPoint {
+            rev,
+            lanes,
+            circuits,
+        });
+    }
+    if out.is_empty() {
+        return Err("history file has no records".into());
+    }
+    Ok(out)
+}
+
 /// Renders one `BENCH_history.jsonl` record: a single line of JSON
 /// carrying the git revision, the rail width, and every circuit's
 /// `total_counters` block from a fresh snapshot.
@@ -463,6 +642,38 @@ mod tests {
     }
 
     #[test]
+    fn total_mem_round_trips_through_the_emitter() {
+        let report = run_pipeline(&PAPER_SUITE[0], 0.05);
+        let total_faults = report.total_faults as u64;
+        let arena = report.total_mem().arena_bytes;
+        let json = bench_json(&[report], 0.05, 1, 256);
+        let parsed = parse_total_mem(&json).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(
+            counter_totals(&parsed, "arena_bytes"),
+            vec![("s1196".to_string(), arena)]
+        );
+        assert!(arena > 0, "pipeline must report a nonzero arena footprint");
+        // The classify stage records one cone per fault.
+        assert_eq!(
+            counter_totals(&parsed, "cone_total"),
+            vec![("s1196".to_string(), total_faults)]
+        );
+        // Old snapshots without mem blocks fail loudly, not silently.
+        assert!(parse_total_mem("{\"circuits\": [{\"name\": \"x\"}]}").is_err());
+    }
+
+    #[test]
+    fn max_factor_skips_zero_baselines() {
+        let base = pairs(&[("a", 1000), ("b", 0), ("c", 1000)]);
+        let cur = pairs(&[("a", 1999), ("b", 5000), ("c", 2001)]);
+        let failures = check_max_factor(&base, &cur, "peak_bytes", 2.0);
+        // `a` is under 2x, `b` has no baseline signal, `c` is over.
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].starts_with("c:"), "{failures:?}");
+    }
+
+    #[test]
     fn min_total_gates_on_the_sum() {
         let cur = pairs(&[("a", 30), ("b", 12)]);
         assert!(check_min_total(&cur, "faults_dropped", 42).is_empty());
@@ -488,6 +699,46 @@ mod tests {
         }
         assert!(line.contains("\"rev\":\"deadbeef\""));
         assert!(line.contains("\"lanes\":256"));
+    }
+
+    #[test]
+    fn history_parses_back_to_its_points() {
+        let older = history_record(
+            "aaaa11112222",
+            64,
+            &pairs2(&[("s9234", &[("gate_evals", 100), ("faults_dropped", 3)])]),
+        );
+        let newer = history_record(
+            "bbbb33334444",
+            256,
+            &pairs2(&[
+                ("s9234", &[("gate_evals", 80), ("faults_dropped", 5)]),
+                ("s5378", &[("gate_evals", 40), ("faults_dropped", 2)]),
+            ]),
+        );
+        let file = format!("{older}\n{newer}\n\n");
+        let points = parse_history(&file).unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].rev, "aaaa11112222");
+        assert_eq!(points[0].lanes, 64);
+        assert_eq!(points[0].total("gate_evals"), 100);
+        assert_eq!(points[1].total("gate_evals"), 120);
+        assert_eq!(points[1].total("faults_dropped"), 7);
+        // Keys a record predates sum to zero instead of erroring.
+        assert_eq!(points[0].total("lane_cycles"), 0);
+        assert!(parse_history("").is_err());
+        assert!(parse_history("{\"lanes\":1}").is_err());
+    }
+
+    fn pairs2(v: &[(&str, &[(&str, u64)])]) -> CircuitCounters {
+        v.iter()
+            .map(|(name, counters)| {
+                (
+                    name.to_string(),
+                    counters.iter().map(|(k, c)| (k.to_string(), *c)).collect(),
+                )
+            })
+            .collect()
     }
 
     #[test]

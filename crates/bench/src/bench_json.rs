@@ -11,7 +11,7 @@
 //! surface of the project (committed snapshots re-render to themselves
 //! after a parse round trip; see `fscan::json`).
 
-use fscan::json::{counters_to_value, Value};
+use fscan::json::{counters_to_value, mem_to_value, Value};
 use fscan::PipelineReport;
 
 /// Renders the benchmark report for a set of pipeline runs.
@@ -65,12 +65,14 @@ fn circuit_value(r: &PipelineReport) -> Value {
                             ("wall_s", Value::Float(m.cpu.as_secs_f64())),
                             ("items", Value::UInt(m.shards.items() as u64)),
                             ("counters", counters_to_value(&m.counters)),
+                            ("mem", mem_to_value(&m.mem)),
                         ])
                     })
                     .collect(),
             ),
         ),
         ("total_counters", counters_to_value(&r.total_counters())),
+        ("total_mem", mem_to_value(&r.total_mem())),
     ])
 }
 
@@ -101,6 +103,19 @@ mod tests {
         for stage in ["classify", "alternating", "comb", "compact", "seq"] {
             assert!(json.contains(&format!("\"stage\": \"{stage}\"")));
         }
+        // The memory block rides along at the same granularity, with
+        // the allocator-dependent keys each on their own line (the CI
+        // strip filter removes them like wall_s).
+        for key in ["peak_bytes", "reallocs", "arena_bytes", "cone_hist"] {
+            assert_eq!(
+                json.matches(&format!("\"{key}\":")).count(),
+                6,
+                "mem key {key} missing from some section:\n{json}"
+            );
+        }
+        for line in json.lines().filter(|l| l.contains("peak_bytes")) {
+            assert!(line.trim_start().starts_with("\"peak_bytes\":"), "{line}");
+        }
     }
 
     #[test]
@@ -121,7 +136,12 @@ mod tests {
     fn stripped_output_is_thread_invariant() {
         let strip = |json: &str| {
             json.lines()
-                .filter(|l| !l.contains("wall_s") && !l.contains("\"threads\""))
+                .filter(|l| {
+                    !l.contains("wall_s")
+                        && !l.contains("\"threads\"")
+                        && !l.contains("peak_bytes")
+                        && !l.contains("reallocs")
+                })
                 .collect::<Vec<_>>()
                 .join("\n")
         };

@@ -4,6 +4,8 @@
 //!
 //! ```text
 //! reproduce [table1|table2|table3|figure5|timing|all] [--scale F] [--only NAME] [--threads N] [--lanes 64|256] [--json [PATH]]
+//! reproduce stress [--gates N] [--fault-sample N] [--chains N] [--seed S] [--threads N] [--lanes 64|256] [--json [PATH]]
+//! reproduce history [PATH]
 //! reproduce check-baseline BASELINE.json CURRENT.json [--tolerance PCT]
 //! ```
 //!
@@ -20,6 +22,20 @@
 //! per-circuit, per-stage deterministic work counters plus wall-clock.
 //! Every counter is bit-identical across thread counts, so stripping
 //! the `wall_s` lines yields thread-invariant output.
+//!
+//! `stress` runs the scale-rail tier: one synthetic circuit at 10⁵–10⁶
+//! gates (default 100k) through the full five-stage pipeline, with the
+//! fault universe sampled (`--fault-sample`, default 2048) so ATPG cost
+//! stays bounded while every arena is full-size. The per-stage memory
+//! accounting — allocator-observed peaks (this binary installs the
+//! tracking allocator), deterministic arena footprints and the cone
+//! histogram — is printed and, with `--json`, written as a regular
+//! `bench_json` snapshot (default `BENCH_stress.json`) that
+//! `check-baseline` can gate on.
+//!
+//! `history` renders `BENCH_history.jsonl` (or `PATH`) as the per-PR
+//! trajectory table: one row per appended record, headline counters
+//! summed across that record's circuits.
 //!
 //! `check-baseline` compares the per-circuit total `gate_evals` of a
 //! fresh snapshot against a committed baseline and fails if any circuit
@@ -39,13 +55,26 @@
 //! PATH` appends a one-line JSON record (git revision, rail width,
 //! every circuit's total counters) to `PATH` after a passing check,
 //! building the committed per-PR counter trace `BENCH_history.jsonl`.
+//! When both snapshots carry `total_mem` blocks, the memory gates ride
+//! along automatically: `arena_bytes` and the cone totals must match
+//! exactly (they are deterministic), and the allocator-observed
+//! `peak_bytes` must stay within `--max-peak-factor` (default 2×) of
+//! the baseline; snapshots from before the memory accounting simply
+//! skip these gates.
 
 use std::env;
 use std::process::ExitCode;
 
 use fscan::{LaneWidth, PipelineConfig, PipelineReport};
 use fscan_bench::tables::{run_pipeline_with, table2, table3};
-use fscan_bench::{bench_json, figure5, table1, PAPER_SUITE};
+use fscan_bench::{bench_json, figure5, run_stress, table1, StressConfig, PAPER_SUITE};
+
+/// Count every allocation of the run so the `peak_bytes` / `reallocs`
+/// columns of the per-stage memory accounting carry real figures. The
+/// library crates stay allocator-agnostic (and `forbid(unsafe_code)`);
+/// installing the tracker is the binary's decision.
+#[global_allocator]
+static ALLOC: fscan_alloctrack::TrackingAlloc = fscan_alloctrack::TrackingAlloc;
 
 struct Options {
     what: String,
@@ -326,6 +355,127 @@ fn print_figure5(reports: &[PipelineReport]) {
     }
 }
 
+/// `stress [--gates N] [--fault-sample N] [--chains N] [--seed S]
+/// [--threads N] [--lanes 64|256] [--json [PATH]]`: the scale-rail
+/// tier — one large synthetic circuit through the full pipeline with
+/// per-stage memory accounting printed, optionally snapshotted in
+/// `bench_json` format for the baseline gates.
+fn stress(args: &[String]) -> ExitCode {
+    let usage = "usage: reproduce stress [--gates N] [--fault-sample N] [--chains N] [--seed S] [--threads N] [--lanes 64|256] [--json [PATH]]";
+    let mut cfg = StressConfig::default();
+    let mut json: Option<String> = None;
+    let mut it = args.iter().peekable();
+    let parse = |flag: &str, v: Option<&String>| -> Result<usize, String> {
+        v.and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("{flag} needs an integer value"))
+    };
+    while let Some(arg) = it.next() {
+        let r = match arg.as_str() {
+            "--gates" => parse(arg, it.next()).map(|v| cfg.gates = v),
+            "--fault-sample" => parse(arg, it.next()).map(|v| cfg.fault_sample = v),
+            "--chains" => parse(arg, it.next()).map(|v| cfg.chains = v),
+            "--threads" => parse(arg, it.next()).map(|v| cfg.threads = v),
+            "--seed" => parse("--seed", it.next()).map(|v| cfg.seed = v as u64),
+            "--lanes" => it
+                .next()
+                .ok_or_else(|| "--lanes needs a value (64 or 256)".to_string())
+                .and_then(|v| v.parse::<LaneWidth>().map_err(|e| e.to_string()))
+                .map(|v| cfg.lanes = v),
+            "--json" => {
+                json = Some(match it.peek() {
+                    Some(next) if !next.starts_with("--") => it.next().unwrap().clone(),
+                    _ => "BENCH_stress.json".to_string(),
+                });
+                Ok(())
+            }
+            other => Err(format!("unknown argument '{other}'\n{usage}")),
+        };
+        if let Err(e) = r {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!(
+        "stress tier {}: {} gates, {} chains, sampling {} faults ({})...",
+        cfg.name(),
+        cfg.gates,
+        cfg.chains,
+        cfg.fault_sample,
+        cfg.lanes
+    );
+    let started = std::time::Instant::now();
+    let out = run_stress(&cfg);
+    let wall = started.elapsed().as_secs_f64();
+    println!(
+        "{}: {} topology nodes, {} collapsed faults ({} run), undetected {}, wall {wall:.1}s",
+        out.report.name,
+        out.nodes,
+        out.faults_total,
+        out.faults_run,
+        out.report.undetected()
+    );
+    println!(
+        "{:<12} {:>14} {:>14} {:>10} {:>10}",
+        "stage", "peak_bytes", "arena_bytes", "reallocs", "cones"
+    );
+    for (stage, m) in out.report.stages() {
+        println!(
+            "{:<12} {:>14} {:>14} {:>10} {:>10}",
+            stage,
+            m.mem.peak_bytes,
+            m.mem.arena_bytes,
+            m.mem.reallocs,
+            m.mem.cone_hist.total_cones()
+        );
+    }
+    let total = out.report.total_mem();
+    println!(
+        "{:<12} {:>14} {:>14} {:>10} {:>10}",
+        "total",
+        total.peak_bytes,
+        total.arena_bytes,
+        total.reallocs,
+        total.cone_hist.total_cones()
+    );
+    if let Some(path) = &json {
+        let snapshot = bench_json(
+            &[out.report],
+            1.0,
+            cfg.threads,
+            cfg.lanes.lanes() as usize,
+        );
+        if let Err(e) = std::fs::write(path, &snapshot) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// `history [PATH]`: renders the per-PR counter trajectory recorded in
+/// `BENCH_history.jsonl`.
+fn history_view(args: &[String]) -> ExitCode {
+    let path = args
+        .first()
+        .map(String::as_str)
+        .unwrap_or("BENCH_history.jsonl");
+    let table = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {path}: {e}"))
+        .and_then(|text| fscan_bench::parse_history(&text))
+        .map(|points| fscan_bench::history_table(&points));
+    match table {
+        Ok(table) => {
+            print!("{table}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// `check-baseline BASELINE CURRENT [--tolerance PCT]
 /// [--min-faults-dropped N] [--comb-reference REF.json]
 /// [--min-comb-speedup R] [--wide-reference REF.json]
@@ -335,9 +485,10 @@ fn print_figure5(reports: &[PipelineReport]) {
 /// speedup gates; on success, `--history` appends a one-line counter
 /// record to the per-PR trace file.
 fn check_baseline(args: &[String]) -> ExitCode {
-    let usage = "usage: reproduce check-baseline BASELINE.json CURRENT.json [--tolerance PCT] [--min-faults-dropped N] [--comb-reference REF.json] [--min-comb-speedup R] [--wide-reference REF.json] [--min-classify-speedup R] [--history PATH]";
+    let usage = "usage: reproduce check-baseline BASELINE.json CURRENT.json [--tolerance PCT] [--min-faults-dropped N] [--comb-reference REF.json] [--min-comb-speedup R] [--wide-reference REF.json] [--min-classify-speedup R] [--max-peak-factor R] [--history PATH]";
     let mut files = Vec::new();
     let mut tolerance = 5.0f64;
+    let mut max_peak_factor = 2.0f64;
     let mut min_faults_dropped: Option<u64> = None;
     let mut comb_reference: Option<String> = None;
     let mut min_comb_speedup = 2.0f64;
@@ -389,6 +540,13 @@ fn check_baseline(args: &[String]) -> ExitCode {
                 };
                 min_classify_speedup = v;
             }
+            "--max-peak-factor" => {
+                let Some(v) = it.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("error: --max-peak-factor needs a numeric value");
+                    return ExitCode::FAILURE;
+                };
+                max_peak_factor = v;
+            }
             "--history" => {
                 let Some(v) = it.next() else {
                     eprintln!("error: --history needs a file path");
@@ -434,6 +592,33 @@ fn check_baseline(args: &[String]) -> ExitCode {
         &fscan_bench::counter_totals(&cur_all, "topology_builds"),
         "topology_builds",
     ));
+    // Memory gates ride along automatically when both snapshots carry
+    // total_mem blocks (older snapshots predate the accounting and are
+    // skipped). Arena footprints and cone totals are deterministic and
+    // must match exactly; the allocator-observed peak is machine- and
+    // thread-sensitive and only bounded loosely.
+    let read_mem = |path: &str| -> Option<fscan_bench::baseline::CircuitCounters> {
+        let text = std::fs::read_to_string(path).ok()?;
+        fscan_bench::parse_total_mem(&text).ok()
+    };
+    if let (Some(base_mem), Some(cur_mem)) = (read_mem(base_path), read_mem(cur_path)) {
+        for key in ["arena_bytes", "cone_total"] {
+            failures.extend(fscan_bench::check_exact(
+                &fscan_bench::counter_totals(&base_mem, key),
+                &fscan_bench::counter_totals(&cur_mem, key),
+                key,
+            ));
+        }
+        failures.extend(fscan_bench::check_max_factor(
+            &fscan_bench::counter_totals(&base_mem, "peak_bytes"),
+            &fscan_bench::counter_totals(&cur_mem, "peak_bytes"),
+            "peak_bytes",
+            max_peak_factor,
+        ));
+        println!(
+            "memory gates: arena_bytes/cone_total exact, peak_bytes <= {max_peak_factor}x baseline"
+        );
+    }
     // Fault-dropping gate: the fresh run must actually retire targets
     // through globally simulated vectors, not just stay cheap.
     if let Some(min) = min_faults_dropped {
@@ -553,15 +738,18 @@ fn append_history(
 
 fn main() -> ExitCode {
     let argv: Vec<String> = env::args().skip(1).collect();
-    if argv.first().map(String::as_str) == Some("check-baseline") {
-        return check_baseline(&argv[1..]);
+    match argv.first().map(String::as_str) {
+        Some("check-baseline") => return check_baseline(&argv[1..]),
+        Some("stress") => return stress(&argv[1..]),
+        Some("history") => return history_view(&argv[1..]),
+        _ => {}
     }
     let opts = match parse_args() {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: reproduce [table1|table2|table3|figure5|timing|all] [--scale F] [--only NAME] [--threads N] [--lanes 64|256] [--json [PATH]]\n       reproduce check-baseline BASELINE.json CURRENT.json [--tolerance PCT]"
+                "usage: reproduce [table1|table2|table3|figure5|timing|all] [--scale F] [--only NAME] [--threads N] [--lanes 64|256] [--json [PATH]]\n       reproduce stress [--gates N] [--fault-sample N] [--chains N] [--seed S] [--threads N] [--lanes 64|256] [--json [PATH]]\n       reproduce history [PATH]\n       reproduce check-baseline BASELINE.json CURRENT.json [--tolerance PCT]"
             );
             return ExitCode::FAILURE;
         }

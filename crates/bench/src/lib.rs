@@ -23,17 +23,19 @@
 
 pub mod baseline;
 pub mod bench_json;
+pub mod stress;
 pub mod suite;
 pub mod tables;
 
 pub use baseline::{
-    check_exact, check_improvement, check_min_total, check_regression, counter_totals,
-    history_record, parse_gate_evals, parse_stage_counters, parse_total_counters,
-    stage_counter_totals,
+    check_exact, check_improvement, check_max_factor, check_min_total, check_regression,
+    counter_totals, history_record, parse_gate_evals, parse_history, parse_stage_counters,
+    parse_total_counters, parse_total_mem, stage_counter_totals, HistoryPoint,
 };
 pub use bench_json::bench_json;
+pub use stress::{run_stress, sample_faults, StressConfig, StressReport};
 pub use suite::{build_circuit, build_design, scaled_config, SuiteCircuit, PAPER_SUITE};
 pub use tables::{
-    figure5, run_pipeline, run_pipeline_with, table1, table2, table3, Figure5Point, Table1Row,
-    Table2Row, Table3Row,
+    figure5, history_table, run_pipeline, run_pipeline_with, table1, table2, table3, Figure5Point,
+    Table1Row, Table2Row, Table3Row,
 };

@@ -193,6 +193,52 @@ pub fn table3(report: &PipelineReport) -> Table3Row {
     }
 }
 
+/// The counters the trajectory table shows, as `(counter key, column
+/// header)`. A deliberate subset of [`fscan_sim::WorkCounters`]: the
+/// headline work totals whose per-PR movement tells the optimization
+/// story, not all sixteen fields.
+const HISTORY_COLUMNS: [(&str, &str); 5] = [
+    ("gate_evals", "gate_evals"),
+    ("lane_cycles", "lane_cycles"),
+    ("implication_words", "impl_words"),
+    ("faults_dropped", "dropped"),
+    ("vectors_compacted", "compacted"),
+];
+
+/// Renders the per-PR trajectory recorded in `BENCH_history.jsonl` as a
+/// fixed-width table: one row per record (oldest first), headline
+/// counters summed across that record's circuits. This is the
+/// first-class view of the history file — `reproduce history PATH`
+/// prints exactly this.
+///
+/// # Examples
+///
+/// ```
+/// use fscan_bench::baseline::{history_record, parse_history};
+/// use fscan_bench::history_table;
+///
+/// let circuits = vec![("s9234".to_string(), vec![("gate_evals".to_string(), 42u64)])];
+/// let points = parse_history(&history_record("abc123", 256, &circuits)).unwrap();
+/// let table = history_table(&points);
+/// assert!(table.contains("abc123"));
+/// assert!(table.contains("42"));
+/// ```
+pub fn history_table(points: &[crate::baseline::HistoryPoint]) -> String {
+    let mut out = format!("{:<14} {:>5} {:>4}", "rev", "lanes", "ckts");
+    for (_, header) in HISTORY_COLUMNS {
+        out.push_str(&format!(" {header:>12}"));
+    }
+    out.push('\n');
+    for p in points {
+        out.push_str(&format!("{:<14} {:>5} {:>4}", p.rev, p.lanes, p.circuits.len()));
+        for (key, _) in HISTORY_COLUMNS {
+            out.push_str(&format!(" {:>12}", p.total(key)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
 /// Figure 5 series from a pipeline report.
 pub fn figure5(report: &PipelineReport) -> Vec<Figure5Point> {
     report

@@ -8,7 +8,7 @@ use fscan_netlist::{GateKind, NodeId};
 use fscan_scan::ScanDesign;
 use fscan_sim::kernel::{Rail, R256};
 use fscan_sim::{
-    shard_map_counted, CombEvaluator, ImplicationEngine, LaneWidth, NetChange,
+    shard_map_counted, CombEvaluator, ConeHist, ImplicationEngine, LaneWidth, NetChange,
     PackedImplicationEngine, ShardStats, StageMetrics, V3, WorkCounters,
 };
 
@@ -129,6 +129,10 @@ pub struct Classifier<'d, W: Rail = u64> {
     side_loc: HashMap<NodeId, Vec<(ChainLocation, bool)>>,
     /// flip-flop → its chain location (for D-pin branch faults).
     ff_loc: HashMap<NodeId, ChainLocation>,
+    /// Cone-size distribution of every fault classified so far; each
+    /// fault's cone is lane-exact, so this is width- and
+    /// thread-invariant.
+    cone_hist: ConeHist,
 }
 
 impl<'d> Classifier<'d> {
@@ -184,6 +188,7 @@ impl<'d, W: Rail> Classifier<'d, W> {
             chain_net_loc,
             side_loc,
             ff_loc,
+            cone_hist: ConeHist::default(),
         }
     }
 
@@ -191,6 +196,7 @@ impl<'d, W: Rail> Classifier<'d, W> {
     /// reference path; the pipeline uses [`classify_word`](Self::classify_word)).
     pub fn classify(&mut self, fault: Fault) -> ClassifiedFault {
         let changes = self.engine.run(self.design.circuit(), &self.steady, fault);
+        self.cone_hist.record(changes.len() as u64);
         self.assemble(fault, changes.into_iter())
     }
 
@@ -203,11 +209,19 @@ impl<'d, W: Rail> Classifier<'d, W> {
     /// gate evaluations.
     pub fn classify_word(&mut self, faults: &[Fault]) -> Vec<ClassifiedFault> {
         self.packed.run_word(&self.steady, faults);
-        faults
-            .iter()
-            .enumerate()
-            .map(|(lane, &fault)| self.assemble(fault, self.packed.lane_changes(lane as u32)))
-            .collect()
+        let mut out = Vec::with_capacity(faults.len());
+        for (lane, &fault) in faults.iter().enumerate() {
+            // Count the lane's cone while assembling: lane-exactness
+            // makes this the same size a scalar run would report.
+            let mut size = 0u64;
+            let cf = self.assemble(
+                fault,
+                self.packed.lane_changes(lane as u32).inspect(|_| size += 1),
+            );
+            self.cone_hist.record(size);
+            out.push(cf);
+        }
+        out
     }
 
     /// Turns a fault's net-change sequence into its classification.
@@ -291,6 +305,11 @@ impl<'d, W: Rail> Classifier<'d, W> {
     pub fn take_counters(&mut self) -> WorkCounters {
         self.engine.take_counters() + self.packed.take_counters()
     }
+
+    /// Drains the accumulated cone-size histogram.
+    pub fn take_cone_hist(&mut self) -> ConeHist {
+        std::mem::take(&mut self.cone_hist)
+    }
 }
 
 /// Classifies every fault of a list against a scan design, returning
@@ -328,7 +347,7 @@ pub fn classify_faults_sharded(
     design: &ScanDesign,
     faults: &[Fault],
     threads: usize,
-) -> (Vec<ClassifiedFault>, ShardStats, WorkCounters) {
+) -> (Vec<ClassifiedFault>, ShardStats, WorkCounters, ConeHist) {
     classify_faults_sharded_wide::<u64>(design, faults, threads)
 }
 
@@ -340,7 +359,7 @@ pub fn classify_faults_sharded_at(
     faults: &[Fault],
     threads: usize,
     width: LaneWidth,
-) -> (Vec<ClassifiedFault>, ShardStats, WorkCounters) {
+) -> (Vec<ClassifiedFault>, ShardStats, WorkCounters, ConeHist) {
     match width {
         LaneWidth::W64 => classify_faults_sharded_wide::<u64>(design, faults, threads),
         LaneWidth::W256 => classify_faults_sharded_wide::<R256>(design, faults, threads),
@@ -358,19 +377,21 @@ pub fn classify_faults_sharded_at(
 /// word-aligned chunking keeps every word intact for any thread count),
 /// and the verdicts are scattered back to input order. The
 /// classifications are identical to the serial scalar
-/// [`classify_faults`], and the summed [`WorkCounters`] are
-/// bit-identical for every thread count.
+/// [`classify_faults`], and the summed [`WorkCounters`] and
+/// [`ConeHist`] are bit-identical for every thread count (bucket sums
+/// commute, so shard merge order cannot matter).
 pub fn classify_faults_sharded_wide<W: Rail>(
     design: &ScanDesign,
     faults: &[Fault],
     threads: usize,
-) -> (Vec<ClassifiedFault>, ShardStats, WorkCounters) {
+) -> (Vec<ClassifiedFault>, ShardStats, WorkCounters, ConeHist) {
     // One probe classifier computes the steady state the packer keys on;
     // its engines do no implication work, so no counters are lost.
     let probe = Classifier::new(design);
     let order = fscan_sim::pack_order(&design.topology(), probe.steady(), faults);
     let packed: Vec<Fault> = order.iter().map(|&i| faults[i]).collect();
     let lanes = W::LANES as usize;
+    let hist = std::sync::Mutex::new(ConeHist::default());
     let (classified, stats, work) = shard_map_counted(
         threads,
         lanes,
@@ -381,6 +402,7 @@ pub fn classify_faults_sharded_wide<W: Rail>(
                 .chunks(lanes)
                 .flat_map(|word| classifier.classify_word(word))
                 .collect();
+            hist.lock().unwrap().merge(&classifier.take_cone_hist());
             (out, classifier.take_counters())
         },
     );
@@ -392,7 +414,7 @@ pub fn classify_faults_sharded_wide<W: Rail>(
         .into_iter()
         .map(|s| s.expect("pack_order is a permutation"))
         .collect();
-    (unpacked, stats, work)
+    (unpacked, stats, work, hist.into_inner().unwrap())
 }
 
 #[cfg(test)]
@@ -553,14 +575,24 @@ mod tests {
             fscan_fault::collapse(design.circuit(), &fscan_fault::all_faults(design.circuit()));
         let serial = classify_faults(&design, &faults);
         let mut reference_work = None;
+        let mut reference_hist = None;
         for threads in [1, 2, 4] {
-            let (sharded, stats, work) = classify_faults_sharded(&design, &faults, threads);
+            let (sharded, stats, work, hist) = classify_faults_sharded(&design, &faults, threads);
             assert_eq!(sharded, serial, "threads = {threads}");
             assert_eq!(stats.items(), faults.len());
             assert!(work.implication_events > 0);
+            assert_eq!(hist.total_cones(), faults.len() as u64);
             let expect = *reference_work.get_or_insert(work);
             assert_eq!(work, expect, "counters must not depend on threads");
+            let expect_hist = *reference_hist.get_or_insert(hist);
+            assert_eq!(hist, expect_hist, "cone hist must not depend on threads");
         }
+        // The scalar reference path tallies the same distribution.
+        let mut cls = Classifier::new(&design);
+        for &f in &faults {
+            cls.classify(f);
+        }
+        assert_eq!(Some(cls.take_cone_hist()), reference_hist);
     }
 
     #[test]
@@ -574,12 +606,14 @@ mod tests {
         // A tail word at 256 lanes exercises the partial-mask path.
         assert!(!faults.len().is_multiple_of(256), "want a 256-lane tail word");
         let serial = classify_faults(&design, &faults);
-        let (w64, _, work64) =
+        let (w64, _, work64, hist64) =
             classify_faults_sharded_at(&design, &faults, 1, LaneWidth::W64);
-        let (w256, _, work256) =
+        let (w256, _, work256, hist256) =
             classify_faults_sharded_at(&design, &faults, 1, LaneWidth::W256);
         assert_eq!(w64, serial);
         assert_eq!(w256, serial, "verdicts must be width-invariant");
+        assert_eq!(hist64, hist256, "cone hist must be width-invariant");
+        assert_eq!(hist64.total_cones(), faults.len() as u64);
         // The per-lane implication behavior is width-invariant…
         assert_eq!(work64.implication_events, work256.implication_events);
         assert_eq!(work64.cone_nets, work256.cone_nets);
@@ -594,10 +628,11 @@ mod tests {
         assert!(work256.implication_words < work64.implication_words);
         // Wide verdicts are also thread-invariant.
         for threads in [2, 4] {
-            let (w, _, work) =
+            let (w, _, work, hist) =
                 classify_faults_sharded_at(&design, &faults, threads, LaneWidth::W256);
             assert_eq!(w, serial, "threads = {threads}");
             assert_eq!(work, work256, "counters must not depend on threads");
+            assert_eq!(hist, hist256, "cone hist must not depend on threads");
         }
     }
 

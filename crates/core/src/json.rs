@@ -31,7 +31,9 @@ use std::time::Duration;
 use fscan_atpg::{PodemConfig, SeqAtpgConfig};
 use fscan_fault::{Fault, FaultSite};
 use fscan_netlist::NodeId;
-use fscan_sim::{LaneWidth, ShardStats, StageMetrics, WorkCounters, V3};
+use fscan_sim::{
+    ConeHist, LaneWidth, MemMetrics, ShardStats, StageMetrics, WorkCounters, CONE_HIST_BUCKETS, V3,
+};
 
 use crate::alternating::AlternatingReport;
 use crate::classify::ClassifySummary;
@@ -743,18 +745,83 @@ pub fn shards_from_value(value: &Value) -> Result<ShardStats, JsonError> {
     })
 }
 
-/// Encodes a [`StageMetrics`] triple. The wall clock sits under
-/// `wall_s` (so determinism diffs can strip it); shards and counters
-/// keep full fidelity.
+/// Encodes [`MemMetrics`] as an object in [`MemMetrics::scalar_fields`]
+/// order, plus the cone histogram as a 16-element bucket array. The
+/// nondeterministic keys (`peak_bytes`, `reallocs`) each sit on their
+/// own line in pretty mode, so determinism diffs can strip them exactly
+/// like `wall_s`.
+pub fn mem_to_value(mem: &MemMetrics) -> Value {
+    let mut fields: Vec<(String, Value)> = mem
+        .scalar_fields()
+        .iter()
+        .map(|&(name, value)| (name.to_string(), Value::UInt(value)))
+        .collect();
+    fields.push((
+        "cone_hist".to_string(),
+        Value::Array(
+            mem.cone_hist
+                .buckets()
+                .iter()
+                .map(|&b| Value::UInt(b))
+                .collect(),
+        ),
+    ));
+    Value::Object(fields)
+}
+
+/// Decodes a [`MemMetrics`] object. Every key is optional (snapshots
+/// from before a quantity existed still parse); unknown keys are
+/// rejected.
+pub fn mem_from_value(value: &Value) -> Result<MemMetrics, JsonError> {
+    let mut r = ObjReader::new(value, "mem")?;
+    let mut mem = MemMetrics::ZERO;
+    let scalar = |v: Option<&Value>, key: &str| -> Result<u64, JsonError> {
+        match v {
+            None => Ok(0),
+            Some(v) => v.as_u64().ok_or_else(|| {
+                JsonError::new(format!("mem: \"{key}\" must be a non-negative integer"))
+            }),
+        }
+    };
+    mem.peak_bytes = scalar(r.take("peak_bytes"), "peak_bytes")?;
+    mem.reallocs = scalar(r.take("reallocs"), "reallocs")?;
+    mem.arena_bytes = scalar(r.take("arena_bytes"), "arena_bytes")?;
+    if let Some(hist) = r.take("cone_hist") {
+        let entries = hist
+            .as_array()
+            .ok_or_else(|| JsonError::new("mem: \"cone_hist\" must be an array"))?;
+        if entries.len() != CONE_HIST_BUCKETS {
+            return Err(JsonError::new(format!(
+                "mem: \"cone_hist\" must have exactly {CONE_HIST_BUCKETS} buckets"
+            )));
+        }
+        let mut buckets = [0u64; CONE_HIST_BUCKETS];
+        for (slot, v) in buckets.iter_mut().zip(entries) {
+            *slot = v
+                .as_u64()
+                .ok_or_else(|| JsonError::new("mem: cone_hist entries must be integers"))?;
+        }
+        mem.cone_hist = ConeHist::from_buckets(buckets);
+    }
+    r.finish()?;
+    Ok(mem)
+}
+
+/// Encodes a [`StageMetrics`] record. The wall clock sits under
+/// `wall_s` (so determinism diffs can strip it); shards, counters and
+/// the memory accounting keep full fidelity.
 pub fn metrics_to_value(metrics: &StageMetrics) -> Value {
     Value::object([
         ("wall_s", Value::Float(metrics.cpu.as_secs_f64())),
         ("shards", shards_to_value(&metrics.shards)),
         ("counters", counters_to_value(&metrics.counters)),
+        ("mem", mem_to_value(&metrics.mem)),
     ])
 }
 
-/// Decodes a [`StageMetrics`] triple.
+/// Decodes a [`StageMetrics`] record. The `mem` block is optional:
+/// snapshots committed before memory accounting existed decode to
+/// [`MemMetrics::ZERO`].
 pub fn metrics_from_value(value: &Value) -> Result<StageMetrics, JsonError> {
     let mut r = ObjReader::new(value, "metrics")?;
     let wall = r.f64("wall_s")?;
@@ -763,12 +830,14 @@ pub fn metrics_from_value(value: &Value) -> Result<StageMetrics, JsonError> {
     }
     let shards = shards_from_value(r.required("shards")?)?;
     let counters = counters_from_value(r.required("counters")?)?;
+    let mem = match r.take("mem") {
+        Some(v) => mem_from_value(v)?,
+        None => MemMetrics::ZERO,
+    };
     r.finish()?;
-    Ok(StageMetrics::new(
-        Duration::from_secs_f64(wall),
-        shards,
-        counters,
-    ))
+    let mut metrics = StageMetrics::new(Duration::from_secs_f64(wall), shards, counters);
+    metrics.mem = mem;
+    Ok(metrics)
 }
 
 // ---------------------------------------------------------------------
@@ -1336,6 +1405,48 @@ mod tests {
         assert_eq!(counters_from_value(&partial).unwrap().gate_evals, 9);
         let unknown = parse("{\"gate_evalz\": 9}").unwrap();
         assert!(counters_from_value(&unknown).is_err());
+    }
+
+    #[test]
+    fn mem_round_trips_and_is_optional() {
+        let mut hist = ConeHist::default();
+        hist.record(0);
+        hist.record(5);
+        hist.record(70_000);
+        let mem = MemMetrics {
+            peak_bytes: 1_234,
+            reallocs: 5,
+            arena_bytes: 777,
+            cone_hist: hist,
+        };
+        let v = mem_to_value(&mem);
+        assert_eq!(mem_from_value(&v).unwrap(), mem);
+        // A metrics object without a "mem" block (pre-accounting
+        // snapshots) decodes to zeroed memory metrics.
+        let old = parse(
+            "{\"wall_s\": 0.5, \"shards\": {\"threads\": 1, \"per_worker\": [3]}, \
+             \"counters\": {\"gate_evals\": 9}}",
+        )
+        .unwrap();
+        let metrics = metrics_from_value(&old).unwrap();
+        assert_eq!(metrics.mem, MemMetrics::ZERO);
+        // Full metrics round-trip carries the mem block.
+        let mut full = StageMetrics::new(
+            Duration::from_secs_f64(0.25),
+            ShardStats {
+                threads: 2,
+                per_worker: vec![1, 2],
+            },
+            WorkCounters::ZERO,
+        );
+        full.mem = mem;
+        let back = metrics_from_value(&metrics_to_value(&full)).unwrap();
+        assert_eq!(back.mem, mem);
+        // Wrong bucket counts and unknown keys are rejected.
+        let short = parse("{\"cone_hist\": [1, 2, 3]}").unwrap();
+        assert!(mem_from_value(&short).is_err());
+        let unknown = parse("{\"peak_bites\": 1}").unwrap();
+        assert!(mem_from_value(&unknown).is_err());
     }
 
     #[test]

@@ -33,7 +33,8 @@ use std::time::Instant;
 use fscan_atpg::{PodemConfig, SeqAtpgConfig};
 use fscan_fault::{all_faults_with, collapse_with, Fault};
 use fscan_scan::ScanDesign;
-use fscan_sim::{LaneWidth, StageMetrics, WorkCounters};
+use fscan_sim::kernel::R256;
+use fscan_sim::{LaneWidth, MemMetrics, SimScratch, StageMetrics, WorkCounters};
 
 use crate::alternating::{AlternatingPhase, AlternatingReport};
 use crate::classify::{
@@ -43,6 +44,25 @@ use crate::comb_phase::{CombPhase, CombPhaseConfig, CombPhaseOutcome, CombPhaseR
 use crate::compact::{compact_program_at, CompactionReport};
 use crate::program::{ScanTest, TestProgram};
 use crate::seq_phase::{DistParams, SeqPhase, SeqPhaseReport};
+
+/// Per-worker [`SimScratch`] arena footprint for a circuit with
+/// `num_nodes` nodes at rail width `width` — the deterministic
+/// `arena_bytes` each stage reports.
+fn arena_footprint(num_nodes: usize, width: LaneWidth) -> u64 {
+    match width {
+        LaneWidth::W64 => SimScratch::<u64>::footprint_bytes(num_nodes),
+        LaneWidth::W256 => SimScratch::<R256>::footprint_bytes(num_nodes),
+    }
+}
+
+/// Closes a stage's allocator window into its [`StageMetrics`]: the
+/// allocator-observed peak and realloc count (0 without a tracking
+/// allocator installed) plus the deterministic arena footprint.
+fn fill_mem(metrics: &mut StageMetrics, mark: fscan_alloctrack::MemMark, arena_bytes: u64) {
+    metrics.mem.peak_bytes = mark.peak();
+    metrics.mem.reallocs = mark.reallocs();
+    metrics.mem.arena_bytes = arena_bytes;
+}
 
 /// Configuration of the full pipeline.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -313,6 +333,18 @@ impl PipelineReport {
     pub fn total_counters(&self) -> WorkCounters {
         self.stages().iter().map(|(_, m)| m.counters).sum()
     }
+
+    /// Report-wide memory accounting: every stage's [`MemMetrics`]
+    /// folded together — peaks and arena footprints by maximum (stages
+    /// run one after another, so peaks do not add), realloc counts
+    /// summed, cone histograms merged.
+    pub fn total_mem(&self) -> MemMetrics {
+        let mut total = MemMetrics::ZERO;
+        for (_, m) in self.stages() {
+            total.accumulate(&m.mem);
+        }
+        total
+    }
 }
 
 impl fmt::Display for PipelineReport {
@@ -474,7 +506,8 @@ impl PipelineSession {
     /// implication, sharded across the configured workers.
     pub fn classify(self) -> Classified {
         let start = Instant::now();
-        let (classified, shards, mut counters) = classify_faults_sharded_at(
+        let mark = fscan_alloctrack::stage_mark();
+        let (classified, shards, mut counters, cone_hist) = classify_faults_sharded_at(
             &self.design,
             &self.faults,
             self.config.threads,
@@ -484,12 +517,16 @@ impl PipelineSession {
         // first stage; every later stage shares the same plan, so the
         // report-wide total stays at exactly 1.
         counters.topology_builds = 1;
+        let mut metrics = StageMetrics::new(start.elapsed(), shards, counters);
+        let nodes = self.design.topology().num_nodes();
+        fill_mem(&mut metrics, mark, arena_footprint(nodes, self.config.lane_width));
+        metrics.mem.cone_hist = cone_hist;
         Classified {
             design: self.design,
             config: self.config,
             total_faults: self.faults.len(),
             classified,
-            metrics: StageMetrics::new(start.elapsed(), shards, counters),
+            metrics,
         }
     }
 
@@ -538,6 +575,7 @@ impl Classified {
     /// Step 1: shift the alternating sequence and fault-simulate it
     /// against every chain-affecting fault.
     pub fn alternating(self) -> AfterAlternating {
+        let mark = fscan_alloctrack::stage_mark();
         let summary = self.summary();
         let affected: Vec<Fault> = self
             .classified
@@ -564,13 +602,19 @@ impl Classified {
             .copied()
             .filter(|f| !detected.contains(f))
             .collect();
-        let report = AlternatingReport {
+        let mut report = AlternatingReport {
             targeted: affected.len(),
             detected: detected.len(),
             missed_easy: missed_easy.len(),
             cycles: phase.vectors().len(),
             metrics: StageMetrics::new(cpu, shards, counters),
         };
+        let nodes = self.design.topology().num_nodes();
+        fill_mem(
+            &mut report.metrics,
+            mark,
+            arena_footprint(nodes, self.config.lane_width),
+        );
         let vectors = phase.into_vectors();
         AfterAlternating {
             design: self.design,
@@ -629,7 +673,14 @@ impl AfterAlternating {
             lane_width: self.config.lane_width,
             ..CombPhaseConfig::default()
         };
-        let outcome = CombPhase::new(&self.design, comb_config).run(&hard);
+        let mark = fscan_alloctrack::stage_mark();
+        let mut outcome = CombPhase::new(&self.design, comb_config).run(&hard);
+        let nodes = self.design.topology().num_nodes();
+        fill_mem(
+            &mut outcome.report.metrics,
+            mark,
+            arena_footprint(nodes, self.config.lane_width),
+        );
         AfterComb {
             design: self.design,
             config: self.config,
@@ -693,7 +744,8 @@ impl AfterComb {
         for t in comb_tests {
             program.push(t);
         }
-        let compacted = compact_program_at(
+        let mark = fscan_alloctrack::stage_mark();
+        let mut compacted = compact_program_at(
             &self.design,
             program,
             &affected,
@@ -701,6 +753,12 @@ impl AfterComb {
             self.config.lane_width,
         )
         .expect("reverse-order compaction preserves every detection");
+        let nodes = self.design.topology().num_nodes();
+        fill_mem(
+            &mut compacted.report.metrics,
+            mark,
+            arena_footprint(nodes, self.config.lane_width),
+        );
         AfterCompact {
             design: self.design,
             config: self.config,
@@ -782,7 +840,16 @@ impl AfterCompact {
         final_cfg.max_frames = final_cfg.max_frames.max(min_frames);
         let phase = SeqPhase::new(&self.design, dist, seq_cfg, final_cfg)
             .threads(self.config.threads);
-        let seq_outcome = phase.run(&targets, &target_locs);
+        let mark = fscan_alloctrack::stage_mark();
+        let mut seq_outcome = phase.run(&targets, &target_locs);
+        // The sequential phase's fault simulators run on the default
+        // 64-lane rail regardless of the packed-stage width.
+        let nodes = self.design.topology().num_nodes();
+        fill_mem(
+            &mut seq_outcome.report.metrics,
+            mark,
+            arena_footprint(nodes, LaneWidth::W64),
+        );
 
         let seq_detected: HashSet<Fault> = seq_outcome.detected.iter().copied().collect();
         let rescued_easy = self
@@ -845,6 +912,22 @@ mod tests {
             resolved + report.seq.undetected == report.seq.targeted,
             "{report}"
         );
+        // Memory accounting is populated on every stage: a nonzero
+        // deterministic arena footprint everywhere, and the classify
+        // stage's cone histogram covers the whole fault universe.
+        for (name, m) in report.stages() {
+            assert!(m.mem.arena_bytes > 0, "stage {name} reports no arena");
+        }
+        assert_eq!(
+            report.classification.metrics.mem.cone_hist.total_cones(),
+            report.classification.total as u64
+        );
+        assert_eq!(
+            report.total_mem().cone_hist,
+            report.classification.metrics.mem.cone_hist
+        );
+        // No tracking allocator installed in unit tests → peaks read 0.
+        assert_eq!(report.total_mem().peak_bytes, 0);
     }
 
     #[test]

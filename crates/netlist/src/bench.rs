@@ -4,25 +4,36 @@
 //! distributions: `INPUT(x)` / `OUTPUT(x)` declarations and
 //! `y = KIND(a, b, ...)` gate lines with kinds `AND OR NAND NOR NOT BUF
 //! BUFF XOR XNOR DFF CONST0 CONST1`. `#` starts a comment.
+//!
+//! Parsing is streaming and line-oriented (see
+//! [`BenchReader`](crate::BenchReader) /
+//! [`NetlistBuilder`](crate::NetlistBuilder)); [`parse_bench`] is the
+//! whole-text convenience wrapper.
 
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
 use crate::circuit::{Circuit, NodeId};
 use crate::gate::GateKind;
+use crate::reader::BenchReader;
 
 /// Error produced when parsing a `.bench` description fails.
+///
+/// Carries both the 1-based line number and the byte offset of the
+/// offending line's first byte, so streaming consumers can point back
+/// into large inputs without re-counting lines.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseBenchError {
     line: usize,
+    offset: u64,
     message: String,
 }
 
 impl ParseBenchError {
-    fn new(line: usize, message: impl Into<String>) -> ParseBenchError {
+    pub(crate) fn at(line: usize, offset: u64, message: impl Into<String>) -> ParseBenchError {
         ParseBenchError {
             line,
+            offset,
             message: message.into(),
         }
     }
@@ -30,6 +41,11 @@ impl ParseBenchError {
     /// 1-based line number of the offending line.
     pub fn line(&self) -> usize {
         self.line
+    }
+
+    /// Byte offset of the offending line's first byte in the input.
+    pub fn offset(&self) -> u64 {
+        self.offset
     }
 }
 
@@ -41,7 +57,7 @@ impl fmt::Display for ParseBenchError {
 
 impl Error for ParseBenchError {}
 
-fn kind_from_keyword(kw: &str) -> Option<GateKind> {
+pub(crate) fn kind_from_keyword(kw: &str) -> Option<GateKind> {
     match kw.to_ascii_uppercase().as_str() {
         "AND" => Some(GateKind::And),
         "NAND" => Some(GateKind::Nand),
@@ -60,8 +76,15 @@ fn kind_from_keyword(kw: &str) -> Option<GateKind> {
 
 /// Parses a circuit from ISCAS'89 `.bench` text.
 ///
-/// Signals may be used before they are defined; two passes resolve all
-/// references. The circuit is validated before being returned.
+/// Signals may be used before they are defined; the streaming builder
+/// patches forward references as their definitions arrive. Nodes are
+/// created in file order. The circuit is validated before being
+/// returned.
+///
+/// This is a thin wrapper over [`BenchReader`](crate::BenchReader): one
+/// `feed` of the whole text followed by `finish`. Feeding the same text
+/// in arbitrary chunks produces a bit-identical circuit and identical
+/// errors (see the differential oracle in `tests/props.rs`).
 ///
 /// # Errors
 ///
@@ -85,161 +108,9 @@ fn kind_from_keyword(kw: &str) -> Option<GateKind> {
 /// # Ok::<(), fscan_netlist::ParseBenchError>(())
 /// ```
 pub fn parse_bench(text: &str, name: &str) -> Result<Circuit, ParseBenchError> {
-    enum Decl {
-        Input,
-        Gate(GateKind, Vec<String>),
-    }
-    let mut decls: Vec<(usize, String, Decl)> = Vec::new();
-    let mut outputs: Vec<(usize, String)> = Vec::new();
-
-    for (lineno, raw) in text.lines().enumerate() {
-        let lineno = lineno + 1;
-        let line = match raw.find('#') {
-            Some(i) => &raw[..i],
-            None => raw,
-        }
-        .trim();
-        if line.is_empty() {
-            continue;
-        }
-        let upper = line.to_ascii_uppercase();
-        if upper.starts_with("INPUT") {
-            let sig = paren_arg(line, lineno)?;
-            decls.push((lineno, sig, Decl::Input));
-        } else if upper.starts_with("OUTPUT") {
-            let sig = paren_arg(line, lineno)?;
-            outputs.push((lineno, sig));
-        } else if let Some(eq) = line.find('=') {
-            let target = line[..eq].trim().to_string();
-            let rhs = line[eq + 1..].trim();
-            let open = rhs
-                .find('(')
-                .ok_or_else(|| ParseBenchError::new(lineno, "expected '(' in gate line"))?;
-            let close = rhs
-                .rfind(')')
-                .ok_or_else(|| ParseBenchError::new(lineno, "expected ')' in gate line"))?;
-            let kw = rhs[..open].trim();
-            let kind = kind_from_keyword(kw)
-                .ok_or_else(|| ParseBenchError::new(lineno, format!("unknown gate kind '{kw}'")))?;
-            let args: Vec<String> = rhs[open + 1..close]
-                .split(',')
-                .map(|s| s.trim().to_string())
-                .filter(|s| !s.is_empty())
-                .collect();
-            decls.push((lineno, target, Decl::Gate(kind, args)));
-        } else {
-            return Err(ParseBenchError::new(lineno, "unrecognized line"));
-        }
-    }
-
-    // Pass 1: create all nodes (gates get placeholder fanins resolved in
-    // pass 2 — we create them in declaration order but resolve by name).
-    let mut circuit = Circuit::new(name);
-    let mut ids: HashMap<String, NodeId> = HashMap::new();
-    // First create inputs and DFFs (their outputs can be referenced
-    // anywhere), then remaining gates in order.
-    for (lineno, sig, decl) in &decls {
-        let id = match decl {
-            Decl::Input => circuit.add_input(sig.clone()),
-            Decl::Gate(GateKind::Dff, _) => circuit.add_dff_placeholder(sig.clone()),
-            Decl::Gate(GateKind::Const0, _) => circuit.add_const(false, sig.clone()),
-            Decl::Gate(GateKind::Const1, _) => circuit.add_const(true, sig.clone()),
-            Decl::Gate(..) => continue,
-        };
-        if ids.insert(sig.clone(), id).is_some() {
-            return Err(ParseBenchError::new(
-                *lineno,
-                format!("signal '{sig}' defined twice"),
-            ));
-        }
-    }
-    // Combinational gates: create in an order where fanins may be forward
-    // references, so use placeholders via two passes. We first allocate
-    // every gate with a dummy fanin, then patch.
-    let mut pending: Vec<(usize, NodeId, &[String])> = Vec::new();
-    for (lineno, sig, decl) in &decls {
-        if let Decl::Gate(kind, args) = decl {
-            if matches!(kind, GateKind::Dff | GateKind::Const0 | GateKind::Const1) {
-                continue;
-            }
-            if args.is_empty() {
-                // A zero-fanin logic gate has no defined value: the
-                // kernel's fold identities would evaluate `AND()` to a
-                // constant 1 (`OR()` to 0), silently inventing logic.
-                return Err(ParseBenchError::new(*lineno, "gate with no inputs"));
-            }
-            if let Some(n) = kind.fixed_arity() {
-                if args.len() != n {
-                    // Without this check `add_gate` would panic on e.g.
-                    // `y = NOT(a, b)` instead of reporting the line.
-                    return Err(ParseBenchError::new(
-                        *lineno,
-                        format!("{kind} requires exactly {n} input(s), got {}", args.len()),
-                    ));
-                }
-            }
-            // Temporarily wire every pin to node 0 (patched below); node 0
-            // always exists if there is at least one declaration.
-            let placeholder = NodeId::from_index(0);
-            let id = circuit.add_gate(*kind, vec![placeholder; args.len()], sig.clone());
-            if ids.insert(sig.clone(), id).is_some() {
-                return Err(ParseBenchError::new(
-                    *lineno,
-                    format!("signal '{sig}' defined twice"),
-                ));
-            }
-            pending.push((*lineno, id, args.as_slice()));
-        }
-    }
-    // Pass 2: resolve fanins.
-    for (lineno, id, args) in pending {
-        for (pin, arg) in args.iter().enumerate() {
-            let src = *ids
-                .get(arg)
-                .ok_or_else(|| ParseBenchError::new(lineno, format!("undefined signal '{arg}'")))?;
-            circuit
-                .replace_fanin(id, pin, src)
-                .map_err(|e| ParseBenchError::new(lineno, e.to_string()))?;
-        }
-    }
-    for (lineno, sig, decl) in &decls {
-        if let Decl::Gate(GateKind::Dff, args) = decl {
-            if args.len() != 1 {
-                return Err(ParseBenchError::new(*lineno, "DFF requires exactly one input"));
-            }
-            let d = *ids.get(&args[0]).ok_or_else(|| {
-                ParseBenchError::new(*lineno, format!("undefined signal '{}'", args[0]))
-            })?;
-            let ff = ids[sig];
-            circuit
-                .set_dff_input(ff, d)
-                .map_err(|e| ParseBenchError::new(*lineno, e.to_string()))?;
-        }
-    }
-    for (lineno, sig) in &outputs {
-        let id = *ids
-            .get(sig)
-            .ok_or_else(|| ParseBenchError::new(*lineno, format!("undefined output '{sig}'")))?;
-        circuit.mark_output(id);
-    }
-    circuit
-        .validate()
-        .map_err(|e| ParseBenchError::new(0, e.to_string()))?;
-    Ok(circuit)
-}
-
-fn paren_arg(line: &str, lineno: usize) -> Result<String, ParseBenchError> {
-    let open = line
-        .find('(')
-        .ok_or_else(|| ParseBenchError::new(lineno, "expected '('"))?;
-    let close = line
-        .rfind(')')
-        .ok_or_else(|| ParseBenchError::new(lineno, "expected ')'"))?;
-    let sig = line[open + 1..close].trim();
-    if sig.is_empty() {
-        return Err(ParseBenchError::new(lineno, "empty signal name"));
-    }
-    Ok(sig.to_string())
+    let mut reader = BenchReader::new(name);
+    reader.feed(text)?;
+    reader.finish()
 }
 
 /// Serializes a circuit to ISCAS'89 `.bench` text.
@@ -349,6 +220,7 @@ G17 = NOT(G11)
             let err = parse_bench(&src, "t").unwrap_err();
             assert!(err.to_string().contains("no inputs"), "{kind}: {err}");
             assert_eq!(err.line(), 2, "{kind}");
+            assert_eq!(err.offset(), 9, "{kind}");
         }
     }
 
@@ -360,6 +232,7 @@ G17 = NOT(G11)
             .unwrap_err();
         assert!(err.to_string().contains("exactly 1"), "{err}");
         assert_eq!(err.line(), 3);
+        assert_eq!(err.offset(), 18);
         let err = parse_bench("INPUT(a)\ny = BUF(a, a)\nOUTPUT(y)\n", "t").unwrap_err();
         assert!(err.to_string().contains("exactly 1"), "{err}");
     }
@@ -369,6 +242,7 @@ G17 = NOT(G11)
         let err = parse_bench("x = FROB(a)\nINPUT(a)\n", "t").unwrap_err();
         assert!(err.to_string().contains("unknown gate kind"));
         assert_eq!(err.line(), 1);
+        assert_eq!(err.offset(), 0);
     }
 
     #[test]
@@ -393,6 +267,18 @@ G17 = NOT(G11)
     fn forward_references_ok() {
         let c = parse_bench("INPUT(a)\ny = AND(a, z)\nz = NOT(a)\nOUTPUT(y)\n", "t").unwrap();
         assert_eq!(c.num_gates(), 2);
+    }
+
+    #[test]
+    fn nodes_are_created_in_file_order() {
+        // The streaming builder creates nodes as their lines arrive
+        // (the old parser reordered inputs/flip-flops first).
+        let c = parse_bench("INPUT(a)\ny = NOT(a)\ns = DFF(y)\nOUTPUT(s)\n", "t").unwrap();
+        let a = c.find_by_name("a").unwrap();
+        let y = c.find_by_name("y").unwrap();
+        let s = c.find_by_name("s").unwrap();
+        assert!(a.index() < y.index());
+        assert!(y.index() < s.index());
     }
 
     #[test]

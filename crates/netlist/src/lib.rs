@@ -39,10 +39,12 @@ mod gate;
 mod generator;
 mod hash;
 mod level;
+mod reader;
 mod stats;
 mod topo;
 
 pub use bench::{parse_bench, write_bench, ParseBenchError};
+pub use reader::{BenchReader, NetlistBuilder, SrcPos};
 pub use hash::{content_hash64, Fnv1a64};
 pub use circuit::{Circuit, Node, NodeId};
 pub use dot::to_dot;

@@ -1,7 +1,7 @@
 //! `serve` — run the pipeline server until `/shutdown`.
 //!
 //! ```text
-//! serve [--addr HOST:PORT] [--workers N] [--cache N]
+//! serve [--addr HOST:PORT] [--workers N] [--cache N] [--queue N] [--idle-timeout-ms N]
 //! ```
 //!
 //! Prints one `listening on <addr>` line to stdout once bound (scripts
@@ -12,8 +12,14 @@ use std::process::ExitCode;
 
 use fscan_serve::server::{spawn, ServerConfig};
 
+/// Track heap traffic so `/stats` reports real `mem` figures (the
+/// library stays allocator-agnostic; opting in is the binary's call).
+#[global_allocator]
+static ALLOC: fscan_alloctrack::TrackingAlloc = fscan_alloctrack::TrackingAlloc;
+
 fn usage() -> String {
-    "usage: serve [--addr HOST:PORT] [--workers N] [--cache N]".to_string()
+    "usage: serve [--addr HOST:PORT] [--workers N] [--cache N] [--queue N] [--idle-timeout-ms N]"
+        .to_string()
 }
 
 fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
@@ -33,6 +39,16 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
                 config.cache_capacity = value
                     .parse()
                     .map_err(|_| format!("--cache: not an integer: {value}"))?;
+            }
+            "--queue" => {
+                config.queue_depth = value
+                    .parse()
+                    .map_err(|_| format!("--queue: not an integer: {value}"))?;
+            }
+            "--idle-timeout-ms" => {
+                config.idle_timeout_ms = value
+                    .parse()
+                    .map_err(|_| format!("--idle-timeout-ms: not an integer: {value}"))?;
             }
             _ => return Err(format!("unknown flag {flag}\n{}", usage())),
         }

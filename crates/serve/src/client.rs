@@ -1,9 +1,12 @@
 //! A minimal blocking client for the server's endpoints.
 //!
-//! One connection per exchange, mirroring the server's
-//! `Connection: close` model. Used by the `smoke` binary and the
-//! integration tests; it is deliberately dependency-free so CI can
-//! exercise the full wire format without external tooling.
+//! The free functions ([`get`], [`post`], [`post_run`]) open one
+//! connection per exchange and send `Connection: close`; [`Session`]
+//! holds a keep-alive connection open and loops exchanges over it,
+//! matching the server's persistent-connection model. Used by the
+//! `smoke` binary and the integration tests; deliberately
+//! dependency-free so CI can exercise the full wire format without
+//! external tooling.
 
 use std::io::Write;
 use std::net::{SocketAddr, TcpStream};
@@ -94,4 +97,61 @@ pub fn post(
 /// Sends a `/run` request as the JSON envelope.
 pub fn post_run(addr: SocketAddr, run: &RunRequest<'_>) -> Result<Response, RequestError> {
     post(addr, "/run", "application/json", run.to_json().as_bytes())
+}
+
+/// A persistent (keep-alive) connection to the server: every exchange
+/// reuses the one socket, so repeat clients pay connection setup once.
+///
+/// Responses are read to completion before the next request is sent
+/// (no pipelining), which keeps the one-reader-per-exchange model
+/// sound: the server cannot have sent any bytes beyond the response
+/// just consumed.
+pub struct Session {
+    stream: TcpStream,
+}
+
+impl Session {
+    /// Opens a connection for a sequence of exchanges.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Session> {
+        Ok(Session {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+
+    fn exchange(&mut self, head: &str, body: &[u8]) -> Result<Response, RequestError> {
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body)?;
+        self.stream.flush()?;
+        read_response(&mut self.stream)
+    }
+
+    /// Sends `GET path` on the held connection.
+    pub fn get(&mut self, path: &str) -> Result<Response, RequestError> {
+        self.exchange(
+            &format!("GET {path} HTTP/1.1\r\nhost: fscan\r\nconnection: keep-alive\r\n\r\n"),
+            b"",
+        )
+    }
+
+    /// Sends `POST path` with an arbitrary body on the held connection.
+    pub fn post(
+        &mut self,
+        path: &str,
+        content_type: &str,
+        body: &[u8],
+    ) -> Result<Response, RequestError> {
+        self.exchange(
+            &format!(
+                "POST {path} HTTP/1.1\r\nhost: fscan\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: keep-alive\r\n\r\n",
+                body.len()
+            ),
+            body,
+        )
+    }
+
+    /// Sends a `/run` request as the JSON envelope on the held
+    /// connection.
+    pub fn post_run(&mut self, run: &RunRequest<'_>) -> Result<Response, RequestError> {
+        self.post("/run", "application/json", run.to_json().as_bytes())
+    }
 }

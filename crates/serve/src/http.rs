@@ -4,9 +4,14 @@
 //! or tokio; it speaks exactly the subset of HTTP/1.1 its own endpoints
 //! and smoke client need: request lines with an `origin-form` target,
 //! `Content-Length` bodies (bounded), fixed-length responses, and
-//! `Transfer-Encoding: chunked` responses for the streaming mode. Each
-//! connection carries one exchange (`Connection: close` semantics);
-//! pipelining and keep-alive are intentionally out of scope.
+//! `Transfer-Encoding: chunked` responses for the streaming mode.
+//! Connections are persistent by default (HTTP/1.1 keep-alive): the
+//! server loops requests on one socket until the client sends
+//! `Connection: close` or the idle timeout fires. To make that safe,
+//! [`read_request`] is generic over [`BufRead`] — the connection loop
+//! owns one buffered reader for the socket's whole lifetime, so bytes
+//! read ahead of one request (the start of a pipelined next one) are
+//! not lost between requests.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -40,6 +45,14 @@ impl Request {
             .iter()
             .find(|(k, _)| k == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// exchange (`Connection: close`); absent the header, HTTP/1.1
+    /// connections persist.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
     }
 
     /// First value of a query parameter, if present.
@@ -126,9 +139,12 @@ fn parse_query(raw: &str) -> Vec<(String, String)> {
         .collect()
 }
 
-/// Reads one HTTP/1.1 request from the stream.
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
-    let mut reader = BufReader::new(stream);
+/// Reads one HTTP/1.1 request from a buffered reader.
+///
+/// The caller owns the reader: on a keep-alive connection the same
+/// reader serves every request, so read-ahead stays in its buffer
+/// instead of being dropped between exchanges.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, RequestError> {
     let mut head = String::new();
     let mut line = String::new();
 
@@ -211,24 +227,29 @@ fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
 
-/// Writes a complete fixed-length response and flushes it.
+/// Writes a complete fixed-length response and flushes it. `close`
+/// selects the `Connection` header: `close` ends the exchange loop,
+/// `keep-alive` invites the client to reuse the socket.
 pub fn write_response(
     stream: &mut TcpStream,
     status: u16,
     content_type: &str,
     extra_headers: &[(&str, &str)],
     body: &[u8],
+    close: bool,
 ) -> io::Result<()> {
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
         status,
         reason(status),
         content_type,
-        body.len()
+        body.len(),
+        if close { "close" } else { "keep-alive" }
     );
     for (name, value) in extra_headers {
         head.push_str(name);
@@ -271,18 +292,22 @@ impl ChunkedWriter<'_> {
     }
 }
 
-/// Writes a chunked-response head and returns the body writer.
+/// Writes a chunked-response head and returns the body writer. The
+/// chunked framing self-delimits, so `close: false` keeps the
+/// connection reusable after [`ChunkedWriter::finish`].
 pub fn start_chunked<'a>(
     stream: &'a mut TcpStream,
     status: u16,
     content_type: &str,
     extra_headers: &[(&str, &str)],
+    close: bool,
 ) -> io::Result<ChunkedWriter<'a>> {
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ntransfer-encoding: chunked\r\nconnection: close\r\n",
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ntransfer-encoding: chunked\r\nconnection: {}\r\n",
         status,
         reason(status),
         content_type,
+        if close { "close" } else { "keep-alive" }
     );
     for (name, value) in extra_headers {
         head.push_str(name);
@@ -413,8 +438,9 @@ mod tests {
             let mut s = TcpStream::connect(addr).unwrap();
             s.write_all(raw.as_bytes()).unwrap();
         });
-        let (mut conn, _) = listener.accept().unwrap();
-        let req = read_request(&mut conn);
+        let (conn, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(conn);
+        let req = read_request(&mut reader);
         sender.join().unwrap();
         req
     }
@@ -464,10 +490,17 @@ mod tests {
         let addr = listener.local_addr().unwrap();
         let server = thread::spawn(move || {
             let (mut conn, _) = listener.accept().unwrap();
-            write_response(&mut conn, 200, "application/json", &[("x-fscan-cache", "hit")], b"{}")
-                .unwrap();
+            write_response(
+                &mut conn,
+                200,
+                "application/json",
+                &[("x-fscan-cache", "hit")],
+                b"{}",
+                true,
+            )
+            .unwrap();
             let (mut conn, _) = listener.accept().unwrap();
-            let mut w = start_chunked(&mut conn, 200, "application/jsonl", &[]).unwrap();
+            let mut w = start_chunked(&mut conn, 200, "application/jsonl", &[], true).unwrap();
             w.chunk(b"one\n").unwrap();
             w.chunk(b"").unwrap(); // skipped, must not terminate
             w.chunk(b"two\n").unwrap();

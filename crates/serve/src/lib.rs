@@ -40,6 +40,6 @@ pub mod http;
 pub mod server;
 
 pub use cache::{CacheStats, DesignCache};
-pub use client::{get, post, post_run, RunRequest};
+pub use client::{get, post, post_run, RunRequest, Session};
 pub use http::{Request, RequestError, Response};
 pub use server::{spawn, ServerConfig, ServerHandle};

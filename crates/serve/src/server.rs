@@ -1,14 +1,29 @@
 //! The pipeline server: a [`TcpListener`] accept loop feeding a
-//! fixed-size worker pool, one request per connection.
+//! fixed-size worker pool through a **bounded** queue, with persistent
+//! (keep-alive) connections.
 //!
 //! ## Endpoints
 //!
 //! | Method | Path        | Behaviour                                          |
 //! |--------|-------------|----------------------------------------------------|
 //! | POST   | `/run`      | Compile (or reuse) the uploaded netlist, run the pipeline, return the full report as JSON. `stream` switches to chunked per-checkpoint metrics. |
-//! | GET    | `/stats`    | Server counters: requests, runs, cache hits/misses/evictions, server-wide `topology_builds`. |
+//! | GET    | `/stats`    | Server counters: requests, runs, rejections, keep-alive reuses, cache hits/misses/evictions, server-wide `topology_builds`, process memory. |
 //! | GET    | `/healthz`  | Liveness probe.                                    |
 //! | POST   | `/shutdown` | Acknowledge, then stop accepting and drain.        |
+//!
+//! ## Keep-alive and backpressure
+//!
+//! A worker owns each connection for its whole lifetime and loops
+//! requests on it until the client sends `Connection: close`, the
+//! socket idles past [`ServerConfig::idle_timeout_ms`], or shutdown is
+//! requested — repeat clients pay connection setup once, matching the
+//! design-cache's amortization story. The accept loop hands connections
+//! to the pool over a bounded queue ([`ServerConfig::queue_depth`]);
+//! when every worker is busy and the queue is full, the connection is
+//! answered directly with a typed `503 {"error":{"kind":"busy",...}}`
+//! body instead of queueing without bound, and the rejection is counted
+//! in `/stats` (`rejected`). Load-shedding is therefore explicit,
+//! bounded in memory, and observable.
 //!
 //! `/run` accepts either a JSON envelope (`content-type:
 //! application/json`) — `{"bench": "...", "name": "...", "chains": N,
@@ -27,12 +42,13 @@
 //! with a self-connection, drops the queue sender so workers drain
 //! in-flight connections, and joins every thread.
 
-use std::io;
+use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
+use std::time::Duration;
 
 use fscan::json::{self, config_from_value, metrics_to_value, report_to_value, Value};
 use fscan::{Error, LaneWidth, PipelineConfig, PipelineSession};
@@ -51,6 +67,14 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Compiled-design cache capacity.
     pub cache_capacity: usize,
+    /// Accepted connections waiting for a worker beyond those already
+    /// being served. 0 means rendezvous: a connection is only accepted
+    /// into the pool when a worker is ready for it; everything else is
+    /// shed with a 503.
+    pub queue_depth: usize,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the worker closes it and moves on.
+    pub idle_timeout_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +83,8 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 4,
             cache_capacity: 16,
+            queue_depth: 64,
+            idle_timeout_ms: 10_000,
         }
     }
 }
@@ -69,6 +95,11 @@ struct ServerCounters {
     requests: AtomicU64,
     runs: AtomicU64,
     errors: AtomicU64,
+    /// Connections shed with 503 because the accept queue was full.
+    rejected: AtomicU64,
+    /// Requests served on an already-open keep-alive connection (i.e.
+    /// beyond the first request of each connection).
+    keepalive_reuses: AtomicU64,
 }
 
 /// Everything a worker needs to answer requests.
@@ -76,6 +107,7 @@ struct Shared {
     cache: DesignCache,
     counters: ServerCounters,
     shutdown: AtomicBool,
+    idle_timeout: Duration,
 }
 
 /// A running server; dropping the handle does **not** stop it — call
@@ -125,9 +157,10 @@ pub fn spawn(config: &ServerConfig) -> io::Result<ServerHandle> {
         cache: DesignCache::new(config.cache_capacity),
         counters: ServerCounters::default(),
         shutdown: AtomicBool::new(false),
+        idle_timeout: Duration::from_millis(config.idle_timeout_ms.max(1)),
     });
 
-    let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
+    let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) = sync_channel(config.queue_depth);
     let rx = Arc::new(Mutex::new(rx));
     let workers: Vec<_> = (0..config.workers.max(1))
         .map(|i| {
@@ -149,9 +182,17 @@ pub fn spawn(config: &ServerConfig) -> io::Result<ServerHandle> {
                     break;
                 }
                 let Ok(conn) = conn else { continue };
-                // Dropping the sender (loop exit) closes the queue.
-                if tx.send(conn).is_err() {
-                    break;
+                // Bounded handoff: a full queue sheds load with an
+                // immediate 503 instead of buffering connections (and
+                // their bodies) without limit. Dropping the sender
+                // (loop exit) closes the queue.
+                match tx.try_send(conn) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(conn)) => {
+                        accept_shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                        reject_busy(conn);
+                    }
+                    Err(TrySendError::Disconnected(_)) => break,
                 }
             }
         })
@@ -163,6 +204,23 @@ pub fn spawn(config: &ServerConfig) -> io::Result<ServerHandle> {
         accept_thread: Some(accept_thread),
         workers,
     })
+}
+
+/// Sheds one connection the queue had no room for: drain its request
+/// (best-effort, briefly, so closing does not RST the response away),
+/// answer the typed busy error, and hang up. Runs on the accept thread;
+/// the short read timeout bounds how long a slow client can stall
+/// accepting.
+fn reject_busy(mut conn: TcpStream) {
+    let _ = conn.set_read_timeout(Some(Duration::from_millis(250)));
+    let _ = read_request(&mut BufReader::new(&mut conn));
+    let _ = error_response(
+        &mut conn,
+        503,
+        "busy",
+        "server at capacity: accept queue full, retry later",
+        true,
+    );
 }
 
 fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, shared: &Shared) {
@@ -178,31 +236,66 @@ fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, shared: &Shared) {
     }
 }
 
+/// Serves one connection until it closes: requests loop on the socket
+/// (HTTP/1.1 keep-alive) until the client asks to close, the idle
+/// timeout fires, framing breaks, or the server is shutting down.
 fn handle_connection(stream: &mut TcpStream, shared: &Shared) {
-    shared.counters.requests.fetch_add(1, Ordering::Relaxed);
-    let request = match read_request(stream) {
-        Ok(r) => r,
-        Err(RequestError::TooLarge(_)) => {
-            let _ = error_response(stream, 413, "json", "request body too large");
-            return;
-        }
-        Err(RequestError::Malformed(m)) => {
-            let _ = error_response(stream, 400, "http", &m);
-            return;
-        }
-        Err(RequestError::Io(_)) => return, // peer went away (incl. shutdown wake)
+    let _ = stream.set_read_timeout(Some(shared.idle_timeout));
+    // The reader half owns the buffer for the connection's lifetime so
+    // read-ahead survives across requests; writes go to `stream`.
+    let Ok(read_half) = stream.try_clone() else {
+        return;
     };
-    let outcome = match (request.method.as_str(), request.path.as_str()) {
+    let mut reader = BufReader::new(read_half);
+    let mut served = 0u64;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let request = match read_request(&mut reader) {
+            Ok(r) => r,
+            Err(RequestError::TooLarge(_)) => {
+                let _ = error_response(stream, 413, "json", "request body too large", true);
+                return;
+            }
+            Err(RequestError::Malformed(m)) => {
+                let _ = error_response(stream, 400, "http", &m, true);
+                return;
+            }
+            // Peer went away, idle timeout, or the shutdown wake.
+            Err(RequestError::Io(_)) => return,
+        };
+        shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+        if served > 0 {
+            shared.counters.keepalive_reuses.fetch_add(1, Ordering::Relaxed);
+        }
+        served += 1;
+        let close = request.wants_close();
+        let _ = dispatch(stream, &request, shared, close);
+        if close || shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+fn dispatch(
+    stream: &mut TcpStream,
+    request: &Request,
+    shared: &Shared,
+    close: bool,
+) -> io::Result<()> {
+    match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => write_response(
             stream,
             200,
             "application/json",
             &[],
             b"{\"status\":\"ok\"}",
+            close,
         ),
         ("GET", "/stats") => {
             let body = stats_json(shared);
-            write_response(stream, 200, "application/json", &[], body.as_bytes())
+            write_response(stream, 200, "application/json", &[], body.as_bytes(), close)
         }
         ("POST", "/shutdown") => {
             let done = write_response(
@@ -211,6 +304,7 @@ fn handle_connection(stream: &mut TcpStream, shared: &Shared) {
                 "application/json",
                 &[],
                 b"{\"status\":\"shutting_down\"}",
+                true,
             );
             shared.shutdown.store(true, Ordering::SeqCst);
             // Wake the accept loop so it observes the flag.
@@ -219,17 +313,16 @@ fn handle_connection(stream: &mut TcpStream, shared: &Shared) {
             }
             done
         }
-        ("POST", "/run") => handle_run(stream, &request, shared),
+        ("POST", "/run") => handle_run(stream, request, shared, close),
         (_, "/run" | "/shutdown") | ("POST" | "PUT" | "DELETE", "/stats" | "/healthz") => {
             shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-            error_response(stream, 405, "http", "method not allowed")
+            error_response(stream, 405, "http", "method not allowed", close)
         }
         _ => {
             shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-            error_response(stream, 404, "http", "no such endpoint")
+            error_response(stream, 404, "http", "no such endpoint", close)
         }
-    };
-    let _ = outcome;
+    }
 }
 
 /// A parsed `/run` request, whichever wire shape carried it.
@@ -363,12 +456,17 @@ fn build_design(params: &RunParams) -> Result<Arc<ScanDesign>, Error> {
     Ok(Arc::new(design))
 }
 
-fn handle_run(stream: &mut TcpStream, request: &Request, shared: &Shared) -> io::Result<()> {
+fn handle_run(
+    stream: &mut TcpStream,
+    request: &Request,
+    shared: &Shared,
+    close: bool,
+) -> io::Result<()> {
     let params = match parse_run_request(request) {
         Ok(p) => p,
         Err(e) => {
             shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-            return error_response(stream, 400, e.kind(), &e.to_string());
+            return error_response(stream, 400, e.kind(), &e.to_string(), close);
         }
     };
     let (design, hit) = shared
@@ -379,14 +477,14 @@ fn handle_run(stream: &mut TcpStream, request: &Request, shared: &Shared) -> io:
         Ok(d) => d,
         Err(e) => {
             shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-            return error_response(stream, 400, e.kind(), &e.to_string());
+            return error_response(stream, 400, e.kind(), &e.to_string(), close);
         }
     };
 
     let session = PipelineSession::shared(design, params.config);
     shared.counters.runs.fetch_add(1, Ordering::Relaxed);
     if params.stream {
-        stream_run(stream, session, cache_header)
+        stream_run(stream, session, cache_header, close)
     } else {
         let report = session.run();
         let body = json::report_to_json(&report);
@@ -396,18 +494,25 @@ fn handle_run(stream: &mut TcpStream, request: &Request, shared: &Shared) -> io:
             "application/json",
             &[("x-fscan-cache", cache_header)],
             body.as_bytes(),
+            close,
         )
     }
 }
 
 /// Runs the pipeline checkpoint by checkpoint, emitting one compact
 /// JSON line per completed stage as a chunk, then the full report.
-fn stream_run(stream: &mut TcpStream, session: PipelineSession, cache: &str) -> io::Result<()> {
+fn stream_run(
+    stream: &mut TcpStream,
+    session: PipelineSession,
+    cache: &str,
+    close: bool,
+) -> io::Result<()> {
     let mut writer = start_chunked(
         stream,
         200,
         "application/x-ndjson",
         &[("x-fscan-cache", cache)],
+        close,
     )?;
     let line = |stage: &str, extra: Vec<(&'static str, Value)>, metrics: &fscan_sim::StageMetrics| {
         let mut fields = vec![("checkpoint", Value::Str(stage.to_string()))];
@@ -516,6 +621,14 @@ fn stats_json(shared: &Shared) -> String {
             Value::UInt(shared.counters.errors.load(Ordering::Relaxed)),
         ),
         (
+            "rejected",
+            Value::UInt(shared.counters.rejected.load(Ordering::Relaxed)),
+        ),
+        (
+            "keepalive_reuses",
+            Value::UInt(shared.counters.keepalive_reuses.load(Ordering::Relaxed)),
+        ),
+        (
             "cache",
             Value::object([
                 ("hits", Value::UInt(cache.hits)),
@@ -525,11 +638,29 @@ fn stats_json(shared: &Shared) -> String {
             ]),
         ),
         ("topology_builds", Value::UInt(cache.builds)),
+        // Process-wide heap figures from the counting allocator. All
+        // zero (tracking: false) unless the hosting binary installed
+        // `fscan_alloctrack::TrackingAlloc` — the `serve` binary does.
+        (
+            "mem",
+            Value::object([
+                ("tracking", Value::Bool(fscan_alloctrack::installed())),
+                ("live_bytes", Value::UInt(fscan_alloctrack::current_bytes())),
+                ("total_allocs", Value::UInt(fscan_alloctrack::total_allocs())),
+                ("reallocs", Value::UInt(fscan_alloctrack::total_reallocs())),
+            ]),
+        ),
     ])
     .render_compact()
 }
 
-fn error_response(stream: &mut TcpStream, status: u16, kind: &str, message: &str) -> io::Result<()> {
+fn error_response(
+    stream: &mut TcpStream,
+    status: u16,
+    kind: &str,
+    message: &str,
+    close: bool,
+) -> io::Result<()> {
     let body = Value::object([(
         "error",
         Value::object([
@@ -538,5 +669,5 @@ fn error_response(stream: &mut TcpStream, status: u16, kind: &str, message: &str
         ]),
     )])
     .render_compact();
-    write_response(stream, status, "application/json", &[], body.as_bytes())
+    write_response(stream, status, "application/json", &[], body.as_bytes(), close)
 }

@@ -229,6 +229,116 @@ fn distinct_netlists_occupy_distinct_cache_entries() {
 }
 
 #[test]
+fn keep_alive_serves_many_requests_per_connection() {
+    let handle = spawn(&ServerConfig::default()).unwrap();
+    let addr = handle.addr();
+    let mut session = client::Session::connect(addr).unwrap();
+    for _ in 0..3 {
+        let r = session.get("/healthz").unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.header("connection"), Some("keep-alive"));
+    }
+    // Real work also loops on the held connection — both wire shapes.
+    let bench = bench_text(7);
+    let run = session
+        .post_run(&RunRequest::new(&bench, "itest", 1))
+        .unwrap();
+    assert_eq!(run.status, 200, "{}", run.text());
+    let streamed = session
+        .post_run(&RunRequest {
+            stream: true,
+            ..RunRequest::new(&bench, "itest", 1)
+        })
+        .unwrap();
+    assert_eq!(streamed.status, 200);
+    assert_eq!(streamed.chunks.len(), 6);
+    // Errors keep the connection usable too.
+    let missing = session.get("/nope").unwrap();
+    assert_eq!(missing.status, 404);
+    let stats = session.get("/stats").unwrap();
+    assert_eq!(stats.status, 200);
+    let doc = json::parse(&stats.text()).unwrap();
+    // 7 requests so far on this one connection: 6 reuses.
+    assert_eq!(
+        doc.get("keepalive_reuses").and_then(|v| v.as_u64()),
+        Some(6),
+        "stats: {}",
+        stats.text()
+    );
+    // The process-memory section is always present; without a tracking
+    // allocator in the test binary it reports zeros.
+    assert_eq!(
+        doc.get("mem")
+            .and_then(|m| m.get("tracking"))
+            .and_then(|v| v.as_bool()),
+        Some(false),
+        "stats: {}",
+        stats.text()
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn saturated_queue_sheds_load_with_typed_503() {
+    use std::net::TcpStream;
+    use std::time::Duration;
+
+    let handle = spawn(&ServerConfig {
+        workers: 1,
+        // Rendezvous queue: a connection is only taken when the one
+        // worker is ready, so a parked worker makes rejection certain.
+        queue_depth: 0,
+        idle_timeout_ms: 60_000,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+    // Park the only worker: connect and send nothing; the worker sits
+    // in read_request until we hang up.
+    let blocker = TcpStream::connect(addr).unwrap();
+    let mut busy = None;
+    for _ in 0..100 {
+        let r = client::get(addr, "/healthz").unwrap();
+        if r.status == 503 {
+            busy = Some(r);
+            break;
+        }
+        // The blocker has not reached the worker yet; let the accept
+        // loop hand it over.
+        thread::sleep(Duration::from_millis(10));
+    }
+    let busy = busy.expect("a saturated rendezvous queue must shed load");
+    let doc = json::parse(&busy.text()).unwrap();
+    assert_eq!(
+        doc.get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(|k| k.as_str()),
+        Some("busy"),
+        "body: {}",
+        busy.text()
+    );
+    // Free the worker; service resumes and the shed is on the books.
+    drop(blocker);
+    let mut stats = None;
+    for _ in 0..100 {
+        let r = client::get(addr, "/stats").unwrap();
+        if r.status == 200 {
+            stats = Some(r);
+            break;
+        }
+        thread::sleep(Duration::from_millis(10));
+    }
+    let stats = stats.expect("server must recover once the worker frees");
+    let doc = json::parse(&stats.text()).unwrap();
+    assert!(
+        doc.get("rejected").and_then(|v| v.as_u64()) >= Some(1),
+        "stats: {}",
+        stats.text()
+    );
+    handle.shutdown();
+}
+
+#[test]
 fn shutdown_endpoint_stops_the_server() {
     let handle = spawn(&ServerConfig::default()).unwrap();
     let addr = handle.addr();

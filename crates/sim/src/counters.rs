@@ -13,6 +13,7 @@ use std::fmt;
 use std::ops::{Add, AddAssign};
 use std::time::Duration;
 
+use crate::mem::MemMetrics;
 use crate::pool::ShardStats;
 
 /// Exact, machine-independent work counters.
@@ -165,13 +166,17 @@ impl WorkCounters {
     }
 }
 
-/// The cost triple every pipeline stage reports: wall-clock time, work
-/// distribution across shard workers, and deterministic work counters.
+/// The cost record every pipeline stage reports: wall-clock time, work
+/// distribution across shard workers, deterministic work counters and
+/// memory accounting.
 ///
 /// `cpu` depends on the machine and thread count; `shards` on the
 /// thread count; `counters` on neither — stripping the first two from a
 /// report leaves thread-invariant output (the property the BENCH
-/// trajectory and CI determinism check rely on).
+/// trajectory and CI determinism check rely on). `mem` is mixed: its
+/// `arena_bytes` and `cone_hist` are deterministic, while `peak_bytes`
+/// and `reallocs` follow the wall-clock rules (allocator-observed,
+/// stripped from determinism diffs).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct StageMetrics {
     /// Wall-clock time the stage took.
@@ -180,15 +185,20 @@ pub struct StageMetrics {
     pub shards: ShardStats,
     /// Deterministic work counters (bit-identical across thread counts).
     pub counters: WorkCounters,
+    /// Memory accounting (arena footprint, cone histogram, allocator
+    /// peaks when a tracking allocator is installed).
+    pub mem: MemMetrics,
 }
 
 impl StageMetrics {
-    /// Assembles the triple.
+    /// Assembles the record with zeroed memory accounting; stages fill
+    /// [`mem`](Self::mem) in afterwards.
     pub fn new(cpu: Duration, shards: ShardStats, counters: WorkCounters) -> StageMetrics {
         StageMetrics {
             cpu,
             shards,
             counters,
+            mem: MemMetrics::ZERO,
         }
     }
 }

@@ -61,6 +61,7 @@ mod counters;
 mod event;
 mod implication;
 pub mod kernel;
+mod mem;
 mod pack;
 mod packed;
 mod parallel;
@@ -76,6 +77,7 @@ pub use event::GoodTrace;
 pub use implication::{
     ImplicationEngine, ImplicationEngine64, NetChange, PackedChange, PackedImplicationEngine,
 };
+pub use mem::{ConeHist, MemMetrics, CONE_HIST_BUCKETS};
 pub use pack::{pack_order, pack_order64};
 pub use packed::{Pv, Pv256, Pv64};
 pub use parallel::ParallelFaultSim;

@@ -1,0 +1,215 @@
+//! Per-stage memory accounting: deterministic arena footprints and
+//! cone-size distributions, plus slots for allocator-observed peaks.
+//!
+//! [`WorkCounters`](crate::WorkCounters) counts work items;
+//! [`MemMetrics`] accounts for bytes. Two of its quantities are exact
+//! and **bit-identical across thread counts**:
+//!
+//! * `arena_bytes` — the structural [`SimScratch`](crate::SimScratch)
+//!   arena footprint of one worker, a pure function of the circuit's
+//!   node count and the rail width (every shard allocates the same
+//!   node-indexed arrays);
+//! * `cone_hist` — the distribution of forward-implication cone sizes
+//!   (changed nets per fault), tallied per fault during classification.
+//!   Each fault's cone is a property of the fault alone (the packed
+//!   engine is lane-exact), so bucket sums are thread- and
+//!   width-invariant.
+//!
+//! The other two — `peak_bytes` and `reallocs` — come from a process
+//! tracking allocator when one is installed (the `fscan-alloctrack`
+//! crate; binaries and stress harnesses install it, library tests do
+//! not) and are inherently nondeterministic: they observe real
+//! allocator traffic across all threads. They report 0 when no tracking
+//! allocator is present, and JSON consumers strip them from
+//! determinism diffs exactly like wall-clock times.
+
+/// Number of buckets in a [`ConeHist`] (log₂-spaced).
+pub const CONE_HIST_BUCKETS: usize = 16;
+
+/// Log₂-bucketed histogram of forward-implication cone sizes.
+///
+/// Bucket 0 counts empty cones (an unexcited fault changes no net);
+/// bucket `k` (1 ≤ k < 15) counts cones whose size in nets lies in
+/// `[2^(k-1), 2^k)`; bucket 15 collects everything of 2¹⁴ nets or more.
+/// Merging is bucket-wise addition, so shard merge order cannot change
+/// the result.
+///
+/// # Examples
+///
+/// ```
+/// use fscan_sim::ConeHist;
+///
+/// let mut h = ConeHist::default();
+/// h.record(0); // unexcited
+/// h.record(1);
+/// h.record(5); // bucket 3: [4, 8)
+/// assert_eq!(h.total_cones(), 3);
+/// assert_eq!(h.buckets()[3], 1);
+/// ```
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ConeHist {
+    buckets: [u64; CONE_HIST_BUCKETS],
+}
+
+impl ConeHist {
+    /// Records one cone of `size` changed nets.
+    pub fn record(&mut self, size: u64) {
+        let bucket = if size == 0 {
+            0
+        } else {
+            (u64::BITS - size.leading_zeros()).min(CONE_HIST_BUCKETS as u32 - 1) as usize
+        };
+        self.buckets[bucket] += 1;
+    }
+
+    /// Adds `other`'s buckets into `self`.
+    pub fn merge(&mut self, other: &ConeHist) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// The bucket counts.
+    pub fn buckets(&self) -> &[u64; CONE_HIST_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Rebuilds a histogram from raw bucket counts (JSON decode).
+    pub fn from_buckets(buckets: [u64; CONE_HIST_BUCKETS]) -> ConeHist {
+        ConeHist { buckets }
+    }
+
+    /// Total cones recorded across all buckets.
+    pub fn total_cones(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.iter().all(|&b| b == 0)
+    }
+}
+
+/// Per-stage memory accounting, carried by
+/// [`StageMetrics`](crate::StageMetrics) alongside the work counters.
+///
+/// `arena_bytes` and `cone_hist` are deterministic (see the module
+/// docs); `peak_bytes` and `reallocs` depend on a process tracking
+/// allocator and are 0 when none is installed.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct MemMetrics {
+    /// High-water mark of live heap bytes observed during the stage
+    /// (process-wide, so an upper bound on any single shard's peak).
+    /// 0 when no tracking allocator is installed. Nondeterministic.
+    pub peak_bytes: u64,
+    /// Allocator `realloc` calls observed during the stage. 0 when no
+    /// tracking allocator is installed. Nondeterministic.
+    pub reallocs: u64,
+    /// Structural per-worker [`SimScratch`](crate::SimScratch) arena
+    /// footprint in bytes — a pure function of node count and rail
+    /// width, identical for every shard and thread count.
+    pub arena_bytes: u64,
+    /// Forward-implication cone-size distribution (classification stage
+    /// only; empty elsewhere). Deterministic.
+    pub cone_hist: ConeHist,
+}
+
+impl MemMetrics {
+    /// The all-zero accounting record.
+    pub const ZERO: MemMetrics = MemMetrics {
+        peak_bytes: 0,
+        reallocs: 0,
+        arena_bytes: 0,
+        cone_hist: ConeHist {
+            buckets: [0; CONE_HIST_BUCKETS],
+        },
+    };
+
+    /// The scalar fields as `(name, value)` pairs in emission order —
+    /// the single source of truth for JSON. (`cone_hist` is emitted
+    /// separately as a bucket array.)
+    pub fn scalar_fields(&self) -> [(&'static str, u64); 3] {
+        [
+            ("peak_bytes", self.peak_bytes),
+            ("reallocs", self.reallocs),
+            ("arena_bytes", self.arena_bytes),
+        ]
+    }
+
+    /// Folds `other` into a total: peaks combine by maximum (peaks do
+    /// not add across sequential stages), the rest by sum.
+    pub fn accumulate(&mut self, other: &MemMetrics) {
+        self.peak_bytes = self.peak_bytes.max(other.peak_bytes);
+        self.reallocs += other.reallocs;
+        self.arena_bytes = self.arena_bytes.max(other.arena_bytes);
+        self.cone_hist.merge(&other.cone_hist);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2_spaced() {
+        let mut h = ConeHist::default();
+        for (size, bucket) in [
+            (0u64, 0usize),
+            (1, 1),
+            (2, 2),
+            (3, 2),
+            (4, 3),
+            (7, 3),
+            (8, 4),
+            (16_383, 14),
+            (16_384, 15),
+            (u64::MAX, 15),
+        ] {
+            h = ConeHist::default();
+            h.record(size);
+            assert_eq!(h.buckets()[bucket], 1, "size {size} → bucket {bucket}");
+            assert_eq!(h.total_cones(), 1);
+        }
+        let _ = h;
+    }
+
+    #[test]
+    fn merge_is_bucketwise_sum() {
+        let mut a = ConeHist::default();
+        a.record(1);
+        a.record(4);
+        let mut b = ConeHist::default();
+        b.record(5);
+        b.record(0);
+        a.merge(&b);
+        assert_eq!(a.buckets()[0], 1);
+        assert_eq!(a.buckets()[1], 1);
+        assert_eq!(a.buckets()[3], 2);
+        assert_eq!(a.total_cones(), 4);
+        assert!(!a.is_empty());
+        assert!(ConeHist::default().is_empty());
+    }
+
+    #[test]
+    fn accumulate_maxes_peaks_and_sums_the_rest() {
+        let mut total = MemMetrics::ZERO;
+        let mut h1 = ConeHist::default();
+        h1.record(3);
+        total.accumulate(&MemMetrics {
+            peak_bytes: 100,
+            reallocs: 2,
+            arena_bytes: 50,
+            cone_hist: h1,
+        });
+        total.accumulate(&MemMetrics {
+            peak_bytes: 80,
+            reallocs: 3,
+            arena_bytes: 60,
+            cone_hist: ConeHist::default(),
+        });
+        assert_eq!(total.peak_bytes, 100);
+        assert_eq!(total.reallocs, 5);
+        assert_eq!(total.arena_bytes, 60);
+        assert_eq!(total.cone_hist.total_cones(), 1);
+    }
+}

@@ -101,6 +101,30 @@ impl<W: Rail> SimScratch<W> {
         }
     }
 
+    /// The structural arena footprint in bytes for a circuit with
+    /// `num_nodes` nodes at rail width `W`: the node-indexed arrays
+    /// every worker allocates once ([`new`](Self::new)). A pure
+    /// function of node count and rail width — identical for every
+    /// shard and thread count — so it is the deterministic
+    /// `arena_bytes` quantity of
+    /// [`MemMetrics`](crate::MemMetrics). The word-sized work lists
+    /// (stack, cone orders, injection entries) grow with the data and
+    /// are covered by the allocator-observed `peak_bytes` instead.
+    pub fn footprint_bytes(num_nodes: usize) -> u64 {
+        use std::mem::size_of;
+        let per_node = size_of::<V3>()        // good_now
+            + size_of::<Pv<W>>()              // fval
+            + size_of::<u32>()                // cone_stamp
+            + 2 * size_of::<(u32, u32)>()     // stem_head + branch_head
+            + size_of::<u32>(); // event-queue stamp array
+        (num_nodes * per_node) as u64
+    }
+
+    /// [`footprint_bytes`](Self::footprint_bytes) of this arena.
+    pub fn arena_bytes(&self) -> u64 {
+        SimScratch::<W>::footprint_bytes(self.num_nodes)
+    }
+
     /// Starts a new fault word: bumps the epoch (invalidating cone marks
     /// and injection heads in O(1)), clears the entry and work lists
     /// (keeping capacity) and resets the event queue.

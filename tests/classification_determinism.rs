@@ -26,13 +26,19 @@ fn packed_classification_is_deterministic_and_cheaper() {
     let scalar_work = scalar.take_counters();
 
     let mut reference_work = None;
+    let mut reference_hist = None;
     for threads in [1, 2, 4] {
-        let (sharded, stats, work) = classify_faults_sharded(&design, &faults, threads);
+        let (sharded, stats, work, hist) = classify_faults_sharded(&design, &faults, threads);
         // Category vectors (and locations) byte-identical to serial.
         assert_eq!(sharded, serial, "threads = {threads}");
         assert_eq!(stats.items(), faults.len());
         let expect = *reference_work.get_or_insert(work);
         assert_eq!(work, expect, "counters must not depend on threads");
+        // The cone-size histogram covers every fault and is
+        // thread-invariant (bucket sums commute across shard merges).
+        assert_eq!(hist.total_cones(), faults.len() as u64);
+        let expect_hist = *reference_hist.get_or_insert(hist);
+        assert_eq!(hist, expect_hist, "cone hist must not depend on threads");
 
         // The packed engine does the same logical work as the scalar
         // engine (identical event and cone counts) ...
@@ -66,13 +72,15 @@ fn wide_classification_matches_every_narrower_oracle() {
     assert!(faults.len() > 512, "need several 256-fault words");
     assert!(!faults.len().is_multiple_of(256), "want a partial tail word");
 
-    let (w64, _, work64) = classify_faults_sharded_at(&design, &faults, 1, LaneWidth::W64);
+    let (w64, _, work64, hist64) = classify_faults_sharded_at(&design, &faults, 1, LaneWidth::W64);
     let mut reference_work = None;
     for threads in [1, 2, 4] {
-        let (w256, stats, work) =
+        let (w256, stats, work, hist256) =
             classify_faults_sharded_at(&design, &faults, threads, LaneWidth::W256);
         // Verdicts byte-identical across rail widths and thread counts.
         assert_eq!(w256, w64, "threads = {threads}");
+        // Lane-exactness makes the cone distribution width-invariant.
+        assert_eq!(hist256, hist64, "threads = {threads}");
         assert_eq!(stats.items(), faults.len());
         let expect = *reference_work.get_or_insert(work);
         assert_eq!(work, expect, "counters must not depend on threads");

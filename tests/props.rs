@@ -4,8 +4,8 @@ use proptest::prelude::*;
 
 use fscan_fault::{all_faults, collapse, Fault};
 use fscan_netlist::{
-    generate, parse_bench, write_bench, CompiledTopology, FanoutTable, GeneratorConfig,
-    Levelization,
+    generate, parse_bench, write_bench, BenchReader, CompiledTopology, FanoutTable,
+    GeneratorConfig, Levelization, ParseBenchError,
 };
 use fscan_scan::{insert_functional_scan, insert_mux_scan, TpiConfig};
 use fscan_sim::kernel::R256;
@@ -23,6 +23,19 @@ fn arb_circuit() -> impl Strategy<Value = fscan_netlist::Circuit> {
                 .dffs(dffs),
         )
     })
+}
+
+/// Streams `text` into a [`BenchReader`] split at the given byte
+/// positions — the chunked counterpart of batch [`parse_bench`].
+fn stream_chunked(text: &str, cuts: &[usize]) -> Result<fscan_netlist::Circuit, ParseBenchError> {
+    let mut reader = BenchReader::new("p");
+    let mut prev = 0;
+    for &cut in cuts {
+        reader.feed(&text[prev..cut])?;
+        prev = cut;
+    }
+    reader.feed(&text[prev..])?;
+    reader.finish()
 }
 
 fn arb_vectors(inputs: usize, cycles: usize) -> impl Strategy<Value = Vec<Vec<V3>>> {
@@ -52,6 +65,52 @@ proptest! {
         let t1 = SeqSim::new(&circuit).run(&vectors, &init, None);
         let t2 = SeqSim::new(&back).run(&vectors, &init, None);
         prop_assert_eq!(t1.outputs, t2.outputs);
+    }
+
+    /// Differential oracle for streaming ingestion: feeding `.bench`
+    /// text through [`BenchReader`] in arbitrary chunks must be
+    /// indistinguishable from batch [`parse_bench`] — the same circuit
+    /// on success and the same typed error (line, byte offset, message)
+    /// on failure — wherever the chunk boundaries fall, including
+    /// mid-token splits and corrupted inputs.
+    #[test]
+    fn streaming_reader_is_equivalent_to_batch_parse(
+        circuit in arb_circuit(),
+        permille in proptest::collection::vec(0usize..1000, 0..8),
+        which in 0usize..1000,
+        kind in 0usize..4,
+    ) {
+        let mut text = write_bench(&circuit);
+        // Three corruption kinds (the fourth arm leaves the text valid):
+        // unknown gate keyword, truncated declaration, and a definition
+        // replaced so some signal ends up undefined.
+        if kind < 3 {
+            let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+            let at = which % lines.len();
+            lines[at] = match kind {
+                0 => "bad = FROB(a, b)".to_string(),
+                1 => "INPUT(".to_string(),
+                _ => "bad = AND(never_defined_a, never_defined_b)".to_string(),
+            };
+            text = lines.join("\n");
+            text.push('\n');
+        }
+        let mut cuts: Vec<usize> = permille.iter().map(|p| p * text.len() / 1000).collect();
+        cuts.sort_unstable();
+        let batch = parse_bench(&text, "p");
+        let streamed = stream_chunked(&text, &cuts);
+        match (batch, streamed) {
+            (Ok(b), Ok(s)) => {
+                prop_assert_eq!(b.num_nodes(), s.num_nodes());
+                prop_assert_eq!(write_bench(&b), write_bench(&s));
+            }
+            (Err(b), Err(s)) => {
+                prop_assert_eq!(b.line(), s.line(), "error line diverges");
+                prop_assert_eq!(b.offset(), s.offset(), "error offset diverges");
+                prop_assert_eq!(b, s);
+            }
+            (b, s) => prop_assert!(false, "batch {:?} but streamed {:?}", b, s),
+        }
     }
 
     /// The parallel fault simulator agrees with the serial reference on
