@@ -970,8 +970,8 @@ mod tests {
         for &(f, v) in &podem.fixed {
             values[f.index()] = D5::known(v);
         }
-        for i in 0..n {
-            let Some(stuck) = s.stem_inj[i] else { continue };
+        for (i, inj) in s.stem_inj.iter().take(n).enumerate() {
+            let Some(stuck) = *inj else { continue };
             let kind = podem.circuit.node(NodeId::from_index(i)).kind();
             if !kind.is_gate() && !matches!(kind, GateKind::Const0 | GateKind::Const1) {
                 let v = values[i];

@@ -5,7 +5,8 @@
 //! ```text
 //! reproduce [table1|table2|table3|figure5|timing|all] [--scale F] [--only NAME] [--threads N] [--lanes 64|256] [--json [PATH]]
 //! reproduce stress [--gates N] [--fault-sample N] [--chains N] [--seed S] [--threads N] [--lanes 64|256] [--json [PATH]]
-//! reproduce history [PATH]
+//! reproduce eco [--scale F] [--only NAME] [--threads N] [--lanes 64|256] [--json [PATH]]
+//! reproduce history [PATH] [--limit N]
 //! reproduce check-baseline BASELINE.json CURRENT.json [--tolerance PCT]
 //! ```
 //!
@@ -33,9 +34,18 @@
 //! `bench_json` snapshot (default `BENCH_stress.json`) that
 //! `check-baseline` can gate on.
 //!
+//! `eco` runs the committed incremental-ECO scenario: a cold base run
+//! of one suite circuit, a spare-cell island appended as a
+//! [`fscan_netlist::NetlistDelta`], and an incremental rerun that
+//! carries every prior verdict forward. It prints the reuse split
+//! (`verdicts_reused` / `cones_invalidated`) and the rerun's
+//! `gate_evals` as a percentage of the cold run's; `--json` snapshots
+//! the rerun for the `check-baseline` ECO gates.
+//!
 //! `history` renders `BENCH_history.jsonl` (or `PATH`) as the per-PR
 //! trajectory table: one row per appended record, headline counters
-//! summed across that record's circuits.
+//! summed across that record's circuits; `--limit N` keeps only the
+//! newest `N` rows.
 //!
 //! `check-baseline` compares the per-circuit total `gate_evals` of a
 //! fresh snapshot against a committed baseline and fails if any circuit
@@ -51,8 +61,14 @@
 //! [--min-classify-speedup R]` requires the *classify-stage*
 //! `gate_evals` to sit at least `R`× (default 1.5×) below the committed
 //! 64-lane reference snapshot and its `implication_words` at least 2×
-//! below — the wide-rail win in work items, not wall-clock. `--history
-//! PATH` appends a one-line JSON record (git revision, rail width,
+//! below — the wide-rail win in work items, not wall-clock;
+//! `--min-verdicts-reused N` requires the snapshot's summed
+//! `verdicts_reused` to reach `N` (an ECO snapshot that stopped
+//! carrying verdicts forward fails even if it stayed cheap);
+//! `--eco-reference REF.json [--min-eco-speedup R]` requires every
+//! circuit's *total* `gate_evals` to sit at least `R`× (default 4×,
+//! i.e. ≤ 25% of cold) below the committed cold-run reference.
+//! `--history PATH` appends a one-line JSON record (git revision, rail width,
 //! every circuit's total counters) to `PATH` after a passing check,
 //! building the committed per-PR counter trace `BENCH_history.jsonl`.
 //! When both snapshots carry `total_mem` blocks, the memory gates ride
@@ -453,17 +469,153 @@ fn stress(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// `history [PATH]`: renders the per-PR counter trajectory recorded in
-/// `BENCH_history.jsonl`.
+/// `eco [--scale F] [--only NAME] [--threads N] [--lanes 64|256]
+/// [--json [PATH]]`: the committed incremental-ECO scenario — a
+/// spare-cell island (a constant feeding a NOT gate, driving nothing)
+/// appended to the suite circuit, rerun against the cold base run's
+/// carry. The island's cone touches no prior fault, so every prior
+/// verdict carries forward and the rerun's `gate_evals` collapse to the
+/// new faults alone. With `--json` the rerun's counters are snapshotted
+/// (default `BENCH_eco.json`) so `check-baseline` can gate
+/// `--min-verdicts-reused` and `--eco-reference` on the committed copy.
+fn eco(args: &[String]) -> ExitCode {
+    let usage = "usage: reproduce eco [--scale F] [--only NAME] [--threads N] [--lanes 64|256] [--json [PATH]]";
+    let mut scale = 0.05f64;
+    let mut only = "s9234".to_string();
+    let mut threads = 1usize;
+    let mut lanes = LaneWidth::default();
+    let mut json: Option<String> = None;
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        let r = match arg.as_str() {
+            "--scale" => it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|v| *v > 0.0 && *v <= 1.0)
+                .ok_or_else(|| "--scale needs a value in (0, 1]".to_string())
+                .map(|v| scale = v),
+            "--only" => it
+                .next()
+                .ok_or_else(|| "--only needs a circuit name".to_string())
+                .map(|v| only = v.clone()),
+            "--threads" => it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| "--threads needs an integer value".to_string())
+                .map(|v| threads = v),
+            "--lanes" => it
+                .next()
+                .ok_or_else(|| "--lanes needs a value (64 or 256)".to_string())
+                .and_then(|v| v.parse::<LaneWidth>().map_err(|e| e.to_string()))
+                .map(|v| lanes = v),
+            "--json" => {
+                json = Some(match it.peek() {
+                    Some(next) if !next.starts_with("--") => it.next().unwrap().clone(),
+                    _ => "BENCH_eco.json".to_string(),
+                });
+                Ok(())
+            }
+            other => Err(format!("unknown argument '{other}'\n{usage}")),
+        };
+        if let Err(e) = r {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let Some(circuit) = PAPER_SUITE.iter().find(|c| c.name == only) else {
+        eprintln!("error: no suite circuit named '{only}'");
+        return ExitCode::FAILURE;
+    };
+    let config = PipelineConfig::builder()
+        .threads(threads)
+        .lane_width(lanes)
+        .build()
+        .expect("default budgets are valid");
+    eprintln!(
+        "eco scenario on {only} (scale {scale}, threads {}, {lanes}): cold base run...",
+        if threads == 0 { "auto".to_string() } else { threads.to_string() }
+    );
+    let design = std::sync::Arc::new(fscan_bench::build_design(circuit, scale));
+    let session = fscan::PipelineSession::shared(std::sync::Arc::clone(&design), config);
+    let base = session.clone().run();
+    let delta = fscan_netlist::NetlistDelta {
+        base_nodes: design.circuit().num_nodes(),
+        added: vec![
+            fscan_netlist::DeltaNode {
+                name: "eco_spare_c".into(),
+                kind: fscan_netlist::GateKind::Const0,
+                fanin: vec![],
+            },
+            fscan_netlist::DeltaNode {
+                name: "eco_spare_g".into(),
+                kind: fscan_netlist::GateKind::Not,
+                fanin: vec![fscan_netlist::DeltaRef::Added(0)],
+            },
+        ],
+        redriven: vec![],
+        removed: vec![],
+        outputs: vec![],
+    };
+    eprintln!("applying spare-cell delta and rerunning incrementally...");
+    let rerun = match session.rerun(&base, &delta) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: rerun failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cold = base.total_counters();
+    let inc = rerun.total_counters();
+    println!(
+        "{only}: verdicts_reused {} cones_invalidated {} trace_cycles_reused {}",
+        inc.verdicts_reused, inc.cones_invalidated, inc.trace_cycles_reused
+    );
+    println!(
+        "{only}: eco gate_evals {} vs cold {} ({:.1}% of cold)",
+        inc.gate_evals,
+        cold.gate_evals,
+        100.0 * inc.gate_evals as f64 / cold.gate_evals.max(1) as f64
+    );
+    if let Some(path) = &json {
+        let snapshot = bench_json(&[rerun], scale, threads, lanes.lanes() as usize);
+        if let Err(e) = std::fs::write(path, &snapshot) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// `history [PATH] [--limit N]`: renders the per-PR counter trajectory
+/// recorded in `BENCH_history.jsonl`; `--limit` keeps only the newest
+/// `N` records.
 fn history_view(args: &[String]) -> ExitCode {
-    let path = args
-        .first()
-        .map(String::as_str)
-        .unwrap_or("BENCH_history.jsonl");
+    let mut path: Option<String> = None;
+    let mut limit: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--limit" => {
+                let Some(v) = it.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("error: --limit needs an integer value");
+                    return ExitCode::FAILURE;
+                };
+                limit = Some(v);
+            }
+            other => path = Some(other.to_string()),
+        }
+    }
+    let path = path.as_deref().unwrap_or("BENCH_history.jsonl");
     let table = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {path}: {e}"))
         .and_then(|text| fscan_bench::parse_history(&text))
-        .map(|points| fscan_bench::history_table(&points));
+        .map(|points| {
+            let tail = limit
+                .map(|n| &points[points.len().saturating_sub(n)..])
+                .unwrap_or(&points);
+            fscan_bench::history_table(tail)
+        });
     match table {
         Ok(table) => {
             print!("{table}");
@@ -479,13 +631,15 @@ fn history_view(args: &[String]) -> ExitCode {
 /// `check-baseline BASELINE CURRENT [--tolerance PCT]
 /// [--min-faults-dropped N] [--comb-reference REF.json]
 /// [--min-comb-speedup R] [--wide-reference REF.json]
-/// [--min-classify-speedup R] [--history PATH]`: compares the
-/// per-circuit total `gate_evals` of two `bench_json` snapshots, plus
-/// the optional fault-dropping, comb-stage and wide-classification
-/// speedup gates; on success, `--history` appends a one-line counter
-/// record to the per-PR trace file.
+/// [--min-classify-speedup R] [--min-verdicts-reused N]
+/// [--eco-reference REF.json] [--min-eco-speedup R] [--history PATH]`:
+/// compares the per-circuit total `gate_evals` of two `bench_json`
+/// snapshots, plus the optional fault-dropping, comb-stage,
+/// wide-classification and incremental-ECO gates; on success,
+/// `--history` appends a one-line counter record to the per-PR trace
+/// file.
 fn check_baseline(args: &[String]) -> ExitCode {
-    let usage = "usage: reproduce check-baseline BASELINE.json CURRENT.json [--tolerance PCT] [--min-faults-dropped N] [--comb-reference REF.json] [--min-comb-speedup R] [--wide-reference REF.json] [--min-classify-speedup R] [--max-peak-factor R] [--history PATH]";
+    let usage = "usage: reproduce check-baseline BASELINE.json CURRENT.json [--tolerance PCT] [--min-faults-dropped N] [--comb-reference REF.json] [--min-comb-speedup R] [--wide-reference REF.json] [--min-classify-speedup R] [--max-peak-factor R] [--min-verdicts-reused N] [--eco-reference REF.json] [--min-eco-speedup R] [--history PATH]";
     let mut files = Vec::new();
     let mut tolerance = 5.0f64;
     let mut max_peak_factor = 2.0f64;
@@ -494,6 +648,9 @@ fn check_baseline(args: &[String]) -> ExitCode {
     let mut min_comb_speedup = 2.0f64;
     let mut wide_reference: Option<String> = None;
     let mut min_classify_speedup = 1.5f64;
+    let mut min_verdicts_reused: Option<u64> = None;
+    let mut eco_reference: Option<String> = None;
+    let mut min_eco_speedup = 4.0f64;
     let mut history: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -546,6 +703,27 @@ fn check_baseline(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 max_peak_factor = v;
+            }
+            "--min-verdicts-reused" => {
+                let Some(v) = it.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("error: --min-verdicts-reused needs an integer value");
+                    return ExitCode::FAILURE;
+                };
+                min_verdicts_reused = Some(v);
+            }
+            "--eco-reference" => {
+                let Some(v) = it.next() else {
+                    eprintln!("error: --eco-reference needs a snapshot path");
+                    return ExitCode::FAILURE;
+                };
+                eco_reference = Some(v.clone());
+            }
+            "--min-eco-speedup" => {
+                let Some(v) = it.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("error: --min-eco-speedup needs a numeric value");
+                    return ExitCode::FAILURE;
+                };
+                min_eco_speedup = v;
             }
             "--history" => {
                 let Some(v) = it.next() else {
@@ -618,6 +796,47 @@ fn check_baseline(args: &[String]) -> ExitCode {
         println!(
             "memory gates: arena_bytes/cone_total exact, peak_bytes <= {max_peak_factor}x baseline"
         );
+    }
+    // Verdict-reuse gate: an ECO snapshot must actually carry verdicts
+    // forward, not merely recompute cheaply.
+    if let Some(min) = min_verdicts_reused {
+        let reused = fscan_bench::counter_totals(&cur_all, "verdicts_reused");
+        let total: u64 = reused.iter().map(|(_, v)| *v).sum();
+        println!("verdicts_reused total {total} (required >= {min})");
+        failures.extend(fscan_bench::check_min_total(
+            &reused,
+            "verdicts_reused",
+            min,
+        ));
+    }
+    // ECO gate: the incremental rerun's *total* gate_evals must sit at
+    // least `R`x below the committed cold-run reference of the same
+    // circuit — the ISSUE's "eco work <= 25% of cold" bar at the
+    // default 4x.
+    if let Some(ref_path) = &eco_reference {
+        match read_counters(ref_path) {
+            Ok(reference) => {
+                let ref_evals = fscan_bench::counter_totals(&reference, "gate_evals");
+                for (name, value) in &cur {
+                    if let Some((_, r)) = ref_evals.iter().find(|(n, _)| n == name) {
+                        println!(
+                            "{name}: eco gate_evals {value} vs cold reference {r} ({:.2}x)",
+                            *r as f64 / (*value).max(1) as f64
+                        );
+                    }
+                }
+                failures.extend(fscan_bench::check_improvement(
+                    &ref_evals,
+                    &cur,
+                    "eco gate_evals",
+                    min_eco_speedup,
+                ));
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     // Fault-dropping gate: the fresh run must actually retire targets
     // through globally simulated vectors, not just stay cheap.
@@ -741,6 +960,7 @@ fn main() -> ExitCode {
     match argv.first().map(String::as_str) {
         Some("check-baseline") => return check_baseline(&argv[1..]),
         Some("stress") => return stress(&argv[1..]),
+        Some("eco") => return eco(&argv[1..]),
         Some("history") => return history_view(&argv[1..]),
         _ => {}
     }
@@ -749,7 +969,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: reproduce [table1|table2|table3|figure5|timing|all] [--scale F] [--only NAME] [--threads N] [--lanes 64|256] [--json [PATH]]\n       reproduce stress [--gates N] [--fault-sample N] [--chains N] [--seed S] [--threads N] [--lanes 64|256] [--json [PATH]]\n       reproduce history [PATH]\n       reproduce check-baseline BASELINE.json CURRENT.json [--tolerance PCT]"
+                "usage: reproduce [table1|table2|table3|figure5|timing|all] [--scale F] [--only NAME] [--threads N] [--lanes 64|256] [--json [PATH]]\n       reproduce stress [--gates N] [--fault-sample N] [--chains N] [--seed S] [--threads N] [--lanes 64|256] [--json [PATH]]\n       reproduce eco [--scale F] [--only NAME] [--threads N] [--lanes 64|256] [--json [PATH]]\n       reproduce history [PATH] [--limit N]\n       reproduce check-baseline BASELINE.json CURRENT.json [--tolerance PCT]"
             );
             return ExitCode::FAILURE;
         }

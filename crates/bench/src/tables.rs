@@ -275,4 +275,58 @@ mod tests {
         let fig = figure5(&report);
         assert_eq!(fig.len(), report.comb.detection_curve.len());
     }
+
+    #[test]
+    fn history_table_renders_mixed_era_records_and_tails() {
+        use crate::baseline::{history_record, parse_history};
+
+        let circuits = |counters: &[(&str, u64)]| {
+            vec![(
+                "s9234".to_string(),
+                counters
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), *v))
+                    .collect::<Vec<_>>(),
+            )]
+        };
+        // Three eras of the committed trace: the original gate_evals-only
+        // records, the fault-dropping era, and a modern record carrying
+        // the ECO reuse counters. One file holds all of them.
+        let era1 = history_record("aaaaaaaaaaaa", 64, &circuits(&[("gate_evals", 100)]));
+        let era2 = history_record(
+            "bbbbbbbbbbbb",
+            256,
+            &circuits(&[("gate_evals", 80), ("faults_dropped", 5)]),
+        );
+        let era3 = history_record(
+            "cccccccccccc",
+            256,
+            &circuits(&[
+                ("gate_evals", 20),
+                ("faults_dropped", 6),
+                ("verdicts_reused", 400),
+                ("cones_invalidated", 7),
+                ("trace_cycles_reused", 9000),
+            ]),
+        );
+        let file = format!("{era1}\n{era2}\n{era3}\n");
+        let points = parse_history(&file).unwrap();
+        assert_eq!(points.len(), 3);
+        // Counters a record predates read as zero, never as an error.
+        assert_eq!(points[0].total("verdicts_reused"), 0);
+        assert_eq!(points[0].total("faults_dropped"), 0);
+        assert_eq!(points[2].total("verdicts_reused"), 400);
+        assert_eq!(points[2].total("trace_cycles_reused"), 9000);
+        let table = history_table(&points);
+        assert_eq!(table.lines().count(), 4, "header + one row per record");
+        for rev in ["aaaaaaaaaaaa", "bbbbbbbbbbbb", "cccccccccccc"] {
+            assert!(table.contains(rev), "{rev} missing from:\n{table}");
+        }
+        // `reproduce history --limit N` shows the newest N records: the
+        // same renderer over the tail slice.
+        let tail = history_table(&points[points.len() - 2..]);
+        assert_eq!(tail.lines().count(), 3);
+        assert!(!tail.contains("aaaaaaaaaaaa"));
+        assert!(tail.contains("cccccccccccc"));
+    }
 }

@@ -700,6 +700,9 @@ pub fn counters_from_value(value: &Value) -> Result<WorkCounters, JsonError> {
             "faults_dropped" => out.faults_dropped = v,
             "vectors_compacted" => out.vectors_compacted = v,
             "podem_shards" => out.podem_shards = v,
+            "cones_invalidated" => out.cones_invalidated = v,
+            "verdicts_reused" => out.verdicts_reused = v,
+            "trace_cycles_reused" => out.trace_cycles_reused = v,
             other => return Err(JsonError::new(format!("counters: unknown key \"{other}\""))),
         }
     }
@@ -1286,6 +1289,9 @@ pub fn report_from_value(value: &Value) -> Result<PipelineReport, JsonError> {
         rescued_easy,
         undetected_faults,
         program,
+        // The ECO carry is process-local (good traces, classified fault
+        // lists); decoded reports cannot seed an incremental rerun.
+        carry: None,
     })
 }
 
@@ -1398,6 +1404,9 @@ mod tests {
         c.faults_dropped = 14;
         c.vectors_compacted = 15;
         c.podem_shards = 16;
+        c.cones_invalidated = 17;
+        c.verdicts_reused = 18;
+        c.trace_cycles_reused = 19;
         let v = counters_to_value(&c);
         assert_eq!(counters_from_value(&v).unwrap(), c);
         // Subset decodes (old snapshots), unknown keys are rejected.

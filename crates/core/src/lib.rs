@@ -61,6 +61,7 @@ mod classify;
 mod comb_phase;
 mod compact;
 mod diagnosis;
+mod eco;
 mod error;
 pub mod json;
 mod pipeline;
@@ -83,6 +84,7 @@ pub use compact::{
     CompactionError, CompactionOutcome, CompactionReport,
 };
 pub use diagnosis::{diagnose_chain, DiagnosisCandidate};
+pub use eco::EcoCarry;
 pub use error::Error;
 pub use pipeline::{
     AfterAlternating, AfterComb, AfterCompact, Classified, ConfigError, PipelineConfig,

@@ -34,9 +34,12 @@ use fscan_atpg::{PodemConfig, SeqAtpgConfig};
 use fscan_fault::{all_faults_with, collapse_with, Fault};
 use fscan_scan::ScanDesign;
 use fscan_sim::kernel::R256;
-use fscan_sim::{LaneWidth, MemMetrics, SimScratch, StageMetrics, WorkCounters};
+use fscan_sim::{
+    CombEvaluator, GoodTrace, LaneWidth, MemMetrics, SimScratch, StageMetrics, WorkCounters, V3,
+};
 
 use crate::alternating::{AlternatingPhase, AlternatingReport};
+use crate::eco::{alt_sim_with_trace, CarryParts, EcoCarry};
 use crate::classify::{
     classify_faults_sharded_at, Category, ChainLocation, ClassifiedFault, ClassifySummary,
 };
@@ -48,7 +51,7 @@ use crate::seq_phase::{DistParams, SeqPhase, SeqPhaseReport};
 /// Per-worker [`SimScratch`] arena footprint for a circuit with
 /// `num_nodes` nodes at rail width `width` — the deterministic
 /// `arena_bytes` each stage reports.
-fn arena_footprint(num_nodes: usize, width: LaneWidth) -> u64 {
+pub(crate) fn arena_footprint(num_nodes: usize, width: LaneWidth) -> u64 {
     match width {
         LaneWidth::W64 => SimScratch::<u64>::footprint_bytes(num_nodes),
         LaneWidth::W256 => SimScratch::<R256>::footprint_bytes(num_nodes),
@@ -58,7 +61,11 @@ fn arena_footprint(num_nodes: usize, width: LaneWidth) -> u64 {
 /// Closes a stage's allocator window into its [`StageMetrics`]: the
 /// allocator-observed peak and realloc count (0 without a tracking
 /// allocator installed) plus the deterministic arena footprint.
-fn fill_mem(metrics: &mut StageMetrics, mark: fscan_alloctrack::MemMark, arena_bytes: u64) {
+pub(crate) fn fill_mem(
+    metrics: &mut StageMetrics,
+    mark: fscan_alloctrack::MemMark,
+    arena_bytes: u64,
+) {
     metrics.mem.peak_bytes = mark.peak();
     metrics.mem.reallocs = mark.reallocs();
     metrics.mem.arena_bytes = arena_bytes;
@@ -290,6 +297,11 @@ pub struct PipelineReport {
     /// The emitted test program: the alternating sequence plus every
     /// confirmed step-2 window and step-3 sequence.
     pub program: TestProgram,
+    /// Carry-over artifacts for [`PipelineSession::rerun`]: present on
+    /// every freshly computed report so a later ECO delta can reuse the
+    /// verdicts this run produced. `None` on reports decoded from JSON —
+    /// the carry is process-local and never serialized.
+    pub carry: Option<Arc<EcoCarry>>,
 }
 
 impl PipelineReport {
@@ -429,9 +441,9 @@ impl fmt::Display for PipelineReport {
 /// ```
 #[derive(Clone, Debug)]
 pub struct PipelineSession {
-    design: Arc<ScanDesign>,
-    config: PipelineConfig,
-    faults: Vec<Fault>,
+    pub(crate) design: Arc<ScanDesign>,
+    pub(crate) config: PipelineConfig,
+    pub(crate) faults: Vec<Fault>,
 }
 
 impl PipelineSession {
@@ -530,6 +542,11 @@ impl PipelineSession {
         }
     }
 
+    /// This session's configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
     /// Runs all five stages back to back and returns the final report —
     /// the one-call form of
     /// `self.classify().alternating().comb().compact().seq()` for
@@ -590,8 +607,24 @@ impl Classified {
             .map(|c| c.fault)
             .collect();
         let phase = AlternatingPhase::new(&self.design);
-        let (detections, shards, cpu, counters) =
-            phase.run_sharded_at(&affected, self.config.threads, self.config.lane_width);
+        // The good trace is computed explicitly (rather than inside the
+        // phase's sharded runner) so it can be carried into the report's
+        // [`EcoCarry`] for later [`PipelineSession::rerun`] replays; the
+        // counters are identical — the trace's own work is booked once,
+        // on top of the per-fault shard work.
+        let start = Instant::now();
+        let init = vec![V3::X; self.design.circuit().dffs().len()];
+        let eval = CombEvaluator::with_topology(self.design.topology());
+        let trace = GoodTrace::compute(&eval, phase.vectors(), &init);
+        let (detections, shards, mut counters) = alt_sim_with_trace(
+            &self.design,
+            self.config.lane_width,
+            &affected,
+            &trace,
+            self.config.threads,
+        );
+        counters += trace.counters();
+        let cpu = start.elapsed();
         let detected: HashSet<Fault> = affected
             .iter()
             .zip(detections.iter())
@@ -615,6 +648,17 @@ impl Classified {
             mark,
             arena_footprint(nodes, self.config.lane_width),
         );
+        let carry_parts = CarryParts {
+            classified: self.classified.clone(),
+            alt_vectors: phase.vectors().to_vec(),
+            alt_detections: affected
+                .iter()
+                .copied()
+                .zip(detections.iter().copied())
+                .collect(),
+            alt_trace: Some(trace),
+            ..CarryParts::default()
+        };
         let vectors = phase.into_vectors();
         AfterAlternating {
             design: self.design,
@@ -626,6 +670,7 @@ impl Classified {
             vectors,
             detected,
             missed_easy,
+            carry_parts,
         }
     }
 }
@@ -644,6 +689,7 @@ pub struct AfterAlternating {
     detected: HashSet<Fault>,
     /// Category-1 faults the sequence missed (forwarded to step 3).
     pub missed_easy: Vec<Fault>,
+    carry_parts: CarryParts,
 }
 
 impl AfterAlternating {
@@ -681,6 +727,9 @@ impl AfterAlternating {
             mark,
             arena_footprint(nodes, self.config.lane_width),
         );
+        let mut carry_parts = self.carry_parts;
+        carry_parts.hard = hard;
+        carry_parts.comb_outcome = Some(outcome.clone());
         AfterComb {
             design: self.design,
             config: self.config,
@@ -692,6 +741,7 @@ impl AfterAlternating {
             missed_easy: self.missed_easy,
             remaining: outcome.remaining.clone(),
             outcome,
+            carry_parts,
         }
     }
 }
@@ -713,6 +763,7 @@ pub struct AfterComb {
     pub remaining: Vec<Fault>,
     /// Category-1 faults step 1 missed (forwarded to step 3).
     pub missed_easy: Vec<Fault>,
+    carry_parts: CarryParts,
 }
 
 impl AfterComb {
@@ -759,6 +810,10 @@ impl AfterComb {
             mark,
             arena_footprint(nodes, self.config.lane_width),
         );
+        let mut carry_parts = self.carry_parts;
+        carry_parts.affected = affected;
+        carry_parts.compaction = Some(compacted.report.clone());
+        carry_parts.compacted_program = Some(compacted.program.clone());
         AfterCompact {
             design: self.design,
             config: self.config,
@@ -771,6 +826,7 @@ impl AfterComb {
             program: compacted.program,
             remaining: self.remaining,
             missed_easy: self.missed_easy,
+            carry_parts,
         }
     }
 
@@ -798,6 +854,7 @@ pub struct AfterCompact {
     pub remaining: Vec<Fault>,
     /// Category-1 faults step 1 missed (forwarded to step 3).
     pub missed_easy: Vec<Fault>,
+    carry_parts: CarryParts,
 }
 
 impl AfterCompact {
@@ -850,6 +907,9 @@ impl AfterCompact {
             mark,
             arena_footprint(nodes, LaneWidth::W64),
         );
+        let mut carry_parts = self.carry_parts;
+        carry_parts.seq_targets = targets;
+        carry_parts.seq_outcome = Some(seq_outcome.clone());
 
         let seq_detected: HashSet<Fault> = seq_outcome.detected.iter().copied().collect();
         let rescued_easy = self
@@ -873,6 +933,7 @@ impl AfterCompact {
             rescued_easy,
             undetected_faults: seq_outcome.remaining,
             program,
+            carry: carry_parts.into_carry(&self.config),
         }
     }
 }

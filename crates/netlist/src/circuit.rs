@@ -219,6 +219,50 @@ impl Circuit {
         self.outputs.push(node);
     }
 
+    /// Re-drives an existing combinational gate in place: replaces its
+    /// kind and entire fanin list while keeping its id (and therefore
+    /// every reader) stable. The workhorse of ECO edit scripts
+    /// ([`NetlistDelta`](crate::NetlistDelta)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is not a combinational gate kind, if the fanin
+    /// count violates the kind's arity, or if `node` is currently an
+    /// input or flip-flop (drivers of those are rewired with
+    /// [`Circuit::set_dff_input`], not re-driven).
+    pub fn redrive(&mut self, node: NodeId, kind: GateKind, fanin: Vec<NodeId>) {
+        assert!(kind.is_gate(), "redrive requires a combinational kind");
+        if let Some(n) = kind.fixed_arity() {
+            assert_eq!(fanin.len(), n, "{kind} requires exactly {n} fanins");
+        } else {
+            assert!(!fanin.is_empty(), "{kind} requires at least one fanin");
+        }
+        let n = &mut self.nodes[node.index()];
+        assert!(
+            n.kind.is_gate() || matches!(n.kind, GateKind::Const0 | GateKind::Const1),
+            "redrive target must be a gate or constant, not {}",
+            n.kind
+        );
+        n.kind = kind;
+        n.fanin = fanin;
+    }
+
+    /// Tombstones a node: turns it into a renamed-as-removed `Const0`
+    /// with no fanin and drops it from the input/flip-flop/output lists.
+    /// Ids of every other node stay stable — the property incremental
+    /// topology patching relies on. The caller is responsible for first
+    /// rewiring any reader of `node` (a tombstoned node must be dead);
+    /// [`Circuit::validate`] accepts the tombstone itself.
+    pub fn tombstone(&mut self, node: NodeId) {
+        let n = &mut self.nodes[node.index()];
+        n.kind = GateKind::Const0;
+        n.fanin.clear();
+        n.name = Some(format!("__removed_{}", node.index()));
+        self.inputs.retain(|&i| i != node);
+        self.dffs.retain(|&i| i != node);
+        self.outputs.retain(|&o| o != node);
+    }
+
     /// Replaces pin `pin` of node `node` with `new_src`.
     ///
     /// # Errors

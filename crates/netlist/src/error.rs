@@ -37,6 +37,30 @@ pub enum NetlistError {
     },
     /// A cycle exists through combinational gates only.
     CombinationalCycle(NodeId),
+    /// A circuit diff needs node names as keys but a name is missing or
+    /// used twice.
+    AmbiguousName {
+        /// The offending node.
+        node: NodeId,
+        /// The duplicate name (or `<unnamed>`).
+        name: String,
+    },
+    /// A delta expresses an edit the id-stable script format cannot
+    /// represent (role change, live removal, malformed flip-flop).
+    UnsupportedEdit {
+        /// The offending node.
+        node: NodeId,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// A delta was applied to a circuit with a different node count than
+    /// the base it was written against.
+    DeltaBaseMismatch {
+        /// Node count the delta expects.
+        expected: usize,
+        /// Node count of the circuit it was applied to.
+        found: usize,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -54,6 +78,18 @@ impl fmt::Display for NetlistError {
             }
             NetlistError::CombinationalCycle(id) => {
                 write!(f, "combinational cycle through node {id}")
+            }
+            NetlistError::AmbiguousName { node, name } => {
+                write!(f, "node {node} has missing or duplicate name `{name}`")
+            }
+            NetlistError::UnsupportedEdit { node, reason } => {
+                write!(f, "unsupported edit at node {node}: {reason}")
+            }
+            NetlistError::DeltaBaseMismatch { expected, found } => {
+                write!(
+                    f,
+                    "delta was written against a {expected}-node base but applied to {found} nodes"
+                )
             }
         }
     }

@@ -28,6 +28,7 @@ use std::io::BufRead;
 use crate::bench::{kind_from_keyword, ParseBenchError};
 use crate::circuit::{Circuit, NodeId};
 use crate::gate::GateKind;
+use crate::hash::Fnv1a64;
 
 /// Source position of a `.bench` line: 1-based line number plus the byte
 /// offset of the line's first byte in the overall input stream.
@@ -302,6 +303,8 @@ pub struct BenchReader {
     line_start: u64,
     /// Total bytes fed so far.
     total: u64,
+    /// Running FNV-1a hash of every byte fed so far.
+    hasher: Fnv1a64,
 }
 
 impl BenchReader {
@@ -313,12 +316,22 @@ impl BenchReader {
             line: 1,
             line_start: 0,
             total: 0,
+            hasher: Fnv1a64::new(),
         }
+    }
+
+    /// The [`content_hash64`](crate::content_hash64) of every byte fed
+    /// so far, computed incrementally while streaming — after the last
+    /// chunk this equals `content_hash64` of the whole input, without a
+    /// second pass over a buffered copy.
+    pub fn content_hash64(&self) -> u64 {
+        self.hasher.finish()
     }
 
     /// Feeds the next chunk of text. Chunks may split lines and tokens
     /// arbitrarily.
     pub fn feed(&mut self, chunk: &str) -> Result<(), ParseBenchError> {
+        self.hasher.write(chunk.as_bytes());
         let mut rest = chunk;
         while let Some(nl) = rest.find('\n') {
             let head = &rest[..nl];
@@ -503,6 +516,17 @@ G17 = NOT(G11)
         let mut r = BenchReader::new("s27");
         r.read_from(S27_LIKE.as_bytes()).unwrap();
         assert_same_circuit(&whole, &r.finish().unwrap());
+    }
+
+    #[test]
+    fn streaming_hash_matches_one_shot_at_every_split() {
+        let whole = crate::hash::content_hash64(S27_LIKE.as_bytes());
+        for split in [0, 1, 7, S27_LIKE.len() / 2, S27_LIKE.len()] {
+            let mut r = BenchReader::new("s27");
+            r.feed(&S27_LIKE[..split]).unwrap();
+            r.feed(&S27_LIKE[split..]).unwrap();
+            assert_eq!(r.content_hash64(), whole, "split at {split}");
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::sync::{Arc, OnceLock};
 
-use fscan_netlist::{Circuit, CompiledTopology, NodeId};
+use fscan_netlist::{Circuit, CompiledTopology, NetlistDelta, NodeId};
 use fscan_sim::{CombEvaluator, V3};
 
 use crate::error::ScanError;
@@ -207,6 +207,59 @@ impl ScanDesign {
             .clone()
     }
 
+    /// Applies an ECO edit script to the scanned circuit, producing a new
+    /// design that shares the base's scan fabric — chains, constraints and
+    /// the `scan_mode` input are carried over unchanged — and whose
+    /// topology is built incrementally via [`CompiledTopology::patch`],
+    /// so downstream engines see the delta's dirty cones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScanError::Structure`] if the edit script fails to apply,
+    /// or if it touches any node the scan fabric depends on (chain nets,
+    /// flip-flops, side inputs, path gates, `scan_mode` or a constrained
+    /// input) — such edits change shift behaviour and must go through a
+    /// full re-insertion instead.
+    pub fn patched(&self, delta: &NetlistDelta) -> Result<ScanDesign, ScanError> {
+        let circuit = delta
+            .apply(&self.circuit)
+            .map_err(|e| ScanError::Structure(format!("eco delta rejected: {e}")))?;
+        let mut frozen: Vec<NodeId> = vec![self.scan_mode];
+        frozen.extend(self.constraints.iter().map(|&(pi, _)| pi));
+        for chain in &self.chains {
+            frozen.push(chain.scan_in);
+            for cell in &chain.cells {
+                frozen.push(cell.ff);
+                frozen.extend(cell.chain_nets());
+                for side in &cell.sides {
+                    frozen.push(side.gate);
+                    frozen.push(side.net);
+                }
+            }
+        }
+        frozen.sort_unstable();
+        frozen.dedup();
+        for id in delta.touched() {
+            if frozen.binary_search(&id).is_ok() {
+                return Err(ScanError::Structure(format!(
+                    "eco delta touches scan fabric node {id}; re-insert scan instead"
+                )));
+            }
+        }
+        let topo = Arc::new(self.topology().patch(delta));
+        let cell = OnceLock::new();
+        let _ = cell.set(topo);
+        Ok(ScanDesign {
+            circuit,
+            scan_mode: self.scan_mode,
+            constraints: self.constraints.clone(),
+            chains: self.chains.clone(),
+            test_points: self.test_points,
+            added_gates: self.added_gates,
+            topo: cell,
+        })
+    }
+
     /// The `scan_mode` primary input (1 during all scan operations).
     pub fn scan_mode(&self) -> NodeId {
         self.scan_mode
@@ -352,6 +405,58 @@ mod tests {
             sides: vec![],
             kind: SegmentKind::Dedicated,
         }
+    }
+
+    #[test]
+    fn patched_spare_cell_keeps_fabric_and_rejects_fabric_edits() {
+        use fscan_netlist::{
+            generate, DeltaNode, DeltaRef, GateKind, GeneratorConfig, NetlistDelta, Redrive,
+        };
+        let c = generate(&GeneratorConfig::new("eco", 7).gates(80).dffs(6));
+        let design = crate::insert_mux_scan(&c, 2).unwrap();
+        let n = design.circuit().num_nodes();
+        let delta = NetlistDelta {
+            base_nodes: n,
+            added: vec![
+                DeltaNode {
+                    name: "spare_c".into(),
+                    kind: GateKind::Const0,
+                    fanin: vec![],
+                },
+                DeltaNode {
+                    name: "spare_g".into(),
+                    kind: GateKind::Not,
+                    fanin: vec![DeltaRef::Added(0)],
+                },
+            ],
+            redriven: vec![],
+            removed: vec![],
+            outputs: vec![],
+        };
+        let patched = design.patched(&delta).unwrap();
+        patched.verify().unwrap();
+        assert_eq!(patched.chains(), design.chains());
+        assert_eq!(patched.constraints(), design.constraints());
+        let topo = patched.topology();
+        let dirty = topo.dirty().expect("patched topology carries dirty info");
+        assert_eq!(dirty.cones().len(), 2);
+
+        // Rewiring a scan flip-flop's D pin changes shift behaviour and
+        // must be rejected even though the edit applies cleanly.
+        let ff = design.chains()[0].cells[0].ff;
+        let bad = NetlistDelta {
+            base_nodes: n,
+            added: vec![],
+            redriven: vec![Redrive {
+                node: ff,
+                kind: GateKind::Dff,
+                fanin: vec![DeltaRef::Base(design.chains()[0].scan_in)],
+            }],
+            removed: vec![],
+            outputs: vec![],
+        };
+        let err = design.patched(&bad).unwrap_err();
+        assert!(err.to_string().contains("scan fabric"));
     }
 
     #[test]

@@ -96,9 +96,25 @@ impl DesignCache {
                 let cell: Cell = Arc::new(OnceLock::new());
                 map.push_back((key, cell.clone()));
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                while map.len() > self.capacity {
-                    map.pop_front();
-                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                // Evict from the LRU end, but *pin* entries whose build
+                // is still in flight (empty OnceLock): evicting one
+                // would drop the cell other requests are blocked on, so
+                // the finished design would be thrown away and the next
+                // request for it would rebuild — a silent double build.
+                // Pinned entries keep their LRU position; the map may
+                // transiently exceed capacity until their builds land.
+                let mut pinned = Vec::new();
+                while map.len() + pinned.len() > self.capacity {
+                    match map.pop_front() {
+                        Some(entry) if entry.1.get().is_none() => pinned.push(entry),
+                        Some(_) => {
+                            self.evictions.fetch_add(1, Ordering::Relaxed);
+                        }
+                        None => break,
+                    }
+                }
+                for entry in pinned.into_iter().rev() {
+                    map.push_front(entry);
                 }
                 (cell, false)
             }
@@ -115,6 +131,11 @@ impl DesignCache {
         (result, hit)
     }
 
+    /// Whether `key` is currently resident (for tests/diagnostics).
+    pub fn contains(&self, key: u64) -> bool {
+        self.map.lock().unwrap().iter().any(|(k, _)| *k == key)
+    }
+
     /// A consistent snapshot of the counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -127,10 +148,61 @@ impl DesignCache {
     }
 }
 
+/// One remembered pipeline run: the design it ran against and the full
+/// report (whose [`fscan::EcoCarry`] seeds incremental `/eco` reruns).
+pub struct RunEntry {
+    /// The design the run executed on (for `/eco`, the ECO base).
+    pub design: Arc<ScanDesign>,
+    /// The run's report, carry included.
+    pub report: Arc<fscan::PipelineReport>,
+}
+
+/// LRU cache of completed runs keyed by design content hash — the
+/// server-side memory behind `POST /eco`: an ECO request names its base
+/// by key, and the cached report's carry lets the rerun skip everything
+/// the edit cannot reach.
+pub struct RunCache {
+    map: Mutex<VecDeque<(u64, Arc<RunEntry>)>>,
+    capacity: usize,
+}
+
+impl RunCache {
+    /// A cache remembering at most `capacity` runs (minimum 1).
+    pub fn new(capacity: usize) -> RunCache {
+        RunCache {
+            map: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The remembered run for `key`, refreshing its recency.
+    pub fn get(&self, key: u64) -> Option<Arc<RunEntry>> {
+        let mut map = self.map.lock().unwrap();
+        let pos = map.iter().position(|(k, _)| *k == key)?;
+        let entry = map.remove(pos).unwrap();
+        let found = entry.1.clone();
+        map.push_back(entry);
+        Some(found)
+    }
+
+    /// Remembers (or replaces) the run for `key`.
+    pub fn put(&self, key: u64, entry: RunEntry) {
+        let mut map = self.map.lock().unwrap();
+        if let Some(pos) = map.iter().position(|(k, _)| *k == key) {
+            map.remove(pos);
+        }
+        map.push_back((key, Arc::new(entry)));
+        while map.len() > self.capacity {
+            map.pop_front();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
+    use std::sync::mpsc;
     use std::thread;
 
     use fscan_netlist::{generate, GeneratorConfig};
@@ -201,6 +273,71 @@ mod tests {
         let (rebuilt, hit) = cache.get_or_build(2, || demo_design(2));
         assert!(!hit);
         rebuilt.unwrap();
+    }
+
+    #[test]
+    fn in_flight_builds_are_pinned_against_eviction() {
+        let cache = Arc::new(DesignCache::new(1));
+        let (entered_tx, entered_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let builder = {
+            let cache = Arc::clone(&cache);
+            thread::spawn(move || {
+                cache
+                    .get_or_build(1, move || {
+                        entered_tx.send(()).unwrap();
+                        release_rx.recv().unwrap();
+                        demo_design(1)
+                    })
+                    .0
+                    .unwrap()
+            })
+        };
+        // Key 1's build is now in flight; inserting key 2 overflows the
+        // capacity-1 cache. Without the pin, the eviction loop dropped
+        // key 1's still-building cell here and its result was lost.
+        entered_rx.recv().unwrap();
+        cache.get_or_build(2, || demo_design(2)).0.unwrap();
+        assert!(cache.contains(1), "in-flight entry was evicted");
+        release_tx.send(()).unwrap();
+        let built = builder.join().unwrap();
+        // The finished design is still resident: a re-request is a hit
+        // on the very same Arc, not a rebuild.
+        let (again, hit) = cache.get_or_build(1, || unreachable!("pinned entry must not rebuild"));
+        assert!(hit);
+        assert!(Arc::ptr_eq(&built, &again.unwrap()));
+        assert_eq!(cache.stats().builds, 2);
+        // Once its build has landed the entry is ordinary again: the
+        // next insert can evict it.
+        cache.get_or_build(3, || demo_design(3)).0.unwrap();
+        assert!(cache.stats().evictions >= 1);
+    }
+
+    #[test]
+    fn run_cache_remembers_and_replaces_runs() {
+        use fscan::{PipelineConfig, PipelineSession};
+        let cache = RunCache::new(2);
+        assert!(cache.get(5).is_none());
+        let design = demo_design(5).unwrap();
+        let report = Arc::new(
+            PipelineSession::shared(Arc::clone(&design), PipelineConfig::default()).run(),
+        );
+        cache.put(
+            5,
+            RunEntry {
+                design: Arc::clone(&design),
+                report: Arc::clone(&report),
+            },
+        );
+        let entry = cache.get(5).expect("resident");
+        assert!(Arc::ptr_eq(&entry.design, &design));
+        assert!(Arc::ptr_eq(&entry.report, &report));
+        // Capacity bound evicts the least recently used run.
+        cache.put(6, RunEntry { design: Arc::clone(&design), report: Arc::clone(&report) });
+        cache.get(5);
+        cache.put(7, RunEntry { design, report });
+        assert!(cache.get(6).is_none());
+        assert!(cache.get(5).is_some() && cache.get(7).is_some());
     }
 
     #[test]

@@ -7,9 +7,20 @@
 //! | Method | Path        | Behaviour                                          |
 //! |--------|-------------|----------------------------------------------------|
 //! | POST   | `/run`      | Compile (or reuse) the uploaded netlist, run the pipeline, return the full report as JSON. `stream` switches to chunked per-checkpoint metrics. |
+//! | POST   | `/eco`      | Incremental rerun: the edited netlist is diffed server-side against the cached base run named by `base` (a key from `x-fscan-key`), and verdicts outside the edit's cones carry forward. The response reports `x-fscan-eco: reused=<n> recomputed=<m>`. |
 //! | GET    | `/stats`    | Server counters: requests, runs, rejections, keep-alive reuses, cache hits/misses/evictions, server-wide `topology_builds`, process memory. |
 //! | GET    | `/healthz`  | Liveness probe.                                    |
 //! | POST   | `/shutdown` | Acknowledge, then stop accepting and drain.        |
+//!
+//! Every `/run` and `/eco` response carries an `x-fscan-key` header —
+//! the content-addressed key of the design the report belongs to. An
+//! `/eco` request quotes one as its `base`; the server keeps the last
+//! few runs (reports + ECO carry) in an LRU [`RunCache`] so the rerun
+//! can reuse their verdicts. The edited netlist is parsed through the
+//! streaming [`BenchReader`], whose incrementally-computed
+//! [`content_hash64`](BenchReader::content_hash64) doubles as the new
+//! design's cache key — the body is hashed as it is parsed, not in a
+//! second pass.
 //!
 //! ## Keep-alive and backpressure
 //!
@@ -52,10 +63,10 @@ use std::time::Duration;
 
 use fscan::json::{self, config_from_value, metrics_to_value, report_to_value, Value};
 use fscan::{Error, LaneWidth, PipelineConfig, PipelineSession};
-use fscan_netlist::{content_hash64, parse_bench, Fnv1a64};
+use fscan_netlist::{content_hash64, parse_bench, BenchReader, Fnv1a64, NetlistDelta};
 use fscan_scan::{insert_functional_scan, ScanDesign, TpiConfig};
 
-use crate::cache::DesignCache;
+use crate::cache::{DesignCache, RunCache, RunEntry};
 use crate::http::{read_request, start_chunked, write_response, Request, RequestError};
 
 /// Server construction parameters.
@@ -105,6 +116,9 @@ struct ServerCounters {
 /// Everything a worker needs to answer requests.
 struct Shared {
     cache: DesignCache,
+    /// Completed runs (report + ECO carry) keyed by design key — the
+    /// bases `/eco` reruns against.
+    runs: RunCache,
     counters: ServerCounters,
     shutdown: AtomicBool,
     idle_timeout: Duration,
@@ -155,6 +169,7 @@ pub fn spawn(config: &ServerConfig) -> io::Result<ServerHandle> {
     let addr = listener.local_addr()?;
     let shared = Arc::new(Shared {
         cache: DesignCache::new(config.cache_capacity),
+        runs: RunCache::new(config.cache_capacity),
         counters: ServerCounters::default(),
         shutdown: AtomicBool::new(false),
         idle_timeout: Duration::from_millis(config.idle_timeout_ms.max(1)),
@@ -314,7 +329,8 @@ fn dispatch(
             done
         }
         ("POST", "/run") => handle_run(stream, request, shared, close),
-        (_, "/run" | "/shutdown") | ("POST" | "PUT" | "DELETE", "/stats" | "/healthz") => {
+        ("POST", "/eco") => handle_eco(stream, request, shared, close),
+        (_, "/run" | "/eco" | "/shutdown") | ("POST" | "PUT" | "DELETE", "/stats" | "/healthz") => {
             shared.counters.errors.fetch_add(1, Ordering::Relaxed);
             error_response(stream, 405, "http", "method not allowed", close)
         }
@@ -434,12 +450,22 @@ fn parse_run_request(request: &Request) -> Result<RunParams, Error> {
 
 /// The cache key: FNV-1a over the exact upload content and compile
 /// parameters. Configuration is *not* part of the key — it affects the
-/// run, not the compiled design.
+/// run, not the compiled design. The bench text enters as its
+/// [`content_hash64`] so the key can also be assembled from a streaming
+/// [`BenchReader`]'s incremental hash without re-reading the body.
 fn design_key(params: &RunParams) -> u64 {
+    design_key_parts(
+        &params.name,
+        params.chains,
+        content_hash64(params.bench.as_bytes()),
+    )
+}
+
+fn design_key_parts(name: &str, chains: usize, bench_hash: u64) -> u64 {
     let mut h = Fnv1a64::new();
-    h.write_u64(content_hash64(params.name.as_bytes()));
-    h.write_u64(params.chains as u64);
-    h.write(params.bench.as_bytes());
+    h.write_u64(content_hash64(name.as_bytes()));
+    h.write_u64(chains as u64);
+    h.write_u64(bench_hash);
     h.finish()
 }
 
@@ -469,9 +495,8 @@ fn handle_run(
             return error_response(stream, 400, e.kind(), &e.to_string(), close);
         }
     };
-    let (design, hit) = shared
-        .cache
-        .get_or_build(design_key(&params), || build_design(&params));
+    let key = design_key(&params);
+    let (design, hit) = shared.cache.get_or_build(key, || build_design(&params));
     let cache_header = if hit { "hit" } else { "miss" };
     let design = match design {
         Ok(d) => d,
@@ -480,19 +505,27 @@ fn handle_run(
             return error_response(stream, 400, e.kind(), &e.to_string(), close);
         }
     };
+    let key_header = format!("{key:016x}");
 
-    let session = PipelineSession::shared(design, params.config);
+    let session = PipelineSession::shared(Arc::clone(&design), params.config);
     shared.counters.runs.fetch_add(1, Ordering::Relaxed);
     if params.stream {
-        stream_run(stream, session, cache_header, close)
+        stream_run(stream, session, cache_header, &key_header, close, shared, key, design)
     } else {
-        let report = session.run();
+        let report = Arc::new(session.run());
         let body = json::report_to_json(&report);
+        shared.runs.put(
+            key,
+            RunEntry {
+                design,
+                report: Arc::clone(&report),
+            },
+        );
         write_response(
             stream,
             200,
             "application/json",
-            &[("x-fscan-cache", cache_header)],
+            &[("x-fscan-cache", cache_header), ("x-fscan-key", &key_header)],
             body.as_bytes(),
             close,
         )
@@ -501,17 +534,22 @@ fn handle_run(
 
 /// Runs the pipeline checkpoint by checkpoint, emitting one compact
 /// JSON line per completed stage as a chunk, then the full report.
+#[allow(clippy::too_many_arguments)]
 fn stream_run(
     stream: &mut TcpStream,
     session: PipelineSession,
     cache: &str,
+    key_header: &str,
     close: bool,
+    shared: &Shared,
+    key: u64,
+    design: Arc<ScanDesign>,
 ) -> io::Result<()> {
     let mut writer = start_chunked(
         stream,
         200,
         "application/x-ndjson",
-        &[("x-fscan-cache", cache)],
+        &[("x-fscan-cache", cache), ("x-fscan-key", key_header)],
         close,
     )?;
     let line = |stage: &str, extra: Vec<(&'static str, Value)>, metrics: &fscan_sim::StageMetrics| {
@@ -582,6 +620,13 @@ fn stream_run(
     )?;
 
     let report = compacted.seq();
+    shared.runs.put(
+        key,
+        RunEntry {
+            design,
+            report: Arc::new(report.clone()),
+        },
+    );
     writer.chunk(
         line(
             "seq",
@@ -603,6 +648,199 @@ fn stream_run(
     final_line.push('\n');
     writer.chunk(final_line.as_bytes())?;
     writer.finish()
+}
+
+/// A parsed `/eco` request: the key of the base run to rerun against
+/// plus the complete edited netlist (diffed server-side).
+struct EcoParams {
+    base_key: u64,
+    bench: String,
+    name: String,
+    chains: usize,
+    config: PipelineConfig,
+}
+
+fn parse_eco_request(request: &Request) -> Result<EcoParams, Error> {
+    let text = std::str::from_utf8(&request.body)
+        .map_err(|_| json::JsonError::new("request body is not UTF-8"))?;
+    let doc = json::parse(text)?;
+    let obj = doc
+        .as_object()
+        .ok_or_else(|| json::JsonError::new("eco envelope: expected an object"))?;
+    let mut base = None;
+    let mut bench = None;
+    let mut name = "upload".to_string();
+    let mut chains = 1usize;
+    let mut config = PipelineConfig::default();
+    for (key, value) in obj {
+        match key.as_str() {
+            "base" => {
+                let text = value
+                    .as_str()
+                    .ok_or_else(|| json::JsonError::new("eco envelope: base: expected a string"))?;
+                let parsed = u64::from_str_radix(text.trim_start_matches("0x"), 16)
+                    .map_err(|_| {
+                        json::JsonError::new(format!(
+                            "eco envelope: base: not a hex design key: {text}"
+                        ))
+                    })?;
+                base = Some(parsed);
+            }
+            "bench" => {
+                bench = Some(
+                    value
+                        .as_str()
+                        .ok_or_else(|| json::JsonError::new("eco envelope: bench: expected a string"))?
+                        .to_string(),
+                );
+            }
+            "name" => {
+                name = value
+                    .as_str()
+                    .ok_or_else(|| json::JsonError::new("eco envelope: name: expected a string"))?
+                    .to_string();
+            }
+            "chains" => {
+                chains = value
+                    .as_u64()
+                    .ok_or_else(|| json::JsonError::new("eco envelope: chains: expected an integer"))?
+                    as usize;
+            }
+            "config" => config = config_from_value(value).map_err(Error::from)?,
+            other => {
+                return Err(json::JsonError::new(format!(
+                    "eco envelope: unknown key `{other}`"
+                ))
+                .into())
+            }
+        }
+    }
+    let base =
+        base.ok_or_else(|| json::JsonError::new("eco envelope: missing required `base`"))?;
+    let bench =
+        bench.ok_or_else(|| json::JsonError::new("eco envelope: missing required `bench`"))?;
+    config.validate()?;
+    Ok(EcoParams {
+        base_key: base,
+        bench,
+        name,
+        chains,
+        config,
+    })
+}
+
+/// `POST /eco` — incremental rerun against a cached base run.
+///
+/// The edited netlist arrives whole; the server diffs it against the
+/// base design's circuit and hands the resulting [`NetlistDelta`] to
+/// [`PipelineSession::rerun_with_design`], which carries forward every
+/// verdict whose detection cone is disjoint from the edit. Edits the
+/// delta layer cannot express against the cached base (renamed nets, a
+/// changed scan fabric, a different interface) fall back to a cold run
+/// of the edited design — same response shape, nothing reused.
+fn handle_eco(
+    stream: &mut TcpStream,
+    request: &Request,
+    shared: &Shared,
+    close: bool,
+) -> io::Result<()> {
+    let params = match parse_eco_request(request) {
+        Ok(p) => p,
+        Err(e) => {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            return error_response(stream, 400, e.kind(), &e.to_string(), close);
+        }
+    };
+    let Some(base) = shared.runs.get(params.base_key) else {
+        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+        return error_response(
+            stream,
+            404,
+            "eco",
+            &format!(
+                "unknown base {:016x}: POST the base netlist to /run first and quote its x-fscan-key",
+                params.base_key
+            ),
+            close,
+        );
+    };
+    // Streaming parse of the edited netlist; the incremental content
+    // hash doubles as the bench component of the new design's key.
+    let mut reader = BenchReader::new(&params.name);
+    if let Err(e) = reader.feed(&params.bench) {
+        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+        let e = Error::from(e);
+        return error_response(stream, 400, e.kind(), &e.to_string(), close);
+    }
+    let bench_hash = reader.content_hash64();
+    let circuit = match reader.finish() {
+        Ok(c) => c,
+        Err(e) => {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            let e = Error::from(e);
+            return error_response(stream, 400, e.kind(), &e.to_string(), close);
+        }
+    };
+    let tpi = TpiConfig {
+        num_chains: params.chains.max(1),
+        ..TpiConfig::default()
+    };
+    // No topology() here: on the incremental path the patched topology
+    // comes from `CompiledTopology::patch`, not a fresh compile.
+    let new_design = match insert_functional_scan(&circuit, &tpi) {
+        Ok(d) => d,
+        Err(e) => {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            let e = Error::from(e);
+            return error_response(stream, 400, e.kind(), &e.to_string(), close);
+        }
+    };
+    let new_key = design_key_parts(&params.name, params.chains, bench_hash);
+
+    shared.counters.runs.fetch_add(1, Ordering::Relaxed);
+    let incremental = NetlistDelta::diff(base.design.circuit(), new_design.circuit())
+        .ok()
+        .and_then(|delta| {
+            PipelineSession::shared(Arc::clone(&base.design), params.config.clone())
+                .rerun_with_design(&base.report, &delta)
+                .ok()
+        });
+    let (report, design, reused, recomputed) = match incremental {
+        Some((report, patched)) => {
+            let totals = report.total_counters();
+            (
+                Arc::new(report),
+                patched,
+                totals.verdicts_reused,
+                totals.cones_invalidated,
+            )
+        }
+        None => {
+            let design = Arc::new(new_design);
+            let report =
+                PipelineSession::shared(Arc::clone(&design), params.config).run();
+            let recomputed = report.total_faults as u64;
+            (Arc::new(report), design, 0, recomputed)
+        }
+    };
+    let body = json::report_to_json(&report);
+    shared.runs.put(
+        new_key,
+        RunEntry {
+            design,
+            report: Arc::clone(&report),
+        },
+    );
+    let eco_header = format!("reused={reused} recomputed={recomputed}");
+    let key_header = format!("{new_key:016x}");
+    write_response(
+        stream,
+        200,
+        "application/json",
+        &[("x-fscan-eco", &eco_header), ("x-fscan-key", &key_header)],
+        body.as_bytes(),
+        close,
+    )
 }
 
 fn stats_json(shared: &Shared) -> String {

@@ -339,6 +339,97 @@ fn saturated_queue_sheds_load_with_typed_503() {
 }
 
 #[test]
+fn eco_rerun_reuses_verdicts_and_matches_cold() {
+    let handle = spawn(&ServerConfig::default()).unwrap();
+    let addr = handle.addr();
+    let bench = bench_text(21);
+
+    let base = client::post_run(addr, &RunRequest::new(&bench, "itest", 1)).unwrap();
+    assert_eq!(base.status, 200, "{}", base.text());
+    let base_key = base
+        .header("x-fscan-key")
+        .expect("every run must name its design key")
+        .to_string();
+    assert_eq!(base_key.len(), 16, "key: {base_key}");
+
+    // A spare-cell ECO: an isolated constant + NOT island appended to
+    // the netlist. No prior fault's cone is touched, so every prior
+    // verdict must carry forward.
+    let edited = format!("{bench}\neco_spare_c = CONST0()\neco_spare_g = NOT(eco_spare_c)\n");
+    let envelope = json::Value::object([
+        ("base", json::Value::Str(base_key.clone())),
+        ("bench", json::Value::Str(edited.clone())),
+        ("name", json::Value::Str("itest".to_string())),
+    ])
+    .render_compact();
+    let eco = client::post(addr, "/eco", "application/json", envelope.as_bytes()).unwrap();
+    assert_eq!(eco.status, 200, "{}", eco.text());
+    let reuse = eco
+        .header("x-fscan-eco")
+        .expect("eco must report its reuse split")
+        .to_string();
+    let reused: u64 = reuse
+        .strip_prefix("reused=")
+        .and_then(|rest| rest.split_once(' '))
+        .and_then(|(n, _)| n.parse().ok())
+        .unwrap_or_else(|| panic!("malformed x-fscan-eco: {reuse}"));
+    assert!(reused > 0, "nothing reused: {reuse}");
+    let new_key = eco
+        .header("x-fscan-key")
+        .expect("eco must name the patched design's key")
+        .to_string();
+    assert_ne!(new_key, base_key);
+
+    // The incremental report matches a cold run of the edited netlist —
+    // and the cold run's key (hashed from the raw upload) matches the
+    // key /eco derived from the streaming reader's incremental hash.
+    let cold = client::post_run(addr, &RunRequest::new(&edited, "itest", 1)).unwrap();
+    assert_eq!(cold.status, 200, "{}", cold.text());
+    assert_eq!(cold.header("x-fscan-key"), Some(new_key.as_str()));
+    // The two designs are isomorphic but number their nodes differently
+    // (the island lands before scan insertion cold, after it patched),
+    // so fault IDs are not comparable across them — the ID-exact oracle
+    // lives in the core crate where both paths share one design. Here
+    // every numbering-independent verdict must agree.
+    let inc_report = json::report_from_json(&eco.text()).unwrap();
+    let cold_report = json::report_from_json(&cold.text()).unwrap();
+    assert_eq!(inc_report.total_faults, cold_report.total_faults);
+    assert_eq!(inc_report.classification.easy, cold_report.classification.easy);
+    assert_eq!(inc_report.classification.hard, cold_report.classification.hard);
+    assert_eq!(inc_report.alternating.detected, cold_report.alternating.detected);
+    assert_eq!(inc_report.comb.detected, cold_report.comb.detected);
+    assert_eq!(inc_report.seq.undetected, cold_report.seq.undetected);
+    assert_eq!(
+        inc_report.undetected_faults.len(),
+        cold_report.undetected_faults.len()
+    );
+    assert_eq!(
+        inc_report.program.tests().len(),
+        cold_report.program.tests().len()
+    );
+
+    // Unknown base keys are a structured 404.
+    let missing = client::post(
+        addr,
+        "/eco",
+        "application/json",
+        b"{\"base\": \"00000000deadbeef\", \"bench\": \"INPUT(a)\"}",
+    )
+    .unwrap();
+    assert_eq!(missing.status, 404, "{}", missing.text());
+    let doc = json::parse(&missing.text()).unwrap();
+    assert_eq!(
+        doc.get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(|k| k.as_str()),
+        Some("eco")
+    );
+    // Wrong method routes like the other endpoints.
+    assert_eq!(client::get(addr, "/eco").unwrap().status, 405);
+    handle.shutdown();
+}
+
+#[test]
 fn shutdown_endpoint_stops_the_server() {
     let handle = spawn(&ServerConfig::default()).unwrap();
     let addr = handle.addr();

@@ -72,6 +72,17 @@ use crate::pool::ShardStats;
 /// * `podem_shards` — sharded PODEM batch rounds dispatched by the
 ///   comb phase (one per `shard_map` round, independent of the
 ///   thread count that served it).
+/// * `cones_invalidated` — faults an incremental rerun
+///   ([`PipelineSession::rerun`](https://docs.rs/fscan)) had to
+///   re-enqueue because their detection cones intersect the netlist
+///   delta's dirty set (includes faults new to the patched universe).
+/// * `verdicts_reused` — per-fault verdicts an incremental rerun
+///   carried forward unchanged from the prior report instead of
+///   recomputing (classification verdicts, alternating detections, and
+///   whole-stage reuses booked per fault).
+/// * `trace_cycles_reused` — good-trace cycles
+///   [`GoodTrace::replay_from`](crate::GoodTrace::replay_from) seeded
+///   from a prior run's trace instead of simulating from scratch.
 ///
 /// All fields are `u64` and every aggregation is an unordered sum, so
 /// merging in any order yields the same totals.
@@ -109,6 +120,12 @@ pub struct WorkCounters {
     pub vectors_compacted: u64,
     /// Sharded PODEM batch rounds dispatched.
     pub podem_shards: u64,
+    /// Faults re-enqueued by an incremental rerun (dirty cones).
+    pub cones_invalidated: u64,
+    /// Per-fault verdicts carried forward by an incremental rerun.
+    pub verdicts_reused: u64,
+    /// Good-trace cycles replayed from a prior run's trace.
+    pub trace_cycles_reused: u64,
 }
 
 impl WorkCounters {
@@ -130,6 +147,9 @@ impl WorkCounters {
         faults_dropped: 0,
         vectors_compacted: 0,
         podem_shards: 0,
+        cones_invalidated: 0,
+        verdicts_reused: 0,
+        trace_cycles_reused: 0,
     };
 
     /// Adds `other` into `self` field-wise.
@@ -144,7 +164,7 @@ impl WorkCounters {
 
     /// The counters as `(name, value)` pairs in a fixed order —
     /// the single source of truth for JSON emission and display.
-    pub fn fields(&self) -> [(&'static str, u64); 16] {
+    pub fn fields(&self) -> [(&'static str, u64); 19] {
         [
             ("gate_evals", self.gate_evals),
             ("lane_cycles", self.lane_cycles),
@@ -162,6 +182,9 @@ impl WorkCounters {
             ("faults_dropped", self.faults_dropped),
             ("vectors_compacted", self.vectors_compacted),
             ("podem_shards", self.podem_shards),
+            ("cones_invalidated", self.cones_invalidated),
+            ("verdicts_reused", self.verdicts_reused),
+            ("trace_cycles_reused", self.trace_cycles_reused),
         ]
     }
 }
@@ -221,6 +244,9 @@ impl AddAssign for WorkCounters {
         self.faults_dropped += rhs.faults_dropped;
         self.vectors_compacted += rhs.vectors_compacted;
         self.podem_shards += rhs.podem_shards;
+        self.cones_invalidated += rhs.cones_invalidated;
+        self.verdicts_reused += rhs.verdicts_reused;
+        self.trace_cycles_reused += rhs.trace_cycles_reused;
     }
 }
 
@@ -307,11 +333,14 @@ mod tests {
             faults_dropped: 14,
             vectors_compacted: 15,
             podem_shards: 16,
+            cones_invalidated: 17,
+            verdicts_reused: 18,
+            trace_cycles_reused: 19,
         };
         let vals: Vec<u64> = c.fields().iter().map(|&(_, v)| v).collect();
         assert_eq!(
             vals,
-            vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16]
+            vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19]
         );
         assert!(!c.is_zero());
         assert!(WorkCounters::ZERO.is_zero());

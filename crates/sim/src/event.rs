@@ -257,6 +257,207 @@ impl GoodTrace {
         }
     }
 
+    /// Simulates like [`compute`](Self::compute), but seeds every cycle
+    /// from `prior` — a trace of the **base** design this evaluator's
+    /// topology was patched from — so gates outside the edit's dirty
+    /// cones are *copied* instead of re-evaluated.
+    ///
+    /// The result is identical to `GoodTrace::compute(eval, vectors,
+    /// init)` in every stored artifact (outputs, states, snapshot,
+    /// deltas); only the [`counters`](Self::counters) differ:
+    /// `gate_evals` counts just the gates that actually went through the
+    /// kernel, and `trace_cycles_reused` counts the cycles for which
+    /// `prior` was live. The reuse rule is purely value-based — a gate
+    /// is copied when its function is unchanged (it is not in the
+    /// patch's [`touched`](fscan_netlist::DirtyInfo::touched) set) and
+    /// its fanin values match the prior machine's values for the same
+    /// cycle, in which case its output provably matches too. `prior`
+    /// may therefore come from *any* vector sequence: divergent inputs
+    /// simply shrink the copied region. A cold (unpatched) topology
+    /// reuses the whole trace when vectors and init are unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same shape mismatches as [`compute`](Self::compute),
+    /// or if `prior` has a different base node count than the patch
+    /// expects.
+    pub fn replay_from(
+        eval: &CombEvaluator,
+        prior: &GoodTrace,
+        vectors: &[Vec<V3>],
+        init: &[V3],
+    ) -> GoodTrace {
+        let topo = eval.topology();
+        assert_eq!(
+            init.len(),
+            topo.dffs().len(),
+            "init length != flip-flop count"
+        );
+        let n = topo.num_nodes();
+        let prior_n = prior.values0.len();
+        assert!(
+            prior_n <= n,
+            "prior trace has {prior_n} nodes, patched topology only {n}"
+        );
+        // Nodes whose *function* changed: copying their prior value is
+        // never sound, no matter how the fanin values compare.
+        let mut changed_fn = vec![false; n];
+        if let Some(dirty) = topo.dirty() {
+            for &t in dirty.touched() {
+                changed_fn[t.index()] = true;
+            }
+        }
+        let pos = eval.order_positions();
+        let mut values = vec![V3::X; n];
+        let mut outputs: Vec<Vec<V3>> = Vec::with_capacity(vectors.len());
+        let mut counters = WorkCounters::ZERO;
+        let mut delta_nodes: Vec<u32> = Vec::new();
+        let mut delta_values: Vec<V3> = Vec::new();
+        let mut delta_ends: Vec<usize> = Vec::with_capacity(vectors.len());
+        let mut state: Vec<V3> = init.to_vec();
+        // The prior machine's end-of-cycle net values, advanced through
+        // its delta lists in lockstep with our own cycles.
+        let mut pvals: Vec<V3> = prior.values0.clone();
+
+        let Some(vec0) = vectors.first() else {
+            return GoodTrace {
+                outputs,
+                final_state: state,
+                values0: values,
+                delta_nodes,
+                delta_values,
+                delta_ends,
+                counters,
+            };
+        };
+
+        // Cycle 0: one levelized pass, copying wherever the prior
+        // machine already knows the answer.
+        assert_eq!(
+            vec0.len(),
+            topo.inputs().len(),
+            "vector length != input count"
+        );
+        let live0 = prior.cycles() > 0;
+        if live0 {
+            counters.trace_cycles_reused += 1;
+        }
+        for (&pi, &v) in topo.inputs().iter().zip(vec0.iter()) {
+            values[pi.index()] = v;
+        }
+        for (&ff, &v) in topo.dffs().iter().zip(state.iter()) {
+            values[ff.index()] = v;
+        }
+        for &id in eval.order() {
+            let i = id.index();
+            let clean = live0 && i < prior_n && !changed_fn[i];
+            if clean
+                && topo
+                    .fanin(id)
+                    .iter()
+                    .all(|&f| values[f.index()] == pvals[f.index()])
+            {
+                values[i] = pvals[i];
+            } else {
+                counters.gate_evals += 1;
+                values[i] = kernel::eval_v3(
+                    topo.kind(id),
+                    topo.fanin(id).iter().map(|&src| values[src.index()]),
+                );
+            }
+        }
+        counters.lane_cycles += 1;
+        outputs.push(topo.outputs().iter().map(|&po| values[po.index()]).collect());
+        delta_ends.push(0);
+        let values0 = values.clone();
+        for (s, &ff) in state.iter_mut().zip(topo.dffs().iter()) {
+            *s = values[topo.fanin(ff)[0].index()];
+        }
+
+        // Cycles 1..: the same event-driven propagation as `compute`,
+        // except a popped gate whose function is unchanged and whose
+        // fanins match the prior machine is copied, not evaluated.
+        let mut queue = EventQueue::new(n);
+        let schedule = |queue: &mut EventQueue, id: NodeId| {
+            for &sink in topo.fanout_sinks(id) {
+                if topo.kind(sink).is_gate() {
+                    queue.push(pos[sink.index()], sink);
+                }
+            }
+        };
+        for (t, vec_t) in vectors.iter().enumerate().skip(1) {
+            assert_eq!(
+                vec_t.len(),
+                topo.inputs().len(),
+                "vector length != input count"
+            );
+            let live = t < prior.cycles();
+            if live {
+                counters.trace_cycles_reused += 1;
+                for (id, v) in prior.changes(t) {
+                    pvals[id.index()] = v;
+                }
+            }
+            counters.lane_cycles += 1;
+            queue.next_cycle();
+            for (&pi, &v) in topo.inputs().iter().zip(vec_t.iter()) {
+                if values[pi.index()] != v {
+                    values[pi.index()] = v;
+                    delta_nodes.push(pi.index() as u32);
+                    delta_values.push(v);
+                    schedule(&mut queue, pi);
+                }
+            }
+            for (&ff, &v) in topo.dffs().iter().zip(state.iter()) {
+                if values[ff.index()] != v {
+                    values[ff.index()] = v;
+                    delta_nodes.push(ff.index() as u32);
+                    delta_values.push(v);
+                    schedule(&mut queue, ff);
+                }
+            }
+            while let Some(id) = queue.pop() {
+                let i = id.index();
+                let clean = live && i < prior_n && !changed_fn[i];
+                let out = if clean
+                    && topo
+                        .fanin(id)
+                        .iter()
+                        .all(|&f| values[f.index()] == pvals[f.index()])
+                {
+                    pvals[i]
+                } else {
+                    counters.gate_evals += 1;
+                    kernel::eval_v3(
+                        topo.kind(id),
+                        topo.fanin(id).iter().map(|&src| values[src.index()]),
+                    )
+                };
+                if values[i] != out {
+                    values[i] = out;
+                    delta_nodes.push(i as u32);
+                    delta_values.push(out);
+                    schedule(&mut queue, id);
+                }
+            }
+            delta_ends.push(delta_nodes.len());
+            outputs.push(topo.outputs().iter().map(|&po| values[po.index()]).collect());
+            for (s, &ff) in state.iter_mut().zip(topo.dffs().iter()) {
+                *s = values[topo.fanin(ff)[0].index()];
+            }
+        }
+
+        GoodTrace {
+            outputs,
+            final_state: state,
+            values0,
+            delta_nodes,
+            delta_values,
+            delta_ends,
+            counters,
+        }
+    }
+
     /// Cycles simulated.
     pub fn cycles(&self) -> usize {
         self.outputs.len()
@@ -421,5 +622,83 @@ mod tests {
         let trace = trace_for(&c, &[], &[V3::X, V3::X]);
         assert_eq!(trace.cycles(), 0);
         assert!(trace.counters().is_zero());
+    }
+
+    fn assert_same_trace(a: &GoodTrace, b: &GoodTrace) {
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.final_state, b.final_state);
+        assert_eq!(a.values0, b.values0);
+        assert_eq!(a.delta_nodes, b.delta_nodes);
+        assert_eq!(a.delta_values, b.delta_values);
+        assert_eq!(a.delta_ends, b.delta_ends);
+    }
+
+    #[test]
+    fn replay_on_unpatched_design_is_free_and_identical() {
+        let c = generate(&GeneratorConfig::new("r", 5).inputs(6).gates(80).dffs(6));
+        let vectors = fscan_atpg_free_vectors(&c, 20, 4);
+        let init = vec![V3::Zero; c.dffs().len()];
+        let eval = CombEvaluator::new(&c);
+        let cold = GoodTrace::compute(&eval, &vectors, &init);
+        let replayed = GoodTrace::replay_from(&eval, &cold, &vectors, &init);
+        assert_same_trace(&cold, &replayed);
+        // Same design, same vectors: every gate value is copied.
+        assert_eq!(replayed.counters().gate_evals, 0);
+        assert_eq!(replayed.counters().trace_cycles_reused, 20);
+        assert_eq!(replayed.counters().lane_cycles, cold.counters().lane_cycles);
+    }
+
+    #[test]
+    fn replay_with_divergent_vectors_is_identical_to_compute() {
+        let c = generate(&GeneratorConfig::new("rd", 8).inputs(5).gates(60).dffs(5));
+        let init = vec![V3::X; c.dffs().len()];
+        let eval = CombEvaluator::new(&c);
+        let prior = GoodTrace::compute(&eval, &fscan_atpg_free_vectors(&c, 12, 1), &init);
+        // Different vectors, and more cycles than the prior trace has.
+        let vectors = fscan_atpg_free_vectors(&c, 18, 2);
+        let cold = GoodTrace::compute(&eval, &vectors, &init);
+        let replayed = GoodTrace::replay_from(&eval, &prior, &vectors, &init);
+        assert_same_trace(&cold, &replayed);
+        assert!(replayed.counters().gate_evals <= cold.counters().gate_evals);
+        assert_eq!(replayed.counters().trace_cycles_reused, 12);
+    }
+
+    #[test]
+    fn replay_through_a_patched_topology_matches_cold_compute() {
+        use fscan_netlist::{CompiledTopology, NetlistDelta};
+        let base = generate(&GeneratorConfig::new("rp", 13).inputs(6).gates(90).dffs(7));
+        let vectors = fscan_atpg_free_vectors(&base, 16, 3);
+        let init = vec![V3::Zero; base.dffs().len()];
+        let base_eval = CombEvaluator::new(&base);
+        let prior = GoodTrace::compute(&base_eval, &vectors, &init);
+
+        // Re-drive one gate, patch the topology, replay from the base
+        // trace and compare against a cold compute of the edited design.
+        let victim = base
+            .iter()
+            .find(|(_, n)| n.kind() == GateKind::And || n.kind() == GateKind::Or)
+            .map(|(id, _)| id)
+            .unwrap();
+        let dual = if base.node(victim).kind() == GateKind::And {
+            GateKind::Or
+        } else {
+            GateKind::And
+        };
+        let mut eco = base.clone();
+        eco.redrive(victim, dual, base.node(victim).fanin().to_vec());
+        let delta = NetlistDelta::diff(&base, &eco).unwrap();
+        let patched_topo =
+            std::sync::Arc::new(CompiledTopology::compile(&base).patch(&delta));
+        let eval = CombEvaluator::with_topology(patched_topo);
+
+        let cold = GoodTrace::compute(&eval, &vectors, &init);
+        let replayed = GoodTrace::replay_from(&eval, &prior, &vectors, &init);
+        assert_same_trace(&cold, &replayed);
+        assert!(
+            replayed.counters().gate_evals < cold.counters().gate_evals,
+            "replay must save work: {} vs {}",
+            replayed.counters().gate_evals,
+            cold.counters().gate_evals
+        );
     }
 }

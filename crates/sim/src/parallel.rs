@@ -207,19 +207,35 @@ impl<W: Rail> ParallelFaultSim<W> {
         threads: usize,
     ) -> (Vec<Option<usize>>, crate::pool::ShardStats, WorkCounters) {
         let trace = self.good_trace(vectors, init);
-        let (detections, stats, mut counters) = crate::pool::shard_map_counted(
+        let (detections, stats, mut counters) =
+            self.fault_sim_sharded_with_trace(faults, &trace, threads);
+        counters += trace.counters();
+        (detections, stats, counters)
+    }
+
+    /// [`fault_sim_sharded`](Self::fault_sim_sharded) against a
+    /// caller-supplied good trace — the incremental-rerun entry point,
+    /// where the trace comes from [`GoodTrace::replay_from`] rather
+    /// than a fresh [`good_trace`](Self::good_trace). The returned
+    /// counters cover only the faulty machines; the caller owns the
+    /// trace's own [`GoodTrace::counters`] accounting.
+    pub fn fault_sim_sharded_with_trace(
+        &self,
+        faults: &[Fault],
+        trace: &GoodTrace,
+        threads: usize,
+    ) -> (Vec<Option<usize>>, crate::pool::ShardStats, WorkCounters) {
+        crate::pool::shard_map_counted(
             threads,
             W::LANES as usize,
             faults,
             || self.scratch(),
             |scratch, _, chunk| {
                 let mut out = Vec::new();
-                let work = self.fault_sim_into(chunk, &trace, scratch, &mut out);
+                let work = self.fault_sim_into(chunk, trace, scratch, &mut out);
                 (out, work)
             },
-        );
-        counters += trace.counters();
-        (detections, stats, counters)
+        )
     }
 
     /// Simulates one 64-fault word against the shared good trace, using
